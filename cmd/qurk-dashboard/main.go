@@ -1,0 +1,86 @@
+// Command qurk-dashboard recreates the SIGMOD demo: it starts long-
+// running versions of the paper's two queries against a small, slow
+// simulated crowd, paces the virtual clock to real time, and serves
+//
+//	http://localhost:8080/        the Query Status Dashboard (Figure 2)
+//	http://localhost:8080/tasks   the Task Completion Interface
+//
+// so a live audience can answer HITs (including the two-column join of
+// Figure 3) and watch the queries advance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/crowd"
+	"repro/internal/dashboard"
+	"repro/qurk"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	seed := flag.Int64("seed", 1, "workload and crowd seed")
+	pace := flag.Float64("pace", 0.05, "real seconds per virtual second (0 = full speed)")
+	workers := flag.Int("workers", 3, "simulated workers competing with the audience")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *pace, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "qurk-dashboard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, pace float64, workers int) error {
+	companies := qurk.Companies(12, seed)
+	celebs := qurk.Celebrities(6, 12, 0.4, seed+1)
+	eng, err := qurk.New(qurk.Config{
+		Oracle: qurk.CombineOracles(companies.Oracle, celebs.Oracle),
+		Crowd: crowd.Config{
+			Seed:    seed,
+			Workers: workers, // a small pool keeps HITs open for the audience
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	for _, ds := range []qurk.Dataset{companies, celebs} {
+		for _, t := range ds.Tables {
+			if err := eng.Register(t); err != nil {
+				return err
+			}
+		}
+	}
+	if err := eng.Define(`
+TASK findCEO(String companyName)
+RETURNS (String CEO, String Phone):
+  TaskType: Question
+  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
+  Response: Form(("CEO", String), ("Phone", String))
+
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Drag a picture of any Celebrity in the left column to their matching picture in the Spotted Star column to the right."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+`); err != nil {
+		return err
+	}
+
+	// Pace the clock so the audience can race the simulated turkers.
+	eng.Clock().SetPace(pace)
+
+	// Start the demo's two long-running queries.
+	if _, err := eng.Run(`SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone FROM companies`); err != nil {
+		return err
+	}
+	if _, err := eng.Run(`SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`); err != nil {
+		return err
+	}
+
+	fmt.Printf("Qurk demo dashboard on http://localhost%s/ (tasks at /tasks)\n", addr)
+	return http.ListenAndServe(addr, dashboard.NewHandler(eng))
+}

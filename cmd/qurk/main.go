@@ -1,0 +1,263 @@
+// Command qurk runs a .qurk script (TASK definitions + SELECT queries)
+// against CSV tables with a simulated crowd, printing results and the
+// final Query Status Dashboard.
+//
+//	qurk -demo query1          # the paper's Query 1 on synthetic data
+//	qurk -demo query2          # the paper's Query 2 (celebrity join)
+//	qurk -script q.qurk -table companies=companies.csv -selectivity 0.4
+//
+// Without ground truth, the crowd answers from a deterministic synthetic
+// oracle: boolean tasks pass with the configured selectivity (hashed per
+// argument, so redundancy and caching behave realistically). Rating and
+// free-text tasks get a degenerate constant truth under -script; use the
+// -demo workloads (or the library API with a real Oracle) for richer
+// ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/dashboard"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/qurk"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	script := flag.String("script", "", "path to a .qurk script")
+	demo := flag.String("demo", "", "run a built-in demo: query1 or query2")
+	selectivity := flag.Float64("selectivity", 0.5, "pass rate of the synthetic oracle for boolean tasks")
+	seed := flag.Int64("seed", 1, "crowd random seed")
+	budgetDollars := flag.Float64("budget", 0, "budget limit in dollars (0 = unlimited)")
+	skill := flag.Float64("skill", 0.9, "mean worker accuracy")
+	showDash := flag.Bool("dashboard", true, "print the dashboard after the run")
+	explain := flag.Bool("explain", false, "print query plans instead of executing")
+	flag.Var(&tables, "table", "name=path.csv (repeatable)")
+	flag.Parse()
+
+	if *explain {
+		if err := explainScript(*script, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash); err != nil {
+		fmt.Fprintln(os.Stderr, "qurk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(script, demo string, tables tableFlags, selectivity float64, seed int64,
+	budgetDollars, skill float64, showDash bool) error {
+	if demo != "" {
+		return runDemo(demo, seed, skill, showDash)
+	}
+	if script == "" {
+		return fmt.Errorf("need -script or -demo (try -demo query1)")
+	}
+	src, err := os.ReadFile(script)
+	if err != nil {
+		return err
+	}
+	eng, err := qurk.New(qurk.Config{
+		Oracle:      hashOracle{selectivity: selectivity},
+		Crowd:       crowd.Config{Seed: seed, MeanSkill: skill},
+		BudgetCents: budget.Cents(budgetDollars * 100),
+		AutoTune:    true,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q (want name=path.csv)", spec)
+		}
+		tab, err := relation.LoadCSVFile(name, path)
+		if err != nil {
+			return err
+		}
+		if err := eng.Register(tab); err != nil {
+			return err
+		}
+	}
+	handles, err := eng.RunScript(string(src))
+	if err != nil {
+		return err
+	}
+	for i, h := range handles {
+		rows := h.Wait()
+		fmt.Printf("-- query %d: %s\n", i+1, h.SQL)
+		printRows(rows)
+		if errs := h.Exec.Errors(); len(errs) > 0 {
+			fmt.Printf("   (%d tuple errors, first: %v)\n", len(errs), errs[0])
+		}
+	}
+	if showDash {
+		fmt.Println()
+		fmt.Println(dashboard.Render(eng.Snapshot()))
+	}
+	return nil
+}
+
+func runDemo(which string, seed int64, skill float64, showDash bool) error {
+	var (
+		ds    qurk.Dataset
+		tasks string
+		query string
+	)
+	switch strings.ToLower(which) {
+	case "query1":
+		ds = qurk.Companies(10, seed)
+		tasks = `
+TASK findCEO(String companyName)
+RETURNS (String CEO, String Phone):
+  TaskType: Question
+  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
+  Response: Form(("CEO", String), ("Phone", String))
+`
+		query = `SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone FROM companies`
+	case "query2":
+		ds = qurk.Celebrities(8, 16, 0.4, seed)
+		tasks = `
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Drag a picture of any Celebrity in the left column to their matching picture in the Spotted Star column to the right."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+`
+		query = `SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`
+	default:
+		return fmt.Errorf("unknown demo %q (want query1 or query2)", which)
+	}
+	eng, err := qurk.New(qurk.Config{
+		Oracle: ds.Oracle,
+		Crowd:  crowd.Config{Seed: seed, MeanSkill: skill},
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	for _, t := range ds.Tables {
+		if err := eng.Register(t); err != nil {
+			return err
+		}
+	}
+	if err := eng.Define(tasks); err != nil {
+		return err
+	}
+	rows, err := eng.QueryAndWait(query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %s\n", query)
+	printRows(rows)
+	if showDash {
+		fmt.Println()
+		fmt.Println(dashboard.Render(eng.Snapshot()))
+	}
+	return nil
+}
+
+func printRows(rows []qurk.Tuple) {
+	if len(rows) == 0 {
+		fmt.Println("   (no rows)")
+		return
+	}
+	cols := rows[0].Schema.Columns()
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = c.Name
+	}
+	fmt.Println("   " + strings.Join(header, " | "))
+	for _, row := range rows {
+		cells := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			cells[i] = v.String()
+		}
+		fmt.Println("   " + strings.Join(cells, " | "))
+	}
+	fmt.Printf("   (%d rows)\n", len(rows))
+}
+
+// explainScript plans every query in the script and prints the operator
+// trees without posting any HITs.
+func explainScript(script string, tables tableFlags) error {
+	if script == "" {
+		return fmt.Errorf("-explain needs -script")
+	}
+	src, err := os.ReadFile(script)
+	if err != nil {
+		return err
+	}
+	parsed, err := qlang.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	catalog := relation.NewCatalog()
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q (want name=path.csv)", spec)
+		}
+		tab, err := relation.LoadCSVFile(name, path)
+		if err != nil {
+			return err
+		}
+		if err := catalog.Register(tab); err != nil {
+			return err
+		}
+	}
+	for i, stmt := range parsed.Queries {
+		node, err := plan.Build(stmt, parsed, catalog)
+		if err != nil {
+			return fmt.Errorf("query %d: %v", i+1, err)
+		}
+		fmt.Printf("-- query %d: %s\n%s\n", i+1, stmt.String(), plan.Explain(node))
+	}
+	return nil
+}
+
+// hashOracle is the synthetic ground truth for user-supplied tasks: it
+// answers deterministically from a hash of (task, args), so repeated and
+// redundant questions agree, selectivity is controllable, and caching
+// behaves as it would with stable real-world truth.
+type hashOracle struct {
+	selectivity float64
+}
+
+// Truth implements crowd.Oracle.
+func (o hashOracle) Truth(task string, args []relation.Value) relation.Value {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strings.ToLower(task)))
+	for _, a := range args {
+		_, _ = h.Write(a.Encode(nil))
+	}
+	x := float64(h.Sum64()%1_000_000) / 1_000_000
+	switch {
+	case x < o.selectivity:
+		return relation.NewBool(true)
+	default:
+		return relation.NewBool(false)
+	}
+}
+
+var _ crowd.Oracle = hashOracle{}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestRunDemoQuery1(t *testing.T) {
+	if err := runDemo("query1", 1, 0.95, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoQuery2(t *testing.T) {
+	if err := runDemo("query2", 1, 0.95, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoUnknown(t *testing.T) {
+	if err := runDemo("nope", 1, 0.95, false); err == nil {
+		t.Fatal("unknown demo accepted")
+	}
+}
+
+func TestRunScriptOverCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "photos.csv")
+	if err := os.WriteFile(csvPath, []byte("img:Image\na.png\nb.png\nc.png\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scriptPath := filepath.Join(dir, "q.qurk")
+	script := `
+TASK keep(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Keep this photo? %s", photo
+  Response: YesNo
+
+SELECT img FROM photos WHERE keep(img)
+`
+	if err := os.WriteFile(scriptPath, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(scriptPath, "", tableFlags{"photos=" + csvPath}, 0.5, 1, 0, 0.95, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", nil, 0.5, 1, 0, 0.95, false); err == nil {
+		t.Fatal("missing script accepted")
+	}
+	if err := run("/nonexistent.qurk", "", nil, 0.5, 1, 0, 0.95, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	scriptPath := filepath.Join(dir, "q.qurk")
+	_ = os.WriteFile(scriptPath, []byte("SELECT x FROM t"), 0o644)
+	if err := run(scriptPath, "", tableFlags{"bad"}, 0.5, 1, 0, 0.95, false); err == nil {
+		t.Fatal("bad -table accepted")
+	}
+	if err := run(scriptPath, "", tableFlags{"t=/nonexistent.csv"}, 0.5, 1, 0, 0.95, false); err == nil {
+		t.Fatal("missing csv accepted")
+	}
+}
+
+func TestHashOracleDeterministicSelectivity(t *testing.T) {
+	o := hashOracle{selectivity: 0.3}
+	args := []relation.Value{relation.NewImage("x.png")}
+	a := o.Truth("keep", args)
+	b := o.Truth("keep", args)
+	if !a.Equal(b) {
+		t.Fatal("hash oracle not deterministic")
+	}
+	yes := 0
+	for i := 0; i < 1000; i++ {
+		v := o.Truth("keep", []relation.Value{relation.NewInt(int64(i))})
+		if v.Truthy() {
+			yes++
+		}
+	}
+	if yes < 250 || yes > 350 {
+		t.Fatalf("selectivity = %d/1000, want ≈300", yes)
+	}
+}
+
+func TestExplainScript(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "photos.csv")
+	_ = os.WriteFile(csvPath, []byte("img:Image\na.png\n"), 0o644)
+	scriptPath := filepath.Join(dir, "q.qurk")
+	script := `
+TASK keep(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Keep? %s", photo
+  Response: YesNo
+
+SELECT img FROM photos WHERE keep(img) LIMIT 2
+`
+	_ = os.WriteFile(scriptPath, []byte(script), 0o644)
+	if err := explainScript(scriptPath, tableFlags{"photos=" + csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := explainScript("", nil); err == nil {
+		t.Fatal("explain without script accepted")
+	}
+	if err := explainScript("/nonexistent", nil); err == nil {
+		t.Fatal("explain missing file accepted")
+	}
+	if err := explainScript(scriptPath, tableFlags{"bad"}); err == nil {
+		t.Fatal("bad table accepted")
+	}
+}

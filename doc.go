@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Demonstration of
+// Qurk: A Query Processor for Human Operators" (Marcus, Wu, Karger,
+// Madden, Miller — SIGMOD 2011).
+//
+// Import the public API from repro/qurk; see README.md for a tour,
+// DESIGN.md for the architecture, and EXPERIMENTS.md for the reproduced
+// evaluation. The benchmarks in bench_test.go regenerate every
+// experiment table (go test -bench=. -benchmem).
+package repro

@@ -1,0 +1,106 @@
+// Entity resolution with classifier hand-off: human workers
+// deduplicate a product catalog through the join interface while a task
+// model trains on their answers; a second batch of duplicates is then
+// resolved largely for free — the paper's "reducing monetary costs
+// through automation".
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/qurk"
+)
+
+// catalogOracle knows two product listings are duplicates when they
+// share a canonical SKU prefix (the latent identity a human recognizes
+// from titles and photos).
+var catalogOracle = qurk.OracleFunc(func(task string, args []relation.Value) relation.Value {
+	if !strings.EqualFold(task, "sameProduct") || len(args) < 2 {
+		return relation.Null
+	}
+	sku := func(s string) string { return strings.SplitN(s, "/", 2)[0] }
+	return relation.NewBool(sku(args[0].Str()) == sku(args[1].Str()))
+})
+
+func catalogTable(name string, skus []string, variants int) *qurk.Table {
+	t := relation.NewTable(name, relation.MustSchema(
+		relation.Column{Name: "listing", Kind: relation.KindString}))
+	for _, sku := range skus {
+		for v := 0; v < variants; v++ {
+			_ = t.InsertValues(relation.NewString(fmt.Sprintf("%s/seller%d", sku, v+1)))
+		}
+	}
+	return t
+}
+
+func main() {
+	eng, err := qurk.New(qurk.Config{
+		Oracle:             catalogOracle,
+		Crowd:              qurk.CrowdConfig{MeanSkill: 0.96, SkillStd: 0.02, SpamFraction: 0.01, AbandonRate: 0.01, BatchPenalty: 0.003},
+		AttachModels:       true, // naive Bayes learns from human answers
+		ModelMinExamples:   40,
+		ModelMinConfidence: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	skusA := []string{"sku-anchor-101", "sku-bolt-102", "sku-clamp-103", "sku-drill-104"}
+	skusB := []string{"sku-easel-201", "sku-file-202", "sku-gasket-203", "sku-hinge-204"}
+	if err := eng.Register(catalogTable("batch1a", skusA, 2)); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Register(catalogTable("batch1b", skusA, 2)); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Register(catalogTable("batch2a", skusB, 2)); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Register(catalogTable("batch2b", skusB, 2)); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := eng.Define(`
+TASK sameProduct(String a, String b)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Do these two listings describe the same product? (%s) vs (%s)", a, b
+  Response: YesNo
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	dedup := func(left, right string) int {
+		rows, err := eng.QueryAndWait(fmt.Sprintf(`
+SELECT %s.listing, %s.listing
+FROM %s, %s
+WHERE sameProduct(%s.listing, %s.listing)`, left, right, left, right, left, right))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return len(rows)
+	}
+
+	n1 := dedup("batch1a", "batch1b")
+	spent1 := eng.Manager().Account().Spent()
+	fmt.Printf("batch 1: %d duplicate pairs found, %s spent (all human)\n", n1, spent1)
+
+	before := eng.Manager().StatsFor("sameproduct")
+	n2 := dedup("batch2a", "batch2b")
+	spent2 := eng.Manager().Account().Spent() - spent1
+	s := eng.Manager().StatsFor("sameproduct")
+	batch2Model := s.ModelAnswers - before.ModelAnswers
+	batch2Total := s.Submitted - before.Submitted
+	fmt.Printf("batch 2: %d duplicate pairs found, %s spent\n", n2, spent2)
+	fmt.Printf("model answered %d of %d batch-2 questions after training on batch 1\n",
+		batch2Model, batch2Total)
+	if spent2 < spent1 {
+		fmt.Printf("classifier hand-off saved %s on the second batch\n", spent1-spent2)
+	}
+}

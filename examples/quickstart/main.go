@@ -1,0 +1,63 @@
+// Quickstart: the paper's Query 1 end to end in ~40 lines.
+//
+// A companies table is extended with CEO names and phone numbers by
+// (simulated) human workers, with redundancy and majority voting handled
+// by the engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/qurk"
+)
+
+func main() {
+	// Synthetic data plus the ground truth the simulated crowd answers
+	// from. On real MTurk the truth lives in workers' heads; here the
+	// workload generator supplies it (see DESIGN.md §2).
+	ds := qurk.Companies(10, 42)
+
+	eng, err := qurk.New(qurk.Config{
+		Oracle: ds.Oracle,
+		Crowd:  qurk.CrowdConfig{MeanSkill: 0.96, SkillStd: 0.02, SpamFraction: 0.01, AbandonRate: 0.01, BatchPenalty: 0.003},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	for _, t := range ds.Tables {
+		if err := eng.Register(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Task 1 from the paper, verbatim modulo quoting.
+	if err := eng.Define(`
+TASK findCEO(String companyName)
+RETURNS (String CEO, String Phone):
+  TaskType: Question
+  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
+  Response: Form(("CEO", String), ("Phone", String))
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query 1 from the paper.
+	rows, err := eng.QueryAndWait(`
+SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
+FROM companies`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, row := range rows {
+		fmt.Printf("%-28s CEO=%-18s Phone=%s\n",
+			row.Values[0].Str(), row.Get("findCEO.CEO").Str(), row.Get("findCEO.Phone").Str())
+	}
+	fmt.Printf("\n%d companies, %s spent, %.1f virtual minutes\n",
+		len(rows), eng.Manager().Account().Spent(), eng.Clock().Now().Minutes())
+}

@@ -1,0 +1,90 @@
+// Sentiment triage: the "extracting sentiment from a corpus of text
+// snippets" workload the paper's abstract motivates. Humans filter
+// reviews to the positive ones and rank a photo-quality table — showing
+// filter + order-by over crowd answers, with batching tuned by the
+// optimizer.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/qurk"
+)
+
+func main() {
+	reviews := qurk.Reviews(40, 0.35, 11)
+	items := qurk.RankItems(8, 9, "appeal", 11)
+	eng, err := qurk.New(qurk.Config{
+		Oracle:   qurk.CombineOracles(reviews.Oracle, items.Oracle),
+		Crowd:    qurk.CrowdConfig{MeanSkill: 0.96, SkillStd: 0.02, SpamFraction: 0.01, AbandonRate: 0.01, BatchPenalty: 0.003},
+		AutoTune: true, // optimizer picks redundancy and batch sizes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	for _, ds := range []qurk.Dataset{reviews, items} {
+		for _, t := range ds.Tables {
+			if err := eng.Register(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Define(`
+TASK isPositive(String text)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Does this review express a positive sentiment? %s", text
+  Response: YesNo
+
+TASK appeal(Image pic)
+RETURNS Int:
+  TaskType: Rating
+  Text: "How appealing is this photo, 1 (worst) to 9 (best)? %s", pic
+  Response: Rating(1, 9)
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	positives, err := eng.QueryAndWait(`
+SELECT id, text FROM reviews WHERE isPositive(text)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowd kept %d of 40 reviews as positive; first few:\n", len(positives))
+	for i, row := range positives {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  #%-3d %s\n", row.Get("id").Int(), row.Get("text").Str())
+	}
+
+	ranked, err := eng.QueryAndWait(`
+SELECT img, appeal(img) AS score FROM items ORDER BY score DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop photos by crowd rating:")
+	for _, row := range ranked {
+		fmt.Printf("  %-16s %.2f\n", row.Get("img").Str(), row.Get("score").Float())
+	}
+
+	snap := eng.Snapshot()
+	fmt.Printf("\ntotal crowd spend: %s across %d HITs (batching on: filters asked %d questions in %d HITs)\n",
+		snap.Budget.Spent, snap.Market.HITsPosted,
+		statFor(snap, "ispositive").QuestionsAsked, statFor(snap, "ispositive").HITsPosted)
+}
+
+func statFor(snap qurk.Snapshot, task string) taskStat {
+	for _, s := range snap.Tasks {
+		if s.Task == task {
+			return taskStat{QuestionsAsked: s.QuestionsAsked, HITsPosted: s.HITsPosted}
+		}
+	}
+	return taskStat{}
+}
+
+type taskStat struct{ QuestionsAsked, HITsPosted int64 }

@@ -1,0 +1,148 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCentsString(t *testing.T) {
+	cases := map[Cents]string{
+		0:     "$0.00",
+		5:     "$0.05",
+		123:   "$1.23",
+		10000: "$100.00",
+		-42:   "-$0.42",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(c), got, want)
+		}
+	}
+}
+
+func TestSpendWithinLimit(t *testing.T) {
+	a := NewAccount(100)
+	if a.Limit() != 100 {
+		t.Fatalf("limit = %v", a.Limit())
+	}
+	if err := a.Spend(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(41); err != ErrExhausted {
+		t.Fatalf("overspend err = %v", err)
+	}
+	if err := a.Spend(40); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 100 || a.Remaining() != 0 {
+		t.Fatalf("spent=%v remaining=%v", a.Spent(), a.Remaining())
+	}
+}
+
+func TestUnlimitedAccount(t *testing.T) {
+	a := NewAccount(0)
+	if err := a.Spend(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if a.Remaining() <= 0 {
+		t.Fatal("unlimited account must always have remaining budget")
+	}
+}
+
+func TestReserveCommitRelease(t *testing.T) {
+	a := NewAccount(100)
+	if err := a.Reserve(70); err != nil {
+		t.Fatal(err)
+	}
+	if a.Reserved() != 70 || a.Remaining() != 30 {
+		t.Fatalf("reserved=%v remaining=%v", a.Reserved(), a.Remaining())
+	}
+	if err := a.Reserve(31); err != ErrExhausted {
+		t.Fatalf("over-reserve err = %v", err)
+	}
+	a.Commit(50)
+	if a.Spent() != 50 || a.Reserved() != 20 {
+		t.Fatalf("after commit: spent=%v reserved=%v", a.Spent(), a.Reserved())
+	}
+	a.Release(20)
+	if a.Reserved() != 0 || a.Remaining() != 50 {
+		t.Fatalf("after release: reserved=%v remaining=%v", a.Reserved(), a.Remaining())
+	}
+}
+
+func TestNegativeAmounts(t *testing.T) {
+	a := NewAccount(10)
+	if err := a.Spend(-1); err == nil {
+		t.Error("negative spend accepted")
+	}
+	if err := a.Reserve(-1); err == nil {
+		t.Error("negative reserve accepted")
+	}
+	a.Release(-5) // no-op
+	a.Commit(-5)  // no-op
+	if a.Spent() != 0 || a.Reserved() != 0 {
+		t.Error("negative release/commit mutated account")
+	}
+}
+
+func TestOverReleaseClamps(t *testing.T) {
+	a := NewAccount(100)
+	_ = a.Reserve(10)
+	a.Release(50)
+	if a.Reserved() != 0 {
+		t.Fatalf("reserved = %v", a.Reserved())
+	}
+}
+
+func TestConcurrentSpendNeverExceedsLimit(t *testing.T) {
+	a := NewAccount(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = a.Spend(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Spent() != 1000 {
+		t.Fatalf("spent = %v, want exactly the limit", a.Spent())
+	}
+}
+
+// Property: spent + remaining + reserved == limit for limited accounts,
+// under any interleaving of successful operations.
+func TestAccountingInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewAccount(500)
+		for _, op := range ops {
+			amt := Cents(op % 97)
+			switch op % 4 {
+			case 0:
+				_ = a.Spend(amt)
+			case 1:
+				_ = a.Reserve(amt)
+			case 2:
+				a.Commit(amt)
+			case 3:
+				a.Release(amt)
+			}
+			if a.Spent()+a.Reserved() > 500+amt {
+				// Commit without reserve can push spent past limit by
+				// design (it trusts the earlier Reserve); but spend and
+				// reserve alone must never exceed.
+				continue
+			}
+			if a.Remaining() < 0 && a.Spent() <= 500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

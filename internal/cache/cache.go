@@ -1,0 +1,190 @@
+// Package cache implements Qurk's Task Cache: a memo of completed
+// (task, arguments) → answers entries. The paper: "We cache a given
+// result to be used in several places (even possibly in different
+// queries)." A hit costs $0 and zero HITs; the dashboard reports the
+// savings. Entries persist across processes via gob.
+package cache
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Key identifies a cached task application.
+type Key struct {
+	Task string
+	Args string // canonical encoding of the argument values
+}
+
+// NewKey canonicalizes a task invocation.
+func NewKey(task string, args []relation.Value) Key {
+	var enc []byte
+	for _, a := range args {
+		enc = a.Encode(enc)
+	}
+	return Key{Task: task, Args: string(enc)}
+}
+
+// Entry is the cached outcome: every assignment's answer, so callers can
+// re-reduce with any aggregate.
+type Entry struct {
+	Answers []relation.Value
+}
+
+// Stats summarizes cache effectiveness for the dashboard.
+type Stats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+	// SavedQuestions counts questions answered from cache instead of
+	// being posted — the basis of the dashboard's "caching benefit".
+	SavedQuestions int64
+}
+
+// Cache is a concurrency-safe task cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+	hits    int64
+	misses  int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[Key]Entry)}
+}
+
+// Get looks up answers for a task application; ok is false on miss.
+func (c *Cache) Get(key Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Peek is Get without touching the hit/miss counters (used by the
+// dashboard and the optimizer when probing).
+func (c *Cache) Peek(key Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Put stores the complete answer set for a task application,
+// overwriting any previous entry.
+func (c *Cache) Put(key Key, e Entry) {
+	cp := Entry{Answers: append([]relation.Value(nil), e.Answers...)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cp
+}
+
+// Append adds one more assignment's answer to an existing entry
+// (creating it if needed), so redundancy accumulated across queries
+// keeps improving confidence.
+func (c *Cache) Append(key Key, answer relation.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	e.Answers = append(e.Answers, answer)
+	c.entries[key] = e
+}
+
+// Len returns the number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, SavedQuestions: c.hits}
+}
+
+// Clear drops all entries and counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]Entry)
+	c.hits, c.misses = 0, 0
+}
+
+// persistedEntry is the gob wire format.
+type persistedEntry struct {
+	Task    string
+	Args    string
+	Answers []relation.Value
+}
+
+// Save writes the cache contents to w as a gob stream.
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.Lock()
+	flat := make([]persistedEntry, 0, len(c.entries))
+	for k, e := range c.entries {
+		flat = append(flat, persistedEntry{Task: k.Task, Args: k.Args, Answers: e.Answers})
+	}
+	c.mu.Unlock()
+	return gob.NewEncoder(w).Encode(flat)
+}
+
+// Load merges entries from a gob stream produced by Save. Existing keys
+// are overwritten.
+func (c *Cache) Load(r io.Reader) error {
+	var flat []persistedEntry
+	if err := gob.NewDecoder(r).Decode(&flat); err != nil {
+		return fmt.Errorf("cache: load: %v", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pe := range flat {
+		c.entries[Key{Task: pe.Task, Args: pe.Args}] = Entry{Answers: pe.Answers}
+	}
+	return nil
+}
+
+// SaveFile persists the cache to path (atomic via rename).
+func (c *Cache) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile merges entries from a file written by SaveFile. A missing
+// file is not an error: a cold cache is valid.
+func (c *Cache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

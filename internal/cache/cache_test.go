@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func key(task, arg string) Key {
+	return NewKey(task, []relation.Value{relation.NewString(arg)})
+}
+
+func TestNewKeyCanonical(t *testing.T) {
+	a := NewKey("findCEO", []relation.Value{relation.NewString("Acme")})
+	b := NewKey("findCEO", []relation.Value{relation.NewString("Acme")})
+	if a != b {
+		t.Fatal("identical invocations must share a key")
+	}
+	c := NewKey("findCEO", []relation.Value{relation.NewString("Globex")})
+	if a == c {
+		t.Fatal("different args must differ")
+	}
+	d := NewKey("findCFO", []relation.Value{relation.NewString("Acme")})
+	if a == d {
+		t.Fatal("different tasks must differ")
+	}
+	// Multi-arg boundaries must not collide.
+	e := NewKey("t", []relation.Value{relation.NewString("ab"), relation.NewString("c")})
+	f := NewKey("t", []relation.Value{relation.NewString("a"), relation.NewString("bc")})
+	if e == f {
+		t.Fatal("argument boundaries collided")
+	}
+}
+
+func TestGetPutAppend(t *testing.T) {
+	c := New()
+	k := key("findCEO", "Acme")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, Entry{Answers: []relation.Value{relation.NewString("Ada")}})
+	e, ok := c.Get(k)
+	if !ok || len(e.Answers) != 1 || e.Answers[0].Str() != "Ada" {
+		t.Fatalf("get = %v ok=%v", e, ok)
+	}
+	c.Append(k, relation.NewString("Ada"))
+	e, _ = c.Get(k)
+	if len(e.Answers) != 2 {
+		t.Fatalf("append: %d answers", len(e.Answers))
+	}
+	// Append on a fresh key creates it.
+	k2 := key("findCEO", "Globex")
+	c.Append(k2, relation.NewString("Grace"))
+	if e, ok := c.Get(k2); !ok || len(e.Answers) != 1 {
+		t.Fatalf("append-create = %v ok=%v", e, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPutCopiesAnswers(t *testing.T) {
+	c := New()
+	answers := []relation.Value{relation.NewString("x")}
+	c.Put(key("t", "a"), Entry{Answers: answers})
+	answers[0] = relation.NewString("mutated")
+	e, _ := c.Peek(key("t", "a"))
+	if e.Answers[0].Str() != "x" {
+		t.Fatal("Put must copy the answer slice")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New()
+	k := key("t", "a")
+	c.Get(k)               // miss
+	c.Put(k, Entry{})      // store
+	c.Get(k)               // hit
+	c.Peek(key("t", "zz")) // peek: not counted
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.SavedQuestions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.Clear()
+	s = c.Stats()
+	if s.Hits != 0 || s.Entries != 0 {
+		t.Fatalf("after clear = %+v", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New()
+	c.Put(key("findCEO", "Acme"), Entry{Answers: []relation.Value{
+		relation.NewTuple(relation.Field{Name: "CEO", Value: relation.NewString("Ada")}),
+		relation.NewTuple(relation.Field{Name: "CEO", Value: relation.NewString("Ada")}),
+	}})
+	c.Put(key("isCat", "x.png"), Entry{Answers: []relation.Value{relation.NewBool(true)}})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("loaded %d entries", c2.Len())
+	}
+	e, ok := c2.Peek(key("findCEO", "Acme"))
+	if !ok || len(e.Answers) != 2 || e.Answers[0].Field("CEO").Str() != "Ada" {
+		t.Fatalf("loaded entry = %v ok=%v", e, ok)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	c := New()
+	if err := c.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage load must error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.gob")
+	c := New()
+	c.Put(key("t", "a"), Entry{Answers: []relation.Value{relation.NewInt(1)}})
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("loaded %d", c2.Len())
+	}
+	// Missing file is a cold start, not an error.
+	c3 := New()
+	if err := c3.LoadFile(filepath.Join(dir, "missing.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if c3.Len() != 0 {
+		t.Fatal("missing file should load nothing")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key("t", string(rune('a'+i%7)))
+				if i%3 == 0 {
+					c.Append(k, relation.NewInt(int64(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("no entries after concurrent writes")
+	}
+}

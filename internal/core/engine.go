@@ -1,0 +1,366 @@
+// Package core wires Qurk's components — storage, language, planner,
+// executor, task manager, marketplace, crowd, optimizer, cache, models,
+// dashboard — into the engine depicted in Figure 1 of the paper.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/crowd"
+	"repro/internal/dashboard"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+// Config parameterizes an engine instance.
+type Config struct {
+	// Crowd configures the simulated worker population.
+	Crowd crowd.Config
+	// Oracle supplies ground truth for the simulated crowd; required
+	// unless Pool is set.
+	Oracle crowd.Oracle
+	// Pool overrides the simulated crowd with a custom worker pool.
+	Pool mturk.WorkerPool
+	// BudgetCents caps total spend (0 = unlimited).
+	BudgetCents budget.Cents
+	// Exec carries executor knobs (join blocks, pairwise mode,
+	// grouped filters, queue sizes). Mgr/Script/FilterOrder fields are
+	// managed by the engine.
+	Exec exec.Config
+	// AutoTune runs the optimizer over every defined task (assignments
+	// from the redundancy model, batch size from accuracy decay).
+	AutoTune bool
+	// AdaptiveFilters installs the optimizer's live filter reordering.
+	AdaptiveFilters bool
+	// AttachModels creates a confidence-gated naive Bayes task model
+	// for every boolean task, enabling classifier substitution.
+	AttachModels bool
+	// ModelMinExamples / ModelMinConfidence tune attached models
+	// (defaults 30 and 0.85).
+	ModelMinExamples   int
+	ModelMinConfidence float64
+}
+
+// QueryHandle tracks one submitted query.
+type QueryHandle struct {
+	ID        int
+	SQL       string
+	Plan      plan.Node
+	Exec      *exec.Query
+	StartedAt mturk.VirtualTime
+	engine    *Engine
+}
+
+// Wait blocks until the query finishes and returns its rows.
+func (h *QueryHandle) Wait() []relation.Tuple { return h.Exec.Wait() }
+
+// Result returns the pollable results table.
+func (h *QueryHandle) Result() *relation.Table { return h.Exec.Result() }
+
+// Engine is a running Qurk instance.
+type Engine struct {
+	cfg     Config
+	catalog *relation.Catalog
+	clock   *mturk.Clock
+	market  *mturk.Marketplace
+	pool    *crowd.Pool // nil when Config.Pool was supplied
+	mgr     *taskmgr.Manager
+	opt     *optimizer.Optimizer
+
+	mu      sync.Mutex
+	script  *qlang.Script
+	queries []*QueryHandle
+	nextID  int
+	closed  bool
+}
+
+// New builds and starts an engine; callers must Close it.
+func New(cfg Config) (*Engine, error) {
+	var pool mturk.WorkerPool
+	var simPool *crowd.Pool
+	if cfg.Pool != nil {
+		pool = cfg.Pool
+	} else {
+		if cfg.Oracle == nil {
+			return nil, fmt.Errorf("core: config needs an Oracle (or a custom Pool)")
+		}
+		simPool = crowd.NewPool(cfg.Crowd, cfg.Oracle)
+		pool = simPool
+	}
+	clock := mturk.NewClock()
+	market := mturk.NewMarketplace(clock, pool)
+	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(cfg.BudgetCents))
+	e := &Engine{
+		cfg:     cfg,
+		catalog: relation.NewCatalog(),
+		clock:   clock,
+		market:  market,
+		pool:    simPool,
+		mgr:     mgr,
+		opt:     optimizer.New(mgr),
+		script:  &qlang.Script{},
+	}
+	go clock.Run(e.stopped)
+	return e, nil
+}
+
+func (e *Engine) stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Close shuts the engine down; in-flight queries stop making progress.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.clock.Close()
+}
+
+// Catalog exposes table registration.
+func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
+
+// Manager exposes the task manager (policies, cache, models, budget).
+func (e *Engine) Manager() *taskmgr.Manager { return e.mgr }
+
+// Marketplace exposes the simulated MTurk (dashboard, audience tasks).
+func (e *Engine) Marketplace() *mturk.Marketplace { return e.market }
+
+// Optimizer exposes the tuning component.
+func (e *Engine) Optimizer() *optimizer.Optimizer { return e.opt }
+
+// Clock exposes virtual time.
+func (e *Engine) Clock() *mturk.Clock { return e.clock }
+
+// Pool returns the simulated crowd, or nil when a custom pool is used.
+func (e *Engine) Pool() *crowd.Pool { return e.pool }
+
+// Register adds a table to the catalog.
+func (e *Engine) Register(t *relation.Table) error { return e.catalog.Register(t) }
+
+// LoadCSV registers a table parsed from CSV.
+func (e *Engine) LoadCSV(name string, r io.Reader) (*relation.Table, error) {
+	t, err := relation.LoadCSV(name, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.catalog.Register(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Define parses TASK definitions (and ignores any queries) and registers
+// them with the engine, applying auto-tuning and model attachment.
+func (e *Engine) Define(src string) error {
+	script, err := qlang.Parse(src)
+	if err != nil {
+		return err
+	}
+	return e.defineTasks(script.Tasks)
+}
+
+func (e *Engine) defineTasks(defs []*qlang.TaskDef) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, def := range defs {
+		if _, dup := e.script.Task(def.Name); dup {
+			return fmt.Errorf("core: task %q already defined", def.Name)
+		}
+		e.script.Tasks = append(e.script.Tasks, def)
+		if e.cfg.AutoTune {
+			e.mgr.SetPolicy(def.Name, e.opt.PolicyFor(def))
+		}
+		if e.cfg.AttachModels && isBoolean(def) {
+			minEx := e.cfg.ModelMinExamples
+			if minEx == 0 {
+				minEx = 30
+			}
+			minConf := e.cfg.ModelMinConfidence
+			if minConf == 0 {
+				minConf = 0.85
+			}
+			e.mgr.Models().Attach(model.NewTaskModel(def.Name, model.NewNaiveBayes(), minEx, minConf))
+		}
+	}
+	return nil
+}
+
+func isBoolean(def *qlang.TaskDef) bool {
+	return len(def.Returns) == 1 && def.Returns[0].Name == "" &&
+		def.Returns[0].Kind == relation.KindBool
+}
+
+// Tasks returns the currently defined tasks.
+func (e *Engine) Tasks() []*qlang.TaskDef {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*qlang.TaskDef(nil), e.script.Tasks...)
+}
+
+// Run parses, plans and starts one SELECT query, returning its handle.
+func (e *Engine) Run(sql string) (*QueryHandle, error) {
+	stmt, err := qlang.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.runStmt(sql, stmt)
+}
+
+// RunScript executes a full script: TASK definitions first, then every
+// query, returning one handle per query.
+func (e *Engine) RunScript(src string) ([]*QueryHandle, error) {
+	script, err := qlang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.defineTasks(script.Tasks); err != nil {
+		return nil, err
+	}
+	var handles []*QueryHandle
+	for _, stmt := range script.Queries {
+		h, err := e.runStmt(stmt.String(), stmt)
+		if err != nil {
+			return handles, err
+		}
+		handles = append(handles, h)
+	}
+	return handles, nil
+}
+
+func (e *Engine) runStmt(sql string, stmt *qlang.SelectStmt) (*QueryHandle, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: engine closed")
+	}
+	script := e.script
+	e.mu.Unlock()
+
+	node, err := plan.Build(stmt, script, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg.Exec
+	cfg.Mgr = e.mgr
+	cfg.Script = script
+	if e.cfg.AdaptiveFilters && cfg.FilterOrder == nil {
+		cfg.FilterOrder = e.opt.FilterOrder(script)
+	}
+	q, err := exec.Start(node, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.nextID++
+	h := &QueryHandle{
+		ID: e.nextID, SQL: sql, Plan: node, Exec: q,
+		StartedAt: e.clock.Now(), engine: e,
+	}
+	e.queries = append(e.queries, h)
+	e.mu.Unlock()
+	return h, nil
+}
+
+// QueryAndWait runs one query to completion.
+func (e *Engine) QueryAndWait(sql string) ([]relation.Tuple, error) {
+	h, err := e.Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows := h.Wait()
+	if errs := h.Exec.Errors(); len(errs) > 0 {
+		return rows, fmt.Errorf("core: %d tuple errors, first: %v", len(errs), errs[0])
+	}
+	return rows, nil
+}
+
+// Queries lists submitted query handles.
+func (e *Engine) Queries() []*QueryHandle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*QueryHandle(nil), e.queries...)
+}
+
+// SaveCache persists the Task Cache so a future engine (or process) can
+// reuse paid-for answers — the paper's cross-query caching, extended
+// across restarts.
+func (e *Engine) SaveCache(path string) error {
+	return e.mgr.Cache().SaveFile(path)
+}
+
+// LoadCache merges a previously saved Task Cache.
+func (e *Engine) LoadCache(path string) error {
+	return e.mgr.Cache().LoadFile(path)
+}
+
+// Snapshot builds the dashboard view (Figure 2).
+func (e *Engine) Snapshot() dashboard.Snapshot {
+	tasks := e.mgr.Stats()
+	account := e.mgr.Account()
+	snap := dashboard.Snapshot{
+		NowMinutes: e.clock.Now().Minutes(),
+		Budget: dashboard.BudgetInfo{
+			Limit:     account.Limit(),
+			Spent:     account.Spent(),
+			Remaining: account.Remaining(),
+		},
+		Market: e.market.Stats(),
+		Tasks:  tasks,
+		Cache:  e.mgr.Cache().Stats(),
+	}
+	for _, m := range e.mgr.Models().All() {
+		snap.Models = append(snap.Models, m.Stats())
+	}
+	if quals := e.mgr.WorkerQualities(); len(quals) > 0 {
+		if len(quals) > 8 {
+			quals = quals[:8]
+		}
+		snap.Workers = quals
+	}
+	snap.Savings = dashboard.ComputeSavings(tasks, func(task string) taskmgr.Policy {
+		e.mu.Lock()
+		def, ok := e.script.Task(task)
+		e.mu.Unlock()
+		if !ok {
+			return taskmgr.DefaultPolicy()
+		}
+		return e.mgr.PolicyFor(def)
+	})
+	// Remaining-work estimate: pending batched questions plus open
+	// assignments, at one (price × assignment) unit each.
+	snap.EstimatedRemainingCents = budget.Cents(e.mgr.Pending() + e.mgr.Inflight())
+	e.mu.Lock()
+	queries := append([]*QueryHandle(nil), e.queries...)
+	e.mu.Unlock()
+	now := e.clock.Now()
+	for _, h := range queries {
+		done := h.Exec.Result().Closed()
+		snap.Queries = append(snap.Queries, dashboard.QueryInfo{
+			ID:          h.ID,
+			SQL:         h.SQL,
+			PlanExplain: plan.Explain(h.Plan),
+			Ops:         h.Exec.OpStats(),
+			Done:        done,
+			Results:     h.Exec.Result().Len(),
+			ElapsedMin:  (now - h.StartedAt).Minutes(),
+			Errors:      len(h.Exec.Errors()),
+		})
+	}
+	return snap
+}

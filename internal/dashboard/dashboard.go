@@ -1,0 +1,148 @@
+// Package dashboard implements the Query Status Dashboard of Figure 2:
+// a window into the system internals showing budget, total-cost
+// estimates, per-operator progress, and the benefit gained from the two
+// optimizations the demo highlights — caching of previously executed
+// UDFs and classifiers in place of humans — plus the Task Completion
+// Interface that lets a live audience answer HITs.
+package dashboard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/taskmgr"
+)
+
+// QueryInfo describes one (running or finished) query.
+type QueryInfo struct {
+	ID          int
+	SQL         string
+	PlanExplain string
+	Ops         []exec.OpStats
+	Done        bool
+	Results     int
+	ElapsedMin  float64 // virtual minutes since submission
+	Errors      int
+}
+
+// BudgetInfo is the money panel.
+type BudgetInfo struct {
+	Limit     budget.Cents
+	Spent     budget.Cents
+	Remaining budget.Cents
+}
+
+// Savings quantifies the two dashboard optimizations.
+type Savings struct {
+	// CacheSavedCents estimates money not spent thanks to cache hits.
+	CacheSavedCents budget.Cents
+	// ModelSavedCents estimates money not spent thanks to the task
+	// models answering instead of humans.
+	ModelSavedCents budget.Cents
+	CacheHits       int64
+	ModelAnswers    int64
+}
+
+// Snapshot is a point-in-time view of the whole system.
+type Snapshot struct {
+	NowMinutes float64
+	Budget     BudgetInfo
+	Market     mturk.Stats
+	Tasks      []taskmgr.TaskStats
+	Cache      cache.Stats
+	Models     []model.Stats
+	Queries    []QueryInfo
+	Savings    Savings
+	// Workers lists agreement-based reputations, suspects first
+	// (capped by the snapshot builder).
+	Workers []taskmgr.WorkerQuality
+	// EstimatedRemainingCents projects completing all pending and
+	// in-flight work at current policies.
+	EstimatedRemainingCents budget.Cents
+}
+
+// ComputeSavings derives the optimization-benefit panel from task stats:
+// every cache hit or model answer avoided (price × assignments /
+// batch) of human spend under that task's policy.
+func ComputeSavings(tasks []taskmgr.TaskStats, policyFor func(task string) taskmgr.Policy) Savings {
+	var s Savings
+	for _, ts := range tasks {
+		pol := policyFor(ts.Task)
+		perQuestion := float64(pol.PriceCents) * float64(pol.Assignments) / float64(pol.BatchSize)
+		s.CacheSavedCents += budget.Cents(float64(ts.CacheHits) * perQuestion)
+		s.ModelSavedCents += budget.Cents(float64(ts.ModelAnswers) * perQuestion)
+		s.CacheHits += ts.CacheHits
+		s.ModelAnswers += ts.ModelAnswers
+	}
+	return s
+}
+
+// Render produces the text dashboard (the terminal twin of Figure 2).
+func Render(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Qurk Query Status Dashboard (t=%.1f virtual min) ===\n", s.NowMinutes)
+
+	fmt.Fprintf(&b, "\nBudget: spent %v", s.Budget.Spent)
+	if s.Budget.Limit > 0 {
+		fmt.Fprintf(&b, " of %v (remaining %v)", s.Budget.Limit, s.Budget.Remaining)
+	} else {
+		b.WriteString(" (no limit)")
+	}
+	fmt.Fprintf(&b, "; estimated remaining work %v\n", s.EstimatedRemainingCents)
+
+	fmt.Fprintf(&b, "MTurk: %d HITs posted, %d assignments done, %d questions answered, %d from the audience\n",
+		s.Market.HITsPosted, s.Market.AssignmentsCompleted, s.Market.QuestionsAnswered, s.Market.ExternalSubmissions)
+
+	fmt.Fprintf(&b, "Optimizations: cache saved ~%v (%d hits); classifiers saved ~%v (%d answers)\n",
+		s.Savings.CacheSavedCents, s.Savings.CacheHits, s.Savings.ModelSavedCents, s.Savings.ModelAnswers)
+
+	if len(s.Tasks) > 0 {
+		b.WriteString("\nTasks:\n")
+		fmt.Fprintf(&b, "  %-16s %8s %6s %6s %6s %6s %9s %7s %7s\n",
+			"task", "questions", "HITs", "cache", "model", "spent", "selectvty", "agree", "lat(m)")
+		for _, t := range s.Tasks {
+			fmt.Fprintf(&b, "  %-16s %8d %6d %6d %6d %6s %6.2f/%-2d %7.2f %7.1f\n",
+				t.Task, t.QuestionsAsked, t.HITsPosted, t.CacheHits, t.ModelAnswers,
+				t.SpentCents, t.Selectivity, t.SelTrials, t.MeanAgreement, t.MeanLatencyMin)
+		}
+	}
+
+	if len(s.Workers) > 0 {
+		b.WriteString("\nWorker quality (majority agreement, suspects first):\n")
+		for _, w := range s.Workers {
+			fmt.Fprintf(&b, "  %-16s %5.2f over %d votes\n", w.ID, w.Agreement, w.Votes)
+		}
+	}
+
+	for _, q := range s.Queries {
+		status := "running"
+		if q.Done {
+			status = "done"
+		}
+		fmt.Fprintf(&b, "\nQuery %d [%s, %.1f min, %d results, %d errors]\n  %s\n",
+			q.ID, status, q.ElapsedMin, q.Results, q.Errors, strings.TrimSpace(q.SQL))
+		for _, line := range strings.Split(strings.TrimRight(q.PlanExplain, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+		for _, op := range q.Ops {
+			mark := " "
+			if op.Done {
+				mark = "✓"
+			}
+			fmt.Fprintf(&b, "    %s %-40s in=%-6d out=%-6d\n", mark, op.Label, op.In, op.Out)
+		}
+	}
+	return b.String()
+}
+
+// SortTasksBySpend orders the task panel by money spent, descending, for
+// the "where is my budget going" view.
+func SortTasksBySpend(tasks []taskmgr.TaskStats) {
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].SpentCents > tasks[j].SpentCents })
+}

@@ -1,0 +1,239 @@
+package dashboard
+
+import (
+	"io"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/crowd"
+	"repro/internal/exec"
+	"repro/internal/hit"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		NowMinutes: 12.5,
+		Budget:     BudgetInfo{Limit: 1000, Spent: 250, Remaining: 750},
+		Market: mturk.Stats{HITsPosted: 10, AssignmentsCompleted: 30,
+			QuestionsAnswered: 50, ExternalSubmissions: 2},
+		Tasks: []taskmgr.TaskStats{{
+			Task: "iscat", QuestionsAsked: 50, HITsPosted: 10, CacheHits: 5,
+			ModelAnswers: 3, SpentCents: 250, Selectivity: 0.4, SelTrials: 50,
+			MeanLatencyMin: 2.5, MeanAgreement: 0.9,
+		}},
+		Cache:  cache.Stats{Entries: 55, Hits: 5, Misses: 50},
+		Models: []model.Stats{{Task: "iscat", Examples: 50, Automated: 3, Declined: 47}},
+		Queries: []QueryInfo{{
+			ID: 1, SQL: "SELECT img FROM photos WHERE isCat(img)",
+			PlanExplain: "Filter(isCat(img))\n  Scan(photos)\n",
+			Ops: []exec.OpStats{
+				{Label: "Filter(isCat(img))", In: 100, Out: 40, Done: true},
+				{Label: "Scan(photos)", In: 100, Out: 100, Done: true},
+			},
+			Done: true, Results: 40, ElapsedMin: 12.5,
+		}},
+		Savings:                 Savings{CacheSavedCents: 15, ModelSavedCents: 9, CacheHits: 5, ModelAnswers: 3},
+		EstimatedRemainingCents: 7,
+	}
+}
+
+func TestRenderContainsAllPanels(t *testing.T) {
+	out := Render(sampleSnapshot())
+	for _, want := range []string{
+		"t=12.5 virtual min",
+		"spent $2.50 of $10.00 (remaining $7.50)",
+		"10 HITs posted, 30 assignments done, 50 questions answered, 2 from the audience",
+		"cache saved ~$0.15 (5 hits)",
+		"classifiers saved ~$0.09 (3 answers)",
+		"iscat",
+		"Query 1 [done, 12.5 min, 40 results, 0 errors]",
+		"Scan(photos)",
+		"in=100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderUnlimitedBudget(t *testing.T) {
+	s := sampleSnapshot()
+	s.Budget.Limit = 0
+	out := Render(s)
+	if !strings.Contains(out, "(no limit)") {
+		t.Error("unlimited budget not shown")
+	}
+}
+
+func TestComputeSavings(t *testing.T) {
+	tasks := []taskmgr.TaskStats{
+		{Task: "a", CacheHits: 10, ModelAnswers: 4},
+		{Task: "b", CacheHits: 2, ModelAnswers: 0},
+	}
+	s := ComputeSavings(tasks, func(task string) taskmgr.Policy {
+		return taskmgr.Policy{PriceCents: 2, Assignments: 3, BatchSize: 2}
+	})
+	// per question = 2*3/2 = 3 cents
+	if s.CacheSavedCents != 36 || s.ModelSavedCents != 12 {
+		t.Fatalf("savings = %+v", s)
+	}
+	if s.CacheHits != 12 || s.ModelAnswers != 4 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func TestSortTasksBySpend(t *testing.T) {
+	tasks := []taskmgr.TaskStats{
+		{Task: "cheap", SpentCents: 1},
+		{Task: "dear", SpentCents: 100},
+	}
+	SortTasksBySpend(tasks)
+	if tasks[0].Task != "dear" {
+		t.Fatalf("order = %v", tasks)
+	}
+}
+
+// liveSource is a minimal Source over a real marketplace for HTTP tests.
+type liveSource struct {
+	market *mturk.Marketplace
+}
+
+func (s liveSource) Snapshot() Snapshot              { return sampleSnapshot() }
+func (s liveSource) Marketplace() *mturk.Marketplace { return s.market }
+
+func newLiveSource(t *testing.T) (liveSource, *hit.HIT) {
+	t.Helper()
+	clock := mturk.NewClock()
+	// A pool that never supplies workers keeps HITs open for the
+	// audience.
+	pool := crowd.NewPool(crowd.Config{Workers: 1, Seed: 1,
+		Overhead: 1 << 40}, crowd.OracleFunc(
+		func(task string, args []relation.Value) relation.Value { return relation.NewBool(true) }))
+	market := mturk.NewMarketplace(clock, pool)
+	h := &hit.HIT{
+		ID: market.NewHITID(), Task: "isCat", Type: qlang.TaskFilter,
+		Title: "Cat?", Question: "Is this a cat?",
+		Response:    qlang.Response{Kind: qlang.ResponseYesNo},
+		Items:       []hit.Item{{Key: "k1", Args: []relation.Value{relation.NewImage("x.png")}}},
+		RewardCents: 1, Assignments: 1,
+	}
+	if err := market.Post(h, nil); err != nil {
+		t.Fatal(err)
+	}
+	return liveSource{market: market}, h
+}
+
+func TestHTTPTaskFlow(t *testing.T) {
+	src, h := newLiveSource(t)
+	srv := httptest.NewServer(NewHandler(src))
+	defer srv.Close()
+
+	// The task list shows the open HIT.
+	resp, err := srv.Client().Get(srv.URL + "/tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), h.ID) {
+		t.Fatalf("/tasks missing %s:\n%s", h.ID, body)
+	}
+
+	// The HIT form renders.
+	resp, err = srv.Client().Get(srv.URL + "/hit?id=" + h.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Is this a cat?") {
+		t.Fatalf("/hit missing question:\n%s", body)
+	}
+
+	// Submitting the form completes the assignment.
+	form := url.Values{}
+	form.Set("hit", h.ID)
+	form.Set("yn_k1", "yes")
+	resp, err = srv.Client().PostForm(srv.URL+"/submit", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	st, _ := src.market.Status(h.ID)
+	if st.Completed != 1 {
+		t.Fatalf("assignment not recorded: %+v", st)
+	}
+	stats := src.market.Stats()
+	if stats.ExternalSubmissions != 1 {
+		t.Fatalf("external submissions = %d", stats.ExternalSubmissions)
+	}
+
+	// Second submission is rejected: no open assignments remain.
+	resp, err = srv.Client().PostForm(srv.URL+"/submit", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("second submit should be rejected")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	src, _ := newLiveSource(t)
+	srv := httptest.NewServer(NewHandler(src))
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/hit?id=nope"); code != 404 {
+		t.Errorf("/hit unknown = %d", code)
+	}
+	if code := get("/submit"); code != 405 {
+		t.Errorf("GET /submit = %d", code)
+	}
+	if code := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d", code)
+	}
+	form := url.Values{}
+	form.Set("hit", "nope")
+	resp, err := srv.Client().PostForm(srv.URL+"/submit", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("submit unknown hit = %d", resp.StatusCode)
+	}
+	// Malformed form input (missing yes/no answer) is a 400.
+	src2, h := newLiveSource(t)
+	srv2 := httptest.NewServer(NewHandler(src2))
+	defer srv2.Close()
+	form2 := url.Values{}
+	form2.Set("hit", h.ID)
+	resp, err = srv2.Client().PostForm(srv2.URL+"/submit", form2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad form = %d", resp.StatusCode)
+	}
+}

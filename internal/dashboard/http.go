@@ -1,0 +1,108 @@
+package dashboard
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"repro/internal/hit"
+	"repro/internal/mturk"
+)
+
+// Source supplies live data to the HTTP dashboard.
+type Source interface {
+	// Snapshot returns the current system view.
+	Snapshot() Snapshot
+	// Marketplace exposes open HITs and accepts audience submissions.
+	Marketplace() *mturk.Marketplace
+}
+
+// NewHandler serves the demo's two interfaces:
+//
+//	GET  /            — the Query Status Dashboard (Figure 2)
+//	GET  /tasks       — the Task Completion Interface: open HITs
+//	GET  /hit?id=X    — one compiled HIT form (Figure 3 for joins)
+//	POST /submit      — submit a HIT form as an audience worker
+func NewHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>Qurk Dashboard</title>"+
+			"<meta http-equiv=\"refresh\" content=\"2\"></head><body>")
+		fmt.Fprintf(w, "<pre>%s</pre>", html.EscapeString(Render(src.Snapshot())))
+		fmt.Fprintf(w, `<p><a href="/tasks">Task Completion Interface →</a></p></body></html>`)
+	})
+
+	mux.HandleFunc("/tasks", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		open := src.Marketplace().OpenHITs()
+		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>Qurk Tasks</title></head><body>")
+		fmt.Fprintf(w, "<h1>Open HITs (%d)</h1><p>Help the running queries by answering a task below.</p><ul>", len(open))
+		for _, st := range open {
+			fmt.Fprintf(w, `<li><a href="/hit?id=%s">%s</a> — %s, %d question(s), %d of %d assignments done</li>`,
+				html.EscapeString(st.HIT.ID), html.EscapeString(st.HIT.ID),
+				html.EscapeString(st.HIT.Task), st.HIT.QuestionCount(), st.Completed, st.HIT.Assignments)
+		}
+		fmt.Fprintf(w, `</ul><p><a href="/">← Dashboard</a></p></body></html>`)
+	})
+
+	mux.HandleFunc("/hit", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		st, ok := src.Marketplace().Status(id)
+		if !ok {
+			http.Error(w, "unknown HIT", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, hit.Compile(st.HIT))
+	})
+
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id := r.PostForm.Get("hit")
+		st, ok := src.Marketplace().Status(id)
+		if !ok {
+			http.Error(w, "unknown HIT", http.StatusNotFound)
+			return
+		}
+		worker := r.PostForm.Get("worker")
+		if worker == "" {
+			worker = "audience"
+		}
+		ans, err := hit.ParseForm(st.HIT, r.PostForm, worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := src.Marketplace().SubmitExternal(id, ans); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<!DOCTYPE html><html><body><p>Thanks! Your answers were recorded.</p>`+
+			`<p><a href="/tasks">Answer another task →</a></p></body></html>`)
+	})
+	return withoutDirectoryListing(mux)
+}
+
+func withoutDirectoryListing(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "..") {
+			http.Error(w, "bad path", http.StatusBadRequest)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

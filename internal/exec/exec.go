@@ -1,0 +1,331 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/queue"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+// Config parameterizes a query execution.
+type Config struct {
+	// Mgr routes human tasks; required when the plan has any.
+	Mgr *taskmgr.Manager
+	// Script supplies task definitions for calls in expressions.
+	Script *qlang.Script
+	// QueueSize is the operator queue capacity (default 64).
+	QueueSize int
+	// JoinLeftBlock × JoinRightBlock is the two-column join grid size
+	// per HIT (defaults 5×5, the shape of Figure 3).
+	JoinLeftBlock, JoinRightBlock int
+	// JoinPairwise uses the one-pair-per-question interface instead of
+	// the two-column grid (the baseline in the join-interface sweep).
+	JoinPairwise bool
+	// GroupFilters merges the human predicates of one Filter node over
+	// the same tuple into a single HIT (operator grouping) instead of
+	// cascading them with short-circuit.
+	GroupFilters bool
+	// FilterOrder optionally reorders a Filter node's human conjuncts
+	// per tuple; it receives the conjuncts and returns an evaluation
+	// order (indices). The adaptive optimizer plugs in here. Nil keeps
+	// query order.
+	FilterOrder func(conjuncts []qlang.Expr) []int
+	// FilterWindow bounds how many tuples run a human-filter cascade
+	// concurrently (0 = unbounded). A small window lets selectivity
+	// statistics from early tuples steer the ordering of later ones —
+	// the adaptivity §2 calls for — at some latency cost.
+	FilterWindow int
+	// OnError receives per-tuple execution errors (default: collected
+	// in Query.Errors).
+	OnError func(error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.JoinLeftBlock <= 0 {
+		c.JoinLeftBlock = 5
+	}
+	if c.JoinRightBlock <= 0 {
+		c.JoinRightBlock = 5
+	}
+	if c.Script == nil {
+		c.Script = &qlang.Script{}
+	}
+	return c
+}
+
+// OpStats describe one operator's progress for the dashboard.
+type OpStats struct {
+	Label   string
+	In, Out int64
+	Done    bool
+}
+
+// operator is one running plan node.
+type operator struct {
+	label string
+	out   *queue.Queue
+	in    int64 // atomic
+	emit  int64 // atomic
+	done  int32 // atomic
+}
+
+func (o *operator) stats() OpStats {
+	return OpStats{
+		Label: o.label,
+		In:    atomic.LoadInt64(&o.in),
+		Out:   atomic.LoadInt64(&o.emit),
+		Done:  atomic.LoadInt32(&o.done) == 1,
+	}
+}
+
+func (o *operator) push(t relation.Tuple) {
+	if err := o.out.Push(t); err == nil {
+		atomic.AddInt64(&o.emit, 1)
+	}
+}
+
+func (o *operator) finish() {
+	atomic.StoreInt32(&o.done, 1)
+	o.out.Close()
+}
+
+// Query is a running (or finished) query execution.
+type Query struct {
+	Root   plan.Node
+	result *relation.Table
+
+	cfg Config
+	ops []*operator
+
+	mu     sync.Mutex
+	errors []error
+}
+
+// Result returns the results table; it is closed when the query
+// completes. Poll or Wait on it, per the paper's push-based model.
+func (q *Query) Result() *relation.Table { return q.result }
+
+// Wait blocks until the query finishes and returns all result tuples.
+func (q *Query) Wait() []relation.Tuple { return q.result.WaitClosed() }
+
+// Errors returns per-tuple errors recorded during execution.
+func (q *Query) Errors() []error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]error(nil), q.errors...)
+}
+
+// OpStats snapshots every operator's progress, leaves first.
+func (q *Query) OpStats() []OpStats {
+	out := make([]OpStats, len(q.ops))
+	for i, op := range q.ops {
+		out[i] = op.stats()
+	}
+	return out
+}
+
+func (q *Query) reportError(err error) {
+	if q.cfg.OnError != nil {
+		q.cfg.OnError(err)
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.errors = append(q.errors, err)
+}
+
+// Start launches the plan: one goroutine per operator plus a result
+// sink. It returns immediately; results stream into Query.Result().
+func Start(root plan.Node, cfg Config) (*Query, error) {
+	cfg = cfg.withDefaults()
+	if needsHumans(root) && cfg.Mgr == nil {
+		return nil, fmt.Errorf("exec: plan has human operators but no task manager")
+	}
+	q := &Query{Root: root, cfg: cfg}
+	q.result = relation.NewTable("result", root.Schema())
+	top, err := q.launch(root)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			t, ok := top.out.Pop()
+			if !ok {
+				break
+			}
+			if err := q.result.Insert(t); err != nil {
+				q.reportError(err)
+			}
+		}
+		q.result.Close()
+	}()
+	return q, nil
+}
+
+// Run executes the plan to completion and returns the result rows.
+// The caller must be pumping the marketplace clock concurrently.
+func Run(root plan.Node, cfg Config) ([]relation.Tuple, error) {
+	q, err := Start(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := q.Wait()
+	if errs := q.Errors(); len(errs) > 0 {
+		return rows, fmt.Errorf("exec: %d tuple errors, first: %v", len(errs), errs[0])
+	}
+	return rows, nil
+}
+
+func needsHumans(n plan.Node) bool {
+	found := false
+	plan.Walk(n, func(node plan.Node) {
+		switch v := node.(type) {
+		case *plan.Join:
+			if v.HumanTask != nil {
+				found = true
+			}
+		}
+	})
+	// Calls inside filters/projections are checked at runtime against
+	// the script; a conservative true when any Call exists would need
+	// the script here, so operators also error helpfully at runtime.
+	return found
+}
+
+// launch builds and starts the operator for a node, returning it.
+func (q *Query) launch(n plan.Node) (*operator, error) {
+	op := &operator{label: n.Label(), out: queue.New(q.cfg.QueueSize)}
+	q.ops = append(q.ops, op)
+	switch v := n.(type) {
+	case *plan.Scan:
+		go q.runScan(op, v)
+	case *plan.Filter:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runFilter(op, v, in)
+	case *plan.Project:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runProject(op, v, in)
+	case *plan.Join:
+		left, err := q.launch(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := q.launch(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		go q.runJoin(op, v, left, right)
+	case *plan.OrderBy:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runOrderBy(op, v, in)
+	case *plan.Aggregate:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runAggregate(op, v, in)
+	case *plan.Distinct:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runDistinct(op, v, in)
+	case *plan.Limit:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runLimit(op, v, in)
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+	return op, nil
+}
+
+// resolveCalls submits every human call of exprs for tuple t and invokes
+// then with the resolved values (or an error). then runs synchronously
+// when there are no calls or all are cached. assignments > 0 overrides
+// the per-task redundancy (POSSIBLY predicates pass 1).
+func (q *Query) resolveCalls(t relation.Tuple, exprs []qlang.Expr, then func(map[string]relation.Value, error)) {
+	q.resolveCallsN(t, exprs, 0, then)
+}
+
+func (q *Query) resolveCallsN(t relation.Tuple, exprs []qlang.Expr, assignments int, then func(map[string]relation.Value, error)) {
+	var calls []*qlang.Call
+	seen := map[string]bool{}
+	for _, e := range exprs {
+		for _, c := range CollectCalls(e, q.cfg.Script) {
+			base := (&qlang.Call{Name: c.Name, Args: c.Args}).String()
+			if !seen[base] {
+				seen[base] = true
+				calls = append(calls, c)
+			}
+		}
+	}
+	if len(calls) == 0 {
+		then(nil, nil)
+		return
+	}
+	if q.cfg.Mgr == nil {
+		then(nil, fmt.Errorf("exec: human call without task manager"))
+		return
+	}
+	results := make(map[string]relation.Value, len(calls))
+	var mu sync.Mutex
+	var firstErr error
+	remaining := len(calls)
+	for _, c := range calls {
+		def, ok := q.cfg.Script.Task(c.Name)
+		if !ok {
+			then(nil, fmt.Errorf("exec: unknown task %q", c.Name))
+			return
+		}
+		key, err := CallKey(c, t)
+		if err != nil {
+			then(nil, err)
+			return
+		}
+		args, err := evalArgs(c, t, nil)
+		if err != nil {
+			then(nil, err)
+			return
+		}
+		q.cfg.Mgr.Submit(taskmgr.Request{
+			Def:         def,
+			Args:        args,
+			Assignments: assignments,
+			Done: func(out taskmgr.Outcome) {
+				mu.Lock()
+				if out.Err != nil && firstErr == nil {
+					firstErr = out.Err
+				} else {
+					results[key] = out.Value
+				}
+				remaining--
+				finished := remaining == 0
+				err := firstErr
+				mu.Unlock()
+				if finished {
+					then(results, err)
+				}
+			},
+		})
+	}
+}

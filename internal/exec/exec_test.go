@@ -1,0 +1,529 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/crowd"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+const execScript = `
+TASK findCEO(String companyName)
+RETURNS (String CEO, String Phone):
+  TaskType: Question
+  Text: "Find the CEO of %s", companyName
+  Response: Form(("CEO", String), ("Phone", String))
+
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Match the pictures."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+
+TASK isOutdoor(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Was this taken outdoors? %s", photo
+  Response: YesNo
+
+TASK squareScore(Image pic)
+RETURNS Int:
+  TaskType: Rating
+  Text: "Rate %s", pic
+  Response: Rating(1, 9)
+`
+
+// rig bundles a full execution environment over a simulated crowd.
+type rig struct {
+	script  *qlang.Script
+	catalog *relation.Catalog
+	mgr     *taskmgr.Manager
+	clock   *mturk.Clock
+	pool    *crowd.Pool
+	stop    chan struct{}
+}
+
+// oracle implements ground truth for the test tasks.
+var testOracle = crowd.OracleFunc(func(task string, args []relation.Value) relation.Value {
+	switch strings.ToLower(task) {
+	case "iscat":
+		return relation.NewBool(strings.Contains(args[0].Str(), "cat"))
+	case "isoutdoor":
+		return relation.NewBool(strings.Contains(args[0].Str(), "out"))
+	case "sameperson":
+		a := strings.SplitN(args[0].Str(), "-", 2)[0]
+		b := strings.SplitN(args[1].Str(), "-", 2)[0]
+		return relation.NewBool(a == b)
+	case "findceo":
+		return relation.NewTuple(
+			relation.Field{Name: "CEO", Value: relation.NewString("CEO of " + args[0].Str())},
+			relation.Field{Name: "Phone", Value: relation.NewString("555-" + args[0].Str())},
+		)
+	case "squarescore":
+		return relation.NewInt(int64(len(args[0].Str()) % 10))
+	default:
+		return relation.Null
+	}
+})
+
+func newExecRig(t *testing.T, skill float64) *rig {
+	t.Helper()
+	script, err := qlang.Parse(execScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := mturk.NewClock()
+	pool := crowd.NewPool(crowd.Config{
+		Seed: 11, Workers: 200, MeanSkill: skill,
+		SpamFraction: 1e-12, AbandonRate: 1e-12,
+	}, testOracle)
+	market := mturk.NewMarketplace(clock, pool)
+	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(0))
+	r := &rig{script: script, catalog: relation.NewCatalog(), mgr: mgr, clock: clock, pool: pool,
+		stop: make(chan struct{})}
+	go clock.Run(func() bool {
+		select {
+		case <-r.stop:
+			return true
+		default:
+			return false
+		}
+	})
+	t.Cleanup(func() { close(r.stop); clock.Close() })
+	return r
+}
+
+func (r *rig) addTable(t *testing.T, name string, cols []relation.Column, rows ...[]relation.Value) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable(name, relation.MustSchema(cols...))
+	for _, row := range rows {
+		if err := tab.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.catalog.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func (r *rig) run(t *testing.T, query string, cfg Config) []relation.Tuple {
+	t.Helper()
+	stmt, err := qlang.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mgr = r.mgr
+	cfg.Script = r.script
+	q, err := Start(node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []relation.Tuple)
+	go func() { done <- q.Wait() }()
+	select {
+	case rows := <-done:
+		if errs := q.Errors(); len(errs) > 0 {
+			t.Fatalf("query errors: %v", errs)
+		}
+		return rows
+	case <-time.After(15 * time.Second):
+		t.Fatalf("query stuck; opstats=%v pending=%d inflight=%d",
+			q.OpStats(), r.mgr.Pending(), r.mgr.Inflight())
+		return nil
+	}
+}
+
+func (r *rig) companies(t *testing.T, names ...string) {
+	rows := make([][]relation.Value, len(names))
+	for i, n := range names {
+		rows[i] = []relation.Value{relation.NewString(n)}
+	}
+	r.addTable(t, "companies", []relation.Column{{Name: "companyName", Kind: relation.KindString}}, rows...)
+}
+
+// TestPaperQuery1 runs the paper's Query 1 end to end: schema extension
+// via the findCEO task, one invocation per company despite two mentions.
+func TestPaperQuery1(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	r.companies(t, "Acme", "Globex", "Initech")
+	rows := r.run(t, `
+SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
+FROM companies`, Config{})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]relation.Tuple{}
+	for _, row := range rows {
+		byName[row.Values[0].Str()] = row
+	}
+	acme := byName["Acme"]
+	if got := acme.Get("findCEO.CEO").Str(); got != "CEO of Acme" {
+		t.Errorf("CEO = %q", got)
+	}
+	if got := acme.Get("findCEO.Phone").Str(); got != "555-Acme" {
+		t.Errorf("Phone = %q", got)
+	}
+	// findCEO used twice per row must run once per company.
+	s := r.mgr.StatsFor("findceo")
+	if s.QuestionsAsked != 3 {
+		t.Errorf("questions = %d, want 3 (shared invocation)", s.QuestionsAsked)
+	}
+}
+
+// TestPaperQuery2 runs the paper's Query 2: the human-powered image join.
+func TestPaperQuery2(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	r.addTable(t, "celebrities",
+		[]relation.Column{{Name: "name", Kind: relation.KindString}, {Name: "image", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewString("Ann"), relation.NewImage("ann-celeb.png")},
+		[]relation.Value{relation.NewString("Bob"), relation.NewImage("bob-celeb.png")},
+		[]relation.Value{relation.NewString("Cat"), relation.NewImage("cat-celeb.png")},
+	)
+	r.addTable(t, "spottedstars",
+		[]relation.Column{{Name: "id", Kind: relation.KindInt}, {Name: "image", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewInt(1), relation.NewImage("ann-spot.png")},
+		[]relation.Value{relation.NewInt(2), relation.NewImage("cat-spot.png")},
+		[]relation.Value{relation.NewInt(3), relation.NewImage("dee-spot.png")},
+	)
+	rows := r.run(t, `
+SELECT celebrities.name, spottedstars.id
+FROM celebrities, spottedstars
+WHERE samePerson(celebrities.image, spottedstars.image)`, Config{})
+	got := map[string]bool{}
+	for _, row := range rows {
+		got[fmt.Sprintf("%s/%d", row.Values[0].Str(), row.Values[1].Int())] = true
+	}
+	if len(rows) != 2 || !got["Ann/1"] || !got["Cat/2"] {
+		t.Fatalf("join result = %v", got)
+	}
+}
+
+func TestLocalOnlyQuery(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "nums",
+		[]relation.Column{{Name: "x", Kind: relation.KindInt}, {Name: "y", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(1), relation.NewInt(10)},
+		[]relation.Value{relation.NewInt(2), relation.NewInt(20)},
+		[]relation.Value{relation.NewInt(3), relation.NewInt(30)},
+	)
+	rows := r.run(t, `SELECT x, x + y AS s FROM nums WHERE x > 1 ORDER BY x DESC`, Config{})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Get("x").Int() != 3 || rows[0].Get("s").Int() != 33 {
+		t.Fatalf("row0 = %v", rows[0])
+	}
+	if r.mgr.Account().Spent() != 0 {
+		t.Fatal("local query spent money")
+	}
+}
+
+func TestHumanFilterQuery(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	var rows [][]relation.Value
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("cat-%d.png", i)
+		if i%2 == 0 {
+			name = fmt.Sprintf("dog-%d.png", i)
+		}
+		rows = append(rows, []relation.Value{relation.NewImage(name)})
+	}
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}}, rows...)
+	got := r.run(t, `SELECT img FROM photos WHERE isCat(img)`, Config{})
+	if len(got) != 3 {
+		t.Fatalf("filtered rows = %d, want 3", len(got))
+	}
+	for _, row := range got {
+		if !strings.Contains(row.Values[0].Str(), "cat") {
+			t.Errorf("non-cat passed: %v", row)
+		}
+	}
+}
+
+func TestFilterCascadeShortCircuits(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	var rows [][]relation.Value
+	// 8 photos: 4 cats (2 outdoor), 4 dogs (2 outdoor).
+	for i := 0; i < 8; i++ {
+		name := "dog"
+		if i < 4 {
+			name = "cat"
+		}
+		if i%2 == 0 {
+			name += "-out"
+		}
+		rows = append(rows, []relation.Value{relation.NewImage(fmt.Sprintf("%s-%d.png", name, i))})
+	}
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}}, rows...)
+	got := r.run(t, `SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`, Config{})
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	// Short-circuit: isOutdoor asked only for tuples passing isCat.
+	sCat := r.mgr.StatsFor("iscat")
+	sOut := r.mgr.StatsFor("isoutdoor")
+	if sCat.QuestionsAsked != 8 {
+		t.Errorf("isCat questions = %d", sCat.QuestionsAsked)
+	}
+	if sOut.QuestionsAsked >= sCat.QuestionsAsked {
+		t.Errorf("cascade did not short-circuit: isOutdoor=%d isCat=%d",
+			sOut.QuestionsAsked, sCat.QuestionsAsked)
+	}
+}
+
+func TestGroupedFilters(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("cat-out-1.png")},
+		[]relation.Value{relation.NewImage("dog-in-2.png")},
+	)
+	got := r.run(t, `SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`,
+		Config{GroupFilters: true})
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	// Grouping: both questions about a tuple share one HIT, so each task
+	// saw one question per tuple but HITs were shared.
+	sCat := r.mgr.StatsFor("iscat")
+	sOut := r.mgr.StatsFor("isoutdoor")
+	if sCat.QuestionsAsked != 2 || sOut.QuestionsAsked != 2 {
+		t.Errorf("questions = %d/%d", sCat.QuestionsAsked, sOut.QuestionsAsked)
+	}
+	totalHITs := sCat.HITsPosted + sOut.HITsPosted
+	if totalHITs != 2 { // one grouped HIT per tuple
+		t.Errorf("grouped HITs = %d, want 2", totalHITs)
+	}
+}
+
+func TestHumanOrderByRating(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("aaaaaaa")}, // score 7
+		[]relation.Value{relation.NewImage("aaa")},     // score 3
+		[]relation.Value{relation.NewImage("aaaaa")},   // score 5
+	)
+	got := r.run(t, `SELECT img FROM photos ORDER BY squareScore(img) DESC`, Config{})
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Values[0].Str() != "aaaaaaa" || got[2].Values[0].Str() != "aaa" {
+		t.Fatalf("order = %v %v %v", got[0].Values[0], got[1].Values[0], got[2].Values[0])
+	}
+}
+
+func TestAggregateQuery(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "obs",
+		[]relation.Column{{Name: "grp", Kind: relation.KindString}, {Name: "v", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewString("a"), relation.NewInt(1)},
+		[]relation.Value{relation.NewString("a"), relation.NewInt(3)},
+		[]relation.Value{relation.NewString("b"), relation.NewInt(10)},
+	)
+	rows := r.run(t, `SELECT grp, count() AS n, avg(v) AS m, min(v) AS lo, max(v) AS hi FROM obs GROUP BY grp`, Config{})
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	var a relation.Tuple
+	for _, row := range rows {
+		if row.Get("grp").Str() == "a" {
+			a = row
+		}
+	}
+	if a.Get("n").Int() != 2 || a.Get("m").Float() != 2 || a.Get("lo").Int() != 1 || a.Get("hi").Int() != 3 {
+		t.Fatalf("group a = %v", a)
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "vals", []relation.Column{{Name: "v", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(1)},
+		[]relation.Value{relation.NewInt(1)},
+		[]relation.Value{relation.NewInt(2)},
+		[]relation.Value{relation.NewInt(3)},
+	)
+	rows := r.run(t, `SELECT DISTINCT v FROM vals ORDER BY v LIMIT 2`, Config{})
+	if len(rows) != 2 || rows[0].Values[0].Int() != 1 || rows[1].Values[0].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestJoinPairwiseMatchesTwoColumn(t *testing.T) {
+	for _, pairwise := range []bool{false, true} {
+		r := newExecRig(t, 0.99)
+		r.addTable(t, "celebrities",
+			[]relation.Column{{Name: "name", Kind: relation.KindString}, {Name: "image", Kind: relation.KindImage}},
+			[]relation.Value{relation.NewString("Ann"), relation.NewImage("ann-c.png")},
+			[]relation.Value{relation.NewString("Bob"), relation.NewImage("bob-c.png")},
+		)
+		r.addTable(t, "spottedstars",
+			[]relation.Column{{Name: "id", Kind: relation.KindInt}, {Name: "image", Kind: relation.KindImage}},
+			[]relation.Value{relation.NewInt(1), relation.NewImage("ann-s.png")},
+			[]relation.Value{relation.NewInt(2), relation.NewImage("bob-s.png")},
+		)
+		rows := r.run(t, `SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`,
+			Config{JoinPairwise: pairwise})
+		if len(rows) != 2 {
+			t.Fatalf("pairwise=%v rows = %d", pairwise, len(rows))
+		}
+	}
+}
+
+func TestResultTablePolling(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	r.companies(t, "Acme", "Globex")
+	stmt, _ := qlang.ParseQuery(`SELECT companyName, findCEO(companyName).CEO FROM companies`)
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Start(node, Config{Mgr: r.mgr, Script: r.script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll incrementally, the paper's client model.
+	var cursor int64
+	var seen int
+	deadline := time.After(15 * time.Second)
+	for !q.Result().Closed() || cursor < q.Result().Version() {
+		select {
+		case <-deadline:
+			t.Fatal("polling stuck")
+		default:
+		}
+		var fresh []relation.Tuple
+		fresh, cursor = q.Result().Wait(cursor)
+		seen += len(fresh)
+	}
+	if seen != 2 {
+		t.Fatalf("polled %d rows", seen)
+	}
+}
+
+func TestQueryOpStats(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("cat-1.png")},
+		[]relation.Value{relation.NewImage("dog-1.png")},
+	)
+	stmt, _ := qlang.ParseQuery(`SELECT img FROM photos WHERE isCat(img)`)
+	node, _ := plan.Build(stmt, r.script, r.catalog)
+	q, err := Start(node, Config{Mgr: r.mgr, Script: r.script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Wait()
+	stats := q.OpStats()
+	if len(stats) != 3 { // project, filter, scan
+		t.Fatalf("ops = %v", stats)
+	}
+	for _, s := range stats {
+		if !s.Done {
+			t.Errorf("op %s not done", s.Label)
+		}
+	}
+	var scan, filter OpStats
+	for _, s := range stats {
+		if strings.HasPrefix(s.Label, "Scan") {
+			scan = s
+		}
+		if strings.HasPrefix(s.Label, "Filter") {
+			filter = s
+		}
+	}
+	if scan.Out != 2 || filter.In != 2 || filter.Out != 1 {
+		t.Fatalf("stats scan=%+v filter=%+v", scan, filter)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "celebrities",
+		[]relation.Column{{Name: "name", Kind: relation.KindString}, {Name: "image", Kind: relation.KindImage}},
+	)
+	r.addTable(t, "spottedstars",
+		[]relation.Column{{Name: "id", Kind: relation.KindInt}, {Name: "image", Kind: relation.KindImage}},
+	)
+	stmt, _ := qlang.ParseQuery(`SELECT celebrities.name FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`)
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(node, Config{Script: r.script}); err == nil {
+		t.Fatal("human plan without manager must fail to start")
+	}
+}
+
+func TestBudgetErrorSurfaces(t *testing.T) {
+	script, _ := qlang.Parse(execScript)
+	clock := mturk.NewClock()
+	pool := crowd.NewPool(crowd.Config{Seed: 3, AbandonRate: 1e-12, SpamFraction: 1e-12}, testOracle)
+	market := mturk.NewMarketplace(clock, pool)
+	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(1)) // 1 cent
+	cat := relation.NewCatalog()
+	tab := relation.NewTable("photos", relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindImage}))
+	_ = tab.InsertValues(relation.NewImage("cat-1.png"))
+	_ = cat.Register(tab)
+	stop := make(chan struct{})
+	go clock.Run(func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	})
+	defer close(stop)
+
+	stmt, _ := qlang.ParseQuery(`SELECT img FROM photos WHERE isCat(img)`)
+	node, err := plan.Build(stmt, script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Start(node, Config{Mgr: mgr, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := q.Wait()
+	if len(rows) != 0 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(q.Errors()) == 0 {
+		t.Fatal("budget exhaustion must surface as a query error")
+	}
+}
+
+// mustPlan builds a plan against the rig's script and catalog.
+func mustPlan(t *testing.T, r *rig, query string) plan.Node {
+	t.Helper()
+	stmt, err := qlang.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestGroupByHumanCall groups photos by a crowd-answered predicate.
+func TestGroupByHumanCall(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	var rows [][]relation.Value
+	for i := 0; i < 9; i++ {
+		name := "dog"
+		if i < 3 {
+			name = "cat"
+		}
+		rows = append(rows, []relation.Value{relation.NewImage(fmt.Sprintf("%s-%d.png", name, i))})
+	}
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}}, rows...)
+	got := r.run(t, `SELECT isCat(img) AS cat, count() AS n FROM photos GROUP BY isCat(img)`, Config{})
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	byCat := map[bool]int64{}
+	for _, row := range got {
+		byCat[row.Get("cat").Bool()] = row.Get("n").Int()
+	}
+	if byCat[true] != 3 || byCat[false] != 6 {
+		t.Fatalf("group sizes = %v", byCat)
+	}
+}
+
+// TestOrderByMixedKeys sorts by a human rating first, then a local
+// column as tiebreak.
+func TestOrderByMixedKeys(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "photos",
+		[]relation.Column{{Name: "img", Kind: relation.KindImage}, {Name: "id", Kind: relation.KindInt}},
+		// squareScore truth = len(ref) % 10; all three share length 5
+		// ("aaaaa"), so id breaks the tie; "aaaaaaa" (7) sorts last asc.
+		[]relation.Value{relation.NewImage("aaaaa"), relation.NewInt(2)},
+		[]relation.Value{relation.NewImage("bbbbb"), relation.NewInt(1)},
+		[]relation.Value{relation.NewImage("aaaaaaa"), relation.NewInt(3)},
+	)
+	got := r.run(t, `SELECT img, id FROM photos ORDER BY squareScore(img), id`, Config{})
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Get("id").Int() != 1 || got[1].Get("id").Int() != 2 {
+		t.Fatalf("tiebreak order = %v %v %v", got[0], got[1], got[2])
+	}
+	if got[2].Get("img").Str() != "aaaaaaa" {
+		t.Fatalf("highest score should sort last: %v", got[2])
+	}
+}
+
+// TestJoinWithLocalResidual combines the human join predicate with a
+// local condition that prunes some matches.
+func TestJoinWithLocalResidual(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "celebrities",
+		[]relation.Column{{Name: "name", Kind: relation.KindString}, {Name: "image", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewString("Ann"), relation.NewImage("ann-c.png")},
+		[]relation.Value{relation.NewString("Bob"), relation.NewImage("bob-c.png")},
+	)
+	r.addTable(t, "spottedstars",
+		[]relation.Column{{Name: "id", Kind: relation.KindInt}, {Name: "image", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewInt(1), relation.NewImage("ann-s.png")},
+		[]relation.Value{relation.NewInt(2), relation.NewImage("bob-s.png")},
+	)
+	got := r.run(t, `
+SELECT celebrities.name, spottedstars.id
+FROM celebrities, spottedstars
+WHERE samePerson(celebrities.image, spottedstars.image) AND spottedstars.id > 1`, Config{})
+	if len(got) != 1 || got[0].Get("celebrities.name").Str() != "Bob" {
+		t.Fatalf("residual join = %v", got)
+	}
+}
+
+// TestFilterWithORAcrossHumanCalls evaluates a disjunction of two crowd
+// predicates in one conjunct (both calls resolve, then OR locally).
+func TestFilterWithORAcrossHumanCalls(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("cat-in.png")},  // cat, indoor
+		[]relation.Value{relation.NewImage("dog-out.png")}, // dog, outdoor
+		[]relation.Value{relation.NewImage("dog-in.png")},  // neither
+		[]relation.Value{relation.NewImage("cat-out.png")}, // both
+	)
+	got := r.run(t, `SELECT img FROM photos WHERE isCat(img) OR isOutdoor(img)`, Config{})
+	if len(got) != 3 {
+		t.Fatalf("OR filter rows = %d, want 3", len(got))
+	}
+	for _, row := range got {
+		if row.Values[0].Str() == "dog-in.png" {
+			t.Fatal("neither-predicate photo passed")
+		}
+	}
+}
+
+// TestProjectArithmeticOverHumanCall mixes a crowd answer into a local
+// expression.
+func TestProjectArithmeticOverHumanCall(t *testing.T) {
+	r := newExecRig(t, 0.99)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("aaaa")}, // squareScore truth 4
+	)
+	got := r.run(t, `SELECT squareScore(img) * 10 AS scaled FROM photos`, Config{})
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if v := got[0].Get("scaled").Float(); v < 25 || v > 55 {
+		t.Fatalf("scaled score = %v, want ≈40", v)
+	}
+}
+
+// TestSelectStarThroughJoin checks schema propagation for * over a join.
+func TestSelectStarThroughJoin(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "a", []relation.Column{{Name: "x", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(1)},
+		[]relation.Value{relation.NewInt(2)})
+	r.addTable(t, "b", []relation.Column{{Name: "y", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(10)})
+	got := r.run(t, `SELECT * FROM a, b WHERE a.x > 1`, Config{})
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Get("a.x").Int() != 2 || got[0].Get("b.y").Int() != 10 {
+		t.Fatalf("star join row = %v", got[0])
+	}
+}
+
+// TestEmptyInputsProduceEmptyResults covers the zero-row paths of every
+// operator.
+func TestEmptyInputsProduceEmptyResults(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "photos", []relation.Column{{Name: "img", Kind: relation.KindImage}})
+	r.addTable(t, "other", []relation.Column{{Name: "img2", Kind: relation.KindImage}})
+	queries := []string{
+		`SELECT img FROM photos WHERE isCat(img)`,
+		`SELECT img FROM photos ORDER BY squareScore(img) LIMIT 3`,
+		`SELECT count() AS n FROM photos GROUP BY img`,
+		`SELECT DISTINCT img FROM photos`,
+		`SELECT photos.img FROM photos, other WHERE samePerson(photos.img, other.img2)`,
+	}
+	for _, q := range queries {
+		got := r.run(t, q, Config{})
+		if len(got) != 0 {
+			t.Errorf("%s: rows = %d", q, len(got))
+		}
+	}
+	if r.mgr.Account().Spent() != 0 {
+		t.Fatal("empty inputs spent money")
+	}
+}
+
+// TestCountWithoutGroupBy aggregates the whole input as one group.
+func TestCountWithoutGroupBy(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "vals", []relation.Column{{Name: "v", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(5)},
+		[]relation.Value{relation.NewInt(7)},
+	)
+	got := r.run(t, `SELECT count() AS n, sum(v) AS s FROM vals`, Config{})
+	if len(got) != 1 || got[0].Get("n").Int() != 2 || got[0].Get("s").Float() != 12 {
+		t.Fatalf("aggregate = %v", got)
+	}
+}
+
+// TestRunHelper covers the blocking Run convenience wrapper.
+func TestRunHelper(t *testing.T) {
+	r := newExecRig(t, 0.95)
+	r.addTable(t, "vals", []relation.Column{{Name: "v", Kind: relation.KindInt}},
+		[]relation.Value{relation.NewInt(1)})
+	node := mustPlan(t, r, `SELECT v FROM vals`)
+	rows, err := Run(node, Config{Mgr: r.mgr, Script: r.script})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Run = %v rows, err %v", len(rows), err)
+	}
+}

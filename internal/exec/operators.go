@@ -1,0 +1,713 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+// runScan streams the table snapshot, re-labelling tuples with the
+// alias-qualified schema.
+func (q *Query) runScan(op *operator, v *plan.Scan) {
+	defer op.finish()
+	for _, row := range v.Table.Snapshot() {
+		atomic.AddInt64(&op.in, 1)
+		op.push(relation.Tuple{Schema: v.Schema(), Values: row.Values})
+	}
+}
+
+// runFilter evaluates local conjuncts immediately and human conjuncts as
+// a short-circuiting cascade (or one grouped HIT when GroupFilters is
+// set). Tuples flow out as soon as their last predicate passes.
+func (q *Query) runFilter(op *operator, v *plan.Filter, in *operator) {
+	defer op.finish()
+	var local, human []qlang.Expr
+	taskNames := map[string]bool{}
+	for _, c := range v.Conjuncts {
+		if HasCalls(c, q.cfg.Script) {
+			human = append(human, c)
+			for _, call := range CollectCalls(c, q.cfg.Script) {
+				taskNames[call.Name] = true
+			}
+		} else {
+			local = append(local, c)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var sem chan struct{}
+	if q.cfg.FilterWindow > 0 && len(human) > 0 && !q.cfg.GroupFilters {
+		sem = make(chan struct{}, q.cfg.FilterWindow)
+	}
+	finish := func() {
+		if sem != nil {
+			<-sem
+		}
+		wg.Done()
+	}
+	process := func(t relation.Tuple) {
+		for _, c := range local {
+			pass, err := Eval(c, t, nil)
+			if err != nil {
+				q.reportError(err)
+				return
+			}
+			if !pass.Truthy() {
+				return
+			}
+		}
+		if len(human) == 0 {
+			op.push(t)
+			return
+		}
+		wg.Add(1)
+		if q.cfg.GroupFilters && len(human) > 1 {
+			q.groupFilter(op, t, human, &wg)
+			return
+		}
+		if sem != nil {
+			sem <- struct{}{}
+			// The window is open: flush whatever the previous tuples
+			// queued so their results (and selectivity updates) arrive
+			// while later tuples wait here.
+			q.flushTasks(taskNames)
+		}
+		// Order is chosen when the tuple enters its cascade, so the
+		// optimizer's live selectivity estimates steer later tuples.
+		order := q.filterOrder(human)
+		var step func(k int)
+		step = func(k int) {
+			if k == len(order) {
+				op.push(t)
+				finish()
+				return
+			}
+			c := human[order[k]]
+			asg := 0
+			if u, ok := c.(*qlang.Unary); ok && u.Op == "POSSIBLY" {
+				asg = 1 // approximate predicate: no redundancy
+			}
+			q.resolveCallsN(t, []qlang.Expr{c}, asg, func(calls map[string]relation.Value, err error) {
+				if err != nil {
+					q.reportError(err)
+					finish()
+					return
+				}
+				pass, err := Eval(c, t, calls)
+				if err != nil {
+					q.reportError(err)
+					finish()
+					return
+				}
+				if !pass.Truthy() {
+					finish()
+					return
+				}
+				step(k + 1)
+			})
+		}
+		step(0)
+	}
+
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		process(t)
+	}
+	q.flushTasks(taskNames)
+	wg.Wait()
+}
+
+func (q *Query) filterOrder(human []qlang.Expr) []int {
+	if q.cfg.FilterOrder != nil {
+		order := q.cfg.FilterOrder(human)
+		if len(order) == len(human) {
+			return order
+		}
+	}
+	order := make([]int, len(human))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// groupFilter asks all human conjuncts about one tuple in a single HIT.
+func (q *Query) groupFilter(op *operator, t relation.Tuple, human []qlang.Expr, wg *sync.WaitGroup) {
+	// Each conjunct must be a bare boolean task call to group.
+	var reqs []taskmgr.Request
+	calls := make(map[string]relation.Value)
+	var mu sync.Mutex
+	remaining := 0
+	var firstErr error
+	finish := func() {
+		defer wg.Done()
+		if firstErr != nil {
+			q.reportError(firstErr)
+			return
+		}
+		for _, c := range human {
+			pass, err := Eval(c, t, calls)
+			if err != nil {
+				q.reportError(err)
+				return
+			}
+			if !pass.Truthy() {
+				return
+			}
+		}
+		op.push(t)
+	}
+	for _, c := range human {
+		for _, call := range CollectCalls(c, q.cfg.Script) {
+			def, ok := q.cfg.Script.Task(call.Name)
+			if !ok {
+				q.reportError(fmt.Errorf("exec: unknown task %q", call.Name))
+				wg.Done()
+				return
+			}
+			key, err := CallKey(call, t)
+			if err != nil {
+				q.reportError(err)
+				wg.Done()
+				return
+			}
+			args, err := evalArgs(call, t, nil)
+			if err != nil {
+				q.reportError(err)
+				wg.Done()
+				return
+			}
+			mu.Lock()
+			if _, dup := calls[key]; dup {
+				mu.Unlock()
+				continue
+			}
+			calls[key] = relation.Null // placeholder marks membership
+			remaining++
+			mu.Unlock()
+			reqs = append(reqs, taskmgr.Request{
+				Def:  def,
+				Args: args,
+				Done: func(out taskmgr.Outcome) {
+					mu.Lock()
+					if out.Err != nil && firstErr == nil {
+						firstErr = out.Err
+					}
+					calls[key] = out.Value
+					remaining--
+					done := remaining == 0
+					mu.Unlock()
+					if done {
+						finish()
+					}
+				},
+			})
+		}
+	}
+	if len(reqs) == 0 {
+		finish()
+		return
+	}
+	if err := q.cfg.Mgr.SubmitGroup(reqs); err != nil {
+		q.reportError(err)
+		wg.Done()
+	}
+}
+
+// runProject resolves each tuple's human calls, then computes outputs.
+func (q *Query) runProject(op *operator, v *plan.Project, in *operator) {
+	defer op.finish()
+	exprs := make([]qlang.Expr, 0, len(v.Items))
+	taskNames := map[string]bool{}
+	for _, it := range v.Items {
+		exprs = append(exprs, it.Expr)
+		for _, call := range CollectCalls(it.Expr, q.cfg.Script) {
+			taskNames[call.Name] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		wg.Add(1)
+		q.resolveCalls(t, exprs, func(calls map[string]relation.Value, err error) {
+			defer wg.Done()
+			if err != nil {
+				q.reportError(err)
+				return
+			}
+			vals := make([]relation.Value, 0, v.Schema().Len())
+			for _, it := range v.Items {
+				if _, isStar := it.Expr.(*qlang.Star); isStar {
+					vals = append(vals, t.Values...)
+					continue
+				}
+				val, err := Eval(it.Expr, t, calls)
+				if err != nil {
+					q.reportError(err)
+					return
+				}
+				vals = append(vals, val)
+			}
+			op.push(relation.Tuple{Schema: v.Schema(), Values: vals})
+		})
+	}
+	q.flushTasks(taskNames)
+	wg.Wait()
+}
+
+// joinSide is one buffered input of a join with its evaluated argument.
+type joinSide struct {
+	tuple relation.Tuple
+	arg   relation.Value
+}
+
+// runJoin buffers both inputs, then either nested-loops locally or walks
+// block pairs through the human join interface.
+func (q *Query) runJoin(op *operator, v *plan.Join, left, right *operator) {
+	defer op.finish()
+	var lbuf, rbuf []relation.Tuple
+	var dw sync.WaitGroup
+	dw.Add(2)
+	go func() {
+		defer dw.Done()
+		for {
+			t, ok := left.out.Pop()
+			if !ok {
+				return
+			}
+			atomic.AddInt64(&op.in, 1)
+			lbuf = append(lbuf, t)
+		}
+	}()
+	go func() {
+		defer dw.Done()
+		for {
+			t, ok := right.out.Pop()
+			if !ok {
+				return
+			}
+			atomic.AddInt64(&op.in, 1)
+			rbuf = append(rbuf, t)
+		}
+	}()
+	dw.Wait()
+
+	if v.HumanTask == nil {
+		for _, lt := range lbuf {
+			for _, rt := range rbuf {
+				joined := relation.Tuple{Schema: v.Schema(), Values: concatValues(lt, rt)}
+				if q.passesAll(v.Residual, joined) {
+					op.push(joined)
+				}
+			}
+		}
+		return
+	}
+
+	ls := q.evalSide(lbuf, v.LeftArg)
+	rs := q.evalSide(rbuf, v.RightArg)
+	if q.cfg.JoinPairwise {
+		q.joinPairwise(op, v, ls, rs)
+		return
+	}
+	q.joinTwoColumn(op, v, ls, rs)
+}
+
+func (q *Query) evalSide(buf []relation.Tuple, arg qlang.Expr) []joinSide {
+	out := make([]joinSide, 0, len(buf))
+	for _, t := range buf {
+		val, err := Eval(arg, t, nil)
+		if err != nil {
+			q.reportError(err)
+			continue
+		}
+		out = append(out, joinSide{tuple: t, arg: val})
+	}
+	return out
+}
+
+func concatValues(l, r relation.Tuple) []relation.Value {
+	vals := make([]relation.Value, 0, len(l.Values)+len(r.Values))
+	vals = append(vals, l.Values...)
+	return append(vals, r.Values...)
+}
+
+func (q *Query) passesAll(conjuncts []qlang.Expr, t relation.Tuple) bool {
+	for _, c := range conjuncts {
+		pass, err := Eval(c, t, nil)
+		if err != nil {
+			q.reportError(err)
+			return false
+		}
+		if !pass.Truthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// joinTwoColumn walks L×R blocks through the JoinColumns interface
+// (Figure 3): each block pair is one HIT answering blockL×blockR pairs.
+func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
+	lb, rb := q.cfg.JoinLeftBlock, q.cfg.JoinRightBlock
+	var wg sync.WaitGroup
+	for li := 0; li < len(ls); li += lb {
+		lhi := li + lb
+		if lhi > len(ls) {
+			lhi = len(ls)
+		}
+		for ri := 0; ri < len(rs); ri += rb {
+			rhi := ri + rb
+			if rhi > len(rs) {
+				rhi = len(rs)
+			}
+			lblock, rblock := ls[li:lhi], rs[ri:rhi]
+			items := func(sides []joinSide, prefix string, base int) []taskmgr.JoinItem {
+				out := make([]taskmgr.JoinItem, len(sides))
+				for i, s := range sides {
+					out[i] = taskmgr.JoinItem{
+						Key:  fmt.Sprintf("%s%06d", prefix, base+i),
+						Args: []relation.Value{s.arg},
+					}
+				}
+				return out
+			}
+			leftItems := items(lblock, "L", li)
+			rightItems := items(rblock, "R", ri)
+			byKey := make(map[string]relation.Tuple, len(lblock)+len(rblock))
+			for i, it := range leftItems {
+				byKey[it.Key] = lblock[i].tuple
+			}
+			for i, it := range rightItems {
+				byKey[it.Key] = rblock[i].tuple
+			}
+			wg.Add(len(lblock) * len(rblock))
+			q.cfg.Mgr.JoinBlock(v.HumanTask, leftItems, rightItems, func(pairKey string, out taskmgr.Outcome) {
+				defer wg.Done()
+				if out.Err != nil {
+					q.reportError(out.Err)
+					return
+				}
+				if !out.Value.Truthy() {
+					return
+				}
+				lk, rk, ok := splitPair(pairKey)
+				if !ok {
+					q.reportError(fmt.Errorf("exec: bad pair key %q", pairKey))
+					return
+				}
+				joined := relation.Tuple{Schema: v.Schema(), Values: concatValues(byKey[lk], byKey[rk])}
+				if q.passesAll(v.Residual, joined) {
+					op.push(joined)
+				}
+			})
+		}
+	}
+	wg.Wait()
+}
+
+func splitPair(key string) (string, string, bool) {
+	i := strings.IndexByte(key, '\x1f')
+	if i < 0 {
+		return "", "", false
+	}
+	return key[:i], key[i+1:], true
+}
+
+// joinPairwise submits one boolean question per pair — the naive join
+// interface the two-column layout is compared against.
+func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
+	var wg sync.WaitGroup
+	for _, l := range ls {
+		for _, r := range rs {
+			l, r := l, r
+			wg.Add(1)
+			q.cfg.Mgr.Submit(taskmgr.Request{
+				Def:  v.HumanTask,
+				Args: []relation.Value{l.arg, r.arg},
+				Done: func(out taskmgr.Outcome) {
+					defer wg.Done()
+					if out.Err != nil {
+						q.reportError(out.Err)
+						return
+					}
+					if !out.Value.Truthy() {
+						return
+					}
+					joined := relation.Tuple{Schema: v.Schema(), Values: concatValues(l.tuple, r.tuple)}
+					if q.passesAll(v.Residual, joined) {
+						op.push(joined)
+					}
+				},
+			})
+		}
+	}
+	q.cfg.Mgr.Flush(v.HumanTask.Name)
+	wg.Wait()
+}
+
+// runOrderBy buffers the input, resolves human sort keys (e.g. rating
+// tasks), sorts, and emits in order.
+func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
+	defer op.finish()
+	var rows []relation.Tuple
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		rows = append(rows, t)
+	}
+	keyExprs := make([]qlang.Expr, len(v.Keys))
+	taskNames := map[string]bool{}
+	for i, k := range v.Keys {
+		keyExprs[i] = k.Expr
+		for _, call := range CollectCalls(k.Expr, q.cfg.Script) {
+			taskNames[call.Name] = true
+		}
+	}
+	keys := make([][]relation.Value, len(rows))
+	var wg sync.WaitGroup
+	for i, t := range rows {
+		i, t := i, t
+		wg.Add(1)
+		q.resolveCalls(t, keyExprs, func(calls map[string]relation.Value, err error) {
+			defer wg.Done()
+			if err != nil {
+				q.reportError(err)
+				keys[i] = make([]relation.Value, len(keyExprs))
+				return
+			}
+			ks := make([]relation.Value, len(keyExprs))
+			for j, e := range keyExprs {
+				val, err := Eval(e, t, calls)
+				if err != nil {
+					q.reportError(err)
+					val = relation.Null
+				}
+				ks[j] = val
+			}
+			keys[i] = ks
+		})
+	}
+	q.flushTasks(taskNames)
+	wg.Wait()
+
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range v.Keys {
+			c := ka[j].Compare(kb[j])
+			if v.Keys[j].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, i := range idx {
+		op.push(rows[i])
+	}
+}
+
+// runAggregate groups rows and computes aggregates.
+func (q *Query) runAggregate(op *operator, v *plan.Aggregate, in *operator) {
+	defer op.finish()
+	type group struct {
+		first      relation.Tuple
+		firstCalls map[string]relation.Value
+		count      int64
+		sums       map[int]float64
+		mins       map[int]relation.Value
+		maxs       map[int]relation.Value
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	exprs := make([]qlang.Expr, 0, len(v.Items)+len(v.Keys))
+	taskNames := map[string]bool{}
+	collect := func(e qlang.Expr) {
+		exprs = append(exprs, e)
+		for _, call := range CollectCalls(e, q.cfg.Script) {
+			taskNames[call.Name] = true
+		}
+	}
+	for _, k := range v.Keys {
+		collect(k)
+	}
+	for _, it := range v.Items {
+		if call, isAgg := aggCall(it.Expr); isAgg {
+			for _, a := range call.Args {
+				collect(a)
+			}
+		} else {
+			collect(it.Expr)
+		}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		wg.Add(1)
+		q.resolveCalls(t, exprs, func(calls map[string]relation.Value, err error) {
+			defer wg.Done()
+			if err != nil {
+				q.reportError(err)
+				return
+			}
+			var keyEnc []byte
+			for _, k := range v.Keys {
+				kv, err := Eval(k, t, calls)
+				if err != nil {
+					q.reportError(err)
+					return
+				}
+				keyEnc = kv.Encode(keyEnc)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			g, ok := groups[string(keyEnc)]
+			if !ok {
+				g = &group{first: t, firstCalls: calls,
+					sums: map[int]float64{}, mins: map[int]relation.Value{}, maxs: map[int]relation.Value{}}
+				groups[string(keyEnc)] = g
+				order = append(order, string(keyEnc))
+			}
+			g.count++
+			for i, it := range v.Items {
+				call, isAgg := aggCall(it.Expr)
+				if !isAgg || len(call.Args) == 0 {
+					continue
+				}
+				val, err := Eval(call.Args[0], t, calls)
+				if err != nil {
+					q.reportError(err)
+					continue
+				}
+				g.sums[i] += val.Float()
+				if cur, ok := g.mins[i]; !ok || val.Compare(cur) < 0 {
+					g.mins[i] = val
+				}
+				if cur, ok := g.maxs[i]; !ok || val.Compare(cur) > 0 {
+					g.maxs[i] = val
+				}
+			}
+		})
+	}
+	q.flushTasks(taskNames)
+	wg.Wait()
+
+	sort.Strings(order)
+	for _, key := range order {
+		g := groups[key]
+		vals := make([]relation.Value, 0, len(v.Items))
+		for i, it := range v.Items {
+			if call, isAgg := aggCall(it.Expr); isAgg {
+				switch strings.ToLower(call.Name) {
+				case "count":
+					vals = append(vals, relation.NewInt(g.count))
+				case "sum":
+					vals = append(vals, relation.NewFloat(g.sums[i]))
+				case "avg":
+					vals = append(vals, relation.NewFloat(g.sums[i]/float64(g.count)))
+				case "min":
+					vals = append(vals, g.mins[i])
+				case "max":
+					vals = append(vals, g.maxs[i])
+				}
+				continue
+			}
+			val, err := Eval(it.Expr, g.first, g.firstCalls)
+			if err != nil {
+				q.reportError(err)
+				val = relation.Null
+			}
+			vals = append(vals, val)
+		}
+		op.push(relation.Tuple{Schema: v.Schema(), Values: vals})
+	}
+}
+
+func aggCall(e qlang.Expr) (*qlang.Call, bool) {
+	call, ok := e.(*qlang.Call)
+	if !ok {
+		return nil, false
+	}
+	if plan.AggregateFuncs[strings.ToLower(call.Name)] {
+		return call, true
+	}
+	return nil, false
+}
+
+// runDistinct streams unique tuples by canonical encoding.
+func (q *Query) runDistinct(op *operator, v *plan.Distinct, in *operator) {
+	defer op.finish()
+	seen := make(map[string]bool)
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			return
+		}
+		atomic.AddInt64(&op.in, 1)
+		key := t.EncodeKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		op.push(t)
+	}
+}
+
+// runLimit forwards the first N tuples and drains the rest.
+func (q *Query) runLimit(op *operator, v *plan.Limit, in *operator) {
+	defer op.finish()
+	sent := 0
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			return
+		}
+		atomic.AddInt64(&op.in, 1)
+		if sent < v.N {
+			op.push(t)
+			sent++
+		}
+		// Past the limit we keep draining so upstream operators finish;
+		// a human-powered upstream has already spent the HITs anyway.
+	}
+}
+
+func (q *Query) flushTasks(names map[string]bool) {
+	if q.cfg.Mgr == nil {
+		return
+	}
+	for name := range names {
+		q.cfg.Mgr.Flush(name)
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellInt parses an integer table cell.
+func cellInt(t *testing.T, tab Table, row, col int) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(tab.Rows[row][col], 10, 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// cellFloat parses a float table cell.
+func cellFloat(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// cellCents parses a "$x.yz" cell into cents.
+func cellCents(t *testing.T, tab Table, row, col int) int64 {
+	t.Helper()
+	s := strings.TrimPrefix(tab.Rows[row][col], "$")
+	parts := strings.SplitN(s, ".", 2)
+	d, err1 := strconv.ParseInt(parts[0], 10, 64)
+	c, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s bad cents cell %q", tab.ID, tab.Rows[row][col])
+	}
+	return d*100 + c
+}
+
+func TestE1PipelineTouchesEveryComponent(t *testing.T) {
+	tab := E1Pipeline(1)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("components = %d", len(tab.Rows))
+	}
+	text := tab.String()
+	for _, comp := range []string{"Query Optimizer", "Query Executor", "Task Manager",
+		"HIT Compiler", "MTurk", "Statistics Manager", "Task Cache", "Storage Engine"} {
+		if !strings.Contains(text, comp) {
+			t.Errorf("E1 missing %q", comp)
+		}
+	}
+}
+
+func TestE2CacheMakesRerunsFree(t *testing.T) {
+	tab := E2Cache(6, 2)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	run1HITs := cellInt(t, tab, 0, 1)
+	if run1HITs == 0 {
+		t.Fatal("first run posted no HITs")
+	}
+	for run := 1; run < 3; run++ {
+		if hits := cellInt(t, tab, run, 1); hits != 0 {
+			t.Errorf("run %d posted %d HITs; cache should serve it", run+1, hits)
+		}
+		if spent := cellCents(t, tab, run, 4); spent != 0 {
+			t.Errorf("run %d spent %d cents", run+1, spent)
+		}
+		if hits := cellInt(t, tab, run, 3); hits == 0 {
+			t.Errorf("run %d recorded no cache hits", run+1)
+		}
+	}
+}
+
+func TestE3TwoColumnBeatsPairwiseOnCost(t *testing.T) {
+	tab := E3JoinInterfaces(6, 10, 3)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("variants = %d", len(tab.Rows))
+	}
+	pairwiseHITs := cellInt(t, tab, 0, 1)
+	col5HITs := cellInt(t, tab, 3, 1)
+	if col5HITs >= pairwiseHITs {
+		t.Errorf("5x5 grid (%d HITs) should post far fewer than pairwise (%d)", col5HITs, pairwiseHITs)
+	}
+	pairwiseSpent := cellCents(t, tab, 0, 3)
+	col5Spent := cellCents(t, tab, 3, 3)
+	if col5Spent >= pairwiseSpent {
+		t.Errorf("5x5 grid (%d c) should cost less than pairwise (%d c)", col5Spent, pairwiseSpent)
+	}
+	// Small interfaces retain usable recall; very large grids are
+	// allowed to degrade — that degradation is the experiment's point.
+	for i := 0; i < 4; i++ {
+		if recall := cellFloat(t, tab, i, 6); recall < 0.5 {
+			t.Errorf("variant %q recall = %.2f", tab.Rows[i][0], recall)
+		}
+	}
+	recall3 := cellFloat(t, tab, 2, 6)
+	recall8 := cellFloat(t, tab, 4, 6)
+	if recall8 > recall3+0.05 {
+		t.Errorf("8x8 recall (%.2f) should not beat 3x3 (%.2f)", recall8, recall3)
+	}
+}
+
+func TestE4ModelTakesOverAndStaysAccurate(t *testing.T) {
+	tab := E4TaskModel(4, 30, 4)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("batches = %d", len(tab.Rows))
+	}
+	if m := cellInt(t, tab, 0, 2); m != 0 {
+		t.Errorf("batch 1 already automated %d answers", m)
+	}
+	lastModel := cellInt(t, tab, len(tab.Rows)-1, 2)
+	if lastModel == 0 {
+		t.Error("model never substituted in the final batch")
+	}
+	firstHuman := cellInt(t, tab, 0, 1)
+	lastHuman := cellInt(t, tab, len(tab.Rows)-1, 1)
+	if lastHuman >= firstHuman {
+		t.Errorf("human questions should fall: first=%d last=%d", firstHuman, lastHuman)
+	}
+	for i := range tab.Rows {
+		if acc := cellFloat(t, tab, i, 4); acc < 0.7 {
+			t.Errorf("batch %d accuracy %.2f too low", i+1, acc)
+		}
+	}
+}
+
+func TestE5PreFilterShrinksJoin(t *testing.T) {
+	tab := E5PreFilter(5, 12, 5)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The cross product shrinks under both join interfaces...
+	if filtered, plain := cellInt(t, tab, 1, 2), cellInt(t, tab, 0, 2); filtered >= plain {
+		t.Errorf("grid: pre-filter did not shrink join questions: %d vs %d", filtered, plain)
+	}
+	if filtered, plain := cellInt(t, tab, 3, 2), cellInt(t, tab, 2, 2); filtered >= plain {
+		t.Errorf("pairwise: pre-filter did not shrink join questions: %d vs %d", filtered, plain)
+	}
+	// ...and pays for itself in dollars when join questions are
+	// expensive (pairwise interface).
+	if with, without := cellCents(t, tab, 3, 3), cellCents(t, tab, 2, 3); with >= without {
+		t.Errorf("pairwise pre-filter should save money: %d vs %d cents", with, without)
+	}
+	if recall := cellFloat(t, tab, 1, 4); recall < 0.5 {
+		t.Errorf("filtered plan recall = %.2f", recall)
+	}
+}
+
+func TestE6RedundancyImprovesAccuracy(t *testing.T) {
+	tab := E6Redundancy(30, 6)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	acc1 := cellFloat(t, tab, 0, 3)
+	acc5 := cellFloat(t, tab, 2, 3)
+	if acc5 <= acc1 {
+		t.Errorf("5 assignments (%.2f) should beat 1 (%.2f)", acc5, acc1)
+	}
+	// Cost grows with redundancy.
+	if cellCents(t, tab, 4, 2) <= cellCents(t, tab, 0, 2) {
+		t.Error("cost should grow with assignments")
+	}
+}
+
+func TestE7AdaptiveBeatsWorstOrder(t *testing.T) {
+	tab := E7Adaptive(30, 7)
+	worst := cellInt(t, tab, 0, 3)
+	best := cellInt(t, tab, 1, 3)
+	adaptive := cellInt(t, tab, 2, 3)
+	if best >= worst {
+		t.Fatalf("experiment setup broken: best order (%d) not cheaper than worst (%d)", best, worst)
+	}
+	if adaptive >= worst {
+		t.Errorf("adaptive (%d questions) should beat the worst static order (%d)", adaptive, worst)
+	}
+	// Adaptive should land close to the best static order.
+	slack := (worst - best) / 2
+	if adaptive > best+slack {
+		t.Errorf("adaptive (%d) should approach best (%d, worst %d)", adaptive, best, worst)
+	}
+}
+
+func TestE8BatchingCutsCost(t *testing.T) {
+	tab := E8Batching(30, 8)
+	if len(tab.Rows) != 5 { // 4 batch sizes + grouped row
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	spent1 := cellCents(t, tab, 0, 3)
+	spent10 := cellCents(t, tab, 3, 3)
+	if spent10 >= spent1 {
+		t.Errorf("batch 10 (%d c) should cost less than batch 1 (%d c)", spent10, spent1)
+	}
+	hits1 := cellInt(t, tab, 0, 1)
+	hits10 := cellInt(t, tab, 3, 1)
+	if hits10*5 > hits1 {
+		t.Errorf("batch 10 HITs (%d) should be ~1/10 of batch 1 (%d)", hits10, hits1)
+	}
+	// Accuracy should not collapse.
+	if acc := cellFloat(t, tab, 3, 4); acc < 0.6 {
+		t.Errorf("batch 10 accuracy %.2f", acc)
+	}
+}
+
+func TestE9RatingSortCheaperComparisonCompetitive(t *testing.T) {
+	tab := E9Sort(10, 9)
+	ratingQs := cellInt(t, tab, 0, 1)
+	cmpQs := cellInt(t, tab, 1, 1)
+	if ratingQs >= cmpQs {
+		t.Errorf("rating sort (%d questions) should be cheaper than all-pairs (%d)", ratingQs, cmpQs)
+	}
+	tauRating := cellFloat(t, tab, 0, 3)
+	tauCmp := cellFloat(t, tab, 1, 3)
+	if tauRating < 0.5 || tauCmp < 0.5 {
+		t.Errorf("taus too low: rating=%.2f cmp=%.2f", tauRating, tauCmp)
+	}
+}
+
+func TestE10AsyncBeatsBlocking(t *testing.T) {
+	tab := E10Async(12, 10)
+	asyncMin := cellFloat(t, tab, 0, 2)
+	blockingMin := cellFloat(t, tab, 1, 2)
+	if asyncMin >= blockingMin {
+		t.Errorf("async (%.1f min) should finish before blocking iterator (%.1f min)", asyncMin, blockingMin)
+	}
+	if blockingMin < 2*asyncMin {
+		t.Errorf("expected a large async win: async=%.1f blocking=%.1f", asyncMin, blockingMin)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID: "EX", Title: "demo", Columns: []string{"a", "longcol"},
+		Rows:  [][]string{{"1", "2"}, {"333", "4"}},
+		Notes: "a note",
+	}
+	out := tab.String()
+	for _, want := range []string{"EX — demo", "a    longcol", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE11BlocklistRestoresAccuracy(t *testing.T) {
+	tab := E11SpamDefense(40, 12)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	acc1 := cellFloat(t, tab, 0, 3)
+	acc2 := cellFloat(t, tab, 1, 3)
+	blocked := cellInt(t, tab, 1, 4)
+	if blocked == 0 {
+		t.Fatal("no spammers blocked")
+	}
+	if acc2 < acc1 {
+		t.Errorf("blocklist should not hurt accuracy: %.2f -> %.2f", acc1, acc2)
+	}
+	if acc2 < 0.9 {
+		t.Errorf("phase 2 accuracy %.2f still spam-damaged", acc2)
+	}
+}

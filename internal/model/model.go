@@ -1,0 +1,372 @@
+// Package model implements Qurk's Task Model: if the engine is aware of
+// a learning model for a task, it trains the model with HIT results "with
+// the hope of eventually reducing monetary costs through automation"
+// (paper §2). Models are confidence-gated: predictions below the gate
+// fall back to humans, bounding accuracy loss.
+package model
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Features is a sparse binary feature vector.
+type Features map[string]float64
+
+// Extract converts task argument values into features: lower-cased
+// word/character tokens per argument position plus bucketed numerics.
+// It is deterministic and cheap; no floats enter the cache keys.
+func Extract(args []relation.Value) Features {
+	f := make(Features)
+	for i, a := range args {
+		prefix := "a" + string(rune('0'+i%10)) + ":"
+		extractInto(f, prefix, a)
+	}
+	return f
+}
+
+func extractInto(f Features, prefix string, v relation.Value) {
+	switch v.Kind() {
+	case relation.KindString, relation.KindImage:
+		for _, tok := range tokenize(v.Str()) {
+			f[prefix+tok] = 1
+		}
+	case relation.KindInt, relation.KindFloat:
+		// Log-scale bucket keeps the vocabulary small.
+		x := v.Float()
+		bucket := 0
+		if x > 0 {
+			bucket = int(math.Log2(x + 1))
+		} else if x < 0 {
+			bucket = -int(math.Log2(-x + 1))
+		}
+		f[prefix+"num:"+itoa(bucket)] = 1
+	case relation.KindBool:
+		if v.Bool() {
+			f[prefix+"true"] = 1
+		} else {
+			f[prefix+"false"] = 1
+		}
+	case relation.KindList:
+		for _, e := range v.List() {
+			extractInto(f, prefix, e)
+		}
+	case relation.KindTuple:
+		for _, fl := range v.Fields() {
+			extractInto(f, prefix+strings.ToLower(fl.Name)+".", fl.Value)
+		}
+	}
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	var b [8]byte
+	i := len(b)
+	for x > 0 {
+		i--
+		b[i] = byte('0' + x%10)
+		x /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// tokenize splits on non-alphanumerics and lower-cases; short strings
+// also emit 3-grams so opaque identifiers (image refs) stay learnable.
+func tokenize(s string) []string {
+	s = strings.ToLower(s)
+	var toks []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		alnum := i < len(s) && (s[i] >= 'a' && s[i] <= 'z' || s[i] >= '0' && s[i] <= '9')
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			toks = append(toks, s[start:i])
+			start = -1
+		}
+	}
+	var out []string
+	for _, t := range toks {
+		out = append(out, t)
+		if len(t) > 3 {
+			for i := 0; i+3 <= len(t); i++ {
+				out = append(out, "g:"+t[i:i+3])
+			}
+		}
+	}
+	return out
+}
+
+// NaiveBayes is a binary bag-of-features classifier with Laplace
+// smoothing.
+type NaiveBayes struct {
+	mu        sync.Mutex
+	classDocs [2]float64
+	featCount [2]map[string]float64
+	featTotal [2]float64
+	vocab     map[string]bool
+}
+
+// NewNaiveBayes returns an untrained classifier.
+func NewNaiveBayes() *NaiveBayes {
+	return &NaiveBayes{
+		featCount: [2]map[string]float64{make(map[string]float64), make(map[string]float64)},
+		vocab:     make(map[string]bool),
+	}
+}
+
+func classIndex(label bool) int {
+	if label {
+		return 1
+	}
+	return 0
+}
+
+// Train folds in one labelled example.
+func (nb *NaiveBayes) Train(f Features, label bool) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	c := classIndex(label)
+	nb.classDocs[c]++
+	for feat, w := range f {
+		nb.featCount[c][feat] += w
+		nb.featTotal[c] += w
+		nb.vocab[feat] = true
+	}
+}
+
+// Examples returns the number of training examples seen.
+func (nb *NaiveBayes) Examples() int {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	return int(nb.classDocs[0] + nb.classDocs[1])
+}
+
+// Predict returns the MAP label and its posterior probability.
+func (nb *NaiveBayes) Predict(f Features) (label bool, confidence float64) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	total := nb.classDocs[0] + nb.classDocs[1]
+	if total == 0 {
+		return false, 0.5
+	}
+	v := float64(len(nb.vocab)) + 1
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		logp[c] = math.Log((nb.classDocs[c] + 1) / (total + 2))
+		for feat, w := range f {
+			p := (nb.featCount[c][feat] + 1) / (nb.featTotal[c] + v)
+			logp[c] += w * math.Log(p)
+		}
+	}
+	// Softmax over the two log-probabilities.
+	m := math.Max(logp[0], logp[1])
+	p0 := math.Exp(logp[0] - m)
+	p1 := math.Exp(logp[1] - m)
+	pTrue := p1 / (p0 + p1)
+	if pTrue >= 0.5 {
+		return true, pTrue
+	}
+	return false, 1 - pTrue
+}
+
+// Perceptron is an averaged binary perceptron, the second learner the
+// engine can attach to a task.
+type Perceptron struct {
+	mu      sync.Mutex
+	weights map[string]float64
+	sums    map[string]float64 // for averaging
+	bias    float64
+	biasSum float64
+	steps   float64
+	n       int
+}
+
+// NewPerceptron returns an untrained perceptron.
+func NewPerceptron() *Perceptron {
+	return &Perceptron{weights: make(map[string]float64), sums: make(map[string]float64)}
+}
+
+// Train folds in one labelled example (single online pass).
+func (p *Perceptron) Train(f Features, label bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.steps++
+	p.n++
+	y := -1.0
+	if label {
+		y = 1.0
+	}
+	score := p.bias
+	for feat, w := range f {
+		score += p.weights[feat] * w
+	}
+	if y*score <= 0 {
+		for feat, w := range f {
+			p.weights[feat] += y * w
+			p.sums[feat] += y * w * p.steps
+		}
+		p.bias += y
+		p.biasSum += y * p.steps
+	}
+}
+
+// Examples returns the number of training examples seen.
+func (p *Perceptron) Examples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Predict returns the averaged-weights label and a margin-based
+// pseudo-confidence in [0.5, 1).
+func (p *Perceptron) Predict(f Features) (label bool, confidence float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.steps == 0 {
+		return false, 0.5
+	}
+	score := p.bias - p.biasSum/p.steps
+	norm := 1.0
+	for feat, w := range f {
+		avg := p.weights[feat] - p.sums[feat]/p.steps
+		score += avg * w
+		norm += w * w
+	}
+	margin := score / math.Sqrt(norm)
+	conf := 1 / (1 + math.Exp(-math.Abs(margin))) // in [0.5, 1)
+	return score >= 0, conf
+}
+
+// Classifier is the learner interface a TaskModel gates.
+type Classifier interface {
+	Train(f Features, label bool)
+	Predict(f Features) (label bool, confidence float64)
+	Examples() int
+}
+
+// TaskModel pairs a classifier with its confidence gate for one task.
+type TaskModel struct {
+	Task string
+	// MinExamples before any prediction is offered (default 20).
+	MinExamples int
+	// MinConfidence to answer instead of a human (default 0.9).
+	MinConfidence float64
+
+	clf Classifier
+
+	mu        sync.Mutex
+	automated int64
+	declined  int64
+}
+
+// NewTaskModel gates clf for the named task; zero thresholds take the
+// documented defaults.
+func NewTaskModel(task string, clf Classifier, minExamples int, minConfidence float64) *TaskModel {
+	if minExamples <= 0 {
+		minExamples = 20
+	}
+	if minConfidence <= 0 {
+		minConfidence = 0.9
+	}
+	return &TaskModel{Task: task, MinExamples: minExamples, MinConfidence: minConfidence, clf: clf}
+}
+
+// Train records a human-produced label for args.
+func (m *TaskModel) Train(args []relation.Value, label bool) {
+	m.clf.Train(Extract(args), label)
+}
+
+// TryAnswer predicts when the gate passes; ok=false sends the task to a
+// human instead.
+func (m *TaskModel) TryAnswer(args []relation.Value) (answer relation.Value, confidence float64, ok bool) {
+	if m.clf.Examples() < m.MinExamples {
+		m.note(false)
+		return relation.Null, 0, false
+	}
+	label, conf := m.clf.Predict(Extract(args))
+	if conf < m.MinConfidence {
+		m.note(false)
+		return relation.Null, conf, false
+	}
+	m.note(true)
+	return relation.NewBool(label), conf, true
+}
+
+func (m *TaskModel) note(automated bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if automated {
+		m.automated++
+	} else {
+		m.declined++
+	}
+}
+
+// Stats reports how often the model substituted for humans.
+type Stats struct {
+	Task      string
+	Examples  int
+	Automated int64
+	Declined  int64
+}
+
+// Stats returns substitution counters.
+func (m *TaskModel) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Task: m.Task, Examples: m.clf.Examples(), Automated: m.automated, Declined: m.declined}
+}
+
+// Registry holds the models the engine knows about, per task.
+type Registry struct {
+	mu     sync.Mutex
+	models map[string]*TaskModel
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*TaskModel)}
+}
+
+// Attach registers a model for a task, replacing any previous one.
+func (r *Registry) Attach(m *TaskModel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[strings.ToLower(m.Task)] = m
+}
+
+// For returns the model for a task, if any.
+func (r *Registry) For(task string) (*TaskModel, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[strings.ToLower(task)]
+	return m, ok
+}
+
+// All returns every attached model sorted by task name.
+func (r *Registry) All() []*TaskModel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TaskModel, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}

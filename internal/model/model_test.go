@@ -1,0 +1,221 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func strArgs(ss ...string) []relation.Value {
+	out := make([]relation.Value, len(ss))
+	for i, s := range ss {
+		out[i] = relation.NewString(s)
+	}
+	return out
+}
+
+func TestExtractFeatures(t *testing.T) {
+	f := Extract([]relation.Value{relation.NewString("Big Cat"), relation.NewInt(5)})
+	if f["a0:big"] != 1 || f["a0:cat"] != 1 {
+		t.Errorf("tokens missing: %v", f)
+	}
+	found := false
+	for k := range f {
+		if len(k) > 3 && k[:3] == "a1:" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("numeric bucket missing: %v", f)
+	}
+	// Position matters.
+	f2 := Extract([]relation.Value{relation.NewInt(5), relation.NewString("Big Cat")})
+	if f2["a0:big"] == 1 {
+		t.Error("positional prefix lost")
+	}
+}
+
+func TestExtractNestedKinds(t *testing.T) {
+	f := Extract([]relation.Value{
+		relation.NewBool(true),
+		relation.NewList(relation.NewString("x1"), relation.NewString("y2")),
+		relation.NewTuple(relation.Field{Name: "Phone", Value: relation.NewString("555")}),
+		relation.NewFloat(-10),
+	})
+	if f["a0:true"] != 1 {
+		t.Errorf("bool feature missing: %v", f)
+	}
+	if f["a1:x1"] != 1 || f["a1:y2"] != 1 {
+		t.Errorf("list features missing: %v", f)
+	}
+	if f["a2:phone.555"] != 1 {
+		t.Errorf("tuple features missing: %v", f)
+	}
+}
+
+func TestTokenizeNGrams(t *testing.T) {
+	toks := tokenize("catimg-0042.png")
+	want := map[string]bool{"catimg": true, "g:cat": true, "g:ati": true, "0042": true, "png": true}
+	got := map[string]bool{}
+	for _, tk := range toks {
+		got[tk] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("token %q missing from %v", w, toks)
+		}
+	}
+}
+
+// trainOn feeds n labelled cat/dog examples to a classifier.
+func trainOn(clf Classifier, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			clf.Train(Extract(strArgs(fmt.Sprintf("cat-photo-%04d.png", i))), true)
+		} else {
+			clf.Train(Extract(strArgs(fmt.Sprintf("dog-photo-%04d.png", i))), false)
+		}
+	}
+}
+
+func testLearnsSeparable(t *testing.T, clf Classifier) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	trainOn(clf, 200, rng)
+	correct := 0
+	for i := 0; i < 100; i++ {
+		img := fmt.Sprintf("cat-photo-%04d.png", 1000+i)
+		want := true
+		if i%2 == 0 {
+			img = fmt.Sprintf("dog-photo-%04d.png", 1000+i)
+			want = false
+		}
+		got, conf := clf.Predict(Extract(strArgs(img)))
+		if got == want {
+			correct++
+		}
+		if conf < 0.5 || conf > 1 {
+			t.Fatalf("confidence %v out of range", conf)
+		}
+	}
+	if correct < 90 {
+		t.Fatalf("separable task: only %d/100 correct", correct)
+	}
+}
+
+func TestNaiveBayesLearns(t *testing.T) { testLearnsSeparable(t, NewNaiveBayes()) }
+func TestPerceptronLearns(t *testing.T) { testLearnsSeparable(t, NewPerceptron()) }
+
+func TestUntrainedPredicts50(t *testing.T) {
+	for _, clf := range []Classifier{NewNaiveBayes(), NewPerceptron()} {
+		_, conf := clf.Predict(Extract(strArgs("x")))
+		if conf != 0.5 {
+			t.Errorf("%T untrained confidence = %v", clf, conf)
+		}
+		if clf.Examples() != 0 {
+			t.Errorf("%T examples = %d", clf, clf.Examples())
+		}
+	}
+}
+
+func TestTaskModelGateMinExamples(t *testing.T) {
+	m := NewTaskModel("isCat", NewNaiveBayes(), 10, 0.6)
+	for i := 0; i < 9; i++ {
+		m.Train(strArgs("cat"), true)
+	}
+	if _, _, ok := m.TryAnswer(strArgs("cat")); ok {
+		t.Fatal("model answered before MinExamples")
+	}
+	m.Train(strArgs("cat"), true)
+	if _, _, ok := m.TryAnswer(strArgs("cat")); !ok {
+		t.Fatal("model should answer after MinExamples on confident input")
+	}
+	s := m.Stats()
+	if s.Automated != 1 || s.Declined != 1 || s.Examples != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTaskModelGateConfidence(t *testing.T) {
+	m := NewTaskModel("isCat", NewNaiveBayes(), 1, 0.999999)
+	rng := rand.New(rand.NewSource(1))
+	trainOn(m.clf, 50, rng)
+	// An input with tokens from both classes is low-confidence.
+	if _, conf, ok := m.TryAnswer(strArgs("cat-dog-photo")); ok {
+		t.Fatalf("ambiguous input answered with conf %v", conf)
+	}
+}
+
+func TestTaskModelAnswersBoolean(t *testing.T) {
+	m := NewTaskModel("isCat", NewNaiveBayes(), 1, 0.51)
+	for i := 0; i < 30; i++ {
+		m.Train(strArgs("cat"), true)
+		m.Train(strArgs("dog"), false)
+	}
+	v, conf, ok := m.TryAnswer(strArgs("cat"))
+	if !ok || !v.Bool() || conf < 0.51 {
+		t.Fatalf("= %v %v %v", v, conf, ok)
+	}
+	v2, _, ok2 := m.TryAnswer(strArgs("dog"))
+	if !ok2 || v2.Bool() {
+		t.Fatalf("dog = %v ok=%v", v2, ok2)
+	}
+}
+
+func TestTaskModelDefaults(t *testing.T) {
+	m := NewTaskModel("t", NewNaiveBayes(), 0, 0)
+	if m.MinExamples != 20 || m.MinConfidence != 0.9 {
+		t.Fatalf("defaults = %d %v", m.MinExamples, m.MinConfidence)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.For("isCat"); ok {
+		t.Fatal("empty registry hit")
+	}
+	m := NewTaskModel("isCat", NewNaiveBayes(), 5, 0.8)
+	r.Attach(m)
+	got, ok := r.For("ISCAT")
+	if !ok || got != m {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	r.Attach(NewTaskModel("samePerson", NewPerceptron(), 5, 0.8))
+	all := r.All()
+	if len(all) != 2 || all[0].Task != "isCat" {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestPerceptronConvergesOnRepeats(t *testing.T) {
+	p := NewPerceptron()
+	for i := 0; i < 100; i++ {
+		p.Train(Extract(strArgs("yes")), true)
+		p.Train(Extract(strArgs("no")), false)
+	}
+	if got, _ := p.Predict(Extract(strArgs("yes"))); !got {
+		t.Fatal("perceptron failed on training point")
+	}
+	if got, _ := p.Predict(Extract(strArgs("no"))); got {
+		t.Fatal("perceptron failed on training point")
+	}
+}
+
+func TestNaiveBayesSkewedPrior(t *testing.T) {
+	nb := NewNaiveBayes()
+	for i := 0; i < 100; i++ {
+		nb.Train(Extract(strArgs(fmt.Sprintf("thing%d", i))), false)
+	}
+	nb.Train(Extract(strArgs("rare")), true)
+	// With no features at all, only the class prior speaks: the heavily
+	// negative class must win.
+	got, conf := nb.Predict(Features{})
+	if got {
+		t.Fatal("prior ignored")
+	}
+	if conf <= 0.5 {
+		t.Fatalf("prior confidence = %v", conf)
+	}
+}

@@ -1,0 +1,178 @@
+// Package mturk simulates the Mechanical Turk marketplace Qurk posts
+// HITs to. The paper's workload runs against the real MTurk, where one
+// HIT takes minutes; here a discrete-event virtual clock provides the
+// same asynchrony and minutes-scale latency accounting while experiments
+// finish in milliseconds. See DESIGN.md §2 for the substitution argument.
+package mturk
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// VirtualTime is simulated time since the start of the run.
+type VirtualTime time.Duration
+
+// Minutes reports the virtual time in minutes.
+func (v VirtualTime) Minutes() float64 { return time.Duration(v).Minutes() }
+
+// Duration converts to a time.Duration.
+func (v VirtualTime) Duration() time.Duration { return time.Duration(v) }
+
+type event struct {
+	at  VirtualTime
+	seq int64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a deterministic discrete-event scheduler. Events run on the
+// pump goroutine (Step/Run); Schedule is safe from any goroutine.
+type Clock struct {
+	mu     sync.Mutex
+	now    VirtualTime
+	events eventHeap
+	seq    int64
+	closed bool
+	wake   chan struct{} // closed-and-replaced on Schedule/Close
+	pace   pace          // optional real-time rate (see SetPace)
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock {
+	return &Clock{wake: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() VirtualTime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule enqueues fn to run at now+delay. Negative delays run "now".
+func (c *Clock) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: c.now + VirtualTime(delay), seq: c.seq, fn: fn})
+	c.wakeLocked()
+}
+
+func (c *Clock) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// Pending reports the number of scheduled events.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Step runs the earliest event, advancing virtual time to it. It reports
+// false when no events are pending.
+func (c *Clock) Step() bool {
+	c.mu.Lock()
+	if len(c.events) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&c.events).(*event)
+	if e.at > c.now {
+		c.now = e.at
+	}
+	c.mu.Unlock()
+	e.fn() // run outside the lock so events may Schedule more events
+	return true
+}
+
+// Run pumps events until stop reports true and the event queue is idle.
+// When the queue is momentarily empty but stop is still false — executor
+// goroutines run concurrently with the pump and may be about to post new
+// HITs — Run waits for a Schedule wakeup, with a short real-time poll as
+// a liveness backstop for the window where stop flips without any final
+// event.
+func (c *Clock) Run(stop func() bool) {
+	for {
+		if factor := c.pace.get(); factor > 0 {
+			if at, ok := c.peekNext(); ok && at > c.Now() {
+				if stop() {
+					return
+				}
+				if !c.paceWait(factor) {
+					return
+				}
+				continue
+			}
+		}
+		if c.Step() {
+			continue
+		}
+		if stop() {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		wake := c.wake
+		empty := len(c.events) == 0
+		c.mu.Unlock()
+		if !empty {
+			continue
+		}
+		select {
+		case <-wake:
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// Close wakes Run so it can observe shutdown. Scheduled-but-unrun events
+// are dropped.
+func (c *Clock) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.events = nil
+	c.wakeLocked()
+}
+
+// Closed reports whether Close has been called.
+func (c *Clock) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,305 @@
+package mturk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/hit"
+)
+
+// Claim is a worker pool's promise to complete one assignment.
+type Claim struct {
+	WorkerID string
+	// Delay is the virtual time from now until submission (queueing
+	// plus work time).
+	Delay time.Duration
+	// Answer produces the worker's answers; it runs at submission time.
+	Answer func() (hit.Answers, error)
+}
+
+// WorkerPool supplies workers for posted HITs. Implemented by the
+// synthetic crowd (internal/crowd) and by test fakes.
+type WorkerPool interface {
+	// Claim asks the pool to work on h starting at virtual time now.
+	// ok=false means no worker is currently willing (the marketplace
+	// retries after a backoff).
+	Claim(h *hit.HIT, now VirtualTime) (Claim, bool)
+}
+
+// AssignmentResult is delivered to the requester for every completed
+// assignment.
+type AssignmentResult struct {
+	HITID       string
+	Answers     hit.Answers
+	SubmittedAt VirtualTime
+	// External marks submissions from the live task-completion UI
+	// rather than the simulated crowd.
+	External bool
+}
+
+// HITStatus describes a posted HIT's lifecycle for the dashboard.
+type HITStatus struct {
+	HIT       *hit.HIT
+	PostedAt  VirtualTime
+	Completed int
+	DoneAt    VirtualTime // valid when Completed == Assignments
+	Spent     budget.Cents
+}
+
+// Open reports whether assignments remain outstanding.
+func (s HITStatus) Open() bool { return s.Completed < s.HIT.Assignments }
+
+type postedHIT struct {
+	status   HITStatus
+	callback func(AssignmentResult)
+}
+
+// Stats are marketplace-wide counters for the dashboard.
+type Stats struct {
+	HITsPosted           int
+	AssignmentsCompleted int
+	QuestionsAnswered    int // assignments × batched questions
+	SpentCents           budget.Cents
+	ExternalSubmissions  int
+}
+
+// Marketplace accepts HITs and routes them to a worker pool under the
+// virtual clock, mimicking MTurk's requester API surface.
+type Marketplace struct {
+	clock *Clock
+	pool  WorkerPool
+
+	// RetryBackoff is the virtual delay before re-asking the pool when
+	// no worker is available or a worker abandons an assignment.
+	RetryBackoff time.Duration
+	// MaxRetries bounds abandons per assignment before the HIT errors
+	// out. At least 1 attempt is always made.
+	MaxRetries int
+
+	mu      sync.Mutex
+	hits    map[string]*postedHIT
+	nextID  int
+	stats   Stats
+	onError func(hitID string, err error)
+	// workerFilter, when set, vets each claim's worker; rejected
+	// claims are re-dispatched after the retry backoff (like an MTurk
+	// qualification requirement).
+	workerFilter func(workerID string) bool
+}
+
+// NewMarketplace wires a marketplace to a clock and worker pool.
+func NewMarketplace(clock *Clock, pool WorkerPool) *Marketplace {
+	return &Marketplace{
+		clock:        clock,
+		pool:         pool,
+		RetryBackoff: 30 * time.Second,
+		MaxRetries:   10,
+		hits:         make(map[string]*postedHIT),
+	}
+}
+
+// Clock returns the marketplace's virtual clock.
+func (m *Marketplace) Clock() *Clock { return m.clock }
+
+// SetErrorHandler installs a callback for assignments that exhaust their
+// retries; the default drops them silently counted in stats.
+func (m *Marketplace) SetErrorHandler(fn func(hitID string, err error)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onError = fn
+}
+
+// SetWorkerFilter installs a qualification predicate: claims by workers
+// it rejects are re-dispatched to someone else. nil accepts everyone.
+func (m *Marketplace) SetWorkerFilter(fn func(workerID string) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerFilter = fn
+}
+
+func (m *Marketplace) workerAllowed(workerID string) bool {
+	m.mu.Lock()
+	fn := m.workerFilter
+	m.mu.Unlock()
+	return fn == nil || fn(workerID)
+}
+
+// NewHITID issues a process-unique HIT identifier.
+func (m *Marketplace) NewHITID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return fmt.Sprintf("HIT-%06d", m.nextID)
+}
+
+// Post publishes a HIT. onAssignment is invoked (on the clock goroutine)
+// once per completed assignment, h.Assignments times in total unless
+// retries are exhausted.
+func (m *Marketplace) Post(h *hit.HIT, onAssignment func(AssignmentResult)) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	now := m.clock.Now()
+	ph := &postedHIT{
+		status:   HITStatus{HIT: h, PostedAt: now},
+		callback: onAssignment,
+	}
+	m.mu.Lock()
+	if _, dup := m.hits[h.ID]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("mturk: duplicate HIT id %s", h.ID)
+	}
+	m.hits[h.ID] = ph
+	m.stats.HITsPosted++
+	m.mu.Unlock()
+	for i := 0; i < h.Assignments; i++ {
+		m.dispatch(h, 0)
+	}
+	return nil
+}
+
+// dispatch asks the pool for one assignment's claim and schedules its
+// completion.
+func (m *Marketplace) dispatch(h *hit.HIT, attempt int) {
+	claim, ok := m.pool.Claim(h, m.clock.Now())
+	if !ok || !m.workerAllowed(claim.WorkerID) {
+		if attempt >= m.MaxRetries {
+			m.assignmentFailed(h.ID, fmt.Errorf("mturk: no eligible worker after %d attempts", attempt))
+			return
+		}
+		m.clock.Schedule(m.RetryBackoff, func() { m.dispatch(h, attempt+1) })
+		return
+	}
+	m.clock.Schedule(claim.Delay, func() {
+		ans, err := claim.Answer()
+		if err != nil {
+			// Abandoned/rejected assignment: repost.
+			if attempt >= m.MaxRetries {
+				m.assignmentFailed(h.ID, fmt.Errorf("mturk: assignment abandoned %d times: %v", attempt+1, err))
+				return
+			}
+			m.clock.Schedule(m.RetryBackoff, func() { m.dispatch(h, attempt+1) })
+			return
+		}
+		ans.WorkerID = claim.WorkerID
+		m.complete(h.ID, ans, false)
+	})
+}
+
+// complete records one finished assignment and notifies the requester.
+func (m *Marketplace) complete(hitID string, ans hit.Answers, external bool) {
+	m.mu.Lock()
+	ph, ok := m.hits[hitID]
+	if !ok || !ph.status.Open() {
+		// Slot already filled (e.g. an external submission raced a
+		// simulated worker): the extra work is discarded unpaid,
+		// like MTurk rejecting a submission on an expired HIT.
+		m.mu.Unlock()
+		return
+	}
+	ph.status.Completed++
+	ph.status.Spent += budget.Cents(ph.status.HIT.RewardCents)
+	now := m.clock.Now()
+	if !ph.status.Open() {
+		ph.status.DoneAt = now
+	}
+	m.stats.AssignmentsCompleted++
+	m.stats.QuestionsAnswered += ph.status.HIT.QuestionCount()
+	m.stats.SpentCents += budget.Cents(ph.status.HIT.RewardCents)
+	if external {
+		m.stats.ExternalSubmissions++
+	}
+	cb := ph.callback
+	m.mu.Unlock()
+	if cb != nil {
+		cb(AssignmentResult{HITID: hitID, Answers: ans, SubmittedAt: now, External: external})
+	}
+}
+
+func (m *Marketplace) assignmentFailed(hitID string, err error) {
+	m.mu.Lock()
+	fn := m.onError
+	m.mu.Unlock()
+	if fn != nil {
+		fn(hitID, err)
+	}
+}
+
+// SubmitExternal accepts an assignment from a live human (the demo's
+// audience task-completion interface). It fails when the HIT is unknown
+// or already fully assigned.
+func (m *Marketplace) SubmitExternal(hitID string, ans hit.Answers) error {
+	m.mu.Lock()
+	ph, ok := m.hits[hitID]
+	open := ok && ph.status.Open()
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mturk: unknown HIT %s", hitID)
+	}
+	if !open {
+		return fmt.Errorf("mturk: HIT %s has no open assignments", hitID)
+	}
+	m.complete(hitID, ans, true)
+	return nil
+}
+
+// Status returns a HIT's lifecycle snapshot.
+func (m *Marketplace) Status(hitID string) (HITStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ph, ok := m.hits[hitID]
+	if !ok {
+		return HITStatus{}, false
+	}
+	return ph.status, true
+}
+
+// OpenHITs lists HITs with outstanding assignments, oldest first, for
+// the task-completion UI.
+func (m *Marketplace) OpenHITs() []HITStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []HITStatus
+	for _, ph := range m.hits {
+		if ph.status.Open() {
+			out = append(out, ph.status)
+		}
+	}
+	sortStatuses(out)
+	return out
+}
+
+// AllHITs lists every posted HIT, oldest first.
+func (m *Marketplace) AllHITs() []HITStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HITStatus, 0, len(m.hits))
+	for _, ph := range m.hits {
+		out = append(out, ph.status)
+	}
+	sortStatuses(out)
+	return out
+}
+
+func sortStatuses(ss []HITStatus) {
+	// Insertion sort keeps this dependency-free and the lists are
+	// dashboard-sized.
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ss[j-1], ss[j]
+			if a.PostedAt < b.PostedAt || (a.PostedAt == b.PostedAt && a.HIT.ID <= b.HIT.ID) {
+				break
+			}
+			ss[j-1], ss[j] = b, a
+		}
+	}
+}
+
+// Stats returns marketplace-wide counters.
+func (m *Marketplace) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

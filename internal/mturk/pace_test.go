@@ -1,0 +1,78 @@
+package mturk
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPacedRunDelaysEvents(t *testing.T) {
+	c := NewClock()
+	c.SetPace(0.02) // 20ms real per virtual second
+	var done int32
+	c.Schedule(2*time.Second, func() { atomic.StoreInt32(&done, 1) })
+	start := time.Now()
+	finished := make(chan struct{})
+	go func() {
+		c.Run(func() bool { return atomic.LoadInt32(&done) == 1 })
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("paced run stuck")
+	}
+	elapsed := time.Since(start)
+	// 2 virtual seconds at 0.02 real/virtual ≈ 40ms real.
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("paced event fired too early: %v", elapsed)
+	}
+}
+
+func TestPacedClockAdvancesSmoothly(t *testing.T) {
+	c := NewClock()
+	c.SetPace(0.01)
+	c.Schedule(10*time.Second, func() {})
+	go c.Run(func() bool { return false })
+	defer c.Close()
+	time.Sleep(30 * time.Millisecond)
+	if c.Now() == 0 {
+		t.Fatal("paced clock should creep forward between events")
+	}
+}
+
+func TestSetPaceZeroRestoresFullSpeed(t *testing.T) {
+	c := NewClock()
+	c.SetPace(10) // absurdly slow
+	c.SetPace(0)  // back to full speed
+	var done int32
+	c.Schedule(time.Hour, func() { atomic.StoreInt32(&done, 1) })
+	finished := make(chan struct{})
+	go func() {
+		c.Run(func() bool { return atomic.LoadInt32(&done) == 1 })
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("full-speed run stuck after pace reset")
+	}
+}
+
+func TestCloseWakesPacedRun(t *testing.T) {
+	c := NewClock()
+	c.SetPace(100) // very slow
+	c.Schedule(time.Hour, func() {})
+	finished := make(chan struct{})
+	go func() {
+		c.Run(func() bool { return false })
+		close(finished)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not stop a paced run")
+	}
+}

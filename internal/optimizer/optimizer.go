@@ -1,0 +1,252 @@
+// Package optimizer implements Qurk's Query Optimizer (paper §2): the
+// optimization function accounts for monetary cost, the number of
+// turkers to assign to each HIT, and overall query performance, and —
+// because "query selectivities for HIT-based operators are not known a
+// priori" — it adapts during execution using the Statistics Manager's
+// estimates.
+package optimizer
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/budget"
+	"repro/internal/exec"
+	"repro/internal/qlang"
+	"repro/internal/taskmgr"
+)
+
+// MajorityProb returns the probability that a majority of n independent
+// workers with per-answer accuracy p produce the correct answer (ties
+// count as incorrect, matching stats.MajorityBool).
+func MajorityProb(p float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0.0
+	for k := n/2 + 1; k <= n; k++ {
+		total += binomial(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	}
+	return total
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Multiplicative formula keeps this exact for dashboard-scale n.
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return res
+}
+
+// ChooseAssignments returns the smallest odd assignment count whose
+// majority vote reaches target confidence given per-worker accuracy p,
+// capped at maxN (the paper's "number of turkers to assign to each HIT").
+func ChooseAssignments(p, target float64, maxN int) int {
+	if maxN < 1 {
+		maxN = 1
+	}
+	if p >= target {
+		return 1
+	}
+	if p <= 0.5 {
+		return maxN // redundancy cannot fix a coin-flip worker
+	}
+	for n := 3; n <= maxN; n += 2 {
+		if MajorityProb(p, n) >= target {
+			return n
+		}
+	}
+	return maxN
+}
+
+// ChooseBatchSize picks the largest batch whose predicted per-question
+// accuracy stays above minAccuracy, given base worker accuracy and the
+// crowd's per-extra-question decay (mirrors crowd.Config.BatchPenalty).
+func ChooseBatchSize(baseAccuracy, batchPenalty, minAccuracy float64, maxBatch int) int {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	best := 1
+	for b := 1; b <= maxBatch; b++ {
+		m := 1 - batchPenalty*float64(b-1)
+		if m < 0.55 {
+			m = 0.55
+		}
+		if baseAccuracy*m >= minAccuracy {
+			best = b
+		}
+	}
+	return best
+}
+
+// FilterCost estimates the money to run one boolean task over n tuples
+// under a policy (questions / batch, rounded up, × price × assignments).
+func FilterCost(n int, pol taskmgr.Policy) budget.Cents {
+	if n <= 0 {
+		return 0
+	}
+	hits := (n + pol.BatchSize - 1) / pol.BatchSize
+	return budget.Cents(int64(hits) * pol.PriceCents * int64(pol.Assignments))
+}
+
+// JoinCost estimates the two-column join cost for an l×r cross product
+// with the given block shape.
+func JoinCost(l, r, blockL, blockR int, pol taskmgr.Policy) budget.Cents {
+	if l <= 0 || r <= 0 {
+		return 0
+	}
+	if blockL < 1 {
+		blockL = 1
+	}
+	if blockR < 1 {
+		blockR = 1
+	}
+	blocks := ((l + blockL - 1) / blockL) * ((r + blockR - 1) / blockR)
+	return budget.Cents(int64(blocks) * pol.PriceCents * int64(pol.Assignments))
+}
+
+// PreFilterPlan decides whether running a cheap feature filter over both
+// join inputs (selectivity σ each side) pays for itself by shrinking the
+// cross product (the dashboard's "filtering-based reduction in
+// cross-product size").
+type PreFilterPlan struct {
+	UsePreFilter  bool
+	CostWithout   budget.Cents
+	CostWith      budget.Cents
+	ExpectedLeft  int
+	ExpectedRight int
+}
+
+// DecidePreFilter compares join-only cost against filter-both-sides-
+// then-join cost.
+func DecidePreFilter(l, r int, selL, selR float64, blockL, blockR int,
+	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
+	without := JoinCost(l, r, blockL, blockR, joinPol)
+	fl := int(math.Ceil(float64(l) * selL))
+	fr := int(math.Ceil(float64(r) * selR))
+	with := FilterCost(l, filterPol) + FilterCost(r, filterPol) +
+		JoinCost(fl, fr, blockL, blockR, joinPol)
+	return PreFilterPlan{
+		UsePreFilter:  with < without,
+		CostWithout:   without,
+		CostWith:      with,
+		ExpectedLeft:  fl,
+		ExpectedRight: fr,
+	}
+}
+
+// Optimizer adapts task policies and filter orderings from live
+// statistics.
+type Optimizer struct {
+	Mgr *taskmgr.Manager
+	// TargetConfidence for majority votes (default 0.9).
+	TargetConfidence float64
+	// WorkerAccuracy is the assumed base accuracy before statistics
+	// accumulate (default 0.85).
+	WorkerAccuracy float64
+	// BatchPenalty mirrors the crowd's accuracy decay (default 0.015).
+	BatchPenalty float64
+	// MinAccuracy bounds batch growth (default 0.78).
+	MinAccuracy float64
+	// MaxAssignments and MaxBatch cap the knobs.
+	MaxAssignments, MaxBatch int
+}
+
+// New returns an optimizer with documented defaults bound to mgr.
+func New(mgr *taskmgr.Manager) *Optimizer {
+	return &Optimizer{
+		Mgr:              mgr,
+		TargetConfidence: 0.9,
+		WorkerAccuracy:   0.85,
+		BatchPenalty:     0.015,
+		MinAccuracy:      0.78,
+		MaxAssignments:   9,
+		MaxBatch:         10,
+	}
+}
+
+// TunePolicies derives and installs a policy for every task in the
+// script: assignments from the redundancy model, batch size from the
+// accuracy-decay model.
+func (o *Optimizer) TunePolicies(script *qlang.Script) {
+	for _, def := range script.Tasks {
+		pol := o.PolicyFor(def)
+		o.Mgr.SetPolicy(def.Name, pol)
+	}
+}
+
+// PolicyFor computes the tuned policy for one task without installing it.
+func (o *Optimizer) PolicyFor(def *qlang.TaskDef) taskmgr.Policy {
+	pol := taskmgr.DefaultPolicy()
+	pol.Assignments = ChooseAssignments(o.WorkerAccuracy, o.TargetConfidence, o.MaxAssignments)
+	switch def.Type {
+	case qlang.TaskFilter:
+		pol.BatchSize = ChooseBatchSize(o.WorkerAccuracy, o.BatchPenalty, o.MinAccuracy, o.MaxBatch)
+	case qlang.TaskRating:
+		pol.BatchSize = ChooseBatchSize(o.WorkerAccuracy, o.BatchPenalty, o.MinAccuracy, o.MaxBatch)
+	case qlang.TaskQuestion, qlang.TaskGenerative:
+		// Free-text work is error-prone when batched; keep it small.
+		pol.BatchSize = 1
+	}
+	return pol
+}
+
+// FilterOrder returns an exec.Config hook that re-orders a filter's
+// human conjuncts by ascending cost-to-survive: predicates that are
+// cheap and drop many tuples run first, so later (expensive) predicates
+// see fewer tuples. Ordering uses live selectivity estimates, so it
+// adapts as HIT results arrive — the paper's "adaptive approach".
+func (o *Optimizer) FilterOrder(script *qlang.Script) func([]qlang.Expr) []int {
+	return func(conjuncts []qlang.Expr) []int {
+		type ranked struct {
+			idx  int
+			rank float64
+		}
+		rs := make([]ranked, len(conjuncts))
+		for i, c := range conjuncts {
+			sel, cost := o.conjunctEstimates(c, script)
+			// Classic predicate ordering: ascending cost/(1-sel).
+			drop := 1 - sel
+			if drop < 0.01 {
+				drop = 0.01
+			}
+			rs[i] = ranked{idx: i, rank: cost / drop}
+		}
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].rank < rs[b].rank })
+		order := make([]int, len(rs))
+		for i, r := range rs {
+			order[i] = r.idx
+		}
+		return order
+	}
+}
+
+// conjunctEstimates aggregates selectivity and per-tuple cost for the
+// tasks inside one conjunct.
+func (o *Optimizer) conjunctEstimates(c qlang.Expr, script *qlang.Script) (sel, costCents float64) {
+	sel, costCents = 1.0, 0.0
+	for _, call := range exec.CollectCalls(c, script) {
+		st := o.Mgr.StatsFor(strings.ToLower(call.Name))
+		def, _ := script.Task(call.Name)
+		pol := taskmgr.DefaultPolicy()
+		if def != nil {
+			pol = o.Mgr.PolicyFor(def)
+		}
+		perTuple := float64(pol.PriceCents) * float64(pol.Assignments) / float64(pol.BatchSize)
+		costCents += perTuple
+		sel *= st.Selectivity
+	}
+	return sel, costCents
+}
+
+// EstimateRemaining projects the money needed to finish a workload of n
+// more applications of a task under its current policy — the dashboard's
+// "estimates for total query cost".
+func (o *Optimizer) EstimateRemaining(def *qlang.TaskDef, n int) budget.Cents {
+	return FilterCost(n, o.Mgr.PolicyFor(def))
+}

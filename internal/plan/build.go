@@ -1,0 +1,435 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// AggregateFuncs are the built-in aggregate call names the planner
+// recognizes in SELECT items.
+var AggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// Build compiles a SELECT statement into a logical plan. script supplies
+// TASK definitions for UDF calls; catalog supplies base tables.
+func Build(stmt *qlang.SelectStmt, script *qlang.Script, catalog *relation.Catalog) (Node, error) {
+	b := &builder{script: script, catalog: catalog}
+	return b.build(stmt)
+}
+
+type builder struct {
+	script  *qlang.Script
+	catalog *relation.Catalog
+}
+
+// build assembles scan → filter → join → project/aggregate → distinct →
+// orderby → limit.
+func (b *builder) build(stmt *qlang.SelectStmt) (Node, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM tables")
+	}
+
+	// One scan per FROM table, schemas qualified by alias.
+	var scans []scanEntry
+	seen := map[string]bool{}
+	for _, ref := range stmt.From {
+		tab, ok := b.catalog.Table(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", ref.Name)
+		}
+		alias := strings.ToLower(ref.EffectiveAlias())
+		if seen[alias] {
+			return nil, fmt.Errorf("plan: duplicate table alias %q", alias)
+		}
+		seen[alias] = true
+		scans = append(scans, scanEntry{
+			node:  &Scan{Table: tab, Alias: alias, schema: tab.Schema().Qualify(alias)},
+			alias: alias,
+		})
+	}
+
+	// Split WHERE into conjuncts and classify by referenced aliases.
+	conjuncts := splitConjuncts(stmt.Where)
+	aliasOf := func(e qlang.Expr) (map[string]bool, error) {
+		return b.referencedAliases(e, scans)
+	}
+	perAlias := make(map[string][]qlang.Expr)
+	var joinConjuncts []qlang.Expr
+	for _, c := range conjuncts {
+		refs, err := aliasOf(c)
+		if err != nil {
+			return nil, err
+		}
+		switch len(refs) {
+		case 0, 1:
+			target := scans[0].alias
+			for a := range refs {
+				target = a
+			}
+			perAlias[target] = append(perAlias[target], c)
+		default:
+			joinConjuncts = append(joinConjuncts, c)
+		}
+	}
+
+	// Filter above each scan, then a left-deep join tree.
+	var root Node
+	for i, sc := range scans {
+		n := sc.node
+		if cs := perAlias[sc.alias]; len(cs) > 0 {
+			n = &Filter{Input: n, Conjuncts: cs}
+		}
+		if i == 0 {
+			root = n
+			continue
+		}
+		joined, usedIdx, err := b.makeJoin(root, n, joinConjuncts)
+		if err != nil {
+			return nil, err
+		}
+		joinConjuncts = removeIndices(joinConjuncts, usedIdx)
+		root = joined
+	}
+	if len(joinConjuncts) > 0 {
+		// Conjuncts that still span multiple aliases become a filter on
+		// top (e.g. three-way conditions).
+		root = &Filter{Input: root, Conjuncts: joinConjuncts}
+	}
+
+	// Aggregate or Project.
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if call, ok := it.Expr.(*qlang.Call); ok && AggregateFuncs[strings.ToLower(call.Name)] {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(stmt.GroupBy) > 0 {
+		schema, err := b.itemsSchema(stmt.Items, root.Schema())
+		if err != nil {
+			return nil, err
+		}
+		root = &Aggregate{Input: root, Keys: stmt.GroupBy, Items: stmt.Items, schema: schema}
+	} else if !isStarOnly(stmt.Items) {
+		schema, err := b.itemsSchema(stmt.Items, root.Schema())
+		if err != nil {
+			return nil, err
+		}
+		root = &Project{Input: root, Items: stmt.Items, schema: schema}
+	}
+
+	if stmt.Distinct {
+		root = &Distinct{Input: root}
+	}
+	if len(stmt.OrderBy) > 0 {
+		// Validate order keys resolve against the (possibly projected)
+		// schema or the tasks.
+		for _, k := range stmt.OrderBy {
+			if _, err := b.typeOf(k.Expr, root.Schema()); err != nil {
+				return nil, err
+			}
+		}
+		root = &OrderBy{Input: root, Keys: stmt.OrderBy}
+	}
+	if stmt.Limit >= 0 {
+		root = &Limit{Input: root, N: stmt.Limit}
+	}
+	return root, nil
+}
+
+// makeJoin combines left and right, pulling the applicable join
+// conjuncts. A conjunct that is a bare call to a JoinPredicate task with
+// one argument per side becomes a HumanJoin.
+func (b *builder) makeJoin(left, right Node, conjuncts []qlang.Expr) (Node, []int, error) {
+	schema, err := left.Schema().Concat(right.Schema())
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: join schemas: %v", err)
+	}
+	j := &Join{Left: left, Right: right, schema: schema}
+	var used []int
+	for i, c := range conjuncts {
+		if !b.resolvable(c, schema) {
+			continue
+		}
+		if j.HumanTask == nil {
+			if call, ok := c.(*qlang.Call); ok && len(call.Args) == 2 && call.Field == "" {
+				if def, ok := b.script.Task(call.Name); ok && def.Type == qlang.TaskJoinPredicate {
+					lOK := b.resolvable(call.Args[0], left.Schema())
+					rOK := b.resolvable(call.Args[1], right.Schema())
+					if lOK && rOK {
+						j.HumanTask = def
+						j.LeftArg = call.Args[0]
+						j.RightArg = call.Args[1]
+						used = append(used, i)
+						continue
+					}
+					// Arguments swapped relative to table order.
+					if b.resolvable(call.Args[1], left.Schema()) && b.resolvable(call.Args[0], right.Schema()) {
+						j.HumanTask = def
+						j.LeftArg = call.Args[1]
+						j.RightArg = call.Args[0]
+						used = append(used, i)
+						continue
+					}
+				}
+			}
+		}
+		j.Residual = append(j.Residual, c)
+		used = append(used, i)
+	}
+	return j, used, nil
+}
+
+// splitConjuncts flattens nested ANDs.
+func splitConjuncts(e qlang.Expr) []qlang.Expr {
+	if e == nil {
+		return nil
+	}
+	if bin, ok := e.(*qlang.Binary); ok && bin.Op == "AND" {
+		return append(splitConjuncts(bin.L), splitConjuncts(bin.R)...)
+	}
+	return []qlang.Expr{e}
+}
+
+func removeIndices(xs []qlang.Expr, idx []int) []qlang.Expr {
+	if len(idx) == 0 {
+		return xs
+	}
+	drop := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		drop[i] = true
+	}
+	out := xs[:0:0]
+	for i, x := range xs {
+		if !drop[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func isStarOnly(items []qlang.SelectItem) bool {
+	if len(items) != 1 {
+		return false
+	}
+	_, ok := items[0].Expr.(*qlang.Star)
+	return ok
+}
+
+// scanEntry pairs a FROM table's scan node with its alias.
+type scanEntry struct {
+	node  Node
+	alias string
+}
+
+// referencedAliases finds which FROM aliases an expression touches, and
+// validates that column references resolve somewhere.
+func (b *builder) referencedAliases(e qlang.Expr, scans []scanEntry) (map[string]bool, error) {
+	refs := make(map[string]bool)
+	var err error
+	var walk func(qlang.Expr)
+	walk = func(e qlang.Expr) {
+		if err != nil {
+			return
+		}
+		switch v := e.(type) {
+		case *qlang.ColumnRef:
+			if v.Table != "" {
+				a := strings.ToLower(v.Table)
+				found := false
+				for _, sc := range scans {
+					if sc.alias == a {
+						found = true
+						if _, ok := sc.node.Schema().Lookup(v.QualifiedName()); !ok {
+							err = fmt.Errorf("plan: column %q not in table %q", v.Name, v.Table)
+							return
+						}
+					}
+				}
+				if !found {
+					err = fmt.Errorf("plan: unknown table alias %q", v.Table)
+					return
+				}
+				refs[a] = true
+				return
+			}
+			// Bare column: find its unique home.
+			var homes []string
+			for _, sc := range scans {
+				if _, ok := sc.node.Schema().Lookup(v.Name); ok {
+					homes = append(homes, sc.alias)
+				}
+			}
+			switch len(homes) {
+			case 0:
+				err = fmt.Errorf("plan: unknown column %q", v.Name)
+			case 1:
+				refs[homes[0]] = true
+			default:
+				err = fmt.Errorf("plan: ambiguous column %q (in %s)", v.Name, strings.Join(homes, ", "))
+			}
+		case *qlang.Call:
+			if _, ok := b.script.Task(v.Name); !ok && !AggregateFuncs[strings.ToLower(v.Name)] {
+				err = fmt.Errorf("plan: unknown task or function %q", v.Name)
+				return
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *qlang.Binary:
+			walk(v.L)
+			walk(v.R)
+		case *qlang.Unary:
+			walk(v.X)
+		}
+	}
+	walk(e)
+	if err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// resolvable reports whether every column the expression references
+// exists in the schema.
+func (b *builder) resolvable(e qlang.Expr, schema *relation.Schema) bool {
+	ok := true
+	var walk func(qlang.Expr)
+	walk = func(e qlang.Expr) {
+		switch v := e.(type) {
+		case *qlang.ColumnRef:
+			if _, found := schema.Lookup(v.QualifiedName()); !found {
+				ok = false
+			}
+		case *qlang.Call:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *qlang.Binary:
+			walk(v.L)
+			walk(v.R)
+		case *qlang.Unary:
+			walk(v.X)
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// itemsSchema infers the output schema of SELECT items.
+func (b *builder) itemsSchema(items []qlang.SelectItem, in *relation.Schema) (*relation.Schema, error) {
+	var cols []relation.Column
+	for i, it := range items {
+		if _, ok := it.Expr.(*qlang.Star); ok {
+			cols = append(cols, in.Columns()...)
+			continue
+		}
+		kind, err := b.typeOf(it.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, relation.Column{Name: it.OutputName(i), Kind: kind})
+	}
+	return relation.NewSchema(cols...)
+}
+
+// typeOf infers an expression's kind against a schema.
+func (b *builder) typeOf(e qlang.Expr, schema *relation.Schema) (relation.Kind, error) {
+	switch v := e.(type) {
+	case *qlang.Literal:
+		return v.Value.Kind(), nil
+	case *qlang.ColumnRef:
+		if i, ok := schema.Lookup(v.QualifiedName()); ok {
+			return schema.Column(i).Kind, nil
+		}
+		return relation.KindNull, fmt.Errorf("plan: unknown column %q", v.QualifiedName())
+	case *qlang.Call:
+		name := strings.ToLower(v.Name)
+		if AggregateFuncs[name] {
+			for _, a := range v.Args {
+				if _, err := b.typeOf(a, schema); err != nil {
+					return relation.KindNull, err
+				}
+			}
+			switch name {
+			case "count":
+				return relation.KindInt, nil
+			case "sum", "avg":
+				return relation.KindFloat, nil
+			default: // min, max
+				if len(v.Args) != 1 {
+					return relation.KindNull, fmt.Errorf("plan: %s takes one argument", name)
+				}
+				return b.typeOf(v.Args[0], schema)
+			}
+		}
+		def, ok := b.script.Task(v.Name)
+		if !ok {
+			return relation.KindNull, fmt.Errorf("plan: unknown task %q", v.Name)
+		}
+		if len(v.Args) != len(def.Params) {
+			return relation.KindNull, fmt.Errorf("plan: %s takes %d arguments, got %d", def.Name, len(def.Params), len(v.Args))
+		}
+		for _, a := range v.Args {
+			if _, err := b.typeOf(a, schema); err != nil {
+				return relation.KindNull, err
+			}
+		}
+		if v.Field != "" {
+			for _, ret := range def.Returns {
+				if strings.EqualFold(ret.Name, v.Field) {
+					return ret.Kind, nil
+				}
+			}
+			return relation.KindNull, fmt.Errorf("plan: task %s has no return field %q", def.Name, v.Field)
+		}
+		if def.ReturnsTuple() {
+			return relation.KindTuple, nil
+		}
+		if def.Type == qlang.TaskRating {
+			// Redundancy reduces ratings to a mean.
+			return relation.KindFloat, nil
+		}
+		return def.ReturnKind(), nil
+	case *qlang.Binary:
+		lk, err := b.typeOf(v.L, schema)
+		if err != nil {
+			return relation.KindNull, err
+		}
+		rk, err := b.typeOf(v.R, schema)
+		if err != nil {
+			return relation.KindNull, err
+		}
+		switch v.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=":
+			return relation.KindBool, nil
+		default: // + - * /
+			if lk == relation.KindInt && rk == relation.KindInt && v.Op != "/" {
+				return relation.KindInt, nil
+			}
+			return relation.KindFloat, nil
+		}
+	case *qlang.Unary:
+		k, err := b.typeOf(v.X, schema)
+		if err != nil {
+			return relation.KindNull, err
+		}
+		if v.Op == "NOT" || v.Op == "POSSIBLY" {
+			return relation.KindBool, nil
+		}
+		return k, nil
+	case *qlang.Star:
+		return relation.KindNull, fmt.Errorf("plan: * not allowed here")
+	default:
+		return relation.KindNull, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// TypeOf exposes expression typing for the executor.
+func TypeOf(e qlang.Expr, schema *relation.Schema, script *qlang.Script) (relation.Kind, error) {
+	b := &builder{script: script}
+	return b.typeOf(e, schema)
+}

@@ -1,0 +1,221 @@
+// Package plan builds logical query plans from parsed SELECT statements.
+// Plans are trees of Nodes; the executor (internal/exec) gives each node
+// a goroutine and connects them with asynchronous queues, and the
+// optimizer (internal/optimizer) tunes operator parameters.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// Node is one logical operator.
+type Node interface {
+	// Schema is the node's output schema.
+	Schema() *relation.Schema
+	// Children returns input nodes, left to right.
+	Children() []Node
+	// Label names the node for EXPLAIN and the dashboard.
+	Label() string
+}
+
+// Scan reads a base table.
+type Scan struct {
+	Table  *relation.Table
+	Alias  string
+	schema *relation.Schema
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *relation.Schema { return s.schema }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	if s.Alias != s.Table.Name() {
+		return fmt.Sprintf("Scan(%s AS %s)", s.Table.Name(), s.Alias)
+	}
+	return fmt.Sprintf("Scan(%s)", s.Table.Name())
+}
+
+// Filter keeps tuples satisfying every conjunct. Conjuncts are kept
+// separate so the adaptive optimizer can reorder human predicates by
+// estimated cost×selectivity and short-circuit HITs.
+type Filter struct {
+	Input     Node
+	Conjuncts []qlang.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *relation.Schema { return f.Input.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// Label implements Node.
+func (f *Filter) Label() string {
+	parts := make([]string, len(f.Conjuncts))
+	for i, c := range f.Conjuncts {
+		parts[i] = c.String()
+	}
+	return "Filter(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Join matches left and right tuples. Pred is the join predicate; when
+// HumanTask is non-nil the predicate is a crowd task (Query 2) evaluated
+// through the join interface, with LeftArg/RightArg the per-side
+// expressions feeding it. Residual holds extra local conjuncts.
+type Join struct {
+	Left, Right Node
+	HumanTask   *qlang.TaskDef
+	LeftArg     qlang.Expr
+	RightArg    qlang.Expr
+	Residual    []qlang.Expr
+	schema      *relation.Schema
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *relation.Schema { return j.schema }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Label implements Node.
+func (j *Join) Label() string {
+	if j.HumanTask != nil {
+		return fmt.Sprintf("HumanJoin(%s(%s, %s))", j.HumanTask.Name, j.LeftArg, j.RightArg)
+	}
+	parts := make([]string, len(j.Residual))
+	for i, c := range j.Residual {
+		parts[i] = c.String()
+	}
+	if len(parts) == 0 {
+		return "CrossJoin"
+	}
+	return "Join(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Project computes the SELECT items (including human UDF calls).
+type Project struct {
+	Input  Node
+	Items  []qlang.SelectItem
+	schema *relation.Schema
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *relation.Schema { return p.schema }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// Label implements Node.
+func (p *Project) Label() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		parts[i] = it.Expr.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Aggregate groups rows and computes aggregate functions.
+type Aggregate struct {
+	Input  Node
+	Keys   []qlang.Expr
+	Items  []qlang.SelectItem // mixture of keys and aggregate calls
+	schema *relation.Schema
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *relation.Schema { return a.schema }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	keys := make([]string, len(a.Keys))
+	for i, k := range a.Keys {
+		keys[i] = k.String()
+	}
+	return "Aggregate(by " + strings.Join(keys, ", ") + ")"
+}
+
+// OrderBy sorts; human keys (rating/rank tasks) resolve through HITs.
+type OrderBy struct {
+	Input Node
+	Keys  []qlang.OrderItem
+}
+
+// Schema implements Node.
+func (o *OrderBy) Schema() *relation.Schema { return o.Input.Schema() }
+
+// Children implements Node.
+func (o *OrderBy) Children() []Node { return []Node{o.Input} }
+
+// Label implements Node.
+func (o *OrderBy) Label() string {
+	parts := make([]string, len(o.Keys))
+	for i, k := range o.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "OrderBy(" + strings.Join(parts, ", ") + ")"
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Node }
+
+// Schema implements Node.
+func (d *Distinct) Schema() *relation.Schema { return d.Input.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// Label implements Node.
+func (d *Distinct) Label() string { return "Distinct" }
+
+// Limit passes through the first N rows.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() *relation.Schema { return l.Input.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Explain renders the plan tree, one node per line, children indented.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Walk visits every node pre-order.
+func Walk(n Node, visit func(Node)) {
+	visit(n)
+	for _, c := range n.Children() {
+		Walk(c, visit)
+	}
+}

@@ -1,0 +1,248 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+var oneCol = relation.MustSchema(relation.Column{Name: "v", Kind: relation.KindInt})
+
+func tup(i int64) relation.Tuple {
+	return relation.MustTuple(oneCol, relation.NewInt(i))
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(4)
+	for i := int64(0); i < 4; i++ {
+		if err := q.Push(tup(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		got, ok := q.Pop()
+		if !ok || got.Values[0].Int() != i {
+			t.Fatalf("pop %d = %v ok=%v", i, got, ok)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(2)
+	for round := int64(0); round < 10; round++ {
+		if err := q.Push(tup(round)); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := q.Pop()
+		if !ok || got.Values[0].Int() != round {
+			t.Fatalf("round %d: %v", round, got)
+		}
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New(4)
+	_ = q.Push(tup(1))
+	q.Close()
+	q.Close() // idempotent
+	if !q.Closed() {
+		t.Fatal("Closed() = false")
+	}
+	if err := q.Push(tup(2)); err != ErrClosed {
+		t.Fatalf("push after close = %v", err)
+	}
+	// Pending item still poppable.
+	if got, ok := q.Pop(); !ok || got.Values[0].Int() != 1 {
+		t.Fatalf("pending pop = %v ok=%v", got, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drained+closed pop must report !ok")
+	}
+}
+
+func TestPushBlocksUntilPop(t *testing.T) {
+	q := New(1)
+	if err := q.Push(tup(1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- q.Push(tup(2)) }()
+	if got, ok := q.Pop(); !ok || got.Values[0].Int() != 1 {
+		t.Fatalf("pop = %v", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := q.Pop(); !ok || got.Values[0].Int() != 2 {
+		t.Fatalf("second pop = %v", got)
+	}
+}
+
+func TestPushBlockedWokenByClose(t *testing.T) {
+	q := New(1)
+	_ = q.Push(tup(1))
+	done := make(chan error)
+	go func() { done <- q.Push(tup(2)) }()
+	q.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("blocked push after close = %v", err)
+	}
+}
+
+func TestPopBlockedWokenByClose(t *testing.T) {
+	q := New(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("pop on closed empty queue must report !ok")
+	}
+}
+
+func TestTryPushTryPop(t *testing.T) {
+	q := New(1)
+	if !q.TryPush(tup(1)) {
+		t.Fatal("TryPush on empty failed")
+	}
+	if q.TryPush(tup(2)) {
+		t.Fatal("TryPush on full succeeded")
+	}
+	got, ok, done := q.TryPop()
+	if !ok || done || got.Values[0].Int() != 1 {
+		t.Fatalf("TryPop = %v ok=%v done=%v", got, ok, done)
+	}
+	_, ok, done = q.TryPop()
+	if ok || done {
+		t.Fatalf("TryPop empty open = ok=%v done=%v", ok, done)
+	}
+	q.Close()
+	_, ok, done = q.TryPop()
+	if ok || !done {
+		t.Fatalf("TryPop empty closed = ok=%v done=%v", ok, done)
+	}
+	if q.TryPush(tup(3)) {
+		t.Fatal("TryPush after close succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New(8)
+	for i := int64(0); i < 5; i++ {
+		_ = q.Push(tup(i))
+	}
+	_, _ = q.Pop()
+	pushed, popped, hwm := q.Stats()
+	if pushed != 5 || popped != 1 || hwm != 5 {
+		t.Fatalf("stats = %d %d %d", pushed, popped, hwm)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New(4)
+	go func() {
+		for i := int64(0); i < 10; i++ {
+			_ = q.Push(tup(i))
+		}
+		q.Close()
+	}()
+	got := q.Drain()
+	if len(got) != 10 {
+		t.Fatalf("drain = %d tuples", len(got))
+	}
+	for i, tu := range got {
+		if tu.Values[0].Int() != int64(i) {
+			t.Fatalf("drain order broken at %d: %v", i, tu)
+		}
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New(3)
+	const producers, per = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := q.Push(tup(int64(p*per + i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	seen := make(map[int64]bool)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				tu, ok := q.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[tu.Values[0].Int()] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("saw %d distinct tuples, want %d", len(seen), producers*per)
+	}
+}
+
+// Property: after any sequence of pushes then pops, FIFO order holds and
+// counts balance.
+func TestFIFOProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		q := New(4)
+		var want []int64
+		go func() {
+			for i, s := range sizes {
+				_ = s
+				_ = q.Push(tup(int64(i)))
+			}
+			q.Close()
+		}()
+		for i := range sizes {
+			want = append(want, int64(i))
+		}
+		got := q.Drain()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Values[0].Int() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMinimumCapacity(t *testing.T) {
+	q := New(0)
+	if !q.TryPush(tup(1)) {
+		t.Fatal("capacity must be at least 1")
+	}
+}

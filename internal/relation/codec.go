@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler using the canonical
+// Encode format, so Values round-trip through gob for cache persistence.
+func (v Value) MarshalBinary() ([]byte, error) {
+	return v.Encode(nil), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Value) UnmarshalBinary(data []byte) error {
+	got, rest, err := DecodeValue(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("relation: %d trailing bytes after value", len(rest))
+	}
+	*v = got
+	return nil
+}
+
+// DecodeValue parses one canonically encoded value from data, returning
+// the value and the unconsumed remainder. It is the inverse of Encode.
+func DecodeValue(data []byte) (Value, []byte, error) {
+	if len(data) == 0 {
+		return Null, nil, fmt.Errorf("relation: empty encoding")
+	}
+	kind := Kind(data[0] - '0')
+	rest := data[1:]
+	var v Value
+	var err error
+	switch kind {
+	case KindNull:
+		v = Null
+	case KindString, KindImage:
+		var s string
+		s, rest, err = decodeLenPrefixed(rest)
+		if err != nil {
+			return Null, nil, err
+		}
+		if kind == KindString {
+			v = NewString(s)
+		} else {
+			v = NewImage(s)
+		}
+	case KindInt:
+		var num string
+		num, rest = takeUntil(rest, '|')
+		i, perr := strconv.ParseInt(num, 10, 64)
+		if perr != nil {
+			return Null, nil, fmt.Errorf("relation: bad int encoding %q", num)
+		}
+		if len(rest) == 0 {
+			return Null, nil, fmt.Errorf("relation: missing terminator")
+		}
+		return NewInt(i), rest[1:], nil // consume '|'
+	case KindFloat:
+		var num string
+		num, rest = takeUntil(rest, '|')
+		f, perr := strconv.ParseFloat(num, 64)
+		if perr != nil {
+			return Null, nil, fmt.Errorf("relation: bad float encoding %q", num)
+		}
+		if len(rest) == 0 {
+			return Null, nil, fmt.Errorf("relation: missing terminator")
+		}
+		return NewFloat(f), rest[1:], nil
+	case KindBool:
+		if len(rest) == 0 {
+			return Null, nil, fmt.Errorf("relation: truncated bool")
+		}
+		v = NewBool(rest[0] == 't')
+		rest = rest[1:]
+	case KindList:
+		var n int
+		n, rest, err = decodeCount(rest)
+		if err != nil {
+			return Null, nil, err
+		}
+		elems := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			if len(rest) == 0 || rest[0] != ';' {
+				return Null, nil, fmt.Errorf("relation: list element %d missing separator", i)
+			}
+			var e Value
+			e, rest, err = DecodeValue(rest[1:])
+			if err != nil {
+				return Null, nil, err
+			}
+			elems = append(elems, e)
+		}
+		v = NewList(elems...)
+	case KindTuple:
+		var n int
+		n, rest, err = decodeCount(rest)
+		if err != nil {
+			return Null, nil, err
+		}
+		fields := make([]Field, 0, n)
+		for i := 0; i < n; i++ {
+			if len(rest) == 0 || rest[0] != ';' {
+				return Null, nil, fmt.Errorf("relation: tuple field %d missing separator", i)
+			}
+			var name string
+			name, rest, err = decodeLenPrefixed(rest[1:])
+			if err != nil {
+				return Null, nil, err
+			}
+			var fv Value
+			fv, rest, err = DecodeValue(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			fields = append(fields, Field{Name: name, Value: fv})
+		}
+		v = NewTuple(fields...)
+	default:
+		return Null, nil, fmt.Errorf("relation: bad kind byte %q", data[0])
+	}
+	if len(rest) == 0 || rest[0] != '|' {
+		return Null, nil, fmt.Errorf("relation: missing terminator")
+	}
+	return v, rest[1:], nil
+}
+
+// decodeLenPrefixed parses "len:bytes".
+func decodeLenPrefixed(data []byte) (string, []byte, error) {
+	numStr, rest := takeUntil(data, ':')
+	if len(rest) == 0 {
+		return "", nil, fmt.Errorf("relation: missing length separator")
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 0 {
+		return "", nil, fmt.Errorf("relation: bad length %q", numStr)
+	}
+	rest = rest[1:]
+	if len(rest) < n {
+		return "", nil, fmt.Errorf("relation: truncated string payload")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// decodeCount parses a decimal count that is followed by ';' or '|'.
+func decodeCount(data []byte) (int, []byte, error) {
+	i := 0
+	for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, nil, fmt.Errorf("relation: missing count")
+	}
+	n, err := strconv.Atoi(string(data[:i]))
+	if err != nil {
+		return 0, nil, err
+	}
+	return n, data[i:], nil
+}
+
+// takeUntil splits data at the first occurrence of sep, returning the
+// prefix as a string and the remainder starting at sep (or empty).
+func takeUntil(data []byte, sep byte) (string, []byte) {
+	for i := 0; i < len(data); i++ {
+		if data[i] == sep {
+			return string(data[:i]), data[i:]
+		}
+	}
+	return string(data), nil
+}

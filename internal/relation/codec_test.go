@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRoundTripBasics(t *testing.T) {
+	values := []Value{
+		Null,
+		NewString(""),
+		NewString("hello world"),
+		NewString("with|pipe;and:colon"),
+		NewImage("x.png"),
+		NewInt(0),
+		NewInt(-12345),
+		NewFloat(2.5),
+		NewFloat(-1e-7),
+		NewBool(true),
+		NewBool(false),
+		NewList(),
+		NewList(NewInt(1), NewString("a"), NewBool(false)),
+		NewList(NewList(NewInt(1)), NewList()),
+		NewTuple(),
+		NewTuple(Field{"CEO", NewString("Ada")}, Field{"Phone", NewString("555")}),
+		NewTuple(Field{"nested", NewTuple(Field{"x", NewInt(1)})}),
+	}
+	for _, v := range values {
+		enc := v.Encode(nil)
+		got, rest, err := DecodeValue(enc)
+		if err != nil {
+			t.Errorf("decode %v: %v", v, err)
+			continue
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v: %d trailing bytes", v, len(rest))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeSequence(t *testing.T) {
+	var buf []byte
+	buf = NewInt(7).Encode(buf)
+	buf = NewString("x").Encode(buf)
+	a, rest, err := DecodeValue(buf)
+	if err != nil || a.Int() != 7 {
+		t.Fatalf("first = %v err=%v", a, err)
+	}
+	b, rest, err := DecodeValue(rest)
+	if err != nil || b.Str() != "x" || len(rest) != 0 {
+		t.Fatalf("second = %v err=%v rest=%d", b, err, len(rest))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("9"),        // bad kind
+		[]byte("2xx|"),     // bad int
+		[]byte("3zz|"),     // bad float
+		[]byte("4"),        // truncated bool
+		[]byte("15:ab|"),   // truncated string payload
+		[]byte("1x:ab|"),   // bad length
+		[]byte("62"),       // list count, truncated
+		[]byte("62;11:a|"), // list missing second element
+		[]byte("1"),        // missing length separator entirely
+		[]byte("20"),       // int missing terminator... actually takeUntil returns all, rest empty -> index panic? check
+	}
+	for i, enc := range bad {
+		if _, _, err := decodeSafe(enc); err == nil {
+			t.Errorf("case %d (%q): expected error", i, enc)
+		}
+	}
+}
+
+// decodeSafe guards against panics so the test reports them as errors.
+func decodeSafe(enc []byte) (v Value, rest []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{}
+		}
+	}()
+	return DecodeValue(enc)
+}
+
+// Error is a trivial error used by decodeSafe.
+type Error struct{}
+
+func (*Error) Error() string { return "panic" }
+
+func TestGobRoundTrip(t *testing.T) {
+	v := NewTuple(
+		Field{"CEO", NewString("Ada")},
+		Field{"Scores", NewList(NewInt(1), NewFloat(2.5))},
+	)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	var got Value
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("gob round trip: %v != %v", got, v)
+	}
+}
+
+// Property: every randomly generated value round-trips.
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)), 4)
+		got, rest, err := DecodeValue(v.Encode(nil))
+		return err == nil && len(rest) == 0 && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// LoadCSV reads a relation from CSV. The header row declares columns as
+// "name" or "name:Type" (Type one of String, Int, Float, Bool, Image);
+// untyped columns default to String.
+func LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %v", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		col := Column{Name: strings.TrimSpace(h), Kind: KindString}
+		if j := strings.LastIndex(h, ":"); j >= 0 {
+			kind, err := ParseKind(strings.TrimSpace(h[j+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv column %q: %v", h, err)
+			}
+			col = Column{Name: strings.TrimSpace(h[:j]), Kind: kind}
+		}
+		cols[i] = col
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv line %d: %v", line, err)
+		}
+		vals := make([]Value, len(cols))
+		for i := range cols {
+			cell := ""
+			if i < len(rec) {
+				cell = rec[i]
+			}
+			if cell == "" {
+				vals[i] = Null
+				continue
+			}
+			v, err := ParseValue(cols[i].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv line %d col %s: %v", line, cols[i].Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.InsertValues(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path; the table is named after the
+// file's base name without extension unless name is non-empty.
+func LoadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if name == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i >= 0 {
+			base = base[:i]
+		}
+		name = base
+	}
+	return LoadCSV(name, f)
+}
+
+// WriteCSV renders the table as CSV with a typed header.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema().Len())
+	for i, c := range t.Schema().Columns() {
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Snapshot() {
+		rec := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			switch {
+			case v.IsNull():
+				rec[i] = ""
+			case v.Kind() == KindImage:
+				rec[i] = v.Str() // avoid the display-only "img:" prefix
+			default:
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

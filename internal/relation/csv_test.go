@@ -1,0 +1,122 @@
+package relation
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `name:String,age:Int,score:Float,active:Bool,photo:Image
+ann,30,1.5,true,ann.png
+bob,40,2.5,false,bob.png
+carol,,,,
+`
+
+func TestLoadCSVTyped(t *testing.T) {
+	tab, err := LoadCSV("people", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+	s := tab.Schema()
+	wantKinds := []Kind{KindString, KindInt, KindFloat, KindBool, KindImage}
+	for i, k := range wantKinds {
+		if s.Column(i).Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, s.Column(i).Kind, k)
+		}
+	}
+	r0 := tab.Row(0)
+	if r0.Get("age").Int() != 30 || r0.Get("score").Float() != 1.5 || !r0.Get("active").Bool() {
+		t.Errorf("row0 = %v", r0)
+	}
+	r2 := tab.Row(2)
+	if !r2.Get("age").IsNull() || !r2.Get("photo").IsNull() {
+		t.Errorf("empty cells must be NULL: %v", r2)
+	}
+}
+
+func TestLoadCSVDefaultString(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("a,b\n1,x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema().Column(0).Kind != KindString {
+		t.Error("untyped column must default to String")
+	}
+	if tab.Row(0).Get("a").Str() != "1" {
+		t.Error("value should stay textual")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := LoadCSV("t", strings.NewReader("a:Widget\nx\n")); err == nil {
+		t.Error("bad type must error")
+	}
+	if _, err := LoadCSV("t", strings.NewReader("a:Int\nnotint\n")); err == nil {
+		t.Error("bad cell must error")
+	}
+	if _, err := LoadCSV("t", strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Error("duplicate columns must error")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tab, err := LoadCSV("people", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("people2", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round trip rows = %d, want %d", back.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		a, b := tab.Row(i), back.Row(i)
+		for j := range a.Values {
+			if !a.Values[j].Equal(b.Values[j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, a.Values[j], b.Values[j])
+			}
+		}
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "companies.csv")
+	if err := os.WriteFile(path, []byte("companyName:String\nAcme\nGlobex\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := LoadCSVFile("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "companies" {
+		t.Errorf("derived name = %q", tab.Name())
+	}
+	if tab.Len() != 2 {
+		t.Errorf("rows = %d", tab.Len())
+	}
+	if _, err := LoadCSVFile("x", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file must error")
+	}
+	named, err := LoadCSVFile("custom", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Name() != "custom" {
+		t.Errorf("explicit name = %q", named.Name())
+	}
+}

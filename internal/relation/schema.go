@@ -1,0 +1,189 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	// Name is the attribute name, optionally qualified ("table.attr").
+	Name string
+	// Kind is the attribute's type.
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int // lower-cased name -> position
+}
+
+// NewSchema builds a schema from the given columns. Duplicate names are an
+// error.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{
+		cols:  append([]Column(nil), cols...),
+		index: make(map[string]int, len(cols)),
+	}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.index[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Columns returns the columns in order. Callers must not mutate the slice.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Lookup finds a column by name, case-insensitively. It accepts both
+// qualified ("t.a") and bare ("a") forms: a bare query matches a qualified
+// column when exactly one column's base name matches.
+func (s *Schema) Lookup(name string) (int, bool) {
+	key := strings.ToLower(name)
+	if i, ok := s.index[key]; ok {
+		return i, true
+	}
+	// Bare name against qualified columns.
+	if !strings.Contains(key, ".") {
+		found, at := 0, -1
+		for i, c := range s.cols {
+			base := strings.ToLower(c.Name)
+			if dot := strings.LastIndex(base, "."); dot >= 0 {
+				base = base[dot+1:]
+			}
+			if base == key {
+				found++
+				at = i
+			}
+		}
+		if found == 1 {
+			return at, true
+		}
+		return -1, false
+	}
+	return -1, false
+}
+
+// Qualify returns a copy of the schema with every bare column name
+// prefixed by the given table alias.
+func (s *Schema) Qualify(alias string) *Schema {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		name := c.Name
+		if dot := strings.LastIndex(name, "."); dot >= 0 {
+			name = name[dot+1:]
+		}
+		cols[i] = Column{Name: alias + "." + name, Kind: c.Kind}
+	}
+	return MustSchema(cols...)
+}
+
+// Concat returns a schema holding s's columns followed by o's.
+func (s *Schema) Concat(o *Schema) (*Schema, error) {
+	return NewSchema(append(append([]Column(nil), s.cols...), o.cols...)...)
+}
+
+// String renders the schema as "(a String, b Int)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is one row: a slice of values positionally aligned with a schema.
+// Tuples are treated as immutable after construction.
+type Tuple struct {
+	Schema *Schema
+	Values []Value
+}
+
+// NewTuple pairs values with a schema, checking arity.
+func NewTupleRow(s *Schema, values ...Value) (Tuple, error) {
+	if len(values) != s.Len() {
+		return Tuple{}, fmt.Errorf("relation: tuple arity %d != schema arity %d", len(values), s.Len())
+	}
+	return Tuple{Schema: s, Values: append([]Value(nil), values...)}, nil
+}
+
+// MustTuple is NewTupleRow that panics on error.
+func MustTuple(s *Schema, values ...Value) Tuple {
+	t, err := NewTupleRow(s, values...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Get returns the named attribute's value, or NULL when absent.
+func (t Tuple) Get(name string) Value {
+	if t.Schema == nil {
+		return Null
+	}
+	if i, ok := t.Schema.Lookup(name); ok {
+		return t.Values[i]
+	}
+	return Null
+}
+
+// Has reports whether the named attribute exists.
+func (t Tuple) Has(name string) bool {
+	if t.Schema == nil {
+		return false
+	}
+	_, ok := t.Schema.Lookup(name)
+	return ok
+}
+
+// Join concatenates two tuples under a combined schema.
+func (t Tuple) Join(o Tuple) (Tuple, error) {
+	s, err := t.Schema.Concat(o.Schema)
+	if err != nil {
+		return Tuple{}, err
+	}
+	vals := make([]Value, 0, len(t.Values)+len(o.Values))
+	vals = append(vals, t.Values...)
+	vals = append(vals, o.Values...)
+	return Tuple{Schema: s, Values: vals}, nil
+}
+
+// EncodeKey returns a canonical key for the whole tuple.
+func (t Tuple) EncodeKey() string {
+	var b []byte
+	for _, v := range t.Values {
+		b = v.Encode(b)
+	}
+	return string(b)
+}
+
+// String renders the tuple as "{a: x, b: y}".
+func (t Tuple) String() string {
+	if t.Schema == nil {
+		return "{}"
+	}
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = t.Schema.Column(i).Name + ": " + v.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,321 @@
+// Package stats implements Qurk's Statistics Manager: answer aggregation
+// across redundant assignments (the paper's multi-answer lists reduced by
+// user-defined aggregates), selectivity and latency estimation for the
+// adaptive optimizer, and rank-agreement metrics for the experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// --- answer aggregation -------------------------------------------------
+
+// MajorityBool reduces redundant boolean answers by majority vote,
+// returning the winner and its vote share. Ties break to false
+// (conservative: a filter keeps a tuple only on a strict majority).
+func MajorityBool(votes []relation.Value) (value bool, confidence float64) {
+	if len(votes) == 0 {
+		return false, 0
+	}
+	yes := 0
+	for _, v := range votes {
+		if v.Truthy() {
+			yes++
+		}
+	}
+	if yes*2 > len(votes) {
+		return true, float64(yes) / float64(len(votes))
+	}
+	return false, float64(len(votes)-yes) / float64(len(votes))
+}
+
+// MajorityValue returns the modal answer (by canonical encoding) and its
+// share. Ties break to the smallest encoding for determinism.
+func MajorityValue(votes []relation.Value) (relation.Value, float64) {
+	if len(votes) == 0 {
+		return relation.Null, 0
+	}
+	counts := make(map[string]int, len(votes))
+	rep := make(map[string]relation.Value, len(votes))
+	for _, v := range votes {
+		k := v.EncodeKey()
+		counts[k]++
+		rep[k] = v
+	}
+	bestKey := ""
+	for k := range counts {
+		if bestKey == "" || counts[k] > counts[bestKey] || (counts[k] == counts[bestKey] && k < bestKey) {
+			bestKey = k
+		}
+	}
+	return rep[bestKey], float64(counts[bestKey]) / float64(len(votes))
+}
+
+// MeanRating averages numeric answers.
+func MeanRating(votes []relation.Value) float64 {
+	if len(votes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range votes {
+		sum += v.Float()
+	}
+	return sum / float64(len(votes))
+}
+
+// MedianRating returns the median numeric answer.
+func MedianRating(votes []relation.Value) float64 {
+	if len(votes) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(votes))
+	for i, v := range votes {
+		xs[i] = v.Float()
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Reducer collapses the multiple answers of one HIT into a single value,
+// per the paper's §3 ("reduced using user-defined aggregates").
+type Reducer func(votes []relation.Value) relation.Value
+
+// Built-in reducers addressable by name in queries and the engine.
+var builtinReducers = map[string]Reducer{
+	"majority": func(v []relation.Value) relation.Value {
+		val, _ := MajorityValue(v)
+		return val
+	},
+	"majoritybool": func(v []relation.Value) relation.Value {
+		b, _ := MajorityBool(v)
+		return relation.NewBool(b)
+	},
+	"mean": func(v []relation.Value) relation.Value {
+		return relation.NewFloat(MeanRating(v))
+	},
+	"median": func(v []relation.Value) relation.Value {
+		return relation.NewFloat(MedianRating(v))
+	},
+	"first": func(v []relation.Value) relation.Value {
+		if len(v) == 0 {
+			return relation.Null
+		}
+		return v[0]
+	},
+	"all": func(v []relation.Value) relation.Value {
+		return relation.NewList(v...)
+	},
+}
+
+// LookupReducer resolves a reducer by name.
+func LookupReducer(name string) (Reducer, error) {
+	if r, ok := builtinReducers[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("stats: unknown reducer %q", name)
+}
+
+// Agreement reports the fraction of votes agreeing with the majority
+// answer — a cheap quality signal the dashboard shows per operator.
+func Agreement(votes []relation.Value) float64 {
+	if len(votes) == 0 {
+		return 0
+	}
+	_, share := MajorityValue(votes)
+	return share
+}
+
+// --- estimators ----------------------------------------------------------
+
+// Selectivity estimates a predicate's pass rate from observed outcomes,
+// with a Beta(1,1) prior so early decisions are not degenerate.
+type Selectivity struct {
+	mu     sync.Mutex
+	passes float64
+	trials float64
+}
+
+// Observe records one predicate outcome.
+func (s *Selectivity) Observe(pass bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trials++
+	if pass {
+		s.passes++
+	}
+}
+
+// Estimate returns the posterior-mean pass rate.
+func (s *Selectivity) Estimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return (s.passes + 1) / (s.trials + 2)
+}
+
+// Trials returns the number of observations.
+func (s *Selectivity) Trials() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.trials)
+}
+
+// EWMA is an exponentially weighted moving average, used for per-task
+// latency estimates.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	n     int
+}
+
+// NewEWMA creates an estimator with the given smoothing factor in (0,1];
+// the first observation seeds the value.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds in a sample.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value = e.alpha*x + (1-e.alpha)*e.value
+	}
+	e.n++
+}
+
+// Value returns the current estimate (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Count returns the number of observations.
+func (e *EWMA) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// --- rank metrics ----------------------------------------------------------
+
+// KendallTau computes the rank correlation between two orderings of the
+// same n items; a and b map item index -> rank. Returns a value in
+// [-1, 1]; 1 means identical order.
+func KendallTau(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: rank vectors differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 1, nil
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := sign(a[i] - a[j])
+			y := sign(b[i] - b[j])
+			switch {
+			case x == y && x != 0:
+				concordant++
+			case x != 0 && y != 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// RanksFromScores converts scores into ranks (0 = smallest score),
+// breaking ties by index for determinism.
+func RanksFromScores(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return scores[idx[i]] < scores[idx[j]] })
+	ranks := make([]int, len(scores))
+	for rank, i := range idx {
+		ranks[i] = rank
+	}
+	return ranks
+}
+
+// --- quality accounting ----------------------------------------------------
+
+// Accuracy compares produced booleans against truth and returns the
+// fraction correct; used by experiment harnesses.
+func Accuracy(got, want []bool) (float64, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("stats: accuracy vectors differ in length: %d vs %d", len(got), len(want))
+	}
+	if len(got) == 0 {
+		return 1, nil
+	}
+	ok := 0
+	for i := range got {
+		if got[i] == want[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(got)), nil
+}
+
+// PrecisionRecall scores a predicted set against a truth set of keys.
+func PrecisionRecall(predicted, truth map[string]bool) (precision, recall, f1 float64) {
+	tp := 0
+	for k := range predicted {
+		if truth[k] {
+			tp++
+		}
+	}
+	if len(predicted) > 0 {
+		precision = float64(tp) / float64(len(predicted))
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	} else {
+		recall = 1
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// BinomialConfidence returns the two-sided Wald interval half-width for a
+// proportion p over n trials at ~95% confidence. The dashboard uses it to
+// annotate selectivity estimates.
+func BinomialConfidence(p float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}

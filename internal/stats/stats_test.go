@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func bools(bs ...bool) []relation.Value {
+	out := make([]relation.Value, len(bs))
+	for i, b := range bs {
+		out[i] = relation.NewBool(b)
+	}
+	return out
+}
+
+func ints(xs ...int64) []relation.Value {
+	out := make([]relation.Value, len(xs))
+	for i, x := range xs {
+		out[i] = relation.NewInt(x)
+	}
+	return out
+}
+
+func TestMajorityBool(t *testing.T) {
+	cases := []struct {
+		votes []relation.Value
+		want  bool
+		conf  float64
+	}{
+		{bools(true, true, false), true, 2.0 / 3},
+		{bools(false, false, true), false, 2.0 / 3},
+		{bools(true, false), false, 0.5}, // tie -> false
+		{bools(true), true, 1},
+		{nil, false, 0},
+	}
+	for i, c := range cases {
+		got, conf := MajorityBool(c.votes)
+		if got != c.want || math.Abs(conf-c.conf) > 1e-9 {
+			t.Errorf("case %d: = %v %.3f, want %v %.3f", i, got, conf, c.want, c.conf)
+		}
+	}
+}
+
+func TestMajorityValue(t *testing.T) {
+	v, share := MajorityValue([]relation.Value{
+		relation.NewString("ada"), relation.NewString("ada"), relation.NewString("bob"),
+	})
+	if v.Str() != "ada" || math.Abs(share-2.0/3) > 1e-9 {
+		t.Fatalf("= %v %.3f", v, share)
+	}
+	// Deterministic tie-break.
+	v1, _ := MajorityValue([]relation.Value{relation.NewString("a"), relation.NewString("b")})
+	v2, _ := MajorityValue([]relation.Value{relation.NewString("b"), relation.NewString("a")})
+	if !v1.Equal(v2) {
+		t.Fatal("tie-break not deterministic")
+	}
+	if v, _ := MajorityValue(nil); !v.IsNull() {
+		t.Fatal("empty votes should be NULL")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if got := MeanRating(ints(1, 2, 6)); got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := MedianRating(ints(1, 2, 6)); got != 2 {
+		t.Errorf("median odd = %v", got)
+	}
+	if got := MedianRating(ints(1, 2, 4, 6)); got != 3 {
+		t.Errorf("median even = %v", got)
+	}
+	if MeanRating(nil) != 0 || MedianRating(nil) != 0 {
+		t.Error("empty ratings should be 0")
+	}
+}
+
+func TestReducers(t *testing.T) {
+	maj, err := LookupReducer("majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maj(bools(true, true, false)); !got.Bool() {
+		t.Errorf("majority = %v", got)
+	}
+	mb, _ := LookupReducer("majoritybool")
+	if got := mb(bools(true, false)); got.Bool() {
+		t.Errorf("majoritybool tie = %v", got)
+	}
+	mean, _ := LookupReducer("mean")
+	if got := mean(ints(2, 4)); got.Float() != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	med, _ := LookupReducer("median")
+	if got := med(ints(1, 9, 2)); got.Float() != 2 {
+		t.Errorf("median = %v", got)
+	}
+	first, _ := LookupReducer("first")
+	if got := first(ints(7, 8)); got.Int() != 7 {
+		t.Errorf("first = %v", got)
+	}
+	if got := first(nil); !got.IsNull() {
+		t.Errorf("first(empty) = %v", got)
+	}
+	all, _ := LookupReducer("all")
+	if got := all(ints(1, 2)); got.Kind() != relation.KindList || got.Len() != 2 {
+		t.Errorf("all = %v", got)
+	}
+	if _, err := LookupReducer("nope"); err == nil {
+		t.Error("unknown reducer must error")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	if got := Agreement(bools(true, true, true)); got != 1 {
+		t.Errorf("unanimous = %v", got)
+	}
+	if got := Agreement(bools(true, true, false)); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("2/3 = %v", got)
+	}
+	if Agreement(nil) != 0 {
+		t.Error("empty agreement should be 0")
+	}
+}
+
+func TestSelectivityPrior(t *testing.T) {
+	var s Selectivity
+	if got := s.Estimate(); got != 0.5 {
+		t.Fatalf("prior = %v", got)
+	}
+	for i := 0; i < 8; i++ {
+		s.Observe(true)
+	}
+	for i := 0; i < 2; i++ {
+		s.Observe(false)
+	}
+	if got := s.Estimate(); math.Abs(got-0.75) > 1e-9 { // (8+1)/(10+2)
+		t.Fatalf("estimate = %v", got)
+	}
+	if s.Trials() != 10 {
+		t.Fatalf("trials = %d", s.Trials())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("zero state wrong")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first obs = %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("second obs = %v", e.Value())
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d", e.Count())
+	}
+	// Bad alpha falls back to default rather than exploding.
+	e2 := NewEWMA(-1)
+	e2.Observe(5)
+	if e2.Value() != 5 {
+		t.Fatal("default alpha broken")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	perfect, err := KendallTau([]int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	if err != nil || perfect != 1 {
+		t.Fatalf("identical = %v err=%v", perfect, err)
+	}
+	reversed, _ := KendallTau([]int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+	if reversed != -1 {
+		t.Fatalf("reversed = %v", reversed)
+	}
+	single, _ := KendallTau([]int{0}, []int{0})
+	if single != 1 {
+		t.Fatalf("single = %v", single)
+	}
+	if _, err := KendallTau([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	oneSwap, _ := KendallTau([]int{0, 1, 2}, []int{1, 0, 2})
+	if math.Abs(oneSwap-1.0/3) > 1e-9 {
+		t.Fatalf("one swap = %v", oneSwap)
+	}
+}
+
+func TestRanksFromScores(t *testing.T) {
+	got := RanksFromScores([]float64{3.0, 1.0, 2.0})
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v", got)
+		}
+	}
+	// Ties break by index, deterministically.
+	tied := RanksFromScores([]float64{1, 1, 1})
+	if tied[0] != 0 || tied[1] != 1 || tied[2] != 2 {
+		t.Fatalf("tied ranks = %v", tied)
+	}
+}
+
+// Property: KendallTau is symmetric and bounded.
+func TestKendallTauProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a, b := r.Perm(n), r.Perm(n)
+		t1, err1 := KendallTau(a, b)
+		t2, err2 := KendallTau(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1-t2) < 1e-9 && t1 >= -1-1e-9 && t1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MajorityBool respects a strict majority under permutation.
+func TestMajorityBoolProperty(t *testing.T) {
+	f := func(yes, no uint8) bool {
+		y, n := int(yes%20), int(no%20)
+		votes := append(bools(), make([]relation.Value, 0, y+n)...)
+		for i := 0; i < y; i++ {
+			votes = append(votes, relation.NewBool(true))
+		}
+		for i := 0; i < n; i++ {
+			votes = append(votes, relation.NewBool(false))
+		}
+		got, _ := MajorityBool(votes)
+		return got == (y > n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]bool{true, false, true}, []bool{true, true, true})
+	if err != nil || math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v err=%v", acc, err)
+	}
+	if _, err := Accuracy([]bool{true}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	empty, _ := Accuracy(nil, nil)
+	if empty != 1 {
+		t.Fatalf("empty accuracy = %v", empty)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	pred := map[string]bool{"a": true, "b": true}
+	truth := map[string]bool{"a": true, "c": true}
+	p, r, f1 := PrecisionRecall(pred, truth)
+	if p != 0.5 || r != 0.5 || math.Abs(f1-0.5) > 1e-9 {
+		t.Fatalf("p=%v r=%v f1=%v", p, r, f1)
+	}
+	p2, r2, f2 := PrecisionRecall(nil, nil)
+	if p2 != 0 || r2 != 1 || f2 != 0 {
+		t.Fatalf("empty = %v %v %v", p2, r2, f2)
+	}
+}
+
+func TestBinomialConfidence(t *testing.T) {
+	if got := BinomialConfidence(0.5, 0); got != 1 {
+		t.Fatalf("n=0 should be maximally uncertain: %v", got)
+	}
+	wide := BinomialConfidence(0.5, 10)
+	narrow := BinomialConfidence(0.5, 1000)
+	if narrow >= wide {
+		t.Fatalf("confidence should narrow with n: %v vs %v", narrow, wide)
+	}
+}

@@ -1,0 +1,205 @@
+package taskmgr
+
+import (
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/hit"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// SubmitGroup posts several *different* boolean tasks about (typically)
+// one tuple as a single HIT — the paper's operator-grouping optimization:
+// "It can also generate HITs from a set of operators (e.g., grouping
+// multiple filter operations over the same tuple)." Every request's Done
+// fires exactly once. Requests answerable from cache or model are
+// resolved without joining the HIT.
+func (m *Manager) SubmitGroup(reqs []Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	for _, r := range reqs {
+		if r.Def == nil || r.Done == nil {
+			return fmt.Errorf("taskmgr: group request needs a task definition and Done callback")
+		}
+		if !isBooleanTask(r.Def) {
+			return fmt.Errorf("taskmgr: grouped HITs require boolean tasks; %s is %v", r.Def.Name, r.Def.Type)
+		}
+	}
+
+	m.mu.Lock()
+	lead := m.stateLocked(reqs[0].Def.Name, reqs[0].Def)
+	pol := m.effectivePolicyLocked(lead)
+
+	type resolution struct {
+		done func(Outcome)
+		out  Outcome
+	}
+	var resolved []resolution
+	var remaining []Request
+	for _, r := range reqs {
+		st := m.stateLocked(r.Def.Name, r.Def)
+		st.submitted++
+		if pol.UseCache {
+			if entry, ok := m.cache.Get(cache.NewKey(r.Def.Name, r.Args)); ok && len(entry.Answers) > 0 {
+				st.cacheHits++
+				out := m.reduceLocked(st, r.Def, entry.Answers)
+				out.FromCache = true
+				st.selectivity.Observe(out.Value.Truthy())
+				resolved = append(resolved, resolution{done: r.Done, out: out})
+				continue
+			}
+		}
+		if pol.UseModel {
+			if tm, ok := m.models.For(r.Def.Name); ok {
+				if v, _, ok := tm.TryAnswer(r.Args); ok {
+					st.modelAnswers++
+					st.selectivity.Observe(v.Truthy())
+					resolved = append(resolved, resolution{done: r.Done,
+						out: Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true}})
+					continue
+				}
+			}
+		}
+		remaining = append(remaining, r)
+	}
+	if len(remaining) == 0 {
+		m.mu.Unlock()
+		for _, r := range resolved {
+			r.done(r.out)
+		}
+		return nil
+	}
+
+	h := &hit.HIT{
+		ID:          m.market.NewHITID(),
+		Task:        remaining[0].Def.Name,
+		Type:        qlang.TaskFilter,
+		Title:       "Answer a few questions",
+		Question:    fmt.Sprintf("Answer the following %d questions about the data shown.", len(remaining)),
+		Response:    qlang.Response{Kind: qlang.ResponseYesNo},
+		RewardCents: pol.PriceCents,
+		Assignments: pol.Assignments,
+	}
+	byKey := make(map[string]pendingItem, len(remaining))
+	for _, r := range remaining {
+		key := m.newKeyLocked()
+		prompt := r.Prompt
+		if prompt == "" {
+			prompt = hit.RenderText(r.Def.Text, r.Def.TextArgs, r.Def.Params, r.Args)
+		}
+		h.Items = append(h.Items, hit.Item{Key: key, Args: r.Args, Task: r.Def.Name, Prompt: prompt})
+		h.GroupKeys = append(h.GroupKeys, r.Def.Name)
+		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, done: r.Done}
+	}
+
+	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := m.account.Spend(cost); err != nil {
+		m.mu.Unlock()
+		for _, r := range resolved {
+			r.done(r.out)
+		}
+		for _, r := range remaining {
+			r.Done(Outcome{Err: fmt.Errorf("taskmgr: group: %w", err)})
+		}
+		return nil
+	}
+	// Attribute cost and counters to each member task evenly enough for
+	// the dashboard: the HIT is counted once under the lead task, the
+	// questions under their own tasks.
+	lead = m.stateLocked(remaining[0].Def.Name, remaining[0].Def)
+	lead.hitsPosted++
+	lead.spent += cost
+	for _, r := range remaining {
+		st := m.stateLocked(r.Def.Name, r.Def)
+		st.questionsAsked++
+	}
+
+	fl := &inflightHIT{
+		hit:      h,
+		state:    lead,
+		byKey:    byKey,
+		answers:  make(map[string][]relation.Value, len(remaining)),
+		needed:   pol.Assignments,
+		postedAt: m.market.Clock().Now(),
+		group:    true,
+	}
+	m.inflight[h.ID] = fl
+	if err := m.market.Post(h, m.onGroupAssignment); err != nil {
+		delete(m.inflight, h.ID)
+		m.mu.Unlock()
+		for _, r := range resolved {
+			r.done(r.out)
+		}
+		for _, r := range remaining {
+			r.Done(Outcome{Err: err})
+		}
+		return nil
+	}
+	m.mu.Unlock()
+	for _, r := range resolved {
+		r.done(r.out)
+	}
+	return nil
+}
+
+// onGroupAssignment mirrors onAssignment but attributes selectivity,
+// caching and training per item task rather than per HIT task.
+func (m *Manager) onGroupAssignment(res mturk.AssignmentResult) {
+	m.mu.Lock()
+	fl, ok := m.inflight[res.HITID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	for key, v := range res.Answers.Values {
+		fl.answers[key] = append(fl.answers[key], v)
+	}
+	fl.byWorker = append(fl.byWorker, res.Answers)
+	fl.received++
+	if fl.received < fl.needed {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.inflight, res.HITID)
+	m.finalizeGroupLocked(fl)
+}
+
+// finalizeGroupLocked resolves a grouped HIT; the caller holds m.mu and
+// the lock is released before callbacks run.
+func (m *Manager) finalizeGroupLocked(fl *inflightHIT) {
+	fl.state.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
+	pol := m.effectivePolicyLocked(fl.state)
+
+	type resolution struct {
+		done func(Outcome)
+		out  Outcome
+	}
+	var resolved []resolution
+	for key, item := range fl.byKey {
+		st := m.stateLocked(item.def.Name, item.def)
+		answers := fl.answers[key]
+		b, conf := stats.MajorityBool(answers)
+		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
+		st.agreement.Observe(conf)
+		st.selectivity.Observe(b)
+		m.noteWorkerVotes(fl.byWorker, key, b)
+		if pol.UseCache {
+			m.cache.Put(cache.NewKey(item.def.Name, item.args), cache.Entry{Answers: answers})
+		}
+		if pol.TrainModel {
+			if tm, ok := m.models.For(item.def.Name); ok {
+				tm.Train(item.args, b)
+			}
+		}
+		resolved = append(resolved, resolution{done: item.done, out: out})
+	}
+	m.mu.Unlock()
+	for _, r := range resolved {
+		r.done(r.out)
+	}
+}

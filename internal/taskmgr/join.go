@@ -1,0 +1,279 @@
+package taskmgr
+
+import (
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/hit"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// hitPair is one unresolved cell of a join grid.
+type hitPair struct{ l, r JoinItem }
+
+// JoinItem is one row shown in a column of the two-column join interface
+// (Figure 3). Key is the operator's routing key; Args the rendered
+// values (typically one image).
+type JoinItem struct {
+	Key  string
+	Args []relation.Value
+}
+
+// JoinBlock evaluates the cross product of left×right through the
+// two-column JoinColumns interface: one HIT answers |left|·|right| pair
+// questions at once, the batching that makes human joins affordable.
+// done fires exactly once per pair with PairKey(left.Key, right.Key).
+//
+// Cached pairs are answered for free; if every pair is cached no HIT is
+// posted. Otherwise the grid shrinks to the rows/columns still needed
+// (workers answer all shown pairs; fresh answers refresh the cache).
+func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done func(pairKey string, out Outcome)) {
+	if len(left) == 0 || len(right) == 0 {
+		return
+	}
+	m.mu.Lock()
+	st := m.stateLocked(def.Name, def)
+	pol := m.effectivePolicyLocked(st)
+	st.submitted += int64(len(left) * len(right))
+
+	pairArgs := func(l, r JoinItem) []relation.Value {
+		return append(append([]relation.Value{}, l.Args...), r.Args...)
+	}
+
+	// Resolve what we can from cache and model.
+	var unresolved []hitPair
+	type resolution struct {
+		key string
+		out Outcome
+	}
+	var resolved []resolution
+	for _, l := range left {
+		for _, r := range right {
+			key := hit.PairKey(l.Key, r.Key)
+			args := pairArgs(l, r)
+			if pol.UseCache {
+				if entry, ok := m.cache.Get(cache.NewKey(def.Name, args)); ok && len(entry.Answers) > 0 {
+					st.cacheHits++
+					out := m.reduceLocked(st, def, entry.Answers)
+					out.FromCache = true
+					st.selectivity.Observe(out.Value.Truthy())
+					resolved = append(resolved, resolution{key: key, out: out})
+					continue
+				}
+			}
+			if pol.UseModel {
+				if tm, ok := m.models.For(def.Name); ok {
+					if v, _, ok := tm.TryAnswer(args); ok {
+						st.modelAnswers++
+						st.selectivity.Observe(v.Truthy())
+						resolved = append(resolved, resolution{key: key,
+							out: Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true}})
+						continue
+					}
+				}
+			}
+			unresolved = append(unresolved, hitPair{l, r})
+		}
+	}
+
+	if len(unresolved) == 0 {
+		m.mu.Unlock()
+		for _, r := range resolved {
+			done(r.key, r.out)
+		}
+		return
+	}
+
+	// Shrink the grid to only the rows/columns still needed.
+	neededLeft := dedupeJoinItems(unresolved, true)
+	neededRight := dedupeJoinItems(unresolved, false)
+	needPair := make(map[string]bool, len(unresolved))
+	for _, p := range unresolved {
+		needPair[hit.PairKey(p.l.Key, p.r.Key)] = true
+	}
+
+	h := &hit.HIT{
+		ID:          m.market.NewHITID(),
+		Task:        def.Name,
+		Type:        def.Type,
+		Title:       def.Name,
+		Question:    hit.RenderText(def.Text, def.TextArgs, def.Params, nil),
+		Response:    joinResponse(def),
+		RewardCents: pol.PriceCents,
+		Assignments: pol.Assignments,
+	}
+	if h.Question == "" {
+		h.Question = "Match the items in the left column with the items in the right column."
+	}
+	for _, l := range neededLeft {
+		h.Left = append(h.Left, hit.Item{Key: l.Key, Args: l.Args})
+	}
+	for _, r := range neededRight {
+		h.Right = append(h.Right, hit.Item{Key: r.Key, Args: r.Args})
+	}
+
+	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := m.account.Spend(cost); err != nil {
+		m.mu.Unlock()
+		for _, r := range resolved {
+			done(r.key, r.out)
+		}
+		for _, p := range unresolved {
+			done(hit.PairKey(p.l.Key, p.r.Key), Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
+		}
+		return
+	}
+	st.spent += cost
+	st.hitsPosted++
+	st.questionsAsked += int64(len(neededLeft) * len(neededRight))
+
+	pairItems := make(map[string]pendingItem)
+	for _, l := range neededLeft {
+		for _, r := range neededRight {
+			key := hit.PairKey(l.Key, r.Key)
+			pairItems[key] = pendingItem{key: key, args: pairArgs(l, r), def: def}
+		}
+	}
+	fl := &joinInflight{
+		state:    st,
+		def:      def,
+		items:    pairItems,
+		need:     needPair,
+		answers:  make(map[string][]relation.Value),
+		needed:   pol.Assignments,
+		postedAt: m.market.Clock().Now(),
+		done:     done,
+	}
+	m.joinInflightByHIT(h.ID, fl)
+	if err := m.market.Post(h, func(res mturk.AssignmentResult) { m.onJoinAssignment(res) }); err != nil {
+		m.dropJoinInflight(h.ID)
+		m.mu.Unlock()
+		for _, r := range resolved {
+			done(r.key, r.out)
+		}
+		for _, p := range unresolved {
+			done(hit.PairKey(p.l.Key, p.r.Key), Outcome{Err: err})
+		}
+		return
+	}
+	m.mu.Unlock()
+	for _, r := range resolved {
+		done(r.key, r.out)
+	}
+}
+
+type joinInflight struct {
+	state    *taskState
+	def      *qlang.TaskDef
+	items    map[string]pendingItem // every grid pair, keyed by pair key
+	need     map[string]bool        // pairs the caller is waiting on
+	answers  map[string][]relation.Value
+	byWorker []hit.Answers
+	received int
+	needed   int
+	postedAt mturk.VirtualTime
+	done     func(string, Outcome)
+}
+
+func (m *Manager) joinInflightByHIT(hitID string, fl *joinInflight) {
+	if m.joinFl == nil {
+		m.joinFl = make(map[string]*joinInflight)
+	}
+	m.joinFl[hitID] = fl
+}
+
+func (m *Manager) dropJoinInflight(hitID string) {
+	delete(m.joinFl, hitID)
+}
+
+func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
+	m.mu.Lock()
+	fl, ok := m.joinFl[res.HITID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	for key, v := range res.Answers.Values {
+		fl.answers[key] = append(fl.answers[key], v)
+	}
+	fl.byWorker = append(fl.byWorker, res.Answers)
+	fl.received++
+	if fl.received < fl.needed {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.joinFl, res.HITID)
+	m.finalizeJoinLocked(fl)
+}
+
+// finalizeJoinLocked resolves every pair of a completed (or partially
+// failed) join-grid HIT. The caller holds m.mu; the lock is released
+// before callbacks run.
+func (m *Manager) finalizeJoinLocked(fl *joinInflight) {
+	st := fl.state
+	st.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
+	pol := m.effectivePolicyLocked(st)
+
+	type resolution struct {
+		key string
+		out Outcome
+	}
+	var resolved []resolution
+	for key, item := range fl.items {
+		answers := fl.answers[key]
+		b, conf := stats.MajorityBool(answers)
+		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
+		st.agreement.Observe(conf)
+		st.selectivity.Observe(b)
+		m.noteWorkerVotes(fl.byWorker, key, b)
+		if pol.UseCache {
+			m.cache.Put(cache.NewKey(fl.def.Name, item.args), cache.Entry{Answers: answers})
+		}
+		if pol.TrainModel {
+			if tm, ok := m.models.For(fl.def.Name); ok {
+				tm.Train(item.args, b)
+			}
+		}
+		if fl.need[key] {
+			resolved = append(resolved, resolution{key: key, out: out})
+		}
+	}
+	m.mu.Unlock()
+	for _, r := range resolved {
+		fl.done(r.key, r.out)
+	}
+}
+
+// dedupeJoinItems extracts the distinct left (or right) items of the
+// unresolved pairs, preserving first-seen order.
+func dedupeJoinItems(pairs []hitPair, left bool) []JoinItem {
+	seen := make(map[string]bool)
+	var out []JoinItem
+	for _, p := range pairs {
+		it := p.r
+		if left {
+			it = p.l
+		}
+		if !seen[it.Key] {
+			seen[it.Key] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// joinResponse derives the JoinColumns response for a join task,
+// defaulting labels when the definition used YesNo.
+func joinResponse(def *qlang.TaskDef) qlang.Response {
+	if def.Response.Kind == qlang.ResponseJoinColumns {
+		return def.Response
+	}
+	return qlang.Response{
+		Kind:      qlang.ResponseJoinColumns,
+		LeftLabel: "Left", RightLabel: "Right",
+	}
+}

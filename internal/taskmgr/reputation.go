@@ -1,0 +1,99 @@
+package taskmgr
+
+import (
+	"sort"
+
+	"repro/internal/hit"
+)
+
+// WorkerQuality is Qurk's view of one worker, inferred purely from how
+// often their answers agree with the majority vote — the signal the CIDR
+// companion paper proposes for detecting spammers without gold data.
+type WorkerQuality struct {
+	ID        string
+	Votes     int64
+	Agreed    int64
+	Agreement float64
+}
+
+type workerRecord struct {
+	votes  int64
+	agreed int64
+}
+
+// noteWorkerVotes credits or strikes every worker who answered key on
+// this HIT, based on the majority outcome. It takes the dedicated
+// reputation lock (never m.mu) so the marketplace's worker filter can
+// consult reputations while the manager is posting under m.mu.
+func (m *Manager) noteWorkerVotes(byWorker []hit.Answers, key string, majority bool) {
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	if m.workers == nil {
+		m.workers = make(map[string]*workerRecord)
+	}
+	for _, wa := range byWorker {
+		v, ok := wa.Values[key]
+		if !ok || wa.WorkerID == "" {
+			continue
+		}
+		rec, ok := m.workers[wa.WorkerID]
+		if !ok {
+			rec = &workerRecord{}
+			m.workers[wa.WorkerID] = rec
+		}
+		rec.votes++
+		if v.Truthy() == majority {
+			rec.agreed++
+		}
+	}
+}
+
+// WorkerQualities reports the agreement-based reputation of every
+// worker seen so far, sorted by ascending agreement (suspects first).
+func (m *Manager) WorkerQualities() []WorkerQuality {
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	out := make([]WorkerQuality, 0, len(m.workers))
+	for id, rec := range m.workers {
+		wq := WorkerQuality{ID: id, Votes: rec.votes, Agreed: rec.agreed}
+		if rec.votes > 0 {
+			wq.Agreement = float64(rec.agreed) / float64(rec.votes)
+		}
+		out = append(out, wq)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Agreement != out[j].Agreement {
+			return out[i].Agreement < out[j].Agreement
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// EnableBlocklist rejects assignments from workers whose majority
+// agreement has fallen below minAgreement after at least minVotes
+// boolean answers: the marketplace re-dispatches their assignments to
+// someone else, like an MTurk qualification requirement.
+func (m *Manager) EnableBlocklist(minVotes int64, minAgreement float64) {
+	m.market.SetWorkerFilter(func(workerID string) bool {
+		m.repMu.Lock()
+		defer m.repMu.Unlock()
+		rec, ok := m.workers[workerID]
+		if !ok || rec.votes < minVotes {
+			return true // not enough evidence yet
+		}
+		return float64(rec.agreed)/float64(rec.votes) >= minAgreement
+	})
+}
+
+// BlockedWorkers lists workers the current blocklist parameters would
+// reject, for the dashboard.
+func (m *Manager) BlockedWorkers(minVotes int64, minAgreement float64) []string {
+	var out []string
+	for _, wq := range m.WorkerQualities() {
+		if wq.Votes >= minVotes && wq.Agreement < minAgreement {
+			out = append(out, wq.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,706 @@
+// Package taskmgr implements Qurk's Task Manager (paper §2): it keeps the
+// global queue of tasks enqueued by all operators, batches tasks into
+// HITs (tuple batching and operator grouping), prices and posts them via
+// the marketplace, consults the Task Cache before spending money, lets a
+// confidence-gated Task Model answer in place of humans, reduces the
+// multi-answer lists redundancy produces, and feeds the Statistics
+// Manager's estimators.
+package taskmgr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/hit"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Policy tunes how one task's applications become HITs. The optimizer
+// sets it; TASK-definition overrides (Price/Assignments/Batch) win.
+type Policy struct {
+	// Assignments is the redundancy per HIT (default 3).
+	Assignments int
+	// BatchSize is how many tuples share one HIT (default 1).
+	BatchSize int
+	// PriceCents is the reward per HIT (default 1).
+	PriceCents int64
+	// Linger is how long (virtual) a partial batch waits before being
+	// flushed anyway (default 1 minute).
+	Linger time.Duration
+	// UseCache consults/updates the Task Cache (default true; zero
+	// value of the struct disables nothing — see DefaultPolicy).
+	UseCache bool
+	// UseModel lets an attached Task Model answer boolean tasks.
+	UseModel bool
+	// TrainModel feeds human answers to the attached model.
+	TrainModel bool
+}
+
+// DefaultPolicy is the engine-wide starting point.
+func DefaultPolicy() Policy {
+	return Policy{
+		Assignments: 3,
+		BatchSize:   1,
+		PriceCents:  1,
+		Linger:      time.Minute,
+		UseCache:    true,
+		UseModel:    true,
+		TrainModel:  true,
+	}
+}
+
+// merged applies TASK-definition overrides to the policy.
+func (p Policy) merged(def *qlang.TaskDef) Policy {
+	if def.Assignments > 0 {
+		p.Assignments = def.Assignments
+	}
+	if def.BatchSize > 0 {
+		p.BatchSize = def.BatchSize
+	}
+	if def.PriceCents > 0 {
+		p.PriceCents = def.PriceCents
+	}
+	if p.Assignments < 1 {
+		p.Assignments = 1
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = 1
+	}
+	return p
+}
+
+// Outcome is the resolved result of one submitted task application.
+type Outcome struct {
+	// Value is the reduced answer (majority vote / mean, by task type).
+	Value relation.Value
+	// Answers are the raw per-assignment answers (paper §3's list).
+	Answers []relation.Value
+	// Agreement is the majority share across assignments.
+	Agreement float64
+	// FromCache and FromModel mark answers that cost no HIT.
+	FromCache bool
+	FromModel bool
+	// Err is set when the task could not be completed (budget/market).
+	Err error
+}
+
+// Request is one logical task application submitted by an operator.
+type Request struct {
+	Def  *qlang.TaskDef
+	Args []relation.Value
+	// Prompt overrides the rendered instruction (used by grouped HITs);
+	// empty means render from the task definition.
+	Prompt string
+	// Assignments overrides the policy's redundancy for this request
+	// (0 = use policy). POSSIBLY predicates use 1.
+	Assignments int
+	// Done receives the outcome; it is called exactly once, possibly
+	// synchronously (cache/model hits) and possibly from the clock
+	// goroutine.
+	Done func(Outcome)
+}
+
+// TaskStats aggregates one task's activity for the optimizer and
+// dashboard.
+type TaskStats struct {
+	Task           string
+	Submitted      int64
+	HITsPosted     int64
+	QuestionsAsked int64 // questions sent to humans (≥ HITs when batching)
+	CacheHits      int64
+	ModelAnswers   int64
+	SpentCents     budget.Cents
+	Selectivity    float64 // boolean tasks: pass rate estimate
+	SelTrials      int
+	MeanLatencyMin float64 // EWMA of HIT completion latency
+	MeanAgreement  float64
+}
+
+type taskState struct {
+	def          *qlang.TaskDef
+	policy       Policy
+	hasOwnPolicy bool
+
+	pending     []pendingItem // waiting to fill a batch
+	lingerArmed bool
+
+	submitted      int64
+	hitsPosted     int64
+	questionsAsked int64
+	cacheHits      int64
+	modelAnswers   int64
+	spent          budget.Cents
+	selectivity    stats.Selectivity
+	latency        *stats.EWMA
+	agreement      *stats.EWMA
+}
+
+type pendingItem struct {
+	key         string
+	args        []relation.Value
+	prompt      string
+	def         *qlang.TaskDef
+	assignments int // 0 = policy default
+	done        func(Outcome)
+	addedAt     mturk.VirtualTime
+}
+
+// Manager routes task applications to the cache, the model, or batched
+// HITs on the marketplace.
+type Manager struct {
+	market  *mturk.Marketplace
+	cache   *cache.Cache
+	models  *model.Registry
+	account *budget.Account
+
+	mu      sync.Mutex
+	tasks   map[string]*taskState
+	base    Policy
+	nextKey int64
+	// inflight maps HIT id -> collection state.
+	inflight map[string]*inflightHIT
+	// joinFl maps HIT id -> join-grid collection state.
+	joinFl map[string]*joinInflight
+	// workers tracks agreement-based reputation, guarded by repMu —
+	// not m.mu — because the marketplace's worker filter reads it from
+	// inside calls the manager makes while holding m.mu (reputation.go).
+	repMu   sync.Mutex
+	workers map[string]*workerRecord
+}
+
+type inflightHIT struct {
+	hit      *hit.HIT
+	state    *taskState
+	byKey    map[string]pendingItem
+	answers  map[string][]relation.Value
+	byWorker []hit.Answers
+	received int
+	needed   int
+	postedAt mturk.VirtualTime
+	group    bool // finalize with per-item task attribution
+}
+
+// New wires a manager to its collaborators. models may be nil (no
+// automation); account may be nil (unlimited budget).
+func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, account *budget.Account) *Manager {
+	if c == nil {
+		c = cache.New()
+	}
+	if models == nil {
+		models = model.NewRegistry()
+	}
+	if account == nil {
+		account = budget.NewAccount(0)
+	}
+	m := &Manager{
+		market:   market,
+		cache:    c,
+		models:   models,
+		account:  account,
+		tasks:    make(map[string]*taskState),
+		base:     DefaultPolicy(),
+		inflight: make(map[string]*inflightHIT),
+	}
+	// Assignments can fail terminally (no eligible worker after all
+	// retries, e.g. a blocklist starving a small pool). The manager
+	// must still resolve the affected items: with fewer votes if some
+	// arrived, or with an error if none ever will.
+	market.SetErrorHandler(m.onAssignmentFailed)
+	return m
+}
+
+// onAssignmentFailed reduces an inflight HIT's expected assignment count;
+// when nothing more can arrive the HIT finalizes with whatever it has.
+func (m *Manager) onAssignmentFailed(hitID string, err error) {
+	m.mu.Lock()
+	if fl, ok := m.inflight[hitID]; ok {
+		fl.needed--
+		if fl.received >= fl.needed {
+			delete(m.inflight, hitID)
+			if fl.received == 0 {
+				items := fl.byKey
+				m.mu.Unlock()
+				for _, item := range items {
+					item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.hit.Task, err)})
+				}
+				return
+			}
+			m.finalizeInflightLocked(fl)
+			return // finalizeInflightLocked released the lock
+		}
+		m.mu.Unlock()
+		return
+	}
+	if fl, ok := m.joinFl[hitID]; ok {
+		fl.needed--
+		if fl.received >= fl.needed {
+			delete(m.joinFl, hitID)
+			if fl.received == 0 {
+				need := fl.need
+				done := fl.done
+				m.mu.Unlock()
+				for key := range need {
+					done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err)})
+				}
+				return
+			}
+			m.finalizeJoinLocked(fl)
+			return
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+}
+
+// Cache returns the manager's task cache.
+func (m *Manager) Cache() *cache.Cache { return m.cache }
+
+// Models returns the manager's model registry.
+func (m *Manager) Models() *model.Registry { return m.models }
+
+// Account returns the budget account.
+func (m *Manager) Account() *budget.Account { return m.account }
+
+// SetBasePolicy replaces the default policy for tasks without their own.
+func (m *Manager) SetBasePolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.base = p
+}
+
+// SetPolicy pins a task-specific policy (the optimizer's knob).
+func (m *Manager) SetPolicy(task string, p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stateLocked(task, nil)
+	st.policy = p
+	st.hasOwnPolicy = true
+}
+
+// PolicyFor reports the effective policy for a task definition.
+func (m *Manager) PolicyFor(def *qlang.TaskDef) Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stateLocked(def.Name, def)
+	return m.effectivePolicyLocked(st)
+}
+
+func (m *Manager) effectivePolicyLocked(st *taskState) Policy {
+	p := m.base
+	if st.hasOwnPolicy {
+		p = st.policy
+	}
+	if st.def != nil {
+		p = p.merged(st.def)
+	}
+	if p.Assignments < 1 {
+		p.Assignments = 1
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = 1
+	}
+	if p.PriceCents < 1 {
+		p.PriceCents = 1
+	}
+	return p
+}
+
+func (m *Manager) stateLocked(name string, def *qlang.TaskDef) *taskState {
+	key := strings.ToLower(name)
+	st, ok := m.tasks[key]
+	if !ok {
+		st = &taskState{latency: stats.NewEWMA(0.3), agreement: stats.NewEWMA(0.3)}
+		m.tasks[key] = st
+	}
+	if st.def == nil && def != nil {
+		st.def = def
+	}
+	return st
+}
+
+func (m *Manager) newKeyLocked() string {
+	m.nextKey++
+	return fmt.Sprintf("t%06d", m.nextKey)
+}
+
+// Submit enqueues one task application. The Done callback fires exactly
+// once with the outcome.
+func (m *Manager) Submit(req Request) {
+	if req.Def == nil || req.Done == nil {
+		panic("taskmgr: Submit needs a task definition and Done callback")
+	}
+	m.mu.Lock()
+	st := m.stateLocked(req.Def.Name, req.Def)
+	st.submitted++
+	pol := m.effectivePolicyLocked(st)
+
+	// 1. Task Cache: a prior answer costs nothing.
+	if pol.UseCache {
+		if entry, ok := m.cache.Get(cache.NewKey(req.Def.Name, req.Args)); ok && len(entry.Answers) > 0 {
+			st.cacheHits++
+			out := m.reduceLocked(st, req.Def, entry.Answers)
+			out.FromCache = true
+			if isBooleanTask(req.Def) {
+				st.selectivity.Observe(out.Value.Truthy())
+			}
+			m.mu.Unlock()
+			req.Done(out)
+			return
+		}
+	}
+
+	// 2. Task Model: a confident classifier answers boolean tasks.
+	if pol.UseModel && isBooleanTask(req.Def) {
+		if tm, ok := m.models.For(req.Def.Name); ok {
+			if v, _, ok := tm.TryAnswer(req.Args); ok {
+				st.modelAnswers++
+				st.selectivity.Observe(v.Truthy())
+				m.mu.Unlock()
+				req.Done(Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true})
+				return
+			}
+		}
+	}
+
+	// 3. Queue for humans; batch with other applications of this task.
+	item := pendingItem{
+		key:         m.newKeyLocked(),
+		args:        req.Args,
+		prompt:      req.Prompt,
+		def:         req.Def,
+		assignments: req.Assignments,
+		done:        req.Done,
+		addedAt:     m.market.Clock().Now(),
+	}
+	st.pending = append(st.pending, item)
+	if len(st.pending) >= pol.BatchSize {
+		m.flushLocked(st, pol)
+		m.mu.Unlock()
+		return
+	}
+	// Arm a linger timer so partial batches cannot starve.
+	if !st.lingerArmed && pol.Linger > 0 {
+		st.lingerArmed = true
+		taskName := req.Def.Name
+		m.market.Clock().Schedule(pol.Linger, func() { m.lingerFlush(taskName) })
+	}
+	m.mu.Unlock()
+}
+
+// lingerFlush flushes whatever is pending for a task when its linger
+// timer fires.
+func (m *Manager) lingerFlush(task string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stateLocked(task, nil)
+	st.lingerArmed = false
+	if len(st.pending) > 0 {
+		m.flushLocked(st, m.effectivePolicyLocked(st))
+	}
+}
+
+// Flush posts any partial batch for the named task immediately.
+func (m *Manager) Flush(task string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stateLocked(task, nil)
+	if len(st.pending) > 0 {
+		m.flushLocked(st, m.effectivePolicyLocked(st))
+	}
+}
+
+// FlushAll posts every partial batch.
+func (m *Manager) FlushAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.tasks {
+		if len(st.pending) > 0 {
+			m.flushLocked(st, m.effectivePolicyLocked(st))
+		}
+	}
+}
+
+// flushLocked converts the pending items of st into one or more HITs.
+// Items with different assignment overrides never share a HIT (their
+// redundancy differs), so pending is partitioned first.
+func (m *Manager) flushLocked(st *taskState, pol Policy) {
+	byAsg := make(map[int][]pendingItem)
+	var order []int
+	for _, it := range st.pending {
+		if _, seen := byAsg[it.assignments]; !seen {
+			order = append(order, it.assignments)
+		}
+		byAsg[it.assignments] = append(byAsg[it.assignments], it)
+	}
+	st.pending = nil
+	for _, asg := range order {
+		items := byAsg[asg]
+		for len(items) > 0 {
+			n := pol.BatchSize
+			if n > len(items) {
+				n = len(items)
+			}
+			batch := items[:n]
+			items = items[n:]
+			m.postBatchLocked(st, pol, batch)
+		}
+	}
+}
+
+// postBatchLocked compiles one batch into a HIT and posts it. All
+// items in a batch share the same assignments override (see
+// flushLocked).
+func (m *Manager) postBatchLocked(st *taskState, pol Policy, batch []pendingItem) {
+	if batch[0].assignments > 0 {
+		pol.Assignments = batch[0].assignments
+	}
+	def := st.def
+	h := &hit.HIT{
+		ID:          m.market.NewHITID(),
+		Task:        def.Name,
+		Type:        def.Type,
+		Title:       def.Name,
+		Question:    batchQuestion(def, batch),
+		Response:    responseFor(def),
+		RewardCents: pol.PriceCents,
+		Assignments: pol.Assignments,
+	}
+	byKey := make(map[string]pendingItem, len(batch))
+	for _, it := range batch {
+		prompt := it.prompt
+		if prompt == "" && len(batch) > 1 {
+			prompt = hit.RenderText(it.def.Text, it.def.TextArgs, it.def.Params, it.args)
+		}
+		h.Items = append(h.Items, hit.Item{Key: it.key, Args: it.args, Prompt: prompt})
+		byKey[it.key] = it
+	}
+
+	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := m.account.Spend(cost); err != nil {
+		for _, it := range batch {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
+		}
+		return
+	}
+	st.spent += cost
+	st.hitsPosted++
+	st.questionsAsked += int64(len(batch))
+
+	fl := &inflightHIT{
+		hit:      h,
+		state:    st,
+		byKey:    byKey,
+		answers:  make(map[string][]relation.Value, len(batch)),
+		needed:   pol.Assignments,
+		postedAt: m.market.Clock().Now(),
+	}
+	m.inflight[h.ID] = fl
+	if err := m.market.Post(h, m.onAssignment); err != nil {
+		delete(m.inflight, h.ID)
+		for _, it := range batch {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: post %s: %v", def.Name, err)})
+		}
+	}
+}
+
+// onAssignment collects one completed assignment; when the HIT has all
+// of them, every batched item resolves.
+func (m *Manager) onAssignment(res mturk.AssignmentResult) {
+	m.mu.Lock()
+	fl, ok := m.inflight[res.HITID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	for key, v := range res.Answers.Values {
+		fl.answers[key] = append(fl.answers[key], v)
+	}
+	fl.byWorker = append(fl.byWorker, res.Answers)
+	fl.received++
+	if fl.received < fl.needed {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.inflight, res.HITID)
+	m.finalizeInflightLocked(fl)
+}
+
+// finalizeInflightLocked resolves every batched item of a completed (or
+// partially failed) HIT. The caller holds m.mu; the lock is released
+// before user callbacks run.
+func (m *Manager) finalizeInflightLocked(fl *inflightHIT) {
+	if fl.group {
+		m.finalizeGroupLocked(fl)
+		return
+	}
+	st := fl.state
+	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
+	st.latency.Observe(latencyMin)
+
+	type resolution struct {
+		done func(Outcome)
+		out  Outcome
+	}
+	var resolved []resolution
+	pol := m.effectivePolicyLocked(st)
+	for key, item := range fl.byKey {
+		answers := fl.answers[key]
+		out := m.reduceLocked(st, item.def, answers)
+		st.agreement.Observe(out.Agreement)
+		if isBooleanTask(item.def) {
+			st.selectivity.Observe(out.Value.Truthy())
+			m.noteWorkerVotes(fl.byWorker, key, out.Value.Truthy())
+		}
+		if pol.UseCache {
+			m.cache.Put(cache.NewKey(item.def.Name, item.args), cache.Entry{Answers: answers})
+		}
+		if pol.TrainModel && isBooleanTask(item.def) {
+			if tm, ok := m.models.For(item.def.Name); ok {
+				tm.Train(item.args, out.Value.Truthy())
+			}
+		}
+		resolved = append(resolved, resolution{done: item.done, out: out})
+	}
+	m.mu.Unlock()
+	for _, r := range resolved {
+		r.done(r.out)
+	}
+}
+
+// reduceLocked collapses redundant answers by the task's natural
+// aggregate (paper §3: lists reduced by user-defined aggregates).
+func (m *Manager) reduceLocked(st *taskState, def *qlang.TaskDef, answers []relation.Value) Outcome {
+	out := Outcome{Answers: answers}
+	switch {
+	case isBooleanTask(def):
+		b, conf := stats.MajorityBool(answers)
+		out.Value = relation.NewBool(b)
+		out.Agreement = conf
+	case def.Type == qlang.TaskRating:
+		out.Value = relation.NewFloat(stats.MeanRating(answers))
+		out.Agreement = stats.Agreement(answers)
+	default:
+		v, conf := stats.MajorityValue(answers)
+		out.Value = v
+		out.Agreement = conf
+	}
+	return out
+}
+
+func isBooleanTask(def *qlang.TaskDef) bool {
+	return def.Type == qlang.TaskFilter || def.Type == qlang.TaskJoinPredicate ||
+		(len(def.Returns) == 1 && def.Returns[0].Kind == relation.KindBool)
+}
+
+// batchQuestion renders the HIT-level instruction: for singleton batches
+// it is the task text with substitutions, for larger batches a generic
+// header (per-item prompts carry the specifics).
+func batchQuestion(def *qlang.TaskDef, batch []pendingItem) string {
+	if len(batch) == 1 {
+		if batch[0].prompt != "" {
+			return batch[0].prompt
+		}
+		return hit.RenderText(def.Text, def.TextArgs, def.Params, batch[0].args)
+	}
+	return fmt.Sprintf("Answer the following %d questions. %s", len(batch), def.Text)
+}
+
+// responseFor derives the response spec for *item-wise* HITs, defaulting
+// by task type when a definition omits it. A JoinColumns task submitted
+// pairwise (one pair per item) degrades to YesNo questions.
+func responseFor(def *qlang.TaskDef) qlang.Response {
+	r := def.Response
+	if r.Kind == qlang.ResponseJoinColumns {
+		return qlang.Response{Kind: qlang.ResponseYesNo}
+	}
+	if r.Kind == qlang.ResponseForm && len(r.Fields) == 0 {
+		switch def.Type {
+		case qlang.TaskFilter, qlang.TaskJoinPredicate:
+			return qlang.Response{Kind: qlang.ResponseYesNo}
+		case qlang.TaskRating:
+			return qlang.Response{Kind: qlang.ResponseRating, ScaleMin: 1, ScaleMax: 7}
+		default:
+			fields := make([]qlang.FormField, 0, len(def.Returns))
+			for _, ret := range def.Returns {
+				label := ret.Name
+				if label == "" {
+					label = "Answer"
+				}
+				fields = append(fields, qlang.FormField{Label: label, Kind: ret.Kind})
+			}
+			return qlang.Response{Kind: qlang.ResponseForm, Fields: fields}
+		}
+	}
+	return r
+}
+
+// Stats returns per-task statistics, sorted by task name.
+func (m *Manager) Stats() []TaskStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TaskStats, 0, len(m.tasks))
+	for name, st := range m.tasks {
+		out = append(out, TaskStats{
+			Task:           name,
+			Submitted:      st.submitted,
+			HITsPosted:     st.hitsPosted,
+			QuestionsAsked: st.questionsAsked,
+			CacheHits:      st.cacheHits,
+			ModelAnswers:   st.modelAnswers,
+			SpentCents:     st.spent,
+			Selectivity:    st.selectivity.Estimate(),
+			SelTrials:      st.selectivity.Trials(),
+			MeanLatencyMin: st.latency.Value(),
+			MeanAgreement:  st.agreement.Value(),
+		})
+	}
+	sortTaskStats(out)
+	return out
+}
+
+// StatsFor returns one task's statistics.
+func (m *Manager) StatsFor(task string) TaskStats {
+	all := m.Stats()
+	key := strings.ToLower(task)
+	for _, s := range all {
+		if s.Task == key {
+			return s
+		}
+	}
+	return TaskStats{Task: key}
+}
+
+func sortTaskStats(ss []TaskStats) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j-1].Task > ss[j].Task; j-- {
+			ss[j-1], ss[j] = ss[j], ss[j-1]
+		}
+	}
+}
+
+// Pending reports queued-but-unposted items across all tasks.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.tasks {
+		n += len(st.pending)
+	}
+	return n
+}
+
+// Inflight reports posted HITs that have not collected all assignments.
+func (m *Manager) Inflight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestCompaniesDataset(t *testing.T) {
+	ds := Companies(20, 1)
+	tab := ds.Tables[0]
+	if tab.Len() != 20 {
+		t.Fatalf("companies = %d", tab.Len())
+	}
+	name := tab.Row(0).Get("companyName")
+	truth := ds.Oracle.Truth("findCEO", []relation.Value{name})
+	if truth.Kind() != relation.KindTuple {
+		t.Fatalf("truth = %v", truth)
+	}
+	if truth.Field("CEO").IsNull() || truth.Field("Phone").IsNull() {
+		t.Fatalf("truth fields = %v", truth)
+	}
+	// Stable truth: asking twice gives the same answer.
+	again := ds.Oracle.Truth("findCEO", []relation.Value{name})
+	if !truth.Equal(again) {
+		t.Fatal("oracle not stable")
+	}
+	// Unknown task/args answer NULL.
+	if !ds.Oracle.Truth("isCat", []relation.Value{name}).IsNull() {
+		t.Fatal("foreign task answered")
+	}
+	if !ds.Oracle.Truth("findCEO", []relation.Value{relation.NewString("Nope")}).IsNull() {
+		t.Fatal("unknown company answered")
+	}
+}
+
+func TestCompaniesDeterministic(t *testing.T) {
+	a, b := Companies(5, 42), Companies(5, 42)
+	for i := 0; i < 5; i++ {
+		if !a.Tables[0].Row(i).Values[0].Equal(b.Tables[0].Row(i).Values[0]) {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := Companies(5, 43)
+	diff := false
+	for i := 0; i < 5; i++ {
+		if !a.Tables[0].Row(i).Values[0].Equal(c.Tables[0].Row(i).Values[0]) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCelebritiesDataset(t *testing.T) {
+	ds := Celebrities(10, 40, 0.5, 7)
+	celebs, spotted := ds.Tables[0], ds.Tables[1]
+	if celebs.Len() != 10 || spotted.Len() != 40 {
+		t.Fatalf("sizes = %d/%d", celebs.Len(), spotted.Len())
+	}
+	// Count spotted images that match some celebrity, via the oracle.
+	matches := 0
+	for _, srow := range spotted.Snapshot() {
+		for _, crow := range celebs.Snapshot() {
+			v := ds.Oracle.Truth("samePerson", []relation.Value{crow.Get("image"), srow.Get("image")})
+			if v.Truthy() {
+				matches++
+			}
+		}
+	}
+	if matches < 10 || matches > 30 {
+		t.Fatalf("matches = %d, expected near 20 for matchFraction 0.5", matches)
+	}
+	// A spotted image matches at most one celebrity.
+	for _, srow := range spotted.Snapshot() {
+		n := 0
+		for _, crow := range celebs.Snapshot() {
+			if ds.Oracle.Truth("samePerson", []relation.Value{crow.Get("image"), srow.Get("image")}).Truthy() {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Fatalf("sighting matches %d celebrities", n)
+		}
+	}
+}
+
+func TestPhotosDataset(t *testing.T) {
+	ds := Photos(200, 0.3, 0.6, 5)
+	tab := ds.Tables[0]
+	cats, outs := 0, 0
+	for _, row := range tab.Snapshot() {
+		img := []relation.Value{row.Get("img")}
+		if ds.Oracle.Truth("isCat", img).Truthy() {
+			cats++
+		}
+		if ds.Oracle.Truth("isOutdoor", img).Truthy() {
+			outs++
+		}
+		if !ds.Oracle.Truth("other", img).IsNull() {
+			t.Fatal("foreign task answered")
+		}
+	}
+	if cats < 40 || cats > 80 {
+		t.Fatalf("cats = %d of 200 at fraction 0.3", cats)
+	}
+	if outs < 95 || outs > 145 {
+		t.Fatalf("outdoor = %d of 200 at fraction 0.6", outs)
+	}
+}
+
+func TestRankItemsAndCompareOracle(t *testing.T) {
+	ds := RankItems(30, 9, "score", 3)
+	tab := ds.Tables[0]
+	if tab.Len() != 30 {
+		t.Fatalf("items = %d", tab.Len())
+	}
+	for _, row := range tab.Snapshot() {
+		truth := row.Get("truth").Float()
+		if truth < 1 || truth > 9 {
+			t.Fatalf("latent score %v out of range", truth)
+		}
+		got := ds.Oracle.Truth("score", []relation.Value{row.Get("img")})
+		if got.IsNull() {
+			t.Fatal("oracle missing item")
+		}
+	}
+	cmp := CompareOracle(tab, "better")
+	a, b := tab.Row(0), tab.Row(1)
+	got := cmp.Truth("better", []relation.Value{a.Get("img"), b.Get("img")})
+	want := a.Get("truth").Float() > b.Get("truth").Float()
+	if got.Truthy() != want {
+		t.Fatalf("compare oracle = %v, want %v", got, want)
+	}
+}
+
+func TestReviewsDataset(t *testing.T) {
+	ds := Reviews(100, 0.7, 9)
+	tab := ds.Tables[0]
+	pos := 0
+	for _, row := range tab.Snapshot() {
+		txt := []relation.Value{row.Get("text")}
+		s := ds.Oracle.Truth("sentiment", txt)
+		if s.Str() != "positive" && s.Str() != "negative" {
+			t.Fatalf("sentiment = %v", s)
+		}
+		b := ds.Oracle.Truth("isPositive", txt)
+		if b.Truthy() != (s.Str() == "positive") {
+			t.Fatal("isPositive disagrees with sentiment")
+		}
+		if b.Truthy() {
+			pos++
+		}
+	}
+	if pos < 55 || pos > 85 {
+		t.Fatalf("positive = %d of 100 at fraction 0.7", pos)
+	}
+}
+
+func TestCombineOracles(t *testing.T) {
+	a := Photos(10, 0.5, 0.5, 1)
+	b := Companies(10, 1)
+	combined := Combine(a.Oracle, b.Oracle)
+	img := a.Tables[0].Row(0).Get("img")
+	if combined.Truth("isCat", []relation.Value{img}).IsNull() {
+		t.Fatal("first oracle unreachable")
+	}
+	name := b.Tables[0].Row(0).Get("companyName")
+	if combined.Truth("findCEO", []relation.Value{name}).IsNull() {
+		t.Fatal("second oracle unreachable")
+	}
+	if !combined.Truth("zz", []relation.Value{img}).IsNull() {
+		t.Fatal("unknown task answered")
+	}
+}
+
+func TestPersonOf(t *testing.T) {
+	if personOf("person0001-studio.png") != "person0001" {
+		t.Fatal("personOf parse")
+	}
+	if personOf("noseparator") != "noseparator" {
+		t.Fatal("personOf fallback")
+	}
+}

@@ -1,0 +1,106 @@
+// Package qurk is the public API of this Qurk reproduction: a relational
+// query processor whose operators are implemented by human workers on a
+// (simulated) Mechanical Turk marketplace, after Marcus, Wu, Karger,
+// Madden and Miller, "Demonstration of Qurk: A Query Processor for Human
+// Operators", SIGMOD 2011.
+//
+// A minimal session:
+//
+//	ds := qurk.Companies(20, 1) // synthetic data + ground truth
+//	eng, err := qurk.New(qurk.Config{Oracle: ds.Oracle})
+//	if err != nil { ... }
+//	defer eng.Close()
+//	for _, t := range ds.Tables {
+//		_ = eng.Register(t)
+//	}
+//	_ = eng.Define(`
+//	TASK findCEO(String companyName)
+//	RETURNS (String CEO, String Phone):
+//	  TaskType: Question
+//	  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
+//	  Response: Form(("CEO", String), ("Phone", String))
+//	`)
+//	rows, err := eng.QueryAndWait(`
+//	SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
+//	FROM companies`)
+//
+// The engine runs HITs against a configurable synthetic crowd under a
+// virtual clock, so latency is reported in simulated minutes while
+// programs finish in milliseconds. See DESIGN.md for the architecture
+// and EXPERIMENTS.md for the reproduced evaluation.
+package qurk
+
+import (
+	"net/http"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/dashboard"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+	"repro/internal/workload"
+)
+
+// Re-exported core types; see the respective internal packages for the
+// full method sets.
+type (
+	// Engine is a running Qurk instance (internal/core.Engine).
+	Engine = core.Engine
+	// Config parameterizes an engine.
+	Config = core.Config
+	// QueryHandle tracks a submitted query.
+	QueryHandle = core.QueryHandle
+	// CrowdConfig tunes the simulated worker population.
+	CrowdConfig = crowd.Config
+	// Oracle supplies ground truth to the simulated crowd.
+	Oracle = crowd.Oracle
+	// OracleFunc adapts a function to Oracle.
+	OracleFunc = crowd.OracleFunc
+	// ExecConfig tunes the executor (join interface, batching mode...).
+	ExecConfig = exec.Config
+	// Policy tunes per-task HIT generation.
+	Policy = taskmgr.Policy
+	// Cents is money, in integer US cents.
+	Cents = budget.Cents
+	// Table is an in-memory relation.
+	Table = relation.Table
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is a dynamically typed datum.
+	Value = relation.Value
+	// Dataset bundles synthetic tables with their ground-truth oracle.
+	Dataset = workload.Dataset
+	// Snapshot is the dashboard view of the system.
+	Snapshot = dashboard.Snapshot
+)
+
+// New starts an engine. Callers must Close it.
+func New(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// DefaultPolicy is the engine-wide starting task policy.
+func DefaultPolicy() Policy { return taskmgr.DefaultPolicy() }
+
+// RenderDashboard renders a snapshot as the text dashboard.
+func RenderDashboard(s Snapshot) string { return dashboard.Render(s) }
+
+// DashboardHandler serves the HTTP dashboard and the audience
+// task-completion interface for an engine.
+func DashboardHandler(e *Engine) http.Handler { return dashboard.NewHandler(e) }
+
+// Synthetic workloads (see internal/workload for parameters).
+var (
+	// Companies generates the Query 1 workload.
+	Companies = workload.Companies
+	// Celebrities generates the Query 2 workload.
+	Celebrities = workload.Celebrities
+	// Photos generates a boolean-filter workload.
+	Photos = workload.Photos
+	// RankItems generates a sort workload with latent scores.
+	RankItems = workload.RankItems
+	// Reviews generates a sentiment workload.
+	Reviews = workload.Reviews
+	// CombineOracles merges ground-truth oracles.
+	CombineOracles = workload.Combine
+)

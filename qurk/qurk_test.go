@@ -1,0 +1,88 @@
+package qurk_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/qurk"
+)
+
+// TestPublicAPITour exercises the whole facade the way the README does.
+func TestPublicAPITour(t *testing.T) {
+	ds := qurk.Companies(5, 1)
+	eng, err := qurk.New(qurk.Config{
+		Oracle: ds.Oracle,
+		Crowd:  qurk.CrowdConfig{Seed: 1, MeanSkill: 0.97, SkillStd: 0.01, SpamFraction: 1e-9, AbandonRate: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, tab := range ds.Tables {
+		if err := eng.Register(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Define(`
+TASK findCEO(String companyName)
+RETURNS (String CEO, String Phone):
+  TaskType: Question
+  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
+  Response: Form(("CEO", String), ("Phone", String))
+`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := eng.QueryAndWait(`
+SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
+FROM companies`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Policy knobs are reachable through the facade.
+	pol := qurk.DefaultPolicy()
+	if pol.Assignments != 3 {
+		t.Fatalf("default policy = %+v", pol)
+	}
+	// Dashboard rendering and HTTP handler work through the facade.
+	text := qurk.RenderDashboard(eng.Snapshot())
+	if !strings.Contains(text, "findceo") {
+		t.Fatalf("dashboard missing task:\n%s", text)
+	}
+	srv := httptest.NewServer(qurk.DashboardHandler(eng))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Qurk") {
+		t.Fatal("HTTP dashboard empty")
+	}
+}
+
+func TestWorkloadsExported(t *testing.T) {
+	if ds := qurk.Celebrities(2, 3, 0.5, 1); len(ds.Tables) != 2 {
+		t.Error("Celebrities")
+	}
+	if ds := qurk.Photos(3, 0.5, 0.5, 1); ds.Tables[0].Len() != 3 {
+		t.Error("Photos")
+	}
+	if ds := qurk.RankItems(3, 9, "score", 1); ds.Tables[0].Len() != 3 {
+		t.Error("RankItems")
+	}
+	if ds := qurk.Reviews(3, 0.5, 1); ds.Tables[0].Len() != 3 {
+		t.Error("Reviews")
+	}
+	a := qurk.Photos(1, 1, 1, 1)
+	b := qurk.Companies(1, 1)
+	combined := qurk.CombineOracles(a.Oracle, b.Oracle)
+	if combined.Truth("isCat", []qurk.Value{a.Tables[0].Row(0).Get("img")}).IsNull() {
+		t.Error("CombineOracles")
+	}
+}
