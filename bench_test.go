@@ -1,11 +1,19 @@
 package repro
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hit"
+	"repro/internal/load"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
 )
 
 // Each benchmark regenerates one experiment table (EXPERIMENTS.md) and
@@ -130,6 +138,98 @@ func BenchmarkE10Async(b *testing.B) {
 	}
 	metric(b, tab, 0, 2, "async_vmin")
 	metric(b, tab, 1, 2, "blocking_vmin")
+}
+
+// benchPool is a contention-free worker pool: every claim is answered by
+// an anonymous worker after one virtual second, so the benchmark below
+// measures marketplace overhead rather than crowd simulation. The claim
+// is allocation-free (shared answers, read-only) for the same reason.
+type benchPool struct{}
+
+var benchAnswers = hit.Answers{WorkerID: "bench-worker",
+	Values: map[string]relation.Value{"k": relation.NewBool(true)}}
+
+func benchAnswer() (hit.Answers, error) { return benchAnswers, nil }
+
+func (benchPool) Claim(h *hit.HIT, now mturk.VirtualTime) (mturk.Claim, bool) {
+	return mturk.Claim{WorkerID: "bench-worker", Delay: time.Second, Answer: benchAnswer}, true
+}
+
+// BenchmarkMarketplaceThroughput hammers Post/dispatch/complete from all
+// cores at once — the paper's thousands-of-async-HITs regime — and
+// reports end-to-end completed HITs per wall-clock second.
+func BenchmarkMarketplaceThroughput(b *testing.B) {
+	clock := mturk.NewClock()
+	market := mturk.NewMarketplace(clock, benchPool{})
+	// Steady-state regime: completed HITs are disposed (the production
+	// configuration), so the benchmark measures marketplace throughput,
+	// not GC over an ever-growing history.
+	market.SetAutoDispose(true, nil)
+	var stop atomic.Bool
+	pumpDone := make(chan struct{})
+	go func() {
+		clock.Run(func() bool { return stop.Load() })
+		close(pumpDone)
+	}()
+	defer func() {
+		stop.Store(true)
+		clock.Close()
+		<-pumpDone
+	}()
+
+	// Bound in-flight HITs so the benchmark measures steady-state
+	// marketplace throughput rather than GC over an unbounded backlog.
+	const maxInflight = 4096
+	var posted, completed atomic.Int64
+	items := []hit.Item{{Key: "k"}} // HITs never mutate Items; share one
+	onDone := func(mturk.AssignmentResult) { completed.Add(1) }
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for posted.Load()-completed.Load() > maxInflight {
+				runtime.Gosched()
+			}
+			h := &hit.HIT{
+				ID:          market.NewHITID(),
+				Task:        "bench",
+				Title:       "bench",
+				Question:    "q",
+				Response:    qlang.Response{Kind: qlang.ResponseYesNo},
+				RewardCents: 1,
+				Assignments: 1,
+				Items:       items,
+			}
+			posted.Add(1)
+			if err := market.Post(h, onDone); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	for completed.Load() < posted.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.ReportMetric(float64(completed.Load())/b.Elapsed().Seconds(), "HITs/sec")
+}
+
+// BenchmarkLoadHarness runs a small crowd-scale load scenario per
+// iteration and reports its headline metrics (see internal/load).
+func BenchmarkLoadHarness(b *testing.B) {
+	var rep load.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = load.Run(load.Config{
+			Workload: load.WorkloadFilter,
+			Tuples:   400,
+			Workers:  200,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.HITsPerSec, "HITs/sec")
+	b.ReportMetric(rep.P99.Minutes(), "p99_vmin")
+	b.ReportMetric(rep.DollarsPerQuery, "dollars/query")
 }
 
 // BenchmarkE11SpamDefense measures the reputation blocklist extension.

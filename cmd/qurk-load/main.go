@@ -1,0 +1,61 @@
+// Command qurk-load drives the deterministic crowd-scale load harness
+// (internal/load) against the sharded marketplace and prints throughput,
+// virtual-time latency percentiles and cost.
+//
+//	qurk-load                                  # 1000-tuple filter cascade
+//	qurk-load -workload join -tuples 20000     # 5×5 join grids at scale
+//	qurk-load -workload orderby -workers 2000  # rating sort, big crowd
+//	qurk-load -verify                          # run twice, assert identical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/load"
+)
+
+func main() {
+	workload := flag.String("workload", "filter", "scenario: filter | join | orderby")
+	tuples := flag.Int("tuples", 1000, "input cardinality")
+	workers := flag.Int("workers", 500, "simulated crowd size")
+	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
+	batch := flag.Int("batch", 5, "tuples per HIT")
+	assignments := flag.Int("assignments", 3, "redundancy per HIT")
+	price := flag.Int64("price", 1, "reward cents per HIT")
+	seed := flag.Int64("seed", 1, "crowd and workload random seed")
+	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match")
+	flag.Parse()
+
+	cfg := load.Config{
+		Workload:    load.Workload(*workload),
+		Tuples:      *tuples,
+		Workers:     *workers,
+		Shards:      *shards,
+		Batch:       *batch,
+		Assignments: *assignments,
+		PriceCents:  *price,
+		Seed:        *seed,
+	}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qurk-load:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+
+	if *verify {
+		again, err := load.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
+			os.Exit(1)
+		}
+		if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
+			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed {
+			fmt.Fprintf(os.Stderr, "qurk-load: NONDETERMINISTIC\nfirst:\n%s\nsecond:\n%s", rep, again)
+			os.Exit(1)
+		}
+		fmt.Println("verify: identical virtual-time metrics across reruns")
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 	// decay (default 0.015): acc = skill * (1 - p*(q-1)), floored at
 	// 0.55 * skill.
 	BatchPenalty float64
+	// Shards partitions the population into independently locked claim
+	// stripes: a claim scans only the stripe its HIT hashes to, so the
+	// claim path is O(Workers/Shards) and concurrent claims on
+	// different stripes never contend. Default 1, which reproduces the
+	// unsharded pool's random sequence exactly.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.BatchPenalty == 0 {
 		c.BatchPenalty = 0.015
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Workers {
+		c.Shards = c.Workers
+	}
 	return c
 }
 
@@ -102,21 +114,42 @@ type worker struct {
 	correct  int
 }
 
-// Pool is a synthetic worker pool implementing mturk.WorkerPool.
+// Pool is a synthetic worker pool implementing mturk.WorkerPool. The
+// population is partitioned into Config.Shards claim stripes, each with
+// its own lock and noise source; a HIT's claims always land on the
+// stripe its ID hashes to, so claim scans stay O(Workers/Shards) and
+// stripes never contend with each other.
 type Pool struct {
-	cfg    Config
-	oracle Oracle
+	cfg     Config
+	oracle  Oracle
+	stripes []*stripe
+}
 
+// stripe is one independently locked slice of the population.
+type stripe struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	workers []*worker
 }
 
-// NewPool builds a population from cfg and a ground-truth oracle.
+// NewPool builds a population from cfg and a ground-truth oracle. The
+// population itself is identical for every shard count (attributes are
+// drawn from one sequence before partitioning).
 func NewPool(cfg Config, oracle Oracle) *Pool {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := &Pool{cfg: cfg, oracle: oracle, rng: rng}
+	p := &Pool{cfg: cfg, oracle: oracle}
+	for i := 0; i < cfg.Shards; i++ {
+		// Offset by (i+1): stripe seeds must never collide with
+		// cfg.Seed itself, or a stripe's noise stream would replay the
+		// population-attribute draws above and correlate with them.
+		p.stripes = append(p.stripes, &stripe{rng: rand.New(rand.NewSource(cfg.Seed + int64(i+1)*7919))})
+	}
+	if cfg.Shards == 1 {
+		// Single-stripe claims continue the population sequence,
+		// matching the historical unsharded pool draw for draw.
+		p.stripes[0].rng = rng
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		skill := clamp(rng.NormFloat64()*cfg.SkillStd+cfg.MeanSkill, 0.55, 0.99)
 		w := &worker{
@@ -125,39 +158,50 @@ func NewPool(cfg Config, oracle Oracle) *Pool {
 			speed:   clamp(rng.NormFloat64()*0.3+1.0, 0.4, 2.5),
 			spammer: rng.Float64() < cfg.SpamFraction,
 		}
-		p.workers = append(p.workers, w)
+		s := p.stripes[i%len(p.stripes)]
+		s.workers = append(s.workers, w)
 	}
 	return p
+}
+
+// stripeFor routes a HIT ID to its claim stripe.
+func (p *Pool) stripeFor(id string) *stripe {
+	return p.stripes[mturk.ShardIndex(id, len(p.stripes))]
 }
 
 func clamp(x, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, x))
 }
 
-// Claim implements mturk.WorkerPool: it picks the soonest-free worker,
-// reserves their time, and returns a claim whose Answer callback
-// produces (possibly noisy) answers for every question in the HIT.
+// Claim implements mturk.WorkerPool: it picks the soonest-free worker
+// of the HIT's stripe, reserves their time, and returns a claim whose
+// Answer callback produces (possibly noisy) answers for every question
+// in the HIT.
 func (p *Pool) Claim(h *hit.HIT, now mturk.VirtualTime) (mturk.Claim, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	w := p.pickLocked(now)
+	if len(p.stripes) == 0 {
+		return mturk.Claim{}, false
+	}
+	s := p.stripeFor(h.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.pickLocked(now)
 	if w == nil {
 		return mturk.Claim{}, false
 	}
 	q := effortOf(h)
 	service := time.Duration(float64(p.cfg.Overhead+time.Duration(q)*p.cfg.PerQuestion) * w.speed)
 	// Jitter ±20% so parallel workers desynchronize.
-	service = time.Duration(float64(service) * (0.8 + 0.4*p.rng.Float64()))
+	service = time.Duration(float64(service) * (0.8 + 0.4*s.rng.Float64()))
 	start := w.nextFree
 	if now > start {
 		start = now
 	}
 	finish := start + mturk.VirtualTime(service)
 	w.nextFree = finish
-	abandon := p.rng.Float64() < p.cfg.AbandonRate
+	abandon := s.rng.Float64() < p.cfg.AbandonRate
 	// Pre-draw the per-question noise decisions under the lock so the
 	// Answer closure is pure and race-free.
-	answer := p.prepareAnswersLocked(w, h, abandon)
+	answer := p.prepareAnswersLocked(s, w, h, abandon)
 	return mturk.Claim{
 		WorkerID: w.id,
 		Delay:    (finish - now).Duration(),
@@ -165,22 +209,22 @@ func (p *Pool) Claim(h *hit.HIT, now mturk.VirtualTime) (mturk.Claim, bool) {
 	}, true
 }
 
-// pickLocked returns the worker who can start soonest; among equally
-// free workers it picks uniformly at random. Returns nil only for an
-// empty population.
-func (p *Pool) pickLocked(now mturk.VirtualTime) *worker {
-	if len(p.workers) == 0 {
+// pickLocked returns the stripe worker who can start soonest; among
+// equally free workers it picks uniformly at random. Returns nil only
+// for an empty stripe.
+func (s *stripe) pickLocked(now mturk.VirtualTime) *worker {
+	if len(s.workers) == 0 {
 		return nil
 	}
-	best := p.workers[0]
+	best := s.workers[0]
 	ties := 1
-	for _, w := range p.workers[1:] {
+	for _, w := range s.workers[1:] {
 		switch {
 		case w.nextFree < best.nextFree:
 			best, ties = w, 1
 		case w.nextFree == best.nextFree:
 			ties++
-			if p.rng.Intn(ties) == 0 {
+			if s.rng.Intn(ties) == 0 {
 				best = w
 			}
 		}
@@ -209,9 +253,10 @@ func (p *Pool) effectiveAccuracy(w *worker, questions int) float64 {
 	return w.skill * m
 }
 
-// prepareAnswersLocked draws all randomness now and returns a pure
-// closure that materializes the answers.
-func (p *Pool) prepareAnswersLocked(w *worker, h *hit.HIT, abandon bool) func() (hit.Answers, error) {
+// prepareAnswersLocked draws all randomness now (from the stripe's
+// source, under its lock) and returns a pure closure that materializes
+// the answers.
+func (p *Pool) prepareAnswersLocked(s *stripe, w *worker, h *hit.HIT, abandon bool) func() (hit.Answers, error) {
 	if abandon {
 		return func() (hit.Answers, error) {
 			return hit.Answers{}, fmt.Errorf("crowd: %s abandoned the assignment", w.id)
@@ -220,9 +265,9 @@ func (p *Pool) prepareAnswersLocked(w *worker, h *hit.HIT, abandon bool) func() 
 	acc := p.effectiveAccuracy(w, effortOf(h))
 	var plans []answerPlan
 	addPlan := func(key, task string, args []relation.Value) {
-		correct := !w.spammer && p.rng.Float64() < acc
+		correct := !w.spammer && s.rng.Float64() < acc
 		plans = append(plans, answerPlan{key: key, task: task, args: args, correct: correct,
-			u1: p.rng.Float64(), u2: p.rng.NormFloat64()})
+			u1: s.rng.Float64(), u2: s.rng.NormFloat64()})
 	}
 	if h.Response.Kind == qlang.ResponseJoinColumns {
 		for _, l := range h.Left {
@@ -247,14 +292,14 @@ func (p *Pool) prepareAnswersLocked(w *worker, h *hit.HIT, abandon bool) func() 
 		if resp.Kind == qlang.ResponseOrder {
 			rerank(vals, plans, nItems)
 		}
-		p.mu.Lock()
+		s.mu.Lock()
 		w.answered += len(plans)
 		for _, pl := range plans {
 			if pl.correct {
 				w.correct++
 			}
 		}
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return hit.Answers{WorkerID: w.id, Values: vals}, nil
 	}
 }
@@ -389,16 +434,27 @@ type WorkerStats struct {
 
 // Stats returns per-worker simulation statistics sorted by ID.
 func (p *Pool) Stats() []WorkerStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]WorkerStats, len(p.workers))
-	for i, w := range p.workers {
-		out[i] = WorkerStats{ID: w.id, Skill: w.skill, Spammer: w.spammer,
-			Answered: w.answered, Correct: w.correct}
+	out := make([]WorkerStats, 0, p.Size())
+	for _, s := range p.stripes {
+		s.mu.Lock()
+		for _, w := range s.workers {
+			out = append(out, WorkerStats{ID: w.id, Skill: w.skill, Spammer: w.spammer,
+				Answered: w.answered, Correct: w.correct})
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Size returns the population size.
-func (p *Pool) Size() int { return len(p.workers) }
+func (p *Pool) Size() int {
+	n := 0
+	for _, s := range p.stripes {
+		n += len(s.workers)
+	}
+	return n
+}
+
+// Shards returns the number of claim stripes.
+func (p *Pool) Shards() int { return len(p.stripes) }

@@ -1,0 +1,86 @@
+package crowd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hit"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+func shardHIT(id string) *hit.HIT {
+	return &hit.HIT{
+		ID: id, Task: "isCat", Type: qlang.TaskFilter,
+		Question: "cat?", Response: qlang.Response{Kind: qlang.ResponseYesNo},
+		Items:       []hit.Item{{Key: "k", Args: []relation.Value{relation.NewImage("cat.png")}}},
+		RewardCents: 1, Assignments: 1,
+	}
+}
+
+// TestShardedPopulationIdentical: the worker population (ids, skills,
+// spammer flags) must not depend on the shard count — attributes are
+// drawn before partitioning.
+func TestShardedPopulationIdentical(t *testing.T) {
+	one := NewPool(Config{Workers: 64, Seed: 3, Shards: 1}, boolOracle).Stats()
+	many := NewPool(Config{Workers: 64, Seed: 3, Shards: 8}, boolOracle).Stats()
+	if len(one) != len(many) {
+		t.Fatalf("population sizes differ: %d vs %d", len(one), len(many))
+	}
+	for i := range one {
+		if one[i].ID != many[i].ID || one[i].Skill != many[i].Skill || one[i].Spammer != many[i].Spammer {
+			t.Fatalf("worker %d differs across shard counts: %+v vs %+v", i, one[i], many[i])
+		}
+	}
+}
+
+// TestShardedClaimsDeterministic: two pools with identical config must
+// produce identical claim sequences (worker, delay) for the same HITs.
+func TestShardedClaimsDeterministic(t *testing.T) {
+	cfg := Config{Workers: 48, Seed: 9, Shards: 6}
+	a := NewPool(cfg, boolOracle)
+	b := NewPool(cfg, boolOracle)
+	for i := 0; i < 200; i++ {
+		h := shardHIT(fmt.Sprintf("HIT-%06d", i+1))
+		ca, oka := a.Claim(h, 0)
+		cb, okb := b.Claim(h, 0)
+		if oka != okb || ca.WorkerID != cb.WorkerID || ca.Delay != cb.Delay {
+			t.Fatalf("claim %d diverged: (%s %v %v) vs (%s %v %v)",
+				i, ca.WorkerID, ca.Delay, oka, cb.WorkerID, cb.Delay, okb)
+		}
+	}
+}
+
+// TestShardedClaimsRouteByHIT: claims for one HIT id always land on the
+// same stripe, so a HIT's retries see a consistent sub-population.
+func TestShardedClaimsRouteByHIT(t *testing.T) {
+	p := NewPool(Config{Workers: 40, Seed: 5, Shards: 4}, boolOracle)
+	h := shardHIT("HIT-000042")
+	first, ok := p.Claim(h, 0)
+	if !ok {
+		t.Fatal("no claim")
+	}
+	stripe := p.stripeFor(h.ID)
+	for i := 0; i < 20; i++ {
+		c, ok := p.Claim(h, 0)
+		if !ok {
+			t.Fatal("no claim")
+		}
+		found := false
+		for _, w := range stripe.workers {
+			if w.id == c.WorkerID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("claim %d by %s escaped the HIT's stripe (first was %s)", i, c.WorkerID, first.WorkerID)
+		}
+	}
+	if got := p.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d", got)
+	}
+	if got := p.Size(); got != 40 {
+		t.Fatalf("Size() = %d", got)
+	}
+}

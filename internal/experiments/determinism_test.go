@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+// TestLoadHarnessDeterministic asserts the crowd-scale load harness
+// reports identical virtual-time metrics across reruns for every
+// workload it supports.
+func TestLoadHarnessDeterministic(t *testing.T) {
+	for _, wl := range []load.Workload{load.WorkloadFilter, load.WorkloadJoin, load.WorkloadOrderBy} {
+		t.Run(string(wl), func(t *testing.T) {
+			cfg := load.Config{Workload: wl, Tuples: 200, Workers: 120, Seed: 11}
+			a, err := load.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := load.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.HITs != b.HITs || a.Assignments != b.Assignments || a.Questions != b.Questions ||
+				a.Spent != b.Spent || a.Outcomes != b.Outcomes || a.Passed != b.Passed ||
+				a.Makespan != b.Makespan || a.P50 != b.P50 || a.P99 != b.P99 {
+				t.Fatalf("virtual-time metrics differ across reruns:\n%s\n---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestConcurrentQueriesRaceClean drives several queries through one
+// engine at once — executor goroutines, the clock pump, the sharded
+// marketplace and the task manager's striped state all running
+// concurrently. Its value multiplies under `go test -race`, which CI
+// runs; without -race it still asserts the results are correct.
+func TestConcurrentQueriesRaceClean(t *testing.T) {
+	photos := workload.Photos(30, 0.5, 0.5, 9)
+	cfg := core.Config{
+		Crowd: crowd.Config{Seed: 9, Workers: 150, MeanSkill: 0.97, SkillStd: 0.01,
+			SpamFraction: 1e-12, AbandonRate: 1e-12, Shards: 4},
+		Oracle: photos.Oracle,
+	}
+	e, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, tab := range photos.Tables {
+		if err := e.Register(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Define(`
+TASK isCat(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", img
+  Response: YesNo
+
+TASK isOutdoor(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Outdoors? %s", img
+  Response: YesNo
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT id FROM photos WHERE isCat(img)",
+		"SELECT id FROM photos WHERE isOutdoor(img)",
+		"SELECT id FROM photos WHERE isCat(img) AND isOutdoor(img)",
+		"SELECT id, img FROM photos",
+	}
+	var wg sync.WaitGroup
+	rows := make([]int, len(queries))
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			h, err := e.Run(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = len(h.Wait())
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if rows[3] != 30 {
+		t.Errorf("full scan returned %d rows, want 30", rows[3])
+	}
+	for i, n := range rows[:3] {
+		if n == 0 || n > 30 {
+			t.Errorf("query %d returned %d rows", i, n)
+		}
+	}
+}

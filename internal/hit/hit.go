@@ -92,7 +92,14 @@ func (h *HIT) Keys() []string {
 
 // QuestionCount returns how many logical questions the HIT answers —
 // the batching leverage the Task Manager gets from one worker payment.
-func (h *HIT) QuestionCount() int { return len(h.Keys()) }
+// It is called per completed assignment, so unlike Keys it allocates
+// nothing.
+func (h *HIT) QuestionCount() int {
+	if h.Response.Kind == qlang.ResponseJoinColumns {
+		return len(h.Left) * len(h.Right)
+	}
+	return len(h.Items)
+}
 
 // Answers maps routing keys to the typed value a worker produced.
 // For form/tuple tasks the value is a KindTuple; for filters and join

@@ -1,0 +1,362 @@
+// Package load is a deterministic crowd-scale load harness for the
+// marketplace + task-manager stack: it drives tens of thousands of
+// tuples through representative Qurk workloads (filter cascades, 5×5
+// join grids, order-by ratings) against thousands of simulated workers
+// and reports throughput, virtual-time HIT latency percentiles and cost.
+//
+// Determinism: the harness never runs the clock concurrently with
+// submission. All root tasks are submitted first, then the event queue
+// is pumped from a single goroutine (cascade submissions happen inside
+// Done callbacks on that same goroutine), so every virtual-time metric
+// in the Report is a pure function of the Config — identical seeds give
+// byte-identical reports, modulo the real-time Wall/HITsPerSec fields.
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+	"repro/internal/workload"
+)
+
+// Workload names a load scenario.
+type Workload string
+
+// Supported workloads.
+const (
+	// WorkloadFilter runs a two-stage filter cascade (isCat → isOutdoor)
+	// over a photo corpus; the second filter only sees survivors.
+	WorkloadFilter Workload = "filter"
+	// WorkloadJoin evaluates a celebrity join through 5×5 two-column
+	// grid HITs (the paper's Figure 3 batching winner).
+	WorkloadJoin Workload = "join"
+	// WorkloadOrderBy rates every item on a 1–7 scale and sorts by the
+	// mean rating (the paper's rating-based ORDER BY).
+	WorkloadOrderBy Workload = "orderby"
+)
+
+// Config parameterizes one load run. Zero values take the documented
+// defaults.
+type Config struct {
+	// Workload selects the scenario (default WorkloadFilter).
+	Workload Workload
+	// Tuples is the input cardinality (default 1000). For the join
+	// workload it is the number of spotted sightings; celebrities are
+	// Tuples/10 (min 5).
+	Tuples int
+	// Workers is the simulated crowd size (default 500).
+	Workers int
+	// Shards overrides the worker pool's claim shards (default: one
+	// shard per 64 workers, see crowd.Config.Shards).
+	Shards int
+	// Batch is tuples per HIT for filter/rating HITs (default 5).
+	Batch int
+	// Assignments is the redundancy per HIT (default 3).
+	Assignments int
+	// PriceCents is the reward per HIT (default 1).
+	PriceCents int64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload == "" {
+		c.Workload = WorkloadFilter
+	}
+	if c.Tuples <= 0 {
+		c.Tuples = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 500
+	}
+	if c.Batch <= 0 {
+		c.Batch = 5
+	}
+	if c.Assignments <= 0 {
+		c.Assignments = 3
+	}
+	if c.PriceCents <= 0 {
+		c.PriceCents = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = (c.Workers + 63) / 64
+	}
+	return c
+}
+
+// Report is one load run's results. All virtual-time fields are
+// deterministic for a given Config; Wall and HITsPerSec measure the
+// real hardware.
+type Report struct {
+	Config Config
+
+	// Marketplace totals.
+	HITs        int64
+	Assignments int64
+	Questions   int64
+	Spent       budget.Cents
+
+	// Outcomes resolved (one per logical task application); Errors are
+	// outcomes that carried an error; Passed is workload-specific
+	// (filter survivors / join matches / rated items).
+	Outcomes int64
+	Errors   int64
+	Passed   int64
+
+	// Wall is real elapsed time for the pump; HITsPerSec is completed
+	// HITs per real second (simulator throughput).
+	Wall       time.Duration
+	HITsPerSec float64
+
+	// Makespan is the virtual time at which the last outcome resolved;
+	// P50/P99 are virtual post-to-done HIT latencies.
+	Makespan mturk.VirtualTime
+	P50, P99 time.Duration
+
+	// DollarsPerQuery is total spend for the whole run in dollars.
+	DollarsPerQuery float64
+}
+
+// String renders the report the way qurk-load prints it.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s tuples=%d workers=%d batch=%d assignments=%d seed=%d\n",
+		r.Config.Workload, r.Config.Tuples, r.Config.Workers, r.Config.Batch, r.Config.Assignments, r.Config.Seed)
+	fmt.Fprintf(&b, "  HITs          %d (%d assignments, %d questions)\n", r.HITs, r.Assignments, r.Questions)
+	fmt.Fprintf(&b, "  outcomes      %d (%d passed, %d errors)\n", r.Outcomes, r.Passed, r.Errors)
+	fmt.Fprintf(&b, "  throughput    %.0f HITs/sec over %v wall\n", r.HITsPerSec, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  HIT latency   p50=%.1f vmin  p99=%.1f vmin  makespan=%.1f vmin\n",
+		r.P50.Minutes(), r.P99.Minutes(), r.Makespan.Minutes())
+	fmt.Fprintf(&b, "  cost          $%.2f/query\n", r.DollarsPerQuery)
+	return b.String()
+}
+
+func mustTask(src string) *qlang.TaskDef {
+	def, err := qlang.ParseTaskDef(src)
+	if err != nil {
+		panic(err)
+	}
+	return def
+}
+
+// Run executes one load scenario and reports its metrics.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Config: cfg}
+
+	clock := mturk.NewClock()
+	defer clock.Close()
+
+	var drive func(mgr *taskmgr.Manager, counters *counters)
+	var oracle crowd.Oracle
+	switch cfg.Workload {
+	case WorkloadFilter:
+		ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
+		oracle = ds.Oracle
+		drive = filterCascade(ds, cfg)
+	case WorkloadJoin:
+		nCelebs := cfg.Tuples / 10
+		if nCelebs < 5 {
+			nCelebs = 5
+		}
+		ds := workload.Celebrities(nCelebs, cfg.Tuples, 0.3, cfg.Seed)
+		oracle = ds.Oracle
+		drive = joinGrids(ds)
+	case WorkloadOrderBy:
+		ds := workload.RankItems(cfg.Tuples, 7, "rateItem", cfg.Seed)
+		oracle = ds.Oracle
+		drive = orderByRatings(ds)
+	default:
+		return rep, fmt.Errorf("load: unknown workload %q", cfg.Workload)
+	}
+
+	pool := crowd.NewPool(crowd.Config{
+		Workers: cfg.Workers,
+		Shards:  cfg.Shards,
+		Seed:    cfg.Seed,
+	}, oracle)
+	market := mturk.NewMarketplace(clock, pool)
+	// Collect per-HIT latencies streamingly and let the marketplace drop
+	// completed-HIT state, so runs with tens of thousands of tuples stay
+	// flat in memory. The observer runs on the pump goroutine only.
+	var latencies []time.Duration
+	market.SetAutoDispose(true, func(hs mturk.HITStatus) {
+		latencies = append(latencies, (hs.DoneAt - hs.PostedAt).Duration())
+	})
+	mgr := taskmgr.New(market, nil, nil, nil)
+	mgr.SetBasePolicy(taskmgr.Policy{
+		Assignments: cfg.Assignments,
+		BatchSize:   cfg.Batch,
+		PriceCents:  cfg.PriceCents,
+		Linger:      time.Minute,
+		// The cache and model never hit on this synthetic data; skip
+		// their bookkeeping so the harness measures the posting path.
+		UseCache: false,
+		UseModel: false,
+	})
+
+	var ctr counters
+	start := time.Now()
+	drive(mgr, &ctr)
+	mgr.FlushAll()
+	// Pump everything on this goroutine. Cascade submissions happen in
+	// Done callbacks, which run on this goroutine too; their partial
+	// batches are flushed by linger timers (scheduled clock events), so
+	// an empty queue with outstanding work means a genuine stall.
+	for ctr.outstanding.Load() > 0 {
+		if !clock.Step() {
+			mgr.FlushAll()
+			if !clock.Step() {
+				return rep, fmt.Errorf("load: stalled with %d outcomes outstanding", ctr.outstanding.Load())
+			}
+		}
+	}
+	rep.Wall = time.Since(start)
+	rep.Makespan = clock.Now()
+
+	st := market.Stats()
+	rep.HITs = int64(st.HITsPosted)
+	rep.Assignments = int64(st.AssignmentsCompleted)
+	rep.Questions = int64(st.QuestionsAnswered)
+	rep.Spent = st.SpentCents
+	rep.Outcomes = ctr.outcomes.Load()
+	rep.Errors = ctr.errors.Load()
+	rep.Passed = ctr.passed.Load()
+	rep.DollarsPerQuery = float64(rep.Spent) / 100
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.P50 = latencies[n/2]
+		rep.P99 = latencies[min(n-1, n*99/100)]
+		if secs := rep.Wall.Seconds(); secs > 0 {
+			rep.HITsPerSec = float64(n) / secs
+		}
+	}
+	return rep, nil
+}
+
+// counters tracks outcome resolution across the run. outstanding gates
+// the pump; the rest feed the report.
+type counters struct {
+	outstanding atomic.Int64
+	outcomes    atomic.Int64
+	errors      atomic.Int64
+	passed      atomic.Int64
+}
+
+// resolve records one finished outcome (pass marks workload-specific
+// success).
+func (c *counters) resolve(out taskmgr.Outcome, pass bool) {
+	c.outcomes.Add(1)
+	if out.Err != nil {
+		c.errors.Add(1)
+	} else if pass {
+		c.passed.Add(1)
+	}
+	c.outstanding.Add(-1)
+}
+
+// filterCascade submits isCat over every photo and isOutdoor over the
+// survivors, mirroring a two-predicate WHERE clause.
+func filterCascade(ds workload.Dataset, cfg Config) func(*taskmgr.Manager, *counters) {
+	isCat := mustTask(`
+TASK isCat(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this photo of a cat? %s", img
+  Response: YesNo
+`)
+	isOutdoor := mustTask(`
+TASK isOutdoor(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Was this photo taken outdoors? %s", img
+  Response: YesNo
+`)
+	return func(mgr *taskmgr.Manager, ctr *counters) {
+		for _, row := range ds.Tables[0].Snapshot() {
+			img := row.Get("img")
+			ctr.outstanding.Add(1)
+			mgr.Submit(taskmgr.Request{Def: isCat, Args: []relation.Value{img}, Done: func(out taskmgr.Outcome) {
+				if out.Err == nil && out.Value.Truthy() {
+					ctr.outstanding.Add(1)
+					mgr.Submit(taskmgr.Request{Def: isOutdoor, Args: []relation.Value{img}, Done: func(out2 taskmgr.Outcome) {
+						ctr.resolve(out2, out2.Err == nil && out2.Value.Truthy())
+					}})
+				}
+				ctr.resolve(out, false)
+			}})
+		}
+	}
+}
+
+// joinGrids partitions celebrities × sightings into 5×5 two-column grid
+// HITs, the interface the paper found cheapest per pair.
+func joinGrids(ds workload.Dataset) func(*taskmgr.Manager, *counters) {
+	samePerson := mustTask(`
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Match the pictures showing the same person."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+`)
+	const grid = 5
+	return func(mgr *taskmgr.Manager, ctr *counters) {
+		var left, right []taskmgr.JoinItem
+		for _, row := range ds.Tables[0].Snapshot() {
+			left = append(left, taskmgr.JoinItem{
+				Key:  row.Get("image").Str(),
+				Args: []relation.Value{row.Get("image")},
+			})
+		}
+		for _, row := range ds.Tables[1].Snapshot() {
+			right = append(right, taskmgr.JoinItem{
+				Key:  row.Get("image").Str(),
+				Args: []relation.Value{row.Get("image")},
+			})
+		}
+		for li := 0; li < len(left); li += grid {
+			lb := left[li:min(li+grid, len(left))]
+			for ri := 0; ri < len(right); ri += grid {
+				rb := right[ri:min(ri+grid, len(right))]
+				ctr.outstanding.Add(int64(len(lb) * len(rb)))
+				mgr.JoinBlock(samePerson, lb, rb, func(pairKey string, out taskmgr.Outcome) {
+					ctr.resolve(out, out.Err == nil && out.Value.Truthy())
+				})
+			}
+		}
+	}
+}
+
+// orderByRatings collects a 1–7 rating per item, then sorts by mean
+// rating once every outcome is in (the sort itself is engine-free).
+func orderByRatings(ds workload.Dataset) func(*taskmgr.Manager, *counters) {
+	rateItem := mustTask(`
+TASK rateItem(Image img)
+RETURNS Int:
+  TaskType: Rating
+  Text: "Rate this item from 1 to 7. %s", img
+  Response: Rating(1, 7)
+`)
+	return func(mgr *taskmgr.Manager, ctr *counters) {
+		for _, row := range ds.Tables[0].Snapshot() {
+			img := row.Get("img")
+			ctr.outstanding.Add(1)
+			mgr.Submit(taskmgr.Request{Def: rateItem, Args: []relation.Value{img}, Done: func(out taskmgr.Outcome) {
+				ctr.resolve(out, out.Err == nil)
+			}})
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	_, err := Run(Config{Workload: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFilterCascadeAccounting(t *testing.T) {
+	rep, err := Run(Config{Workload: WorkloadFilter, Tuples: 120, Workers: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	// Stage 1 resolves every tuple; stage 2 only survivors.
+	if rep.Outcomes < 120 || rep.Outcomes > 240 {
+		t.Fatalf("outcomes = %d, want within [120, 240]", rep.Outcomes)
+	}
+	if rep.HITs == 0 || rep.Assignments != 3*rep.HITs {
+		t.Fatalf("HITs = %d assignments = %d", rep.HITs, rep.Assignments)
+	}
+	if rep.Spent == 0 || rep.DollarsPerQuery != float64(rep.Spent)/100 {
+		t.Fatalf("spent = %v dollars = %v", rep.Spent, rep.DollarsPerQuery)
+	}
+	if rep.P50 > rep.P99 || rep.P99.Nanoseconds() > int64(rep.Makespan) {
+		t.Fatalf("latency ordering broken: p50=%v p99=%v makespan=%v", rep.P50, rep.P99, rep.Makespan)
+	}
+	if rep.Passed == 0 || rep.Passed > rep.Outcomes {
+		t.Fatalf("passed = %d of %d", rep.Passed, rep.Outcomes)
+	}
+}
+
+func TestJoinGridCoversEveryPair(t *testing.T) {
+	// 100 sightings → 10 celebrities; every celeb×sighting pair resolves.
+	rep, err := Run(Config{Workload: WorkloadJoin, Tuples: 100, Workers: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes != 10*100 {
+		t.Fatalf("outcomes = %d, want 1000 pair resolutions", rep.Outcomes)
+	}
+	if rep.Errors != 0 || rep.HITs == 0 {
+		t.Fatalf("errors = %d HITs = %d", rep.Errors, rep.HITs)
+	}
+}
+
+func TestOrderByResolvesEveryItem(t *testing.T) {
+	rep, err := Run(Config{Workload: WorkloadOrderBy, Tuples: 90, Workers: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes != 90 || rep.Passed != 90 || rep.Errors != 0 {
+		t.Fatalf("outcomes=%d passed=%d errors=%d", rep.Outcomes, rep.Passed, rep.Errors)
+	}
+}
+
+func TestReportStringMentionsHeadlines(t *testing.T) {
+	rep, err := Run(Config{Workload: WorkloadFilter, Tuples: 40, Workers: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"HITs/sec", "p50=", "p99=", "$", "workload=filter"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -3,11 +3,39 @@
 // HIT takes minutes; here a discrete-event virtual clock provides the
 // same asynchrony and minutes-scale latency accounting while experiments
 // finish in milliseconds. See DESIGN.md §2 for the substitution argument.
+//
+// # Sharding design
+//
+// Both the marketplace and the clock are lock-striped so that the
+// thousands-of-async-HITs regime the paper targets scales with cores
+// instead of serializing behind one mutex:
+//
+//   - Marketplace state is partitioned across DefaultMarketShards
+//     shards keyed by an FNV-1a hash of the HIT ID; Post, complete,
+//     Status and SubmitExternal touch only one shard's lock, and the
+//     marketplace-wide Stats counters are atomics, so concurrent
+//     requesters on different shards never contend.
+//   - The clock keeps one logical timeline but spreads pending events
+//     over per-shard queues (round-robin by sequence number). Schedule
+//     takes only one shard lock; Step merges the queues by (time, seq),
+//     which is a deterministic total order because seq comes from one
+//     atomic counter. The shard count therefore never changes execution
+//     order: identical schedules replay identically at any shard count.
+//
+// Determinism guarantee: every event whose Schedule completed before a
+// Step begins runs in strictly increasing (time, seq) order; a Schedule
+// overlapping a Step races it exactly as it would have raced the old
+// single-mutex pop (see Step). When all scheduling happens from the
+// pump goroutine itself (the single-threaded harness pattern — see
+// internal/load), no such races exist and the whole simulation is a
+// pure function of its seeds.
 package mturk
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +53,11 @@ type event struct {
 	seq int64 // tie-break so equal-time events run in schedule order
 	fn  func()
 }
+
+// eventPool recycles event nodes: the benchmark regime schedules
+// millions of events and the per-event allocation was a measurable share
+// of marketplace overhead.
+var eventPool = sync.Pool{New: func() interface{} { return new(event) }}
 
 type eventHeap []*event
 
@@ -46,72 +79,170 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// Clock is a deterministic discrete-event scheduler. Events run on the
-// pump goroutine (Step/Run); Schedule is safe from any goroutine.
-type Clock struct {
+// clockShard is one independently locked slice of the pending-event set.
+// The padding keeps shards on separate cache lines.
+type clockShard struct {
 	mu     sync.Mutex
-	now    VirtualTime
 	events eventHeap
-	seq    int64
-	closed bool
-	wake   chan struct{} // closed-and-replaced on Schedule/Close
-	pace   pace          // optional real-time rate (see SetPace)
+	_      [40]byte
+}
+
+// MaxClockShards caps the number of event queues a clock stripes
+// schedules across. The effective count is min(MaxClockShards,
+// GOMAXPROCS): striping only pays when schedulers actually run in
+// parallel, and because Step merges shards by the global (time, seq)
+// order, the shard count never affects execution order.
+const MaxClockShards = 8
+
+func clockShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxClockShards {
+		n = MaxClockShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Clock is a deterministic discrete-event scheduler. Events run on the
+// pump goroutine (Step/Run) in (time, seq) order; Schedule is safe from
+// any goroutine and takes only one shard lock.
+type Clock struct {
+	now    atomic.Int64 // VirtualTime; written by the pump only
+	seq    atomic.Int64
+	closed atomic.Bool
+	// schedVersion counts completed insertions; Step rescans when it
+	// changes mid-scan so a concurrently scheduled earlier event on an
+	// already-visited shard is not passed over.
+	schedVersion atomic.Int64
+
+	shards []clockShard
+
+	// wake is a one-slot nudge channel for a blocked Run loop; waiting
+	// gates the sends so the common Schedule path is allocation- and
+	// syscall-free.
+	wake    chan struct{}
+	waiting atomic.Bool
+
+	pace pace // optional real-time rate (see SetPace)
 }
 
 // NewClock returns a clock at virtual time zero.
 func NewClock() *Clock {
-	return &Clock{wake: make(chan struct{})}
+	return &Clock{
+		shards: make([]clockShard, clockShardCount()),
+		wake:   make(chan struct{}, 1),
+	}
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() VirtualTime {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
+func (c *Clock) Now() VirtualTime { return VirtualTime(c.now.Load()) }
 
 // Schedule enqueues fn to run at now+delay. Negative delays run "now".
 func (c *Clock) Schedule(delay time.Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	seq := c.seq.Add(1)
+	e := eventPool.Get().(*event)
+	e.at = c.Now() + VirtualTime(delay)
+	e.seq = seq
+	e.fn = fn
+	sh := &c.shards[uint64(seq)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	c.seq++
-	heap.Push(&c.events, &event{at: c.now + VirtualTime(delay), seq: c.seq, fn: fn})
-	c.wakeLocked()
+	heap.Push(&sh.events, e)
+	sh.mu.Unlock()
+	c.schedVersion.Add(1)
+	if c.waiting.CompareAndSwap(true, false) {
+		c.wakeAll()
+	}
 }
 
-func (c *Clock) wakeLocked() {
-	close(c.wake)
-	c.wake = make(chan struct{})
+// wakeAll nudges any blocked Run loop. The one-slot channel makes it
+// non-blocking and allocation-free; a stale token only causes a
+// harmless spurious loop iteration.
+func (c *Clock) wakeAll() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Pending reports the number of scheduled events.
 func (c *Clock) Pending() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.events)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Step runs the earliest event, advancing virtual time to it. It reports
-// false when no events are pending.
+// Step runs the earliest event — the (time, seq) minimum across every
+// shard queue — advancing virtual time to it. It reports false when no
+// events are pending.
+//
+// Every event whose Schedule call completed before Step began is merged
+// in strict (time, seq) order: the scan retries whenever an insertion
+// lands mid-scan (schedVersion) or the chosen shard's head changes. A
+// Schedule still racing Step after several retries may see its event
+// deferred to the next Step, where it runs at the already-advanced
+// virtual now — observably the same as having scheduled just after the
+// popped event fired, which is the only honest ordering for a schedule
+// that overlaps the pop.
 func (c *Clock) Step() bool {
-	c.mu.Lock()
-	if len(c.events) == 0 {
-		c.mu.Unlock()
-		return false
+	const maxRescans = 4
+	for attempt := 0; ; attempt++ {
+		version := c.schedVersion.Load()
+		best := -1
+		var bestAt VirtualTime
+		var bestSeq int64
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			if len(sh.events) > 0 {
+				e := sh.events[0]
+				if best < 0 || e.at < bestAt || (e.at == bestAt && e.seq < bestSeq) {
+					best, bestAt, bestSeq = i, e.at, e.seq
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if best < 0 {
+			if c.schedVersion.Load() != version {
+				continue // an insert raced the empty scan; look again
+			}
+			return false
+		}
+		if attempt < maxRescans && c.schedVersion.Load() != version {
+			continue // something landed mid-scan; re-establish the minimum
+		}
+		sh := &c.shards[best]
+		sh.mu.Lock()
+		if len(sh.events) == 0 || sh.events[0].seq != bestSeq {
+			// An earlier event arrived on this shard between the scan
+			// and the pop; rescan so the merge order stays correct.
+			sh.mu.Unlock()
+			continue
+		}
+		e := heap.Pop(&sh.events).(*event)
+		sh.mu.Unlock()
+		if at := int64(e.at); at > c.now.Load() {
+			c.now.Store(at)
+		}
+		fn := e.fn
+		*e = event{}
+		eventPool.Put(e)
+		fn() // run outside all locks so events may Schedule more events
+		return true
 	}
-	e := heap.Pop(&c.events).(*event)
-	if e.at > c.now {
-		c.now = e.at
-	}
-	c.mu.Unlock()
-	e.fn() // run outside the lock so events may Schedule more events
-	return true
 }
 
 // Run pumps events until stop reports true and the event queue is idle.
@@ -121,6 +252,7 @@ func (c *Clock) Step() bool {
 // a liveness backstop for the window where stop flips without any final
 // event.
 func (c *Clock) Run(stop func() bool) {
+	var poll *time.Timer
 	for {
 		if factor := c.pace.get(); factor > 0 {
 			if at, ok := c.peekNext(); ok && at > c.Now() {
@@ -139,40 +271,42 @@ func (c *Clock) Run(stop func() bool) {
 		if stop() {
 			return
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		if c.closed.Load() {
 			return
 		}
-		wake := c.wake
-		empty := len(c.events) == 0
-		c.mu.Unlock()
-		if !empty {
+		c.waiting.Store(true)
+		if c.Pending() > 0 {
+			c.waiting.Store(false)
 			continue
 		}
-		select {
-		case <-wake:
-		case <-time.After(200 * time.Microsecond):
+		if poll == nil {
+			poll = time.NewTimer(200 * time.Microsecond)
+		} else {
+			poll.Reset(200 * time.Microsecond)
 		}
+		select {
+		case <-c.wake:
+			poll.Stop()
+		case <-poll.C:
+		}
+		c.waiting.Store(false)
 	}
 }
 
 // Close wakes Run so it can observe shutdown. Scheduled-but-unrun events
 // are dropped.
 func (c *Clock) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Swap(true) {
 		return
 	}
-	c.closed = true
-	c.events = nil
-	c.wakeLocked()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.events = nil
+		sh.mu.Unlock()
+	}
+	c.wakeAll()
 }
 
 // Closed reports whether Close has been called.
-func (c *Clock) Closed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closed
-}
+func (c *Clock) Closed() bool { return c.closed.Load() }

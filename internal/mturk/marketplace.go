@@ -2,7 +2,9 @@ package mturk
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
@@ -56,7 +58,10 @@ type postedHIT struct {
 	callback func(AssignmentResult)
 }
 
-// Stats are marketplace-wide counters for the dashboard.
+// Stats are marketplace-wide counters for the dashboard. They are
+// maintained as atomics, so a snapshot taken while assignments complete
+// concurrently may be off by the in-flight increment — fine for a
+// dashboard, and it keeps Stats() off every shard's lock.
 type Stats struct {
 	HITsPosted           int
 	AssignmentsCompleted int
@@ -65,8 +70,22 @@ type Stats struct {
 	ExternalSubmissions  int
 }
 
+// DefaultMarketShards is the number of lock stripes HIT state is
+// partitioned across (a power of two; HIT IDs hash uniformly).
+const DefaultMarketShards = 16
+
+// marketShard is one independently locked partition of posted HITs.
+// The padding keeps shard locks on separate cache lines.
+type marketShard struct {
+	mu   sync.Mutex
+	hits map[string]*postedHIT
+	_    [40]byte
+}
+
 // Marketplace accepts HITs and routes them to a worker pool under the
-// virtual clock, mimicking MTurk's requester API surface.
+// virtual clock, mimicking MTurk's requester API surface. State is
+// sharded by HIT ID (see the package comment), so concurrent Post,
+// complete and Status calls only contend when they hit the same shard.
 type Marketplace struct {
 	clock *Clock
 	pool  WorkerPool
@@ -78,11 +97,26 @@ type Marketplace struct {
 	// out. At least 1 attempt is always made.
 	MaxRetries int
 
-	mu      sync.Mutex
-	hits    map[string]*postedHIT
-	nextID  int
-	stats   Stats
-	onError func(hitID string, err error)
+	shards []marketShard
+	nextID atomic.Int64
+
+	hitsPosted           atomic.Int64
+	assignmentsCompleted atomic.Int64
+	questionsAnswered    atomic.Int64
+	spentCents           atomic.Int64
+	externalSubmissions  atomic.Int64
+
+	// autoDispose drops a HIT's state the moment its last assignment
+	// completes (after handing the final status to the observer), like
+	// MTurk's DeleteHIT. It bounds memory when millions of HITs flow
+	// through a long-running marketplace; dashboards that want history
+	// leave it off.
+	autoDispose atomic.Bool
+
+	// cfgMu guards the rarely written callbacks below.
+	cfgMu      sync.RWMutex
+	onDisposed func(HITStatus)
+	onError    func(hitID string, err error)
 	// workerFilter, when set, vets each claim's worker; rejected
 	// claims are re-dispatched after the retry backoff (like an MTurk
 	// qualification requirement).
@@ -91,13 +125,22 @@ type Marketplace struct {
 
 // NewMarketplace wires a marketplace to a clock and worker pool.
 func NewMarketplace(clock *Clock, pool WorkerPool) *Marketplace {
-	return &Marketplace{
+	m := &Marketplace{
 		clock:        clock,
 		pool:         pool,
 		RetryBackoff: 30 * time.Second,
 		MaxRetries:   10,
-		hits:         make(map[string]*postedHIT),
+		shards:       make([]marketShard, DefaultMarketShards),
 	}
+	for i := range m.shards {
+		m.shards[i].hits = make(map[string]*postedHIT)
+	}
+	return m
+}
+
+// shardFor routes a HIT ID to its shard.
+func (m *Marketplace) shardFor(hitID string) *marketShard {
+	return &m.shards[ShardIndex(hitID, len(m.shards))]
 }
 
 // Clock returns the marketplace's virtual clock.
@@ -106,32 +149,54 @@ func (m *Marketplace) Clock() *Clock { return m.clock }
 // SetErrorHandler installs a callback for assignments that exhaust their
 // retries; the default drops them silently counted in stats.
 func (m *Marketplace) SetErrorHandler(fn func(hitID string, err error)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	m.onError = fn
 }
 
 // SetWorkerFilter installs a qualification predicate: claims by workers
 // it rejects are re-dispatched to someone else. nil accepts everyone.
 func (m *Marketplace) SetWorkerFilter(fn func(workerID string) bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	m.workerFilter = fn
 }
 
+// SetAutoDispose switches automatic disposal of fully completed HITs on
+// or off. observer (optional) receives each HIT's final status right
+// before its state is dropped — the only way to see per-HIT lifecycle
+// data in this mode, since Status/AllHITs no longer will.
+func (m *Marketplace) SetAutoDispose(on bool, observer func(HITStatus)) {
+	m.cfgMu.Lock()
+	m.onDisposed = observer
+	m.cfgMu.Unlock()
+	m.autoDispose.Store(on)
+}
+
+// Dispose removes a HIT's state (like MTurk's DeleteHIT), returning its
+// last status. Late submissions for a disposed HIT are discarded.
+func (m *Marketplace) Dispose(hitID string) (HITStatus, bool) {
+	sh := m.shardFor(hitID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ph, ok := sh.hits[hitID]
+	if !ok {
+		return HITStatus{}, false
+	}
+	delete(sh.hits, hitID)
+	return ph.status, true
+}
+
 func (m *Marketplace) workerAllowed(workerID string) bool {
-	m.mu.Lock()
+	m.cfgMu.RLock()
 	fn := m.workerFilter
-	m.mu.Unlock()
+	m.cfgMu.RUnlock()
 	return fn == nil || fn(workerID)
 }
 
-// NewHITID issues a process-unique HIT identifier.
+// NewHITID issues a process-unique HIT identifier ("HIT-%06d").
 func (m *Marketplace) NewHITID() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
-	return fmt.Sprintf("HIT-%06d", m.nextID)
+	return PaddedID("HIT-", m.nextID.Add(1))
 }
 
 // Post publishes a HIT. onAssignment is invoked (on the clock goroutine)
@@ -146,14 +211,15 @@ func (m *Marketplace) Post(h *hit.HIT, onAssignment func(AssignmentResult)) erro
 		status:   HITStatus{HIT: h, PostedAt: now},
 		callback: onAssignment,
 	}
-	m.mu.Lock()
-	if _, dup := m.hits[h.ID]; dup {
-		m.mu.Unlock()
+	sh := m.shardFor(h.ID)
+	sh.mu.Lock()
+	if _, dup := sh.hits[h.ID]; dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("mturk: duplicate HIT id %s", h.ID)
 	}
-	m.hits[h.ID] = ph
-	m.stats.HITsPosted++
-	m.mu.Unlock()
+	sh.hits[h.ID] = ph
+	sh.mu.Unlock()
+	m.hitsPosted.Add(1)
 	for i := 0; i < h.Assignments; i++ {
 		m.dispatch(h, 0)
 	}
@@ -190,38 +256,55 @@ func (m *Marketplace) dispatch(h *hit.HIT, attempt int) {
 
 // complete records one finished assignment and notifies the requester.
 func (m *Marketplace) complete(hitID string, ans hit.Answers, external bool) {
-	m.mu.Lock()
-	ph, ok := m.hits[hitID]
+	sh := m.shardFor(hitID)
+	sh.mu.Lock()
+	ph, ok := sh.hits[hitID]
 	if !ok || !ph.status.Open() {
 		// Slot already filled (e.g. an external submission raced a
 		// simulated worker): the extra work is discarded unpaid,
 		// like MTurk rejecting a submission on an expired HIT.
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	ph.status.Completed++
 	ph.status.Spent += budget.Cents(ph.status.HIT.RewardCents)
 	now := m.clock.Now()
+	disposed := false
 	if !ph.status.Open() {
 		ph.status.DoneAt = now
+		if m.autoDispose.Load() {
+			delete(sh.hits, hitID)
+			disposed = true
+		}
 	}
-	m.stats.AssignmentsCompleted++
-	m.stats.QuestionsAnswered += ph.status.HIT.QuestionCount()
-	m.stats.SpentCents += budget.Cents(ph.status.HIT.RewardCents)
-	if external {
-		m.stats.ExternalSubmissions++
-	}
+	questions := ph.status.HIT.QuestionCount()
+	reward := ph.status.HIT.RewardCents
 	cb := ph.callback
-	m.mu.Unlock()
+	final := ph.status
+	sh.mu.Unlock()
+	if disposed {
+		m.cfgMu.RLock()
+		observer := m.onDisposed
+		m.cfgMu.RUnlock()
+		if observer != nil {
+			observer(final)
+		}
+	}
+	m.assignmentsCompleted.Add(1)
+	m.questionsAnswered.Add(int64(questions))
+	m.spentCents.Add(reward)
+	if external {
+		m.externalSubmissions.Add(1)
+	}
 	if cb != nil {
 		cb(AssignmentResult{HITID: hitID, Answers: ans, SubmittedAt: now, External: external})
 	}
 }
 
 func (m *Marketplace) assignmentFailed(hitID string, err error) {
-	m.mu.Lock()
+	m.cfgMu.RLock()
 	fn := m.onError
-	m.mu.Unlock()
+	m.cfgMu.RUnlock()
 	if fn != nil {
 		fn(hitID, err)
 	}
@@ -231,10 +314,11 @@ func (m *Marketplace) assignmentFailed(hitID string, err error) {
 // audience task-completion interface). It fails when the HIT is unknown
 // or already fully assigned.
 func (m *Marketplace) SubmitExternal(hitID string, ans hit.Answers) error {
-	m.mu.Lock()
-	ph, ok := m.hits[hitID]
+	sh := m.shardFor(hitID)
+	sh.mu.Lock()
+	ph, ok := sh.hits[hitID]
 	open := ok && ph.status.Open()
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("mturk: unknown HIT %s", hitID)
 	}
@@ -247,9 +331,10 @@ func (m *Marketplace) SubmitExternal(hitID string, ans hit.Answers) error {
 
 // Status returns a HIT's lifecycle snapshot.
 func (m *Marketplace) Status(hitID string) (HITStatus, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ph, ok := m.hits[hitID]
+	sh := m.shardFor(hitID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ph, ok := sh.hits[hitID]
 	if !ok {
 		return HITStatus{}, false
 	}
@@ -257,49 +342,50 @@ func (m *Marketplace) Status(hitID string) (HITStatus, bool) {
 }
 
 // OpenHITs lists HITs with outstanding assignments, oldest first, for
-// the task-completion UI.
+// the task-completion UI. Each shard is snapshotted under its own lock;
+// the merge and sort run outside all locks, so dashboard polling never
+// stalls query execution.
 func (m *Marketplace) OpenHITs() []HITStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []HITStatus
-	for _, ph := range m.hits {
-		if ph.status.Open() {
-			out = append(out, ph.status)
-		}
-	}
-	sortStatuses(out)
-	return out
+	return m.snapshot(true)
 }
 
 // AllHITs lists every posted HIT, oldest first.
 func (m *Marketplace) AllHITs() []HITStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]HITStatus, 0, len(m.hits))
-	for _, ph := range m.hits {
-		out = append(out, ph.status)
+	return m.snapshot(false)
+}
+
+func (m *Marketplace) snapshot(openOnly bool) []HITStatus {
+	var out []HITStatus
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, ph := range sh.hits {
+			if !openOnly || ph.status.Open() {
+				out = append(out, ph.status)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	sortStatuses(out)
 	return out
 }
 
 func sortStatuses(ss []HITStatus) {
-	// Insertion sort keeps this dependency-free and the lists are
-	// dashboard-sized.
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0; j-- {
-			a, b := ss[j-1], ss[j]
-			if a.PostedAt < b.PostedAt || (a.PostedAt == b.PostedAt && a.HIT.ID <= b.HIT.ID) {
-				break
-			}
-			ss[j-1], ss[j] = b, a
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].PostedAt != ss[j].PostedAt {
+			return ss[i].PostedAt < ss[j].PostedAt
 		}
-	}
+		return ss[i].HIT.ID < ss[j].HIT.ID
+	})
 }
 
 // Stats returns marketplace-wide counters.
 func (m *Marketplace) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		HITsPosted:           int(m.hitsPosted.Load()),
+		AssignmentsCompleted: int(m.assignmentsCompleted.Load()),
+		QuestionsAnswered:    int(m.questionsAnswered.Load()),
+		SpentCents:           budget.Cents(m.spentCents.Load()),
+		ExternalSubmissions:  int(m.externalSubmissions.Load()),
+	}
 }

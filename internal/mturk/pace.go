@@ -25,19 +25,24 @@ func (c *Clock) SetPace(factor float64) {
 	c.pace.mu.Lock()
 	c.pace.factor = factor
 	c.pace.mu.Unlock()
-	c.mu.Lock()
-	c.wakeLocked()
-	c.mu.Unlock()
+	c.wakeAll()
 }
 
-// peekNext reports the earliest pending event time.
+// peekNext reports the earliest pending event time across all shards.
 func (c *Clock) peekNext() (VirtualTime, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.events) == 0 {
-		return 0, false
+	var bestAt VirtualTime
+	found := false
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if len(sh.events) > 0 {
+			if at := sh.events[0].at; !found || at < bestAt {
+				bestAt, found = at, true
+			}
+		}
+		sh.mu.Unlock()
 	}
-	return c.events[0].at, true
+	return bestAt, found
 }
 
 // paceWait sleeps toward the next event at the configured rate, in
@@ -58,25 +63,22 @@ func (c *Clock) paceWait(factor float64) bool {
 	if sleep > maxChunk {
 		sleep = maxChunk
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return false
 	}
-	wake := c.wake
-	c.mu.Unlock()
+	c.waiting.Store(true)
 	select {
-	case <-wake:
+	case <-c.wake:
 	case <-time.After(sleep):
-		c.mu.Lock()
 		adv := VirtualTime(float64(sleep) / factor)
-		if c.now+adv > at {
-			adv = at - c.now
+		now := c.Now()
+		if now+adv > at {
+			adv = at - now
 		}
 		if adv > 0 {
-			c.now += adv
+			c.now.Store(int64(now + adv))
 		}
-		c.mu.Unlock()
 	}
+	c.waiting.Store(false)
 	return true
 }

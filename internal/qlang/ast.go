@@ -40,7 +40,9 @@ func (*Literal) exprNode() {}
 
 func (l *Literal) String() string {
 	if l.Value.Kind() == relation.KindString {
-		return "'" + l.Value.Str() + "'"
+		// Re-escape embedded quotes ('' is the literal quote in the
+		// surface syntax), so String() output always reparses.
+		return "'" + strings.ReplaceAll(l.Value.Str(), "'", "''") + "'"
 	}
 	return l.Value.String()
 }

@@ -1,0 +1,69 @@
+package qlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds mixes the valid statements the parser tests exercise with
+// the malformed ones they expect to fail, so the fuzzer starts from both
+// sides of the grammar.
+var fuzzSeeds = []string{
+	"SELECT * FROM t",
+	"SELECT a FROM t WHERE a = 1 OR b = 2 AND NOT c = 3",
+	"SELECT a FROM t WHERE a + 2 * 3 = 7",
+	"SELECT DISTINCT t.a AS x, rate(t.b) score FROM items t WHERE rate(t.b) > 3 GROUP BY t.a ORDER BY score DESC, t.a LIMIT 10",
+	"SELECT a FROM t WHERE a = 'x' AND b = 2.5 AND c = TRUE AND d = FALSE AND e = NULL AND f = -3",
+	"SELECT a FROM t WHERE a = 'it''s'",
+	"SELECT companyName, findCEO(companyName).CEO FROM companies",
+	"SELECT celebrities.name, spottedstars.id FROM celebrities JOIN spottedstars ON samePerson(celebrities.image, spottedstars.image)",
+	"SELECT a FROM t WHERE POSSIBLY isCat(img) AND isCat(img)",
+	"SELECT a FROM t ORDER BY rank(img)",
+	// Task definitions (full-script path).
+	"TASK isCat(Image photo)\nRETURNS Bool:\n  TaskType: Filter\n  Text: \"Is this a cat? %s\", photo\n  Response: YesNo\n",
+	"TASK samePerson(Image[] celebs, Image[] spotted)\nRETURNS Bool:\n  TaskType: JoinPredicate\n  Text: \"Match the pictures.\"\n  Response: JoinColumns(\"Celebrity\", celebs, \"Spotted Star\", spotted)\n",
+	"TASK rateSquare(Image pic)\nRETURNS Int:\n  TaskType: Rating\n  Text: \"Rate %s\", pic\n  Response: Rating(1, 5)\n",
+	// Malformed inputs the parser must reject without panicking.
+	"SELECT a FROM",
+	"SELECT f(a FROM t",
+	"SELECT 'unterminated FROM t",
+	"SELECT a FROM t WHERE @",
+	"TASK (",
+	"",
+	";;",
+}
+
+// FuzzParse asserts two parser invariants over arbitrary input:
+//
+//  1. Parse never panics, whatever the bytes.
+//  2. For accepted scripts, every query statement round-trips through
+//     String(): parse → String → reparse is a fixed point (the same
+//     property roundtrip_test.go checks over generated ASTs).
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		for _, stmt := range script.Queries {
+			text := stmt.String()
+			again, err := ParseQuery(text)
+			if err != nil {
+				t.Fatalf("String() of accepted query does not reparse:\n  src: %q\n  str: %q\n  err: %v", src, text, err)
+			}
+			if got := again.String(); got != text {
+				t.Fatalf("String() not a fixed point:\n  first:  %q\n  second: %q", text, got)
+			}
+		}
+		// Accepted task definitions must at least be internally
+		// consistent enough to re-register.
+		for _, def := range script.Tasks {
+			if strings.TrimSpace(def.Name) == "" {
+				t.Fatalf("accepted task with empty name from %q", src)
+			}
+		}
+	})
+}

@@ -260,8 +260,17 @@ func TestStringEscapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := q.String()
-	if !strings.Contains(s, "it's") {
-		t.Errorf("doubled-quote escape lost: %s", s)
+	// The printer must re-escape the embedded quote ('' form) so its
+	// output reparses; a bare it's inside '...' would not.
+	if !strings.Contains(s, "it''s") {
+		t.Errorf("embedded quote not re-escaped: %s", s)
+	}
+	again, err := ParseQuery(s)
+	if err != nil {
+		t.Fatalf("String() output does not reparse: %s: %v", s, err)
+	}
+	if again.String() != s {
+		t.Errorf("round-trip not stable:\n  %s\n  %s", s, again.String())
 	}
 }
 

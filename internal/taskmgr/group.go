@@ -6,7 +6,6 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/hit"
-	"repro/internal/mturk"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -31,9 +30,11 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		}
 	}
 
-	m.mu.Lock()
-	lead := m.stateLocked(reqs[0].Def.Name, reqs[0].Def)
-	pol := m.effectivePolicyLocked(lead)
+	lead := m.state(reqs[0].Def.Name, reqs[0].Def)
+	base := m.basePolicy()
+	lead.mu.Lock()
+	pol := lead.effectivePolicyLocked(base)
+	lead.mu.Unlock()
 
 	type resolution struct {
 		done func(Outcome)
@@ -42,12 +43,16 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	var resolved []resolution
 	var remaining []Request
 	for _, r := range reqs {
-		st := m.stateLocked(r.Def.Name, r.Def)
+		st := m.state(r.Def.Name, r.Def)
+		st.mu.Lock()
 		st.submitted++
+		st.mu.Unlock()
 		if pol.UseCache {
 			if entry, ok := m.cache.Get(cache.NewKey(r.Def.Name, r.Args)); ok && len(entry.Answers) > 0 {
+				st.mu.Lock()
 				st.cacheHits++
-				out := m.reduceLocked(st, r.Def, entry.Answers)
+				st.mu.Unlock()
+				out := reduce(r.Def, entry.Answers)
 				out.FromCache = true
 				st.selectivity.Observe(out.Value.Truthy())
 				resolved = append(resolved, resolution{done: r.Done, out: out})
@@ -57,7 +62,9 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		if pol.UseModel {
 			if tm, ok := m.models.For(r.Def.Name); ok {
 				if v, _, ok := tm.TryAnswer(r.Args); ok {
+					st.mu.Lock()
 					st.modelAnswers++
+					st.mu.Unlock()
 					st.selectivity.Observe(v.Truthy())
 					resolved = append(resolved, resolution{done: r.Done,
 						out: Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true}})
@@ -68,7 +75,6 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		remaining = append(remaining, r)
 	}
 	if len(remaining) == 0 {
-		m.mu.Unlock()
 		for _, r := range resolved {
 			r.done(r.out)
 		}
@@ -87,7 +93,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	}
 	byKey := make(map[string]pendingItem, len(remaining))
 	for _, r := range remaining {
-		key := m.newKeyLocked()
+		key := m.newKey()
 		prompt := r.Prompt
 		if prompt == "" {
 			prompt = hit.RenderText(r.Def.Text, r.Def.TextArgs, r.Def.Params, r.Args)
@@ -99,7 +105,6 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
 	if err := m.account.Spend(cost); err != nil {
-		m.mu.Unlock()
 		for _, r := range resolved {
 			r.done(r.out)
 		}
@@ -111,12 +116,16 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	// Attribute cost and counters to each member task evenly enough for
 	// the dashboard: the HIT is counted once under the lead task, the
 	// questions under their own tasks.
-	lead = m.stateLocked(remaining[0].Def.Name, remaining[0].Def)
+	lead = m.state(remaining[0].Def.Name, remaining[0].Def)
+	lead.mu.Lock()
 	lead.hitsPosted++
 	lead.spent += cost
+	lead.mu.Unlock()
 	for _, r := range remaining {
-		st := m.stateLocked(r.Def.Name, r.Def)
+		st := m.state(r.Def.Name, r.Def)
+		st.mu.Lock()
 		st.questionsAsked++
+		st.mu.Unlock()
 	}
 
 	fl := &inflightHIT{
@@ -128,10 +137,17 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		postedAt: m.market.Clock().Now(),
 		group:    true,
 	}
-	m.inflight[h.ID] = fl
-	if err := m.market.Post(h, m.onGroupAssignment); err != nil {
-		delete(m.inflight, h.ID)
-		m.mu.Unlock()
+	s := m.flights.stripeFor(h.ID)
+	s.mu.Lock()
+	if s.hits == nil {
+		s.hits = make(map[string]*inflightHIT)
+	}
+	s.hits[h.ID] = fl
+	s.mu.Unlock()
+	if err := m.market.Post(h, m.onAssignment); err != nil {
+		s.mu.Lock()
+		delete(s.hits, h.ID)
+		s.mu.Unlock()
 		for _, r := range resolved {
 			r.done(r.out)
 		}
@@ -140,54 +156,39 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		}
 		return nil
 	}
-	m.mu.Unlock()
 	for _, r := range resolved {
 		r.done(r.out)
 	}
 	return nil
 }
 
-// onGroupAssignment mirrors onAssignment but attributes selectivity,
-// caching and training per item task rather than per HIT task.
-func (m *Manager) onGroupAssignment(res mturk.AssignmentResult) {
-	m.mu.Lock()
-	fl, ok := m.inflight[res.HITID]
-	if !ok {
-		m.mu.Unlock()
-		return
-	}
-	for key, v := range res.Answers.Values {
-		fl.answers[key] = append(fl.answers[key], v)
-	}
-	fl.byWorker = append(fl.byWorker, res.Answers)
-	fl.received++
-	if fl.received < fl.needed {
-		m.mu.Unlock()
-		return
-	}
-	delete(m.inflight, res.HITID)
-	m.finalizeGroupLocked(fl)
-}
-
-// finalizeGroupLocked resolves a grouped HIT; the caller holds m.mu and
-// the lock is released before callbacks run.
-func (m *Manager) finalizeGroupLocked(fl *inflightHIT) {
+// finalizeGroup resolves a grouped HIT in item order, attributing
+// selectivity, caching and training per item task rather than per HIT
+// task. No manager lock is held while it runs.
+func (m *Manager) finalizeGroup(fl *inflightHIT) {
 	fl.state.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
-	pol := m.effectivePolicyLocked(fl.state)
+	base := m.basePolicy()
+	fl.state.mu.Lock()
+	pol := fl.state.effectivePolicyLocked(base)
+	fl.state.mu.Unlock()
 
 	type resolution struct {
 		done func(Outcome)
 		out  Outcome
 	}
 	var resolved []resolution
-	for key, item := range fl.byKey {
-		st := m.stateLocked(item.def.Name, item.def)
-		answers := fl.answers[key]
+	for _, hi := range fl.hit.Items {
+		item, ok := fl.byKey[hi.Key]
+		if !ok {
+			continue
+		}
+		st := m.state(item.def.Name, item.def)
+		answers := fl.answers[hi.Key]
 		b, conf := stats.MajorityBool(answers)
 		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
 		st.agreement.Observe(conf)
 		st.selectivity.Observe(b)
-		m.noteWorkerVotes(fl.byWorker, key, b)
+		m.noteWorkerVotes(fl.byWorker, hi.Key, b)
 		if pol.UseCache {
 			m.cache.Put(cache.NewKey(item.def.Name, item.args), cache.Entry{Answers: answers})
 		}
@@ -198,7 +199,6 @@ func (m *Manager) finalizeGroupLocked(fl *inflightHIT) {
 		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
 	}
-	m.mu.Unlock()
 	for _, r := range resolved {
 		r.done(r.out)
 	}

@@ -35,10 +35,12 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 	if len(left) == 0 || len(right) == 0 {
 		return
 	}
-	m.mu.Lock()
-	st := m.stateLocked(def.Name, def)
-	pol := m.effectivePolicyLocked(st)
+	st := m.state(def.Name, def)
+	base := m.basePolicy()
+	st.mu.Lock()
+	pol := st.effectivePolicyLocked(base)
 	st.submitted += int64(len(left) * len(right))
+	st.mu.Unlock()
 
 	pairArgs := func(l, r JoinItem) []relation.Value {
 		return append(append([]relation.Value{}, l.Args...), r.Args...)
@@ -57,8 +59,10 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 			args := pairArgs(l, r)
 			if pol.UseCache {
 				if entry, ok := m.cache.Get(cache.NewKey(def.Name, args)); ok && len(entry.Answers) > 0 {
+					st.mu.Lock()
 					st.cacheHits++
-					out := m.reduceLocked(st, def, entry.Answers)
+					st.mu.Unlock()
+					out := reduce(def, entry.Answers)
 					out.FromCache = true
 					st.selectivity.Observe(out.Value.Truthy())
 					resolved = append(resolved, resolution{key: key, out: out})
@@ -68,7 +72,9 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 			if pol.UseModel {
 				if tm, ok := m.models.For(def.Name); ok {
 					if v, _, ok := tm.TryAnswer(args); ok {
+						st.mu.Lock()
 						st.modelAnswers++
+						st.mu.Unlock()
 						st.selectivity.Observe(v.Truthy())
 						resolved = append(resolved, resolution{key: key,
 							out: Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true}})
@@ -81,7 +87,6 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 	}
 
 	if len(unresolved) == 0 {
-		m.mu.Unlock()
 		for _, r := range resolved {
 			done(r.key, r.out)
 		}
@@ -118,7 +123,6 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
 	if err := m.account.Spend(cost); err != nil {
-		m.mu.Unlock()
 		for _, r := range resolved {
 			done(r.key, r.out)
 		}
@@ -127,31 +131,45 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 		}
 		return
 	}
+	st.mu.Lock()
 	st.spent += cost
 	st.hitsPosted++
 	st.questionsAsked += int64(len(neededLeft) * len(neededRight))
+	st.mu.Unlock()
 
+	// order records every grid pair in row-major order, so finalization
+	// resolves pairs identically on every run (map iteration would not).
 	pairItems := make(map[string]pendingItem)
+	order := make([]string, 0, len(neededLeft)*len(neededRight))
 	for _, l := range neededLeft {
 		for _, r := range neededRight {
 			key := hit.PairKey(l.Key, r.Key)
 			pairItems[key] = pendingItem{key: key, args: pairArgs(l, r), def: def}
+			order = append(order, key)
 		}
 	}
 	fl := &joinInflight{
 		state:    st,
 		def:      def,
 		items:    pairItems,
+		order:    order,
 		need:     needPair,
 		answers:  make(map[string][]relation.Value),
 		needed:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
 		done:     done,
 	}
-	m.joinInflightByHIT(h.ID, fl)
-	if err := m.market.Post(h, func(res mturk.AssignmentResult) { m.onJoinAssignment(res) }); err != nil {
-		m.dropJoinInflight(h.ID)
-		m.mu.Unlock()
+	s := m.flights.stripeFor(h.ID)
+	s.mu.Lock()
+	if s.joins == nil {
+		s.joins = make(map[string]*joinInflight)
+	}
+	s.joins[h.ID] = fl
+	s.mu.Unlock()
+	if err := m.market.Post(h, m.onJoinAssignment); err != nil {
+		s.mu.Lock()
+		delete(s.joins, h.ID)
+		s.mu.Unlock()
 		for _, r := range resolved {
 			done(r.key, r.out)
 		}
@@ -160,7 +178,6 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 		}
 		return
 	}
-	m.mu.Unlock()
 	for _, r := range resolved {
 		done(r.key, r.out)
 	}
@@ -170,6 +187,7 @@ type joinInflight struct {
 	state    *taskState
 	def      *qlang.TaskDef
 	items    map[string]pendingItem // every grid pair, keyed by pair key
+	order    []string               // pair keys in row-major grid order
 	need     map[string]bool        // pairs the caller is waiting on
 	answers  map[string][]relation.Value
 	byWorker []hit.Answers
@@ -179,22 +197,12 @@ type joinInflight struct {
 	done     func(string, Outcome)
 }
 
-func (m *Manager) joinInflightByHIT(hitID string, fl *joinInflight) {
-	if m.joinFl == nil {
-		m.joinFl = make(map[string]*joinInflight)
-	}
-	m.joinFl[hitID] = fl
-}
-
-func (m *Manager) dropJoinInflight(hitID string) {
-	delete(m.joinFl, hitID)
-}
-
 func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
-	m.mu.Lock()
-	fl, ok := m.joinFl[res.HITID]
+	s := m.flights.stripeFor(res.HITID)
+	s.mu.Lock()
+	fl, ok := s.joins[res.HITID]
 	if !ok {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	for key, v := range res.Answers.Values {
@@ -203,27 +211,31 @@ func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
 	fl.byWorker = append(fl.byWorker, res.Answers)
 	fl.received++
 	if fl.received < fl.needed {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	delete(m.joinFl, res.HITID)
-	m.finalizeJoinLocked(fl)
+	delete(s.joins, res.HITID)
+	s.mu.Unlock()
+	m.finalizeJoin(fl)
 }
 
-// finalizeJoinLocked resolves every pair of a completed (or partially
-// failed) join-grid HIT. The caller holds m.mu; the lock is released
-// before callbacks run.
-func (m *Manager) finalizeJoinLocked(fl *joinInflight) {
+// finalizeJoin resolves every pair of a completed (or partially failed)
+// join-grid HIT in grid order. No manager lock is held while it runs.
+func (m *Manager) finalizeJoin(fl *joinInflight) {
 	st := fl.state
 	st.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
-	pol := m.effectivePolicyLocked(st)
+	base := m.basePolicy()
+	st.mu.Lock()
+	pol := st.effectivePolicyLocked(base)
+	st.mu.Unlock()
 
 	type resolution struct {
 		key string
 		out Outcome
 	}
 	var resolved []resolution
-	for key, item := range fl.items {
+	for _, key := range fl.order {
+		item := fl.items[key]
 		answers := fl.answers[key]
 		b, conf := stats.MajorityBool(answers)
 		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
@@ -242,7 +254,6 @@ func (m *Manager) finalizeJoinLocked(fl *joinInflight) {
 			resolved = append(resolved, resolution{key: key, out: out})
 		}
 	}
-	m.mu.Unlock()
 	for _, r := range resolved {
 		fl.done(r.key, r.out)
 	}

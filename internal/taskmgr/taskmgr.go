@@ -5,12 +5,25 @@
 // confidence-gated Task Model answer in place of humans, reduces the
 // multi-answer lists redundancy produces, and feeds the Statistics
 // Manager's estimators.
+//
+// Concurrency: the manager has no global lock on its hot paths. Each
+// task's batching state carries its own mutex, in-flight HIT collection
+// state is striped by HIT ID (flightTable), and the manager-level mutex
+// guards only the task registry and base policy. Assignment completions
+// for different HITs therefore never contend, matching the sharded
+// marketplace underneath (see internal/mturk's package comment).
+//
+// Determinism: every finalization resolves its batched items in the
+// HIT's item order (never map order), so a completed HIT triggers
+// downstream work in the same order on every run.
 package taskmgr
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
@@ -124,7 +137,11 @@ type TaskStats struct {
 	MeanAgreement  float64
 }
 
+// taskState is one task's batching and accounting state. mu guards the
+// plain fields; the stats estimators are internally synchronized and may
+// be observed without it.
 type taskState struct {
+	mu           sync.Mutex
 	def          *qlang.TaskDef
 	policy       Policy
 	hasOwnPolicy bool
@@ -138,9 +155,10 @@ type taskState struct {
 	cacheHits      int64
 	modelAnswers   int64
 	spent          budget.Cents
-	selectivity    stats.Selectivity
-	latency        *stats.EWMA
-	agreement      *stats.EWMA
+
+	selectivity stats.Selectivity
+	latency     *stats.EWMA
+	agreement   *stats.EWMA
 }
 
 type pendingItem struct {
@@ -153,6 +171,27 @@ type pendingItem struct {
 	addedAt     mturk.VirtualTime
 }
 
+// flightStripes is the number of lock stripes for in-flight HIT state.
+const flightStripes = 16
+
+// flightStripe holds the in-flight HITs whose IDs hash to it.
+type flightStripe struct {
+	mu    sync.Mutex
+	hits  map[string]*inflightHIT
+	joins map[string]*joinInflight
+}
+
+// flightTable stripes in-flight collection state by HIT ID, mirroring
+// the marketplace's shards: completions of different HITs take
+// different locks.
+type flightTable struct {
+	stripes [flightStripes]flightStripe
+}
+
+func (t *flightTable) stripeFor(hitID string) *flightStripe {
+	return &t.stripes[mturk.ShardIndex(hitID, flightStripes)]
+}
+
 // Manager routes task applications to the cache, the model, or batched
 // HITs on the marketplace.
 type Manager struct {
@@ -161,17 +200,18 @@ type Manager struct {
 	models  *model.Registry
 	account *budget.Account
 
-	mu      sync.Mutex
-	tasks   map[string]*taskState
-	base    Policy
-	nextKey int64
-	// inflight maps HIT id -> collection state.
-	inflight map[string]*inflightHIT
-	// joinFl maps HIT id -> join-grid collection state.
-	joinFl map[string]*joinInflight
+	// mu guards tasks and base only; it is never held across calls into
+	// the marketplace, cache, or per-task state.
+	mu    sync.Mutex
+	tasks map[string]*taskState
+	base  Policy
+
+	nextKey atomic.Int64
+	flights flightTable
+
 	// workers tracks agreement-based reputation, guarded by repMu —
 	// not m.mu — because the marketplace's worker filter reads it from
-	// inside calls the manager makes while holding m.mu (reputation.go).
+	// inside marketplace calls (reputation.go).
 	repMu   sync.Mutex
 	workers map[string]*workerRecord
 }
@@ -201,13 +241,12 @@ func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, acco
 		account = budget.NewAccount(0)
 	}
 	m := &Manager{
-		market:   market,
-		cache:    c,
-		models:   models,
-		account:  account,
-		tasks:    make(map[string]*taskState),
-		base:     DefaultPolicy(),
-		inflight: make(map[string]*inflightHIT),
+		market:  market,
+		cache:   c,
+		models:  models,
+		account: account,
+		tasks:   make(map[string]*taskState),
+		base:    DefaultPolicy(),
 	}
 	// Assignments can fail terminally (no eligible worker after all
 	// retries, e.g. a blocklist starving a small pool). The manager
@@ -220,45 +259,47 @@ func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, acco
 // onAssignmentFailed reduces an inflight HIT's expected assignment count;
 // when nothing more can arrive the HIT finalizes with whatever it has.
 func (m *Manager) onAssignmentFailed(hitID string, err error) {
-	m.mu.Lock()
-	if fl, ok := m.inflight[hitID]; ok {
+	s := m.flights.stripeFor(hitID)
+	s.mu.Lock()
+	if fl, ok := s.hits[hitID]; ok {
 		fl.needed--
-		if fl.received >= fl.needed {
-			delete(m.inflight, hitID)
-			if fl.received == 0 {
-				items := fl.byKey
-				m.mu.Unlock()
-				for _, item := range items {
-					item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.hit.Task, err)})
-				}
-				return
-			}
-			m.finalizeInflightLocked(fl)
-			return // finalizeInflightLocked released the lock
-		}
-		m.mu.Unlock()
-		return
-	}
-	if fl, ok := m.joinFl[hitID]; ok {
-		fl.needed--
-		if fl.received >= fl.needed {
-			delete(m.joinFl, hitID)
-			if fl.received == 0 {
-				need := fl.need
-				done := fl.done
-				m.mu.Unlock()
-				for key := range need {
-					done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err)})
-				}
-				return
-			}
-			m.finalizeJoinLocked(fl)
+		if fl.received < fl.needed {
+			s.mu.Unlock()
 			return
 		}
-		m.mu.Unlock()
+		delete(s.hits, hitID)
+		s.mu.Unlock()
+		if fl.received == 0 {
+			for _, it := range fl.hit.Items {
+				if item, ok := fl.byKey[it.Key]; ok {
+					item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.hit.Task, err)})
+				}
+			}
+			return
+		}
+		m.finalizeInflight(fl)
 		return
 	}
-	m.mu.Unlock()
+	if fl, ok := s.joins[hitID]; ok {
+		fl.needed--
+		if fl.received < fl.needed {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.joins, hitID)
+		s.mu.Unlock()
+		if fl.received == 0 {
+			for _, key := range fl.order {
+				if fl.need[key] {
+					fl.done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err)})
+				}
+			}
+			return
+		}
+		m.finalizeJoin(fl)
+		return
+	}
+	s.mu.Unlock()
 }
 
 // Cache returns the manager's task cache.
@@ -277,25 +318,33 @@ func (m *Manager) SetBasePolicy(p Policy) {
 	m.base = p
 }
 
-// SetPolicy pins a task-specific policy (the optimizer's knob).
-func (m *Manager) SetPolicy(task string, p Policy) {
+func (m *Manager) basePolicy() Policy {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := m.stateLocked(task, nil)
+	return m.base
+}
+
+// SetPolicy pins a task-specific policy (the optimizer's knob).
+func (m *Manager) SetPolicy(task string, p Policy) {
+	st := m.state(task, nil)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.policy = p
 	st.hasOwnPolicy = true
 }
 
 // PolicyFor reports the effective policy for a task definition.
 func (m *Manager) PolicyFor(def *qlang.TaskDef) Policy {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stateLocked(def.Name, def)
-	return m.effectivePolicyLocked(st)
+	st := m.state(def.Name, def)
+	base := m.basePolicy()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.effectivePolicyLocked(base)
 }
 
-func (m *Manager) effectivePolicyLocked(st *taskState) Policy {
-	p := m.base
+// effectivePolicyLocked resolves the policy for this task; st.mu held.
+func (st *taskState) effectivePolicyLocked(base Policy) Policy {
+	p := base
 	if st.hasOwnPolicy {
 		p = st.policy
 	}
@@ -314,22 +363,33 @@ func (m *Manager) effectivePolicyLocked(st *taskState) Policy {
 	return p
 }
 
-func (m *Manager) stateLocked(name string, def *qlang.TaskDef) *taskState {
+// state returns (creating if needed) the named task's state.
+func (m *Manager) state(name string, def *qlang.TaskDef) *taskState {
 	key := strings.ToLower(name)
+	m.mu.Lock()
 	st, ok := m.tasks[key]
 	if !ok {
 		st = &taskState{latency: stats.NewEWMA(0.3), agreement: stats.NewEWMA(0.3)}
 		m.tasks[key] = st
 	}
+	m.mu.Unlock()
+	st.mu.Lock()
 	if st.def == nil && def != nil {
 		st.def = def
 	}
+	st.mu.Unlock()
 	return st
 }
 
-func (m *Manager) newKeyLocked() string {
-	m.nextKey++
-	return fmt.Sprintf("t%06d", m.nextKey)
+// defOf reads the task's definition (immutable once set).
+func (st *taskState) defOf() *qlang.TaskDef {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.def
+}
+
+func (m *Manager) newKey() string {
+	return mturk.PaddedID("t", m.nextKey.Add(1))
 }
 
 // Submit enqueues one task application. The Done callback fires exactly
@@ -338,21 +398,24 @@ func (m *Manager) Submit(req Request) {
 	if req.Def == nil || req.Done == nil {
 		panic("taskmgr: Submit needs a task definition and Done callback")
 	}
-	m.mu.Lock()
-	st := m.stateLocked(req.Def.Name, req.Def)
+	st := m.state(req.Def.Name, req.Def)
+	base := m.basePolicy()
+	st.mu.Lock()
 	st.submitted++
-	pol := m.effectivePolicyLocked(st)
+	pol := st.effectivePolicyLocked(base)
+	st.mu.Unlock()
 
 	// 1. Task Cache: a prior answer costs nothing.
 	if pol.UseCache {
 		if entry, ok := m.cache.Get(cache.NewKey(req.Def.Name, req.Args)); ok && len(entry.Answers) > 0 {
+			st.mu.Lock()
 			st.cacheHits++
-			out := m.reduceLocked(st, req.Def, entry.Answers)
+			st.mu.Unlock()
+			out := reduce(req.Def, entry.Answers)
 			out.FromCache = true
 			if isBooleanTask(req.Def) {
 				st.selectivity.Observe(out.Value.Truthy())
 			}
-			m.mu.Unlock()
 			req.Done(out)
 			return
 		}
@@ -362,9 +425,10 @@ func (m *Manager) Submit(req Request) {
 	if pol.UseModel && isBooleanTask(req.Def) {
 		if tm, ok := m.models.For(req.Def.Name); ok {
 			if v, _, ok := tm.TryAnswer(req.Args); ok {
+				st.mu.Lock()
 				st.modelAnswers++
+				st.mu.Unlock()
 				st.selectivity.Observe(v.Truthy())
-				m.mu.Unlock()
 				req.Done(Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true})
 				return
 			}
@@ -373,7 +437,7 @@ func (m *Manager) Submit(req Request) {
 
 	// 3. Queue for humans; batch with other applications of this task.
 	item := pendingItem{
-		key:         m.newKeyLocked(),
+		key:         m.newKey(),
 		args:        req.Args,
 		prompt:      req.Prompt,
 		def:         req.Def,
@@ -381,58 +445,70 @@ func (m *Manager) Submit(req Request) {
 		done:        req.Done,
 		addedAt:     m.market.Clock().Now(),
 	}
+	var batches [][]pendingItem
+	st.mu.Lock()
 	st.pending = append(st.pending, item)
 	if len(st.pending) >= pol.BatchSize {
-		m.flushLocked(st, pol)
-		m.mu.Unlock()
-		return
-	}
-	// Arm a linger timer so partial batches cannot starve.
-	if !st.lingerArmed && pol.Linger > 0 {
+		batches = st.cutBatchesLocked(pol)
+	} else if !st.lingerArmed && pol.Linger > 0 {
+		// Arm a linger timer so partial batches cannot starve.
 		st.lingerArmed = true
 		taskName := req.Def.Name
 		m.market.Clock().Schedule(pol.Linger, func() { m.lingerFlush(taskName) })
 	}
-	m.mu.Unlock()
+	st.mu.Unlock()
+	m.postBatches(st, pol, batches)
 }
 
 // lingerFlush flushes whatever is pending for a task when its linger
 // timer fires.
 func (m *Manager) lingerFlush(task string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stateLocked(task, nil)
+	st := m.state(task, nil)
+	base := m.basePolicy()
+	st.mu.Lock()
 	st.lingerArmed = false
-	if len(st.pending) > 0 {
-		m.flushLocked(st, m.effectivePolicyLocked(st))
-	}
+	pol := st.effectivePolicyLocked(base)
+	batches := st.cutBatchesLocked(pol)
+	st.mu.Unlock()
+	m.postBatches(st, pol, batches)
 }
 
 // Flush posts any partial batch for the named task immediately.
 func (m *Manager) Flush(task string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stateLocked(task, nil)
-	if len(st.pending) > 0 {
-		m.flushLocked(st, m.effectivePolicyLocked(st))
-	}
+	m.flushState(m.state(task, nil))
 }
 
-// FlushAll posts every partial batch.
+// FlushAll posts every partial batch, in task-name order so the posting
+// sequence is deterministic.
 func (m *Manager) FlushAll() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, st := range m.tasks {
-		if len(st.pending) > 0 {
-			m.flushLocked(st, m.effectivePolicyLocked(st))
-		}
+	names := make([]string, 0, len(m.tasks))
+	for name := range m.tasks {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		m.flushState(m.state(name, nil))
 	}
 }
 
-// flushLocked converts the pending items of st into one or more HITs.
+func (m *Manager) flushState(st *taskState) {
+	base := m.basePolicy()
+	st.mu.Lock()
+	pol := st.effectivePolicyLocked(base)
+	batches := st.cutBatchesLocked(pol)
+	st.mu.Unlock()
+	m.postBatches(st, pol, batches)
+}
+
+// cutBatchesLocked partitions the pending items into HIT-sized batches.
 // Items with different assignment overrides never share a HIT (their
-// redundancy differs), so pending is partitioned first.
-func (m *Manager) flushLocked(st *taskState, pol Policy) {
+// redundancy differs). st.mu held; posting happens after it is released.
+func (st *taskState) cutBatchesLocked(pol Policy) [][]pendingItem {
+	if len(st.pending) == 0 {
+		return nil
+	}
 	byAsg := make(map[int][]pendingItem)
 	var order []int
 	for _, it := range st.pending {
@@ -442,6 +518,7 @@ func (m *Manager) flushLocked(st *taskState, pol Policy) {
 		byAsg[it.assignments] = append(byAsg[it.assignments], it)
 	}
 	st.pending = nil
+	var batches [][]pendingItem
 	for _, asg := range order {
 		items := byAsg[asg]
 		for len(items) > 0 {
@@ -449,21 +526,28 @@ func (m *Manager) flushLocked(st *taskState, pol Policy) {
 			if n > len(items) {
 				n = len(items)
 			}
-			batch := items[:n]
+			batches = append(batches, items[:n])
 			items = items[n:]
-			m.postBatchLocked(st, pol, batch)
 		}
+	}
+	return batches
+}
+
+func (m *Manager) postBatches(st *taskState, pol Policy, batches [][]pendingItem) {
+	for _, batch := range batches {
+		m.postBatch(st, pol, batch)
 	}
 }
 
-// postBatchLocked compiles one batch into a HIT and posts it. All
-// items in a batch share the same assignments override (see
-// flushLocked).
-func (m *Manager) postBatchLocked(st *taskState, pol Policy, batch []pendingItem) {
+// postBatch compiles one batch into a HIT and posts it. All items in a
+// batch share the same assignments override (see cutBatchesLocked). No
+// locks are held: posting calls into the marketplace and, on synchronous
+// failure, back into user callbacks.
+func (m *Manager) postBatch(st *taskState, pol Policy, batch []pendingItem) {
 	if batch[0].assignments > 0 {
 		pol.Assignments = batch[0].assignments
 	}
-	def := st.def
+	def := st.defOf()
 	h := &hit.HIT{
 		ID:          m.market.NewHITID(),
 		Task:        def.Name,
@@ -491,9 +575,11 @@ func (m *Manager) postBatchLocked(st *taskState, pol Policy, batch []pendingItem
 		}
 		return
 	}
+	st.mu.Lock()
 	st.spent += cost
 	st.hitsPosted++
 	st.questionsAsked += int64(len(batch))
+	st.mu.Unlock()
 
 	fl := &inflightHIT{
 		hit:      h,
@@ -503,9 +589,17 @@ func (m *Manager) postBatchLocked(st *taskState, pol Policy, batch []pendingItem
 		needed:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
 	}
-	m.inflight[h.ID] = fl
+	s := m.flights.stripeFor(h.ID)
+	s.mu.Lock()
+	if s.hits == nil {
+		s.hits = make(map[string]*inflightHIT)
+	}
+	s.hits[h.ID] = fl
+	s.mu.Unlock()
 	if err := m.market.Post(h, m.onAssignment); err != nil {
-		delete(m.inflight, h.ID)
+		s.mu.Lock()
+		delete(s.hits, h.ID)
+		s.mu.Unlock()
 		for _, it := range batch {
 			it.done(Outcome{Err: fmt.Errorf("taskmgr: post %s: %v", def.Name, err)})
 		}
@@ -513,12 +607,15 @@ func (m *Manager) postBatchLocked(st *taskState, pol Policy, batch []pendingItem
 }
 
 // onAssignment collects one completed assignment; when the HIT has all
-// of them, every batched item resolves.
+// of them, every batched item resolves. Only one goroutine can observe
+// received == needed under the stripe lock, so finalization runs exactly
+// once, outside all locks.
 func (m *Manager) onAssignment(res mturk.AssignmentResult) {
-	m.mu.Lock()
-	fl, ok := m.inflight[res.HITID]
+	s := m.flights.stripeFor(res.HITID)
+	s.mu.Lock()
+	fl, ok := s.hits[res.HITID]
 	if !ok {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	for key, v := range res.Answers.Values {
@@ -527,19 +624,21 @@ func (m *Manager) onAssignment(res mturk.AssignmentResult) {
 	fl.byWorker = append(fl.byWorker, res.Answers)
 	fl.received++
 	if fl.received < fl.needed {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	delete(m.inflight, res.HITID)
-	m.finalizeInflightLocked(fl)
+	delete(s.hits, res.HITID)
+	s.mu.Unlock()
+	m.finalizeInflight(fl)
 }
 
-// finalizeInflightLocked resolves every batched item of a completed (or
-// partially failed) HIT. The caller holds m.mu; the lock is released
-// before user callbacks run.
-func (m *Manager) finalizeInflightLocked(fl *inflightHIT) {
+// finalizeInflight resolves every batched item of a completed (or
+// partially failed) HIT, in the HIT's item order so reruns resolve
+// identically. It must not hold any manager lock: the Done callbacks may
+// reenter Submit.
+func (m *Manager) finalizeInflight(fl *inflightHIT) {
 	if fl.group {
-		m.finalizeGroupLocked(fl)
+		m.finalizeGroup(fl)
 		return
 	}
 	st := fl.state
@@ -551,14 +650,21 @@ func (m *Manager) finalizeInflightLocked(fl *inflightHIT) {
 		out  Outcome
 	}
 	var resolved []resolution
-	pol := m.effectivePolicyLocked(st)
-	for key, item := range fl.byKey {
-		answers := fl.answers[key]
-		out := m.reduceLocked(st, item.def, answers)
+	base := m.basePolicy()
+	st.mu.Lock()
+	pol := st.effectivePolicyLocked(base)
+	st.mu.Unlock()
+	for _, hi := range fl.hit.Items {
+		item, ok := fl.byKey[hi.Key]
+		if !ok {
+			continue
+		}
+		answers := fl.answers[hi.Key]
+		out := reduce(item.def, answers)
 		st.agreement.Observe(out.Agreement)
 		if isBooleanTask(item.def) {
 			st.selectivity.Observe(out.Value.Truthy())
-			m.noteWorkerVotes(fl.byWorker, key, out.Value.Truthy())
+			m.noteWorkerVotes(fl.byWorker, hi.Key, out.Value.Truthy())
 		}
 		if pol.UseCache {
 			m.cache.Put(cache.NewKey(item.def.Name, item.args), cache.Entry{Answers: answers})
@@ -570,15 +676,14 @@ func (m *Manager) finalizeInflightLocked(fl *inflightHIT) {
 		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
 	}
-	m.mu.Unlock()
 	for _, r := range resolved {
 		r.done(r.out)
 	}
 }
 
-// reduceLocked collapses redundant answers by the task's natural
-// aggregate (paper §3: lists reduced by user-defined aggregates).
-func (m *Manager) reduceLocked(st *taskState, def *qlang.TaskDef, answers []relation.Value) Outcome {
+// reduce collapses redundant answers by the task's natural aggregate
+// (paper §3: lists reduced by user-defined aggregates).
+func reduce(def *qlang.TaskDef, answers []relation.Value) Outcome {
 	out := Outcome{Answers: answers}
 	switch {
 	case isBooleanTask(def):
@@ -646,22 +751,34 @@ func responseFor(def *qlang.TaskDef) qlang.Response {
 // Stats returns per-task statistics, sorted by task name.
 func (m *Manager) Stats() []TaskStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]TaskStats, 0, len(m.tasks))
+	type named struct {
+		name string
+		st   *taskState
+	}
+	states := make([]named, 0, len(m.tasks))
 	for name, st := range m.tasks {
-		out = append(out, TaskStats{
-			Task:           name,
+		states = append(states, named{name, st})
+	}
+	m.mu.Unlock()
+	out := make([]TaskStats, 0, len(states))
+	for _, n := range states {
+		st := n.st
+		st.mu.Lock()
+		ts := TaskStats{
+			Task:           n.name,
 			Submitted:      st.submitted,
 			HITsPosted:     st.hitsPosted,
 			QuestionsAsked: st.questionsAsked,
 			CacheHits:      st.cacheHits,
 			ModelAnswers:   st.modelAnswers,
 			SpentCents:     st.spent,
-			Selectivity:    st.selectivity.Estimate(),
-			SelTrials:      st.selectivity.Trials(),
-			MeanLatencyMin: st.latency.Value(),
-			MeanAgreement:  st.agreement.Value(),
-		})
+		}
+		st.mu.Unlock()
+		ts.Selectivity = st.selectivity.Estimate()
+		ts.SelTrials = st.selectivity.Trials()
+		ts.MeanLatencyMin = st.latency.Value()
+		ts.MeanAgreement = st.agreement.Value()
+		out = append(out, ts)
 	}
 	sortTaskStats(out)
 	return out
@@ -680,27 +797,34 @@ func (m *Manager) StatsFor(task string) TaskStats {
 }
 
 func sortTaskStats(ss []TaskStats) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j-1].Task > ss[j].Task; j-- {
-			ss[j-1], ss[j] = ss[j], ss[j-1]
-		}
-	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Task < ss[j].Task })
 }
 
 // Pending reports queued-but-unposted items across all tasks.
 func (m *Manager) Pending() int {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := 0
+	states := make([]*taskState, 0, len(m.tasks))
 	for _, st := range m.tasks {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, st := range states {
+		st.mu.Lock()
 		n += len(st.pending)
+		st.mu.Unlock()
 	}
 	return n
 }
 
 // Inflight reports posted HITs that have not collected all assignments.
 func (m *Manager) Inflight() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.inflight)
+	n := 0
+	for i := range m.flights.stripes {
+		s := &m.flights.stripes[i]
+		s.mu.Lock()
+		n += len(s.hits)
+		s.mu.Unlock()
+	}
+	return n
 }
