@@ -4,6 +4,7 @@
 //
 //	qurk-load                                  # 1000-tuple filter cascade
 //	qurk-load -workload join -tuples 20000     # 5×5 join grids at scale
+//	qurk-load -workload joinprefilter          # cost-based pre-filtered join
 //	qurk-load -workload orderby -workers 2000  # rating sort, big crowd
 //	qurk-load -verify                          # run twice, assert identical
 package main
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "filter", "scenario: filter | join | orderby")
+	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby")
 	tuples := flag.Int("tuples", 1000, "input cardinality")
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
@@ -25,18 +26,28 @@ func main() {
 	assignments := flag.Int("assignments", 3, "redundancy per HIT")
 	price := flag.Int64("price", 1, "reward cents per HIT")
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
+	skill := flag.Float64("skill", 0, "mean worker skill (0 = crowd default 0.85)")
+	skillStd := flag.Float64("skillstd", 0, "worker skill spread (0 = crowd default 0.08)")
+	spam := flag.Float64("spam", 0, "spammer fraction (0 = crowd default 0.05)")
+	abandon := flag.Float64("abandon", 0, "abandonment rate (0 = crowd default 0.02)")
+	batchPenalty := flag.Float64("batchpenalty", 0, "per-question accuracy decay (0 = crowd default 0.015)")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match")
 	flag.Parse()
 
 	cfg := load.Config{
-		Workload:    load.Workload(*workload),
-		Tuples:      *tuples,
-		Workers:     *workers,
-		Shards:      *shards,
-		Batch:       *batch,
-		Assignments: *assignments,
-		PriceCents:  *price,
-		Seed:        *seed,
+		Workload:     load.Workload(*workload),
+		Tuples:       *tuples,
+		Workers:      *workers,
+		Shards:       *shards,
+		Batch:        *batch,
+		Assignments:  *assignments,
+		PriceCents:   *price,
+		Seed:         *seed,
+		Skill:        *skill,
+		SkillStd:     *skillStd,
+		Spam:         *spam,
+		Abandon:      *abandon,
+		BatchPenalty: *batchPenalty,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -52,7 +63,8 @@ func main() {
 			os.Exit(1)
 		}
 		if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
-			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed {
+			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed ||
+			rep.JoinPairs != again.JoinPairs || rep.PassedKeysFNV != again.PassedKeysFNV {
 			fmt.Fprintf(os.Stderr, "qurk-load: NONDETERMINISTIC\nfirst:\n%s\nsecond:\n%s", rep, again)
 			os.Exit(1)
 		}

@@ -47,6 +47,8 @@ func main() {
 	budgetDollars := flag.Float64("budget", 0, "budget limit in dollars (0 = unlimited)")
 	skill := flag.Float64("skill", 0.9, "mean worker accuracy")
 	showDash := flag.Bool("dashboard", true, "print the dashboard after the run")
+	adaptiveJoins := flag.Bool("adaptive-joins", false,
+		"cost-based join pre-filtering (tasks opt in with a PreFilter clause)")
 	explain := flag.Bool("explain", false, "print query plans instead of executing")
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -58,14 +60,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash); err != nil {
+	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash, *adaptiveJoins); err != nil {
 		fmt.Fprintln(os.Stderr, "qurk:", err)
 		os.Exit(1)
 	}
 }
 
 func run(script, demo string, tables tableFlags, selectivity float64, seed int64,
-	budgetDollars, skill float64, showDash bool) error {
+	budgetDollars, skill float64, showDash, adaptiveJoins bool) error {
 	if demo != "" {
 		return runDemo(demo, seed, skill, showDash)
 	}
@@ -77,10 +79,11 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		return err
 	}
 	eng, err := qurk.New(qurk.Config{
-		Oracle:      hashOracle{selectivity: selectivity},
-		Crowd:       crowd.Config{Seed: seed, MeanSkill: skill},
-		BudgetCents: budget.Cents(budgetDollars * 100),
-		AutoTune:    true,
+		Oracle:        hashOracle{selectivity: selectivity},
+		Crowd:         crowd.Config{Seed: seed, MeanSkill: skill},
+		BudgetCents:   budget.Cents(budgetDollars * 100),
+		AutoTune:      true,
+		AdaptiveJoins: adaptiveJoins,
 	})
 	if err != nil {
 		return err

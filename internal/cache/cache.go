@@ -41,17 +41,21 @@ type Stats struct {
 	Entries int
 	Hits    int64
 	Misses  int64
-	// SavedQuestions counts questions answered from cache instead of
-	// being posted — the basis of the dashboard's "caching benefit".
+	// SavedQuestions counts answers served from cache instead of being
+	// paid for — the basis of the dashboard's "caching benefit". One
+	// lookup hit serves the whole stored answer list (every assignment
+	// that would otherwise be re-posted), so this is the sum of answer
+	// counts over hits, not the hit count.
 	SavedQuestions int64
 }
 
 // Cache is a concurrency-safe task cache.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[Key]Entry
-	hits    int64
-	misses  int64
+	mu            sync.Mutex
+	entries       map[Key]Entry
+	hits          int64
+	misses        int64
+	answersServed int64
 }
 
 // New returns an empty cache.
@@ -60,25 +64,47 @@ func New() *Cache {
 }
 
 // Get looks up answers for a task application; ok is false on miss.
+// The returned Entry is a copy: mutating it never corrupts the cache.
 func (c *Cache) Get(key Key) (Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if ok {
 		c.hits++
+		c.answersServed += int64(len(e.Answers))
 	} else {
 		c.misses++
 	}
-	return e, ok
+	return e.copied(), ok
 }
 
 // Peek is Get without touching the hit/miss counters (used by the
-// dashboard and the optimizer when probing).
+// dashboard and the optimizer when probing). Like Get it returns a copy.
 func (c *Cache) Peek(key Key) (Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	return e, ok
+	return e.copied(), ok
+}
+
+// Contains reports whether the key has a non-empty answer set, without
+// touching the hit/miss counters or copying the answers — the cheap
+// probe for callers that only need existence (e.g. the executor
+// counting a pre-filter stage's uncached work).
+func (c *Cache) Contains(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries[key].Answers) > 0
+}
+
+// copied returns an Entry whose Answers slice is independent of the
+// cache's own. Readers may append to or overwrite what they get back,
+// and Append may grow the live slice, without either seeing the other.
+func (e Entry) copied() Entry {
+	if e.Answers == nil {
+		return e
+	}
+	return Entry{Answers: append([]relation.Value(nil), e.Answers...)}
 }
 
 // Put stores the complete answer set for a task application,
@@ -112,7 +138,7 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, SavedQuestions: c.hits}
+	return Stats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, SavedQuestions: c.answersServed}
 }
 
 // Clear drops all entries and counters.
@@ -120,7 +146,7 @@ func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]Entry)
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.answersServed = 0, 0, 0
 }
 
 // persistedEntry is the gob wire format.
@@ -135,7 +161,7 @@ func (c *Cache) Save(w io.Writer) error {
 	c.mu.Lock()
 	flat := make([]persistedEntry, 0, len(c.entries))
 	for k, e := range c.entries {
-		flat = append(flat, persistedEntry{Task: k.Task, Args: k.Args, Answers: e.Answers})
+		flat = append(flat, persistedEntry{Task: k.Task, Args: k.Args, Answers: e.copied().Answers})
 	}
 	c.mu.Unlock()
 	return gob.NewEncoder(w).Encode(flat)

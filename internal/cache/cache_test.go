@@ -73,20 +73,67 @@ func TestPutCopiesAnswers(t *testing.T) {
 	}
 }
 
+func TestGetPeekReturnCopies(t *testing.T) {
+	c := New()
+	k := key("isCat", "a.png")
+	c.Put(k, Entry{Answers: []relation.Value{relation.NewBool(true), relation.NewBool(true)}})
+
+	// Overwriting an element of the returned slice must not reach the
+	// cached entry.
+	e, _ := c.Get(k)
+	e.Answers[0] = relation.NewBool(false)
+	if got, _ := c.Peek(k); !got.Answers[0].Truthy() {
+		t.Fatal("mutating Get's slice corrupted the cached answers")
+	}
+
+	// Appending to the returned slice and then letting the cache Append
+	// must not publish the caller's value into the cached entry (the
+	// two appends would otherwise race for the same backing slot).
+	e, _ = c.Get(k)
+	_ = append(e.Answers, relation.NewString("caller junk"))
+	c.Append(k, relation.NewBool(true))
+	got, _ := c.Peek(k)
+	if len(got.Answers) != 3 {
+		t.Fatalf("answers = %d, want 3", len(got.Answers))
+	}
+	for i, a := range got.Answers {
+		if a.Kind() != relation.KindBool {
+			t.Fatalf("answer %d = %v; caller append leaked into the cache", i, a)
+		}
+	}
+
+	// Peek must copy too: the optimizer probes with it while HITs
+	// finalize concurrently.
+	p, _ := c.Peek(k)
+	p.Answers[1] = relation.Null
+	if got, _ := c.Peek(k); got.Answers[1].IsNull() {
+		t.Fatal("mutating Peek's slice corrupted the cached answers")
+	}
+}
+
 func TestStatsCounters(t *testing.T) {
 	c := New()
 	k := key("t", "a")
-	c.Get(k)               // miss
-	c.Put(k, Entry{})      // store
-	c.Get(k)               // hit
-	c.Peek(key("t", "zz")) // peek: not counted
+	c.Get(k) // miss
+	// Three assignments' answers behind one key: a single lookup hit
+	// serves all three would-be paid answers.
+	c.Put(k, Entry{Answers: []relation.Value{
+		relation.NewBool(true), relation.NewBool(true), relation.NewBool(false),
+	}})
+	c.Get(k)               // hit: 3 answers served
+	c.Get(k)               // hit: 3 more
+	c.Peek(k)              // peek: not counted
+	c.Peek(key("t", "zz")) // peek miss: not counted
 	s := c.Stats()
-	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.SavedQuestions != 1 {
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
 		t.Fatalf("stats = %+v", s)
+	}
+	if s.SavedQuestions != 6 {
+		t.Fatalf("SavedQuestions = %d; want answers served (2 hits × 3 answers), not lookups", s.SavedQuestions)
 	}
 	c.Clear()
 	s = c.Stats()
-	if s.Hits != 0 || s.Entries != 0 {
+	if s.Hits != 0 || s.Entries != 0 || s.SavedQuestions != 0 {
 		t.Fatalf("after clear = %+v", s)
 	}
 }

@@ -42,6 +42,12 @@ type Config struct {
 	AutoTune bool
 	// AdaptiveFilters installs the optimizer's live filter reordering.
 	AdaptiveFilters bool
+	// AdaptiveJoins enables cost-based join pre-filtering: the planner
+	// wraps a human join's inputs in feature-filter stages when
+	// optimizer.DecidePreFilter — fed live selectivity — predicts the
+	// filter pays for itself by shrinking the cross product, and the
+	// executor re-checks that decision between filter blocks.
+	AdaptiveJoins bool
 	// AttachModels creates a confidence-gated naive Bayes task model
 	// for every boolean task, enabling classifier substitution.
 	AttachModels bool
@@ -262,6 +268,13 @@ func (e *Engine) runStmt(sql string, stmt *qlang.SelectStmt) (*QueryHandle, erro
 	if e.cfg.AdaptiveFilters && cfg.FilterOrder == nil {
 		cfg.FilterOrder = e.opt.FilterOrder(script)
 	}
+	if e.cfg.AdaptiveJoins {
+		node = plan.ApplyPreFilters(node, script,
+			e.opt.PreFilterDecider(cfg.JoinLeftBlock, cfg.JoinRightBlock))
+		if cfg.PreFilterKeep == nil {
+			cfg.PreFilterKeep = e.opt.PreFilterKeep(cfg.JoinLeftBlock, cfg.JoinRightBlock)
+		}
+	}
 	q, err := exec.Start(node, cfg)
 	if err != nil {
 		return nil, err
@@ -295,6 +308,30 @@ func (e *Engine) Queries() []*QueryHandle {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]*QueryHandle(nil), e.queries...)
+}
+
+// addJoinSavings folds every query's cross-product reduction into the
+// savings panel: pairs the pre-filter stages kept away from workers,
+// priced at the join task's per-pair share of a grid HIT.
+func (e *Engine) addJoinSavings(s *dashboard.Savings, policyFor func(string) taskmgr.Policy) {
+	lb, rb := e.cfg.Exec.JoinLeftBlock, e.cfg.Exec.JoinRightBlock
+	if lb <= 0 {
+		lb = 5
+	}
+	if rb <= 0 {
+		rb = 5
+	}
+	e.mu.Lock()
+	queries := append([]*QueryHandle(nil), e.queries...)
+	e.mu.Unlock()
+	for _, h := range queries {
+		for _, red := range h.Exec.JoinReductions() {
+			s.JoinPairsAvoided += red.PairsAvoided
+			pol := policyFor(red.Task)
+			perPair := float64(pol.PriceCents) * float64(pol.Assignments) / float64(lb*rb)
+			s.JoinSavedCents += budget.Cents(float64(red.PairsAvoided) * perPair)
+		}
+	}
 }
 
 // SaveCache persists the Task Cache so a future engine (or process) can
@@ -333,7 +370,7 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 		}
 		snap.Workers = quals
 	}
-	snap.Savings = dashboard.ComputeSavings(tasks, func(task string) taskmgr.Policy {
+	policyFor := func(task string) taskmgr.Policy {
 		e.mu.Lock()
 		def, ok := e.script.Task(task)
 		e.mu.Unlock()
@@ -341,7 +378,9 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 			return taskmgr.DefaultPolicy()
 		}
 		return e.mgr.PolicyFor(def)
-	})
+	}
+	snap.Savings = dashboard.ComputeSavings(tasks, policyFor)
+	e.addJoinSavings(&snap.Savings, policyFor)
 	// Remaining-work estimate: pending batched questions plus open
 	// assignments, at one (price × assignment) unit each.
 	snap.EstimatedRemainingCents = budget.Cents(e.mgr.Pending() + e.mgr.Inflight())

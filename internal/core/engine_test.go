@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/crowd"
 	"repro/internal/dashboard"
+	"repro/internal/plan"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/workload"
@@ -19,11 +20,18 @@ RETURNS (String CEO, String Phone):
   Text: "Find the CEO and the CEO's phone number for the company %s", companyName
   Response: Form(("CEO", String), ("Phone", String))
 
+TASK isCeleb(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a photo of a public figure? %s", photo
+  Response: YesNo
+
 TASK samePerson(Image[] celebs, Image[] spotted)
 RETURNS Bool:
   TaskType: JoinPredicate
   Text: "Match the pictures."
   Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+  PreFilter: isCeleb
 
 TASK isCat(Image photo)
 RETURNS Bool:
@@ -108,6 +116,93 @@ WHERE samePerson(celebrities.image, spottedstars.image)`)
 	}
 	if len(rows) < truthMatches-2 || len(rows) > truthMatches+2 {
 		t.Fatalf("join produced %d rows, truth %d", len(rows), truthMatches)
+	}
+}
+
+// TestEngineAdaptiveJoins runs the celebrity join with and without
+// cost-based pre-filtering: the adaptive engine must buy far fewer join
+// pairs while finding (essentially) the same matches, and the dashboard
+// must report the cross-product reduction.
+func TestEngineAdaptiveJoins(t *testing.T) {
+	const (
+		nCelebs  = 20
+		nSpotted = 200
+	)
+	ds := workload.Celebrities(nCelebs, nSpotted, 0.05, 6)
+	truthMatches := 0
+	for _, crow := range ds.Tables[0].Snapshot() {
+		for _, srow := range ds.Tables[1].Snapshot() {
+			if ds.Oracle.Truth("samePerson", []relation.Value{crow.Get("image"), srow.Get("image")}).Truthy() {
+				truthMatches++
+			}
+		}
+	}
+	joinQuery := `
+SELECT celebrities.name, spottedstars.id
+FROM celebrities, spottedstars
+WHERE samePerson(celebrities.image, spottedstars.image)`
+
+	// A near-perfect crowd keeps answer noise out of the cost
+	// comparison (the crowd clamp caps skill at 0.99); the zero-vs-cheap
+	// tradeoff being measured is pairs bought, not vote quality.
+	accurate := crowd.Config{Seed: 5, Workers: 200, MeanSkill: 0.999,
+		SkillStd: 1e-9, BatchPenalty: 1e-9, SpamFraction: 1e-12, AbandonRate: 1e-12}
+
+	base := newEngine(t, Config{Crowd: accurate}, ds)
+	baseRows, err := base.QueryAndWait(joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptive := newEngine(t, Config{Crowd: accurate, AdaptiveJoins: true}, ds)
+	// Give the mid-query re-check a solid evidence floor: the left
+	// (all-celebrity) side inflates the shared selectivity estimate
+	// until enough junk sightings have been observed.
+	adaptive.Optimizer().MinPreFilterTrials = 60
+	h, err := adaptive.Run(joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(h.Plan), "PreFilter(isCeleb") {
+		t.Fatalf("rewrite did not fire:\n%s", plan.Explain(h.Plan))
+	}
+	adaptiveRows := h.Wait()
+	if errs := h.Exec.Errors(); len(errs) > 0 {
+		t.Fatalf("adaptive errors: %v", errs)
+	}
+
+	for name, rows := range map[string][]relation.Tuple{"baseline": baseRows, "adaptive": adaptiveRows} {
+		// Workers cap at 99% accuracy, so allow a little answer noise;
+		// the strict rerun-identical comparison lives in the
+		// deterministic load harness (internal/load).
+		if len(rows) < truthMatches-3 || len(rows) > truthMatches+6 {
+			t.Fatalf("%s rows = %d, truth %d", name, len(rows), truthMatches)
+		}
+	}
+
+	basePairs := base.Manager().StatsFor("sameperson").Submitted
+	adaptivePairs := adaptive.Manager().StatsFor("sameperson").Submitted
+	if basePairs != int64(nCelebs*nSpotted) {
+		t.Fatalf("baseline pairs = %d, want the full cross product", basePairs)
+	}
+	if adaptivePairs > basePairs/2 {
+		t.Fatalf("adaptive pairs = %d, want well under baseline %d", adaptivePairs, basePairs)
+	}
+	if f := adaptive.Manager().StatsFor("isceleb"); f.Submitted == 0 {
+		t.Fatal("feature filter never ran")
+	}
+
+	snap := adaptive.Snapshot()
+	if snap.Savings.JoinPairsAvoided == 0 || snap.Savings.JoinSavedCents == 0 {
+		t.Fatalf("join savings = %+v", snap.Savings)
+	}
+	text := dashboard.Render(snap)
+	if !strings.Contains(text, "Adaptive joins: avoided") {
+		t.Fatalf("dashboard missing cross-product reduction:\n%s", text)
+	}
+	// The baseline engine's dashboard must not show the panel.
+	if strings.Contains(dashboard.Render(base.Snapshot()), "Adaptive joins:") {
+		t.Fatal("baseline dashboard shows a join reduction")
 	}
 }
 

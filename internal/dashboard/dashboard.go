@@ -38,7 +38,8 @@ type BudgetInfo struct {
 	Remaining budget.Cents
 }
 
-// Savings quantifies the two dashboard optimizations.
+// Savings quantifies the dashboard optimizations: caching, classifier
+// substitution, and the cross-product reduction of adaptive joins.
 type Savings struct {
 	// CacheSavedCents estimates money not spent thanks to cache hits.
 	CacheSavedCents budget.Cents
@@ -47,6 +48,11 @@ type Savings struct {
 	ModelSavedCents budget.Cents
 	CacheHits       int64
 	ModelAnswers    int64
+	// JoinPairsAvoided counts cross-product pairs the pre-filter stages
+	// of adaptive joins kept away from workers; JoinSavedCents prices
+	// them at the join task's per-pair grid cost.
+	JoinPairsAvoided int64
+	JoinSavedCents   budget.Cents
 }
 
 // Snapshot is a point-in-time view of the whole system.
@@ -99,8 +105,13 @@ func Render(s Snapshot) string {
 	fmt.Fprintf(&b, "MTurk: %d HITs posted, %d assignments done, %d questions answered, %d from the audience\n",
 		s.Market.HITsPosted, s.Market.AssignmentsCompleted, s.Market.QuestionsAnswered, s.Market.ExternalSubmissions)
 
-	fmt.Fprintf(&b, "Optimizations: cache saved ~%v (%d hits); classifiers saved ~%v (%d answers)\n",
-		s.Savings.CacheSavedCents, s.Savings.CacheHits, s.Savings.ModelSavedCents, s.Savings.ModelAnswers)
+	fmt.Fprintf(&b, "Optimizations: cache saved ~%v (%d hits, %d answers served); classifiers saved ~%v (%d answers)\n",
+		s.Savings.CacheSavedCents, s.Savings.CacheHits, s.Cache.SavedQuestions,
+		s.Savings.ModelSavedCents, s.Savings.ModelAnswers)
+	if s.Savings.JoinPairsAvoided > 0 {
+		fmt.Fprintf(&b, "Adaptive joins: avoided %d cross-product pairs (~%v of join HITs)\n",
+			s.Savings.JoinPairsAvoided, s.Savings.JoinSavedCents)
+	}
 
 	if len(s.Tasks) > 0 {
 		b.WriteString("\nTasks:\n")

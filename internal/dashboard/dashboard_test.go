@@ -29,7 +29,7 @@ func sampleSnapshot() Snapshot {
 			ModelAnswers: 3, SpentCents: 250, Selectivity: 0.4, SelTrials: 50,
 			MeanLatencyMin: 2.5, MeanAgreement: 0.9,
 		}},
-		Cache:  cache.Stats{Entries: 55, Hits: 5, Misses: 50},
+		Cache:  cache.Stats{Entries: 55, Hits: 5, Misses: 50, SavedQuestions: 15},
 		Models: []model.Stats{{Task: "iscat", Examples: 50, Automated: 3, Declined: 47}},
 		Queries: []QueryInfo{{
 			ID: 1, SQL: "SELECT img FROM photos WHERE isCat(img)",
@@ -40,7 +40,8 @@ func sampleSnapshot() Snapshot {
 			},
 			Done: true, Results: 40, ElapsedMin: 12.5,
 		}},
-		Savings:                 Savings{CacheSavedCents: 15, ModelSavedCents: 9, CacheHits: 5, ModelAnswers: 3},
+		Savings: Savings{CacheSavedCents: 15, ModelSavedCents: 9, CacheHits: 5, ModelAnswers: 3,
+			JoinPairsAvoided: 3000, JoinSavedCents: 360},
 		EstimatedRemainingCents: 7,
 	}
 }
@@ -51,8 +52,11 @@ func TestRenderContainsAllPanels(t *testing.T) {
 		"t=12.5 virtual min",
 		"spent $2.50 of $10.00 (remaining $7.50)",
 		"10 HITs posted, 30 assignments done, 50 questions answered, 2 from the audience",
-		"cache saved ~$0.15 (5 hits)",
+		// One lookup hit serves the whole stored answer list, so the
+		// caching-benefit panel reports answers served, not lookups.
+		"cache saved ~$0.15 (5 hits, 15 answers served)",
 		"classifiers saved ~$0.09 (3 answers)",
+		"Adaptive joins: avoided 3000 cross-product pairs (~$3.60 of join HITs)",
 		"iscat",
 		"Query 1 [done, 12.5 min, 40 results, 0 errors]",
 		"Scan(photos)",

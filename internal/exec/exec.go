@@ -40,6 +40,18 @@ type Config struct {
 	// statistics from early tuples steer the ordering of later ones —
 	// the adaptivity §2 calls for — at some latency cost.
 	FilterWindow int
+	// PreFilterKeep re-checks, between blocks of a join pre-filter
+	// stage, whether filtering the remaining tuples is still predicted
+	// to pay. remaining counts the tuples not yet submitted whose
+	// filter answer is not already cached (the stage probes the task
+	// cache with a counter-free Contains probe). Returning false makes the stage pass the rest
+	// of its input through unfiltered — the mid-query re-plan of the
+	// adaptive join optimization. Nil keeps filtering to the end.
+	PreFilterKeep func(pf *plan.PreFilter, remaining int) bool
+	// PreFilterBlock is how many tuples one pre-filter round submits
+	// before waiting for outcomes and re-checking the decision
+	// (default 25). Smaller blocks adapt faster at a latency cost.
+	PreFilterBlock int
 	// OnError receives per-tuple execution errors (default: collected
 	// in Query.Errors).
 	OnError func(error)
@@ -54,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JoinRightBlock <= 0 {
 		c.JoinRightBlock = 5
+	}
+	if c.PreFilterBlock <= 0 {
+		c.PreFilterBlock = 25
 	}
 	if c.Script == nil {
 		c.Script = &qlang.Script{}
@@ -75,6 +90,10 @@ type operator struct {
 	in    int64 // atomic
 	emit  int64 // atomic
 	done  int32 // atomic
+	// decided counts input tuples whose fate is settled; only
+	// pre-filter stages maintain it (they buffer their whole input up
+	// front, so `in` alone would make undecided tuples look processed).
+	decided int64 // atomic
 }
 
 func (o *operator) stats() OpStats {
@@ -105,8 +124,61 @@ type Query struct {
 	cfg Config
 	ops []*operator
 
+	trackers []*joinTracker
+
 	mu     sync.Mutex
 	errors []error
+}
+
+// joinTracker pairs a human join with its input operators so the
+// dashboard can report how much of the cross product the pre-filter
+// stages avoided.
+type joinTracker struct {
+	label             string
+	task              string
+	left, right       *operator
+	leftPre, rightPre bool
+}
+
+// JoinReduction quantifies one pre-filtered join's cross-product
+// shrinkage: In counts tuples entering each side's pre-filter stage,
+// Kept the survivors it forwarded, and PairsAvoided the join pairs
+// already-rejected tuples will never buy (the paper's "filtering-based
+// reduction in cross-product size"). Mid-query, tuples the filter has
+// not decided yet count as neither kept nor avoided, so a dashboard
+// snapshot never reports savings that have not happened; on a finished
+// query PairsAvoided equals LeftIn×RightIn − LeftKept×RightKept.
+type JoinReduction struct {
+	Join               string // join operator label
+	Task               string // join task name
+	LeftIn, LeftKept   int64
+	RightIn, RightKept int64
+	PairsAvoided       int64
+}
+
+// JoinReductions snapshots the cross-product reduction of every human
+// join that has at least one pre-filter stage.
+func (q *Query) JoinReductions() []JoinReduction {
+	out := make([]JoinReduction, 0, len(q.trackers))
+	for _, tr := range q.trackers {
+		ls, rs := tr.left.stats(), tr.right.stats()
+		jr := JoinReduction{Join: tr.label, Task: tr.task,
+			LeftIn: ls.Out, LeftKept: ls.Out, RightIn: rs.Out, RightKept: rs.Out}
+		var droppedL, droppedR int64
+		if tr.leftPre {
+			jr.LeftIn, jr.LeftKept = ls.In, ls.Out
+			droppedL = atomic.LoadInt64(&tr.left.decided) - jr.LeftKept
+		}
+		if tr.rightPre {
+			jr.RightIn, jr.RightKept = rs.In, rs.Out
+			droppedR = atomic.LoadInt64(&tr.right.decided) - jr.RightKept
+		}
+		// Every dropped-left tuple avoids the full right input and vice
+		// versa; dropped×dropped pairs would be double-counted.
+		jr.PairsAvoided = droppedL*jr.RightIn + droppedR*jr.LeftIn - droppedL*droppedR
+		out = append(out, jr)
+	}
+	return out
 }
 
 // Result returns the results table; it is closed when the query
@@ -192,6 +264,8 @@ func needsHumans(n plan.Node) bool {
 			if v.HumanTask != nil {
 				found = true
 			}
+		case *plan.PreFilter:
+			found = true
 		}
 	})
 	// Calls inside filters/projections are checked at runtime against
@@ -219,6 +293,12 @@ func (q *Query) launch(n plan.Node) (*operator, error) {
 			return nil, err
 		}
 		go q.runProject(op, v, in)
+	case *plan.PreFilter:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runPreFilter(op, v, in)
 	case *plan.Join:
 		left, err := q.launch(v.Left)
 		if err != nil {
@@ -227,6 +307,18 @@ func (q *Query) launch(n plan.Node) (*operator, error) {
 		right, err := q.launch(v.Right)
 		if err != nil {
 			return nil, err
+		}
+		_, lpre := v.Left.(*plan.PreFilter)
+		_, rpre := v.Right.(*plan.PreFilter)
+		if lpre || rpre {
+			task := ""
+			if v.HumanTask != nil {
+				task = v.HumanTask.Name
+			}
+			q.trackers = append(q.trackers, &joinTracker{
+				label: v.Label(), task: task,
+				left: left, right: right, leftPre: lpre, rightPre: rpre,
+			})
 		}
 		go q.runJoin(op, v, left, right)
 	case *plan.OrderBy:

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
+	"repro/internal/hit"
 	"repro/internal/plan"
 	"repro/internal/qlang"
 	"repro/internal/relation"
@@ -406,7 +408,7 @@ func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
 				if !out.Value.Truthy() {
 					return
 				}
-				lk, rk, ok := splitPair(pairKey)
+				lk, rk, ok := hit.SplitPairKey(pairKey)
 				if !ok {
 					q.reportError(fmt.Errorf("exec: bad pair key %q", pairKey))
 					return
@@ -419,14 +421,6 @@ func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
 		}
 	}
 	wg.Wait()
-}
-
-func splitPair(key string) (string, string, bool) {
-	i := strings.IndexByte(key, '\x1f')
-	if i < 0 {
-		return "", "", false
-	}
-	return key[:i], key[i+1:], true
 }
 
 // joinPairwise submits one boolean question per pair — the naive join
@@ -461,6 +455,113 @@ func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
 	wg.Wait()
 }
 
+// runPreFilter runs a join's feature filter over one input with
+// single-assignment POSSIBLY-style semantics: each tuple's filter task
+// is submitted with redundancy 1 (the join predicate re-checks the
+// surviving pairs anyway), survivors flow to the join, rejects are
+// dropped. The input is processed in blocks; between blocks the stage
+// waits for outcomes — so live selectivity accumulates in the
+// Statistics Manager — and re-asks Config.PreFilterKeep whether
+// filtering the remaining (uncached, counted via counter-free cache probes) tuples is
+// still predicted to pay. A "no" re-plans the rest of the input as an
+// unfiltered pass-through.
+//
+// A tuple whose filter errors passes through unfiltered: the pre-filter
+// is an optimization, and correctness stays with the join predicate.
+func (q *Query) runPreFilter(op *operator, v *plan.PreFilter, in *operator) {
+	defer op.finish()
+	var rows []relation.Tuple
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		rows = append(rows, t)
+	}
+
+	// Evaluate each tuple's filter argument once and snapshot which
+	// answers the task cache already holds (a cheap Contains probe, no
+	// counters, no copies). uncachedAfter[i] counts uncached work in
+	// rows[i:], so each re-check is O(1); answers cached after the
+	// stage started are at worst ignored, which only makes the re-check
+	// conservative about abandoning the filter.
+	args := make([]relation.Value, len(rows))
+	argErr := make([]error, len(rows))
+	uncachedAfter := make([]int, len(rows)+1)
+	c := q.cfg.Mgr.Cache()
+	for i, t := range rows {
+		args[i], argErr[i] = Eval(v.Arg, t, nil)
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		uncachedAfter[i] = uncachedAfter[i+1]
+		if argErr[i] == nil && !c.Contains(cache.NewKey(v.Task.Name, []relation.Value{args[i]})) {
+			uncachedAfter[i]++
+		}
+	}
+
+	block := q.cfg.PreFilterBlock
+	filtering := true
+	for start := 0; start < len(rows); start += block {
+		if filtering && start > 0 && q.cfg.PreFilterKeep != nil {
+			if !q.cfg.PreFilterKeep(v, uncachedAfter[start]) {
+				filtering = false
+			}
+		}
+		end := start + block
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if !filtering {
+			for _, t := range rows[start:end] {
+				op.push(t)
+			}
+			atomic.AddInt64(&op.decided, int64(end-start))
+			continue
+		}
+		q.preFilterBlock(op, v, rows[start:end], args[start:end], argErr[start:end])
+		atomic.AddInt64(&op.decided, int64(end-start))
+	}
+}
+
+// preFilterBlock submits one block's filter questions and waits for
+// their outcomes, pushing survivors downstream in input order.
+func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.Tuple,
+	args []relation.Value, argErr []error) {
+	keep := make([]bool, len(rows))
+	var wg sync.WaitGroup
+	for i := range rows {
+		if argErr[i] != nil {
+			q.reportError(argErr[i])
+			keep[i] = true // fail open
+			continue
+		}
+		i := i
+		wg.Add(1)
+		q.cfg.Mgr.Submit(taskmgr.Request{
+			Def:         v.Task,
+			Args:        []relation.Value{args[i]},
+			Assignments: 1,
+			Done: func(out taskmgr.Outcome) {
+				defer wg.Done()
+				if out.Err != nil {
+					q.reportError(out.Err)
+					keep[i] = true // fail open
+					return
+				}
+				keep[i] = out.Value.Truthy()
+			},
+		})
+	}
+	q.cfg.Mgr.Flush(v.Task.Name)
+	wg.Wait()
+	for i, t := range rows {
+		if keep[i] {
+			op.push(t)
+		}
+	}
+}
+
 // runOrderBy buffers the input, resolves human sort keys (e.g. rating
 // tasks), sorts, and emits in order.
 func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
@@ -491,7 +592,13 @@ func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
 			defer wg.Done()
 			if err != nil {
 				q.reportError(err)
-				keys[i] = make([]relation.Value, len(keyExprs))
+				// Fill with Null like the per-key error path below, so
+				// Compare during the sort sees a well-defined value.
+				ks := make([]relation.Value, len(keyExprs))
+				for j := range ks {
+					ks[j] = relation.Null
+				}
+				keys[i] = ks
 				return
 			}
 			ks := make([]relation.Value, len(keyExprs))

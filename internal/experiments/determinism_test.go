@@ -14,7 +14,8 @@ import (
 // reports identical virtual-time metrics across reruns for every
 // workload it supports.
 func TestLoadHarnessDeterministic(t *testing.T) {
-	for _, wl := range []load.Workload{load.WorkloadFilter, load.WorkloadJoin, load.WorkloadOrderBy} {
+	for _, wl := range []load.Workload{load.WorkloadFilter, load.WorkloadJoin,
+		load.WorkloadJoinPreFilter, load.WorkloadOrderBy} {
 		t.Run(string(wl), func(t *testing.T) {
 			cfg := load.Config{Workload: wl, Tuples: 200, Workers: 120, Seed: 11}
 			a, err := load.Run(cfg)
@@ -27,7 +28,8 @@ func TestLoadHarnessDeterministic(t *testing.T) {
 			}
 			if a.HITs != b.HITs || a.Assignments != b.Assignments || a.Questions != b.Questions ||
 				a.Spent != b.Spent || a.Outcomes != b.Outcomes || a.Passed != b.Passed ||
-				a.Makespan != b.Makespan || a.P50 != b.P50 || a.P99 != b.P99 {
+				a.Makespan != b.Makespan || a.P50 != b.P50 || a.P99 != b.P99 ||
+				a.JoinPairs != b.JoinPairs || a.PassedKeysFNV != b.PassedKeysFNV {
 				t.Fatalf("virtual-time metrics differ across reruns:\n%s\n---\n%s", a, b)
 			}
 		})

@@ -14,6 +14,7 @@ package load
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/crowd"
 	"repro/internal/mturk"
+	"repro/internal/optimizer"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/taskmgr"
@@ -39,6 +41,13 @@ const (
 	// WorkloadJoin evaluates a celebrity join through 5×5 two-column
 	// grid HITs (the paper's Figure 3 batching winner).
 	WorkloadJoin Workload = "join"
+	// WorkloadJoinPreFilter is the same celebrity join behind the
+	// cost-based pre-filter: a probe measures the isCeleb feature
+	// filter's selectivity, optimizer.DecidePreFilter compares the
+	// filtered and unfiltered join costs, and (when it pays) only
+	// filter survivors enter the grids. Compare against WorkloadJoin at
+	// the same Tuples/Seed: fewer paid join pairs, same matches.
+	WorkloadJoinPreFilter Workload = "joinprefilter"
 	// WorkloadOrderBy rates every item on a 1–7 scale and sorts by the
 	// mean rating (the paper's rating-based ORDER BY).
 	WorkloadOrderBy Workload = "orderby"
@@ -66,6 +75,13 @@ type Config struct {
 	PriceCents int64
 	// Seed makes the run reproducible (default 1).
 	Seed int64
+	// Skill / SkillStd / Spam / Abandon / BatchPenalty override the
+	// crowd's accuracy profile (zero = the crowd package's defaults:
+	// 0.85 ± 0.08 skill, 5% spammers, 2% abandonment, 0.015 per-question
+	// batch decay). The joinprefilter-vs-join comparison wants a
+	// near-perfect crowd (e.g. Skill 0.999, Spam 1e-12, BatchPenalty
+	// 1e-9) so paid-pair counts, not answer noise, dominate.
+	Skill, SkillStd, Spam, Abandon, BatchPenalty float64
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +141,14 @@ type Report struct {
 	Makespan mturk.VirtualTime
 	P50, P99 time.Duration
 
+	// JoinPairs counts pairs submitted to the join interface (the paid
+	// cross product); PassedKeysFNV fingerprints the sorted passing
+	// pair keys, so two runs — or the join and joinprefilter workloads
+	// over the same dataset — can be compared for identical final
+	// result rows. Both are 0 for non-join workloads.
+	JoinPairs     int64
+	PassedKeysFNV uint64
+
 	// DollarsPerQuery is total spend for the whole run in dollars.
 	DollarsPerQuery float64
 }
@@ -140,6 +164,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  HIT latency   p50=%.1f vmin  p99=%.1f vmin  makespan=%.1f vmin\n",
 		r.P50.Minutes(), r.P99.Minutes(), r.Makespan.Minutes())
 	fmt.Fprintf(&b, "  cost          $%.2f/query\n", r.DollarsPerQuery)
+	if r.JoinPairs > 0 {
+		fmt.Fprintf(&b, "  join pairs    %d paid (result fingerprint %016x)\n", r.JoinPairs, r.PassedKeysFNV)
+	}
 	return b.String()
 }
 
@@ -159,33 +186,39 @@ func Run(cfg Config) (Report, error) {
 	clock := mturk.NewClock()
 	defer clock.Close()
 
-	var drive func(mgr *taskmgr.Manager, counters *counters)
+	var sc scenario
 	var oracle crowd.Oracle
 	switch cfg.Workload {
 	case WorkloadFilter:
 		ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
 		oracle = ds.Oracle
-		drive = filterCascade(ds, cfg)
+		sc = filterCascade(ds, cfg)
 	case WorkloadJoin:
-		nCelebs := cfg.Tuples / 10
-		if nCelebs < 5 {
-			nCelebs = 5
-		}
-		ds := workload.Celebrities(nCelebs, cfg.Tuples, 0.3, cfg.Seed)
+		ds := celebrityDataset(cfg)
 		oracle = ds.Oracle
-		drive = joinGrids(ds)
+		sc = joinGrids(ds)
+	case WorkloadJoinPreFilter:
+		ds := celebrityDataset(cfg)
+		oracle = ds.Oracle
+		sc = joinPreFilter(ds, cfg)
 	case WorkloadOrderBy:
 		ds := workload.RankItems(cfg.Tuples, 7, "rateItem", cfg.Seed)
 		oracle = ds.Oracle
-		drive = orderByRatings(ds)
+		sc = orderByRatings(ds)
 	default:
 		return rep, fmt.Errorf("load: unknown workload %q", cfg.Workload)
 	}
+	drive := sc.drive
 
 	pool := crowd.NewPool(crowd.Config{
-		Workers: cfg.Workers,
-		Shards:  cfg.Shards,
-		Seed:    cfg.Seed,
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
+		Seed:         cfg.Seed,
+		MeanSkill:    cfg.Skill,
+		SkillStd:     cfg.SkillStd,
+		SpamFraction: cfg.Spam,
+		AbandonRate:  cfg.Abandon,
+		BatchPenalty: cfg.BatchPenalty,
 	}, oracle)
 	market := mturk.NewMarketplace(clock, pool)
 	// Collect per-HIT latencies streamingly and let the marketplace drop
@@ -244,7 +277,41 @@ func Run(cfg Config) (Report, error) {
 			rep.HITsPerSec = float64(n) / secs
 		}
 	}
+	rep.JoinPairs = ctr.pairs.Load()
+	if sc.finish != nil {
+		sc.finish(&rep)
+	}
 	return rep, nil
+}
+
+// celebrityDataset builds the shared dataset of the two join workloads:
+// identical Tuples+Seed give identical tables and oracle, so their
+// reports are directly comparable.
+func celebrityDataset(cfg Config) workload.Dataset {
+	nCelebs := cfg.Tuples / 10
+	if nCelebs < 5 {
+		nCelebs = 5
+	}
+	return workload.Celebrities(nCelebs, cfg.Tuples, 0.3, cfg.Seed)
+}
+
+// scenario bundles a workload's submission driver with an optional
+// post-run report hook (e.g. the join workloads' result fingerprint).
+type scenario struct {
+	drive  func(*taskmgr.Manager, *counters)
+	finish func(*Report)
+}
+
+// fingerprint hashes the sorted passing pair keys: identical result
+// rows give identical fingerprints, whatever order they resolved in.
+func fingerprint(passed []string) uint64 {
+	sort.Strings(passed)
+	h := fnv.New64a()
+	for _, key := range passed {
+		_, _ = h.Write([]byte(key))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // counters tracks outcome resolution across the run. outstanding gates
@@ -254,6 +321,7 @@ type counters struct {
 	outcomes    atomic.Int64
 	errors      atomic.Int64
 	passed      atomic.Int64
+	pairs       atomic.Int64 // join pairs submitted to the grid interface
 }
 
 // resolve records one finished outcome (pass marks workload-specific
@@ -270,7 +338,7 @@ func (c *counters) resolve(out taskmgr.Outcome, pass bool) {
 
 // filterCascade submits isCat over every photo and isOutdoor over the
 // survivors, mirroring a two-predicate WHERE clause.
-func filterCascade(ds workload.Dataset, cfg Config) func(*taskmgr.Manager, *counters) {
+func filterCascade(ds workload.Dataset, cfg Config) scenario {
 	isCat := mustTask(`
 TASK isCat(Image img)
 RETURNS Bool:
@@ -285,7 +353,7 @@ RETURNS Bool:
   Text: "Was this photo taken outdoors? %s", img
   Response: YesNo
 `)
-	return func(mgr *taskmgr.Manager, ctr *counters) {
+	return scenario{drive: func(mgr *taskmgr.Manager, ctr *counters) {
 		for _, row := range ds.Tables[0].Snapshot() {
 			img := row.Get("img")
 			ctr.outstanding.Add(1)
@@ -299,50 +367,164 @@ RETURNS Bool:
 				ctr.resolve(out, false)
 			}})
 		}
-	}
+	}}
 }
 
-// joinGrids partitions celebrities × sightings into 5×5 two-column grid
-// HITs, the interface the paper found cheapest per pair.
-func joinGrids(ds workload.Dataset) func(*taskmgr.Manager, *counters) {
-	samePerson := mustTask(`
+// joinTasks parses the join workloads' task pair: the samePerson grid
+// predicate (declaring its feature filter) and the isCeleb filter.
+func joinTasks() (samePerson, isCeleb *qlang.TaskDef) {
+	samePerson = mustTask(`
 TASK samePerson(Image[] celebs, Image[] spotted)
 RETURNS Bool:
   TaskType: JoinPredicate
   Text: "Match the pictures showing the same person."
   Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+  PreFilter: isCeleb
 `)
+	isCeleb = mustTask(`
+TASK isCeleb(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a photo of a public figure? %s", img
+  Response: YesNo
+`)
+	return samePerson, isCeleb
+}
+
+// joinItems extracts one table's grid column.
+func joinItems(tab *relation.Table) []taskmgr.JoinItem {
+	rows := tab.Snapshot()
+	out := make([]taskmgr.JoinItem, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, taskmgr.JoinItem{
+			Key:  row.Get("image").Str(),
+			Args: []relation.Value{row.Get("image")},
+		})
+	}
+	return out
+}
+
+// gridJoin walks left×right in 5×5 blocks, accounting every submitted
+// pair and recording the keys of passing pairs.
+func gridJoin(mgr *taskmgr.Manager, ctr *counters, def *qlang.TaskDef,
+	left, right []taskmgr.JoinItem, passed *[]string) {
 	const grid = 5
-	return func(mgr *taskmgr.Manager, ctr *counters) {
-		var left, right []taskmgr.JoinItem
-		for _, row := range ds.Tables[0].Snapshot() {
-			left = append(left, taskmgr.JoinItem{
-				Key:  row.Get("image").Str(),
-				Args: []relation.Value{row.Get("image")},
+	for li := 0; li < len(left); li += grid {
+		lb := left[li:min(li+grid, len(left))]
+		for ri := 0; ri < len(right); ri += grid {
+			rb := right[ri:min(ri+grid, len(right))]
+			ctr.outstanding.Add(int64(len(lb) * len(rb)))
+			ctr.pairs.Add(int64(len(lb) * len(rb)))
+			mgr.JoinBlock(def, lb, rb, func(pairKey string, out taskmgr.Outcome) {
+				pass := out.Err == nil && out.Value.Truthy()
+				if pass {
+					*passed = append(*passed, pairKey)
+				}
+				ctr.resolve(out, pass)
 			})
 		}
-		for _, row := range ds.Tables[1].Snapshot() {
-			right = append(right, taskmgr.JoinItem{
-				Key:  row.Get("image").Str(),
-				Args: []relation.Value{row.Get("image")},
-			})
-		}
-		for li := 0; li < len(left); li += grid {
-			lb := left[li:min(li+grid, len(left))]
-			for ri := 0; ri < len(right); ri += grid {
-				rb := right[ri:min(ri+grid, len(right))]
-				ctr.outstanding.Add(int64(len(lb) * len(rb)))
-				mgr.JoinBlock(samePerson, lb, rb, func(pairKey string, out taskmgr.Outcome) {
-					ctr.resolve(out, out.Err == nil && out.Value.Truthy())
+	}
+}
+
+// joinGrids partitions celebrities × sightings into 5×5 two-column grid
+// HITs, the interface the paper found cheapest per pair.
+func joinGrids(ds workload.Dataset) scenario {
+	samePerson, _ := joinTasks()
+	var passed []string
+	return scenario{
+		drive: func(mgr *taskmgr.Manager, ctr *counters) {
+			gridJoin(mgr, ctr, samePerson, joinItems(ds.Tables[0]), joinItems(ds.Tables[1]), &passed)
+		},
+		finish: func(rep *Report) { rep.PassedKeysFNV = fingerprint(passed) },
+	}
+}
+
+// joinPreFilter is the cost-based pre-filtered join, end to end in load
+// form: probe the feature filter's selectivity on a prefix of each
+// side, let optimizer.DecidePreFilter price filtered vs unfiltered
+// execution with the live estimate, then either filter the remainder
+// (single-assignment POSSIBLY semantics) and join only survivors, or
+// join everything unfiltered. All submissions happen on the pump
+// goroutine (inside Done callbacks), so runs stay rerun-identical.
+func joinPreFilter(ds workload.Dataset, cfg Config) scenario {
+	samePerson, isCeleb := joinTasks()
+	const probeN = 25
+	var passed []string
+	drive := func(mgr *taskmgr.Manager, ctr *counters) {
+		left := joinItems(ds.Tables[0])
+		right := joinItems(ds.Tables[1])
+		keepL := make([]bool, len(left))
+		keepR := make([]bool, len(right))
+
+		// filterStage submits isCeleb for items[from:to) with a single
+		// assignment, marking survivors; when every outcome of this
+		// stage is in, next runs (on the pump goroutine).
+		filterStage := func(items []taskmgr.JoinItem, keep []bool, from, to int, next func()) {
+			pending := to - from
+			if pending == 0 {
+				next()
+				return
+			}
+			for i := from; i < to; i++ {
+				i := i
+				ctr.outstanding.Add(1)
+				mgr.Submit(taskmgr.Request{
+					Def:         isCeleb,
+					Args:        items[i].Args,
+					Assignments: 1,
+					Done: func(out taskmgr.Outcome) {
+						keep[i] = out.Err != nil || out.Value.Truthy() // fail open
+						ctr.resolve(out, false)
+						pending--
+						if pending == 0 {
+							next()
+						}
+					},
 				})
 			}
 		}
+
+		survivors := func(items []taskmgr.JoinItem, keep []bool) []taskmgr.JoinItem {
+			out := make([]taskmgr.JoinItem, 0, len(items))
+			for i, it := range items {
+				if keep[i] {
+					out = append(out, it)
+				}
+			}
+			return out
+		}
+
+		pl, pr := min(probeN, len(left)), min(probeN, len(right))
+		filterStage(left, keepL, 0, pl, func() {
+			filterStage(right, keepR, 0, pr, func() {
+				// Probe done: price the two plans with live selectivity.
+				sel := mgr.StatsFor(isCeleb.Name).Selectivity
+				fpol := taskmgr.Policy{Assignments: 1, BatchSize: cfg.Batch, PriceCents: cfg.PriceCents}
+				jpol := taskmgr.Policy{Assignments: cfg.Assignments, PriceCents: cfg.PriceCents}
+				plan := optimizer.DecidePreFilter(len(left), len(right), sel, sel, 5, 5, fpol, jpol)
+				if !plan.UsePreFilter {
+					// Not worth it: the whole cross product joins, probe
+					// answers discarded (their cost is sunk).
+					gridJoin(mgr, ctr, samePerson, left, right, &passed)
+					return
+				}
+				filterStage(left, keepL, pl, len(left), func() {
+					filterStage(right, keepR, pr, len(right), func() {
+						gridJoin(mgr, ctr, samePerson, survivors(left, keepL), survivors(right, keepR), &passed)
+					})
+				})
+			})
+		})
+	}
+	return scenario{
+		drive:  drive,
+		finish: func(rep *Report) { rep.PassedKeysFNV = fingerprint(passed) },
 	}
 }
 
 // orderByRatings collects a 1–7 rating per item, then sorts by mean
 // rating once every outcome is in (the sort itself is engine-free).
-func orderByRatings(ds workload.Dataset) func(*taskmgr.Manager, *counters) {
+func orderByRatings(ds workload.Dataset) scenario {
 	rateItem := mustTask(`
 TASK rateItem(Image img)
 RETURNS Int:
@@ -350,7 +532,7 @@ RETURNS Int:
   Text: "Rate this item from 1 to 7. %s", img
   Response: Rating(1, 7)
 `)
-	return func(mgr *taskmgr.Manager, ctr *counters) {
+	return scenario{drive: func(mgr *taskmgr.Manager, ctr *counters) {
 		for _, row := range ds.Tables[0].Snapshot() {
 			img := row.Get("img")
 			ctr.outstanding.Add(1)
@@ -358,5 +540,5 @@ RETURNS Int:
 				ctr.resolve(out, out.Err == nil)
 			}})
 		}
-	}
+	}}
 }

@@ -52,6 +52,72 @@ func TestJoinGridCoversEveryPair(t *testing.T) {
 	}
 }
 
+// TestJoinPreFilterBeatsBaseline is the adaptive-join acceptance bar:
+// on the same dataset, seed and (near-perfect) crowd profile, the
+// pre-filtered join pays for measurably fewer pairs than the plain grid
+// join while producing identical final result rows.
+func TestJoinPreFilterBeatsBaseline(t *testing.T) {
+	// Seed-pinned: runs are rerun-identical per seed, and at this seed
+	// the single-assignment feature filter makes no mistakes, so the
+	// result-row fingerprints match exactly. (At an unlucky seed the
+	// 1-assignment POSSIBLY filter can drop a true match with ~1%
+	// per-question probability — the documented cost of not paying for
+	// redundancy on an approximation the join re-checks.)
+	cfg := Config{Tuples: 100, Workers: 80, Seed: 2,
+		Skill: 0.999, SkillStd: 1e-9, Spam: 1e-12, Abandon: 1e-12, BatchPenalty: 1e-9}
+
+	cfg.Workload = WorkloadJoin
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = WorkloadJoinPreFilter
+	pre, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.JoinPairs != 10*100 {
+		t.Fatalf("baseline pairs = %d, want the full cross product", base.JoinPairs)
+	}
+	if pre.JoinPairs >= base.JoinPairs/2 {
+		t.Fatalf("pre-filtered pairs = %d, want well under baseline %d", pre.JoinPairs, base.JoinPairs)
+	}
+	if pre.Passed != base.Passed || pre.PassedKeysFNV != base.PassedKeysFNV {
+		t.Fatalf("result rows differ: passed %d vs %d, fingerprint %016x vs %016x",
+			pre.Passed, base.Passed, pre.PassedKeysFNV, base.PassedKeysFNV)
+	}
+	if pre.Spent >= base.Spent {
+		t.Fatalf("pre-filtered spend %v not under baseline %v", pre.Spent, base.Spent)
+	}
+	if pre.Errors != 0 || base.Errors != 0 {
+		t.Fatalf("errors: pre=%d base=%d", pre.Errors, base.Errors)
+	}
+}
+
+// TestJoinPreFilterDeclinesWhenUseless drives the decline branch: with
+// Batch=1 the unbatched filter costs more than the whole 5×30 grid join
+// (35 single-question filter HITs vs 18¢ of grids, at any measured
+// selectivity), so DecidePreFilter must refuse and the scenario must
+// fall back to joining the full cross product — probe spend sunk,
+// every pair paid for.
+func TestJoinPreFilterDeclinesWhenUseless(t *testing.T) {
+	rep, err := Run(Config{Workload: WorkloadJoinPreFilter, Tuples: 30, Workers: 30, Seed: 2, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.JoinPairs != 5*30 {
+		t.Fatalf("join pairs = %d, want the full 150-pair cross product after declining", rep.JoinPairs)
+	}
+	// The probe still ran: outcomes = 150 pairs + probe filter answers.
+	if rep.Outcomes <= 150 {
+		t.Fatalf("outcomes = %d, want pairs plus probe filter outcomes", rep.Outcomes)
+	}
+}
+
 func TestOrderByResolvesEveryItem(t *testing.T) {
 	rep, err := Run(Config{Workload: WorkloadOrderBy, Tuples: 90, Workers: 50, Seed: 7})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/exec"
+	"repro/internal/plan"
 	"repro/internal/qlang"
 	"repro/internal/taskmgr"
 )
@@ -86,10 +87,14 @@ func ChooseBatchSize(baseAccuracy, batchPenalty, minAccuracy float64, maxBatch i
 
 // FilterCost estimates the money to run one boolean task over n tuples
 // under a policy (questions / batch, rounded up, × price × assignments).
+// The policy is clamped the way taskmgr clamps before use, so a
+// zero-valued Policy{} costs as the minimal one instead of dividing by
+// zero.
 func FilterCost(n int, pol taskmgr.Policy) budget.Cents {
 	if n <= 0 {
 		return 0
 	}
+	pol = pol.Clamped()
 	hits := (n + pol.BatchSize - 1) / pol.BatchSize
 	return budget.Cents(int64(hits) * pol.PriceCents * int64(pol.Assignments))
 }
@@ -100,6 +105,7 @@ func JoinCost(l, r, blockL, blockR int, pol taskmgr.Policy) budget.Cents {
 	if l <= 0 || r <= 0 {
 		return 0
 	}
+	pol = pol.Clamped()
 	if blockL < 1 {
 		blockL = 1
 	}
@@ -140,6 +146,23 @@ func DecidePreFilter(l, r int, selL, selR float64, blockL, blockR int,
 	}
 }
 
+// DecidePreFilterSide costs filtering just one join input, with the
+// other side's cardinality held fixed — the executor's mid-query
+// re-check, applied to the tuples whose filter question has not been
+// submitted (and is not already answered by the cache) yet.
+func DecidePreFilterSide(n, other int, sel float64, blockL, blockR int,
+	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
+	without := JoinCost(n, other, blockL, blockR, joinPol)
+	fn := int(math.Ceil(float64(n) * sel))
+	with := FilterCost(n, filterPol) + JoinCost(fn, other, blockL, blockR, joinPol)
+	return PreFilterPlan{
+		UsePreFilter: with < without,
+		CostWithout:  without,
+		CostWith:     with,
+		ExpectedLeft: fn,
+	}
+}
+
 // Optimizer adapts task policies and filter orderings from live
 // statistics.
 type Optimizer struct {
@@ -155,18 +178,23 @@ type Optimizer struct {
 	MinAccuracy float64
 	// MaxAssignments and MaxBatch cap the knobs.
 	MaxAssignments, MaxBatch int
+	// MinPreFilterTrials is how many live selectivity observations a
+	// join's feature filter needs before the mid-query re-check may
+	// overturn the plan-time pre-filter decision (default 10).
+	MinPreFilterTrials int
 }
 
 // New returns an optimizer with documented defaults bound to mgr.
 func New(mgr *taskmgr.Manager) *Optimizer {
 	return &Optimizer{
-		Mgr:              mgr,
-		TargetConfidence: 0.9,
-		WorkerAccuracy:   0.85,
-		BatchPenalty:     0.015,
-		MinAccuracy:      0.78,
-		MaxAssignments:   9,
-		MaxBatch:         10,
+		Mgr:                mgr,
+		TargetConfidence:   0.9,
+		WorkerAccuracy:     0.85,
+		BatchPenalty:       0.015,
+		MinAccuracy:        0.78,
+		MaxAssignments:     9,
+		MaxBatch:           10,
+		MinPreFilterTrials: 10,
 	}
 }
 
@@ -237,6 +265,9 @@ func (o *Optimizer) conjunctEstimates(c qlang.Expr, script *qlang.Script) (sel, 
 		if def != nil {
 			pol = o.Mgr.PolicyFor(def)
 		}
+		// Clamp like taskmgr does before dividing: a zero-valued policy
+		// must not yield ±Inf ranks that scramble predicate ordering.
+		pol = pol.Clamped()
 		perTuple := float64(pol.PriceCents) * float64(pol.Assignments) / float64(pol.BatchSize)
 		costCents += perTuple
 		sel *= st.Selectivity
@@ -249,4 +280,73 @@ func (o *Optimizer) conjunctEstimates(c qlang.Expr, script *qlang.Script) (sel, 
 // "estimates for total query cost".
 func (o *Optimizer) EstimateRemaining(def *qlang.TaskDef, n int) budget.Cents {
 	return FilterCost(n, o.Mgr.PolicyFor(def))
+}
+
+// preFilterPolicy is the policy a join's feature filter runs under:
+// the task's tuned policy with redundancy forced to one. A pre-filter
+// is an approximation the join predicate re-checks anyway (POSSIBLY
+// semantics), so majority voting is not worth paying for.
+func (o *Optimizer) preFilterPolicy(filter *qlang.TaskDef) taskmgr.Policy {
+	pol := o.Mgr.PolicyFor(filter)
+	pol.Assignments = 1
+	return pol
+}
+
+func normBlock(b int) int {
+	if b <= 0 {
+		return 5 // exec.Config's default grid edge (Figure 3)
+	}
+	return b
+}
+
+// PreFilterDecider returns the planner hook for plan.ApplyPreFilters:
+// it prices the join-only baseline against filtering both inputs with
+// the feature question (DecidePreFilter, the paper's model), using the
+// Statistics Manager's live selectivity estimate for the filter task.
+// blockL×blockR is the join grid shape HITs will use.
+//
+// The decision is both-sides-or-nothing: the Statistics Manager tracks
+// one selectivity per task, so the planner cannot tell a side the
+// filter keeps whole from a side it decimates. The executor's
+// per-stage re-check (PreFilterKeep) is where one-sided economics kick
+// in, once each stage has live evidence.
+func (o *Optimizer) PreFilterDecider(blockL, blockR int) plan.PreFilterDecider {
+	blockL, blockR = normBlock(blockL), normBlock(blockR)
+	return func(join, filter *qlang.TaskDef, l, r int) plan.PreFilterDecision {
+		fpol := o.preFilterPolicy(filter)
+		jpol := o.Mgr.PolicyFor(join)
+		sel := o.Mgr.StatsFor(filter.Name).Selectivity
+		if p := DecidePreFilter(l, r, sel, sel, blockL, blockR, fpol, jpol); p.UsePreFilter {
+			return plan.PreFilterDecision{Left: true, Right: true}
+		}
+		return plan.PreFilterDecision{}
+	}
+}
+
+// PreFilterKeep returns the executor's mid-query re-check hook: before
+// each block of filter questions is submitted it re-prices filtering
+// the still-unsubmitted (and uncached — the executor probes the task
+// cache with a counter-free Contains probe) tuples against joining them unfiltered, with the
+// selectivity the Statistics Manager has accumulated so far. Until
+// MinPreFilterTrials observations exist the plan-time decision stands.
+func (o *Optimizer) PreFilterKeep(blockL, blockR int) func(pf *plan.PreFilter, remaining int) bool {
+	blockL, blockR = normBlock(blockL), normBlock(blockR)
+	return func(pf *plan.PreFilter, remaining int) bool {
+		if remaining <= 0 {
+			return true
+		}
+		st := o.Mgr.StatsFor(pf.Task.Name)
+		if st.SelTrials < o.MinPreFilterTrials {
+			return true
+		}
+		fpol := o.preFilterPolicy(pf.Task)
+		jpol := o.Mgr.PolicyFor(pf.Join.HumanTask)
+		var p PreFilterPlan
+		if pf.Left {
+			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Right), st.Selectivity, blockL, blockR, fpol, jpol)
+		} else {
+			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Left), st.Selectivity, blockR, blockL, fpol, jpol)
+		}
+		return p.UsePreFilter
+	}
 }

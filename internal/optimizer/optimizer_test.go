@@ -10,6 +10,7 @@ import (
 	"repro/internal/crowd"
 	"repro/internal/model"
 	"repro/internal/mturk"
+	"repro/internal/plan"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/taskmgr"
@@ -118,6 +119,45 @@ func TestDecidePreFilter(t *testing.T) {
 	}
 }
 
+// TestCostZeroPolicy is the divide-by-zero regression: a zero-valued
+// Policy{} must clamp like taskmgr's effective policy does, not panic
+// or produce ±Inf costs.
+func TestCostZeroPolicy(t *testing.T) {
+	zero := taskmgr.Policy{}
+	if got := FilterCost(10, zero); got != 10 { // 10 HITs × 1c × 1 assignment
+		t.Errorf("FilterCost(10, Policy{}) = %v, want 10", got)
+	}
+	if got := JoinCost(10, 10, 5, 5, zero); got != 4 { // 4 blocks × 1c × 1
+		t.Errorf("JoinCost(10, 10, Policy{}) = %v, want 4", got)
+	}
+	p := DecidePreFilter(50, 50, 0.2, 0.2, 5, 5, zero, zero)
+	if p.CostWith <= 0 || p.CostWithout <= 0 {
+		t.Errorf("DecidePreFilter with Policy{} = %+v", p)
+	}
+	ps := DecidePreFilterSide(50, 50, 0.2, 5, 5, zero, zero)
+	if ps.CostWith <= 0 || ps.CostWithout <= 0 {
+		t.Errorf("DecidePreFilterSide with Policy{} = %+v", ps)
+	}
+}
+
+func TestDecidePreFilterSide(t *testing.T) {
+	filterPol := taskmgr.Policy{Assignments: 1, BatchSize: 10, PriceCents: 1}
+	joinPol := taskmgr.Policy{Assignments: 3, PriceCents: 2}
+	// Selective filter over one big side: filtering it pays.
+	p := DecidePreFilterSide(100, 100, 0.2, 5, 5, filterPol, joinPol)
+	if !p.UsePreFilter || p.CostWith >= p.CostWithout {
+		t.Fatalf("selective one-sided filter should win: %+v", p)
+	}
+	if p.ExpectedLeft != 20 {
+		t.Fatalf("expected survivors = %d", p.ExpectedLeft)
+	}
+	// A filter that keeps nearly everything cannot pay.
+	p2 := DecidePreFilterSide(100, 100, 0.97, 5, 5, filterPol, joinPol)
+	if p2.UsePreFilter {
+		t.Fatalf("non-selective filter chosen: %+v", p2)
+	}
+}
+
 func newOptRig(t *testing.T) (*Optimizer, *taskmgr.Manager, *qlang.Script) {
 	t.Helper()
 	script, err := qlang.Parse(`
@@ -211,6 +251,93 @@ func seedSelectivity(mgr *taskmgr.Manager, script *qlang.Script, task string, se
 		key := cache.NewKey(def.Name, args)
 		mgr.Cache().Put(key, cache.Entry{Answers: []relation.Value{relation.NewBool(i < passes)}})
 		mgr.Submit(taskmgr.Request{Def: def, Args: args, Done: func(taskmgr.Outcome) {}})
+	}
+}
+
+const preFilterJoinScript = `
+TASK isPerson(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Does this photo show a person? %s", img
+  Response: YesNo
+
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Match the pictures."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+  PreFilter: isPerson
+`
+
+func newPreFilterRig(t *testing.T) (*Optimizer, *taskmgr.Manager, *qlang.Script) {
+	t.Helper()
+	script, err := qlang.Parse(preFilterJoinScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := mturk.NewClock()
+	pool := crowd.NewPool(crowd.Config{Seed: 1}, crowd.OracleFunc(
+		func(task string, args []relation.Value) relation.Value { return relation.NewBool(true) }))
+	market := mturk.NewMarketplace(clock, pool)
+	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(0))
+	return New(mgr), mgr, script
+}
+
+// TestPreFilterDeciderAdapts drives the planner hook with live
+// selectivity: a selective feature filter fires the rewrite, a
+// non-selective one declines it.
+func TestPreFilterDeciderAdapts(t *testing.T) {
+	o, mgr, script := newPreFilterRig(t)
+	join, _ := script.Task("samePerson")
+	filter, _ := script.Task("isPerson")
+	decide := o.PreFilterDecider(5, 5)
+
+	seedSelectivity(mgr, script, "isPerson", 0.15, 60)
+	d := decide(join, filter, 100, 100)
+	if !d.Left && !d.Right {
+		t.Fatalf("selective filter (σ≈0.15) should fire: %+v", d)
+	}
+
+	seedSelectivity(mgr, script, "isPerson", 0.99, 4000)
+	d2 := decide(join, filter, 100, 100)
+	if d2.Left || d2.Right {
+		t.Fatalf("non-selective filter (σ≈0.99) should decline: %+v", d2)
+	}
+}
+
+// TestPreFilterKeep covers the executor's mid-query re-check: it trusts
+// the plan until enough trials accumulate, then re-prices the remaining
+// uncached tuples.
+func TestPreFilterKeep(t *testing.T) {
+	o, mgr, script := newPreFilterRig(t)
+	joinDef, _ := script.Task("samePerson")
+	filterDef, _ := script.Task("isPerson")
+	left := relation.NewTable("l", relation.MustSchema(relation.Column{Name: "image", Kind: relation.KindImage}))
+	right := relation.NewTable("r", relation.MustSchema(relation.Column{Name: "image", Kind: relation.KindImage}))
+	for i := 0; i < 100; i++ {
+		_ = right.InsertValues(relation.NewImage("r.png"))
+	}
+	j := &plan.Join{Left: &plan.Scan{Table: left}, Right: &plan.Scan{Table: right}, HumanTask: joinDef}
+	pf := &plan.PreFilter{Input: j.Left, Task: filterDef, Join: j, Left: true}
+	keep := o.PreFilterKeep(5, 5)
+
+	// No trials yet: the plan-time decision stands.
+	if !keep(pf, 50) {
+		t.Fatal("re-check must not overturn the plan without evidence")
+	}
+	// Live selectivity says the filter keeps ~everything: stop paying.
+	seedSelectivity(mgr, script, "isPerson", 0.97, 60)
+	if keep(pf, 50) {
+		t.Fatal("non-selective filter should be abandoned mid-query")
+	}
+	// Live selectivity says the filter drops ~everything: keep going.
+	seedSelectivity(mgr, script, "isPerson", 0.05, 4000)
+	if !keep(pf, 50) {
+		t.Fatal("selective filter should keep filtering")
+	}
+	// Nothing left to submit: trivially keep.
+	if !keep(pf, 0) {
+		t.Fatal("remaining=0 must not flip the stage")
 	}
 }
 

@@ -1,0 +1,128 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// PreFilter runs a cheap boolean feature-filter task over one input of a
+// human join, discarding tuples the filter rejects so the join's
+// human-evaluated cross product shrinks (the paper's filtering-based
+// reduction in cross-product size). The executor resolves the filter
+// with single-assignment POSSIBLY-style semantics: it is an
+// approximation the join predicate would re-check anyway, so redundancy
+// is not worth paying for.
+type PreFilter struct {
+	Input Node
+	// Task is the boolean feature-filter task applied to each tuple.
+	Task *qlang.TaskDef
+	// Arg is this side's join argument, fed to Task.
+	Arg qlang.Expr
+	// Join is the human join this node protects; Left tells which input.
+	Join *Join
+	Left bool
+}
+
+// Schema implements Node.
+func (p *PreFilter) Schema() *relation.Schema { return p.Input.Schema() }
+
+// Children implements Node.
+func (p *PreFilter) Children() []Node { return []Node{p.Input} }
+
+// Label implements Node.
+func (p *PreFilter) Label() string {
+	return fmt.Sprintf("PreFilter(%s(%s))", p.Task.Name, p.Arg)
+}
+
+// PreFilterDecision says which inputs of one join to wrap.
+type PreFilterDecision struct {
+	Left, Right bool
+}
+
+// PreFilterDecider is the optimizer's cost hook: given the join task,
+// its declared feature filter and the estimated input cardinalities, it
+// decides which sides (if any) are worth pre-filtering. The engine
+// plugs in a decider backed by optimizer.DecidePreFilter and the
+// Statistics Manager's live selectivity estimates.
+type PreFilterDecider func(join, filter *qlang.TaskDef, leftRows, rightRows int) PreFilterDecision
+
+// ApplyPreFilters rewrites the plan, wrapping the inputs of every human
+// join whose task declares a PreFilter in feature-filter nodes when
+// decide predicts the filter pays for itself. A missing or ineligible
+// filter task (not boolean, not unary) leaves the join untouched: the
+// rewrite is an optimization, never a requirement.
+func ApplyPreFilters(n Node, script *qlang.Script, decide PreFilterDecider) Node {
+	switch v := n.(type) {
+	case *Filter:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Project:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Aggregate:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *OrderBy:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Distinct:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Limit:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Join:
+		v.Left = ApplyPreFilters(v.Left, script, decide)
+		v.Right = ApplyPreFilters(v.Right, script, decide)
+		fdef, ok := eligiblePreFilter(v, script)
+		if !ok || decide == nil {
+			return v
+		}
+		d := decide(v.HumanTask, fdef, EstimateRows(v.Left), EstimateRows(v.Right))
+		if d.Left {
+			v.Left = &PreFilter{Input: v.Left, Task: fdef, Arg: v.LeftArg, Join: v, Left: true}
+		}
+		if d.Right {
+			v.Right = &PreFilter{Input: v.Right, Task: fdef, Arg: v.RightArg, Join: v, Left: false}
+		}
+	}
+	return n
+}
+
+// eligiblePreFilter resolves a join's declared feature filter: a unary
+// boolean task the planner can apply to each side's join argument.
+func eligiblePreFilter(j *Join, script *qlang.Script) (*qlang.TaskDef, bool) {
+	if j.HumanTask == nil || j.HumanTask.PreFilterTask == "" {
+		return nil, false
+	}
+	fdef, ok := script.Task(j.HumanTask.PreFilterTask)
+	if !ok || len(fdef.Params) != 1 {
+		return nil, false
+	}
+	if len(fdef.Returns) != 1 || fdef.Returns[0].Kind != relation.KindBool {
+		return nil, false
+	}
+	return fdef, true
+}
+
+// EstimateRows gives a plan-time cardinality estimate for cost
+// decisions. Base tables report their current size; filters are assumed
+// non-reducing (conservative: overestimating inputs only makes a
+// pre-filter look more attractive on the side it protects and is
+// corrected by the executor's mid-query re-check); joins multiply.
+func EstimateRows(n Node) int {
+	switch v := n.(type) {
+	case *Scan:
+		return v.Table.Len()
+	case *Join:
+		return EstimateRows(v.Left) * EstimateRows(v.Right)
+	case *Limit:
+		est := EstimateRows(v.Input)
+		if v.N < est {
+			return v.N
+		}
+		return est
+	default:
+		children := n.Children()
+		if len(children) == 0 {
+			return 0
+		}
+		return EstimateRows(children[0])
+	}
+}

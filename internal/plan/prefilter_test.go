@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// preFilterScript declares a join whose task names a feature filter.
+const preFilterScript = `
+TASK isPerson(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Does this photo show a person? %s", img
+  Response: YesNo
+
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Match the pictures."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+  PreFilter: isPerson
+`
+
+func preFilterEnv(t *testing.T, nCelebs, nSpotted int) (*qlang.Script, *relation.Catalog) {
+	t.Helper()
+	script, err := qlang.Parse(preFilterScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	celebs := relation.NewTable("celebrities", relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "image", Kind: relation.KindImage}))
+	spotted := relation.NewTable("spottedstars", relation.MustSchema(
+		relation.Column{Name: "id", Kind: relation.KindInt},
+		relation.Column{Name: "image", Kind: relation.KindImage}))
+	for i := 0; i < nCelebs; i++ {
+		_ = celebs.InsertValues(relation.NewString("c"), relation.NewImage("c.png"))
+	}
+	for i := 0; i < nSpotted; i++ {
+		_ = spotted.InsertValues(relation.NewInt(int64(i)), relation.NewImage("s.png"))
+	}
+	cat := relation.NewCatalog()
+	for _, tab := range []*relation.Table{celebs, spotted} {
+		if err := cat.Register(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return script, cat
+}
+
+func buildJoinPlan(t *testing.T, script *qlang.Script, cat *relation.Catalog) Node {
+	t.Helper()
+	stmt, err := qlang.ParseQuery(`SELECT celebrities.name, spottedstars.id
+FROM celebrities, spottedstars
+WHERE samePerson(celebrities.image, spottedstars.image)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(stmt, script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestApplyPreFiltersFires(t *testing.T) {
+	script, cat := preFilterEnv(t, 4, 20)
+	root := buildJoinPlan(t, script, cat)
+	var sawJoin, sawFilter *qlang.TaskDef
+	var sawL, sawR int
+	root = ApplyPreFilters(root, script, func(join, filter *qlang.TaskDef, l, r int) PreFilterDecision {
+		sawJoin, sawFilter, sawL, sawR = join, filter, l, r
+		return PreFilterDecision{Left: true, Right: true}
+	})
+	if sawJoin == nil || sawJoin.Name != "samePerson" || sawFilter.Name != "isPerson" {
+		t.Fatalf("decider saw join=%v filter=%v", sawJoin, sawFilter)
+	}
+	if sawL != 4 || sawR != 20 {
+		t.Fatalf("decider cardinalities = %d×%d, want 4×20", sawL, sawR)
+	}
+	join := findJoin(root)
+	lp, lok := join.Left.(*PreFilter)
+	rp, rok := join.Right.(*PreFilter)
+	if !lok || !rok {
+		t.Fatalf("join inputs = %T, %T; want both wrapped", join.Left, join.Right)
+	}
+	if !lp.Left || rp.Left {
+		t.Fatal("side markers wrong")
+	}
+	if lp.Arg.String() != "celebrities.image" || rp.Arg.String() != "spottedstars.image" {
+		t.Fatalf("args = %v, %v", lp.Arg, rp.Arg)
+	}
+	if lp.Join != join || rp.Join != join {
+		t.Fatal("back-references must point at the rewritten join")
+	}
+	if !strings.Contains(Explain(root), "PreFilter(isPerson(celebrities.image))") {
+		t.Fatalf("explain missing pre-filter:\n%s", Explain(root))
+	}
+	// The schema is untouched: a pre-filter only drops tuples.
+	if lp.Schema() != lp.Input.Schema() {
+		t.Fatal("pre-filter must pass its input schema through")
+	}
+}
+
+func TestApplyPreFiltersDeclines(t *testing.T) {
+	script, cat := preFilterEnv(t, 4, 20)
+	root := buildJoinPlan(t, script, cat)
+	root = ApplyPreFilters(root, script, func(join, filter *qlang.TaskDef, l, r int) PreFilterDecision {
+		return PreFilterDecision{} // non-selective filter: not worth it
+	})
+	join := findJoin(root)
+	if _, ok := join.Left.(*PreFilter); ok {
+		t.Fatal("declined rewrite must leave the join unwrapped")
+	}
+	if _, ok := join.Right.(*PreFilter); ok {
+		t.Fatal("declined rewrite must leave the join unwrapped")
+	}
+}
+
+func TestApplyPreFiltersOneSide(t *testing.T) {
+	script, cat := preFilterEnv(t, 4, 20)
+	root := buildJoinPlan(t, script, cat)
+	root = ApplyPreFilters(root, script, func(join, filter *qlang.TaskDef, l, r int) PreFilterDecision {
+		return PreFilterDecision{Right: true} // left side all passes: skip it
+	})
+	join := findJoin(root)
+	if _, ok := join.Left.(*PreFilter); ok {
+		t.Fatal("left side must stay unwrapped")
+	}
+	if _, ok := join.Right.(*PreFilter); !ok {
+		t.Fatal("right side must be wrapped")
+	}
+}
+
+func TestApplyPreFiltersIgnoresUndeclaredJoins(t *testing.T) {
+	script, cat := preFilterEnv(t, 4, 20)
+	// Strip the declaration: the rewrite must not invent filters.
+	def, _ := script.Task("samePerson")
+	def.PreFilterTask = ""
+	root := buildJoinPlan(t, script, cat)
+	called := false
+	root = ApplyPreFilters(root, script, func(join, filter *qlang.TaskDef, l, r int) PreFilterDecision {
+		called = true
+		return PreFilterDecision{Left: true, Right: true}
+	})
+	if called {
+		t.Fatal("decider must not run without a declared pre-filter")
+	}
+	if _, ok := findJoin(root).Left.(*PreFilter); ok {
+		t.Fatal("join must stay unwrapped")
+	}
+	// An unresolvable filter name is equally ignored.
+	def.PreFilterTask = "noSuchTask"
+	root2 := buildJoinPlan(t, script, cat)
+	root2 = ApplyPreFilters(root2, script, func(join, filter *qlang.TaskDef, l, r int) PreFilterDecision {
+		t.Fatal("decider must not run for an unknown filter task")
+		return PreFilterDecision{}
+	})
+	if _, ok := findJoin(root2).Left.(*PreFilter); ok {
+		t.Fatal("join must stay unwrapped")
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	script, cat := preFilterEnv(t, 4, 20)
+	root := buildJoinPlan(t, script, cat)
+	join := findJoin(root)
+	if got := EstimateRows(join); got != 80 {
+		t.Fatalf("join estimate = %d, want 4×20", got)
+	}
+	lim := &Limit{Input: join, N: 7}
+	if got := EstimateRows(lim); got != 7 {
+		t.Fatalf("limit estimate = %d", got)
+	}
+	_ = script
+}
+
+// findJoin returns the first Join in the plan.
+func findJoin(n Node) *Join {
+	var out *Join
+	Walk(n, func(node Node) {
+		if j, ok := node.(*Join); ok && out == nil {
+			out = j
+		}
+	})
+	return out
+}

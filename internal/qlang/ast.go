@@ -351,6 +351,12 @@ type TaskDef struct {
 	PriceCents  int64
 	Assignments int
 	BatchSize   int
+
+	// PreFilterTask names a cheap boolean feature-filter task the
+	// optimizer may run over both inputs of a JoinPredicate task to
+	// shrink the human-evaluated cross product ("PreFilter: isPerson").
+	// Empty means no pre-filter is available for this join.
+	PreFilterTask string
 }
 
 // ReturnsTuple reports whether the task returns a multi-field tuple.

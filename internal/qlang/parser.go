@@ -661,6 +661,12 @@ func (p *Parser) parseTask() (*TaskDef, error) {
 				return nil, p.errf("bad Batch %q", numText)
 			}
 			task.BatchSize = n
+		case "prefilter":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			task.PreFilterTask = name
 		default:
 			return nil, p.errf("unknown task field %q", field)
 		}
@@ -839,6 +845,9 @@ func validateTask(t *TaskDef) error {
 	nPlaceholders := strings.Count(t.Text, "%s")
 	if t.Text != "" && nPlaceholders != len(t.TextArgs) {
 		return fmt.Errorf("task %s: Text has %d %%s placeholders but %d arguments", t.Name, nPlaceholders, len(t.TextArgs))
+	}
+	if t.PreFilterTask != "" && t.Type != TaskJoinPredicate {
+		return fmt.Errorf("task %s: PreFilter only applies to JoinPredicate tasks", t.Name)
 	}
 	switch t.Type {
 	case TaskJoinPredicate:

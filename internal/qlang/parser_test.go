@@ -297,6 +297,36 @@ RETURNS Bool:
 	}
 }
 
+func TestTaskPreFilterField(t *testing.T) {
+	src := `
+TASK samePerson(Image[] celebs, Image[] spotted)
+RETURNS Bool:
+  TaskType: JoinPredicate
+  Text: "Match the pictures."
+  Response: JoinColumns("Celebrity", celebs, "Spotted Star", spotted)
+  PreFilter: isPerson
+`
+	task, err := ParseTaskDef(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.PreFilterTask != "isPerson" {
+		t.Errorf("PreFilterTask = %q", task.PreFilterTask)
+	}
+	// PreFilter is join-only: a Filter task declaring one is rejected.
+	bad := `
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+  PreFilter: isPhoto
+`
+	if _, err := ParseTaskDef(bad); err == nil {
+		t.Error("PreFilter on a Filter task should be rejected")
+	}
+}
+
 func TestTaskRatingAndChoice(t *testing.T) {
 	src := `
 TASK squareScore(Image pic)

@@ -70,6 +70,23 @@ func DefaultPolicy() Policy {
 	}
 }
 
+// Clamped floors the posting knobs (assignments, batch and price are
+// all at least 1) the way the manager does before using a policy. The
+// optimizer's cost arithmetic applies the same clamp so its divisions
+// and estimates always match actual posting behavior.
+func (p Policy) Clamped() Policy {
+	if p.Assignments < 1 {
+		p.Assignments = 1
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = 1
+	}
+	if p.PriceCents < 1 {
+		p.PriceCents = 1
+	}
+	return p
+}
+
 // merged applies TASK-definition overrides to the policy.
 func (p Policy) merged(def *qlang.TaskDef) Policy {
 	if def.Assignments > 0 {
@@ -351,16 +368,7 @@ func (st *taskState) effectivePolicyLocked(base Policy) Policy {
 	if st.def != nil {
 		p = p.merged(st.def)
 	}
-	if p.Assignments < 1 {
-		p.Assignments = 1
-	}
-	if p.BatchSize < 1 {
-		p.BatchSize = 1
-	}
-	if p.PriceCents < 1 {
-		p.PriceCents = 1
-	}
-	return p
+	return p.Clamped()
 }
 
 // state returns (creating if needed) the named task's state.

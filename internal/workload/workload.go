@@ -79,21 +79,26 @@ func Celebrities(nCelebs, nSpotted int, matchFraction float64, seed int64) Datas
 		_ = celebs.InsertValues(relation.NewString(name), relation.NewImage(fmt.Sprintf("person%04d-studio.png", i)))
 	}
 	for j := 0; j < nSpotted; j++ {
-		person := -1 // matches nobody
+		// Junk sightings carry a "nobody" identity that can never equal a
+		// celebrity's, at any table size.
+		ref := fmt.Sprintf("nobody%04d-street%04d.png", j, j)
 		if rng.Float64() < matchFraction && nCelebs > 0 {
-			person = rng.Intn(nCelebs)
-		}
-		ref := fmt.Sprintf("person%04d-street%04d.png", person+100000, j)
-		if person >= 0 {
-			ref = fmt.Sprintf("person%04d-street%04d.png", person, j)
+			ref = fmt.Sprintf("person%04d-street%04d.png", rng.Intn(nCelebs), j)
 		}
 		_ = spotted.InsertValues(relation.NewInt(int64(j+1)), relation.NewImage(ref))
 	}
 	oracle := crowd.OracleFunc(func(task string, args []relation.Value) relation.Value {
-		if !strings.EqualFold(task, "samePerson") || len(args) < 2 {
-			return relation.Null
+		switch {
+		case strings.EqualFold(task, "samePerson") && len(args) >= 2:
+			return relation.NewBool(personOf(args[0].Str()) == personOf(args[1].Str()))
+		case strings.EqualFold(task, "isCeleb") && len(args) >= 1:
+			// The cheap feature question of the join pre-filter: "could
+			// this be one of the listed celebrities at all?" — a human
+			// recognizes a public figure much faster than they match two
+			// specific photos. Junk sightings embed an offset identity.
+			return relation.NewBool(IsCelebRef(args[0].Str()))
 		}
-		return relation.NewBool(personOf(args[0].Str()) == personOf(args[1].Str()))
+		return relation.Null
 	})
 	return Dataset{Tables: []*relation.Table{celebs, spotted}, Oracle: oracle}
 }
@@ -104,6 +109,14 @@ func personOf(ref string) string {
 		return ref[:i]
 	}
 	return ref
+}
+
+// IsCelebRef is the ground truth of the isCeleb feature filter: matched
+// sightings (and the celebrity photos themselves) carry a "person"
+// identity; junk sightings carry a "nobody" identity that matches no
+// celebrity at any table size.
+func IsCelebRef(ref string) bool {
+	return strings.HasPrefix(personOf(ref), "person")
 }
 
 // Photos generates a photo table for filter workloads. Each photo is a
