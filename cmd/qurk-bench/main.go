@@ -1,23 +1,97 @@
 // Command qurk-bench regenerates every experiment table from
-// EXPERIMENTS.md (the paper's evaluation artifacts) and prints them.
+// EXPERIMENTS.md (the paper's evaluation artifacts) and prints them,
+// plus the STORE scenario benchmarking the durable knowledge store's
+// cold-start vs warm-start economics (emitting BENCH_store.json).
 //
 //	qurk-bench                  # all experiments, default scale
 //	qurk-bench -only E3 -seed 7 # one experiment, custom seed
 //	qurk-bench -scale 3         # 3× larger workloads
+//	qurk-bench -only STORE      # cold vs warm run, writes BENCH_store.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/load"
 )
+
+// storeBench is the BENCH_store.json schema: one cold run against a
+// fresh store, one warm run replaying it, on identical config.
+type storeBench struct {
+	Workload       string  `json:"workload"`
+	Tuples         int     `json:"tuples"`
+	Seed           int64   `json:"seed"`
+	ColdHITs       int64   `json:"cold_hits"`
+	WarmHITs       int64   `json:"warm_hits"`
+	ColdSpentCents int64   `json:"cold_spent_cents"`
+	WarmSpentCents int64   `json:"warm_spent_cents"`
+	CacheServed    int64   `json:"warm_cache_served"`
+	ReplayedAnswer int64   `json:"replayed_answers"`
+	ReplayedObs    int64   `json:"replayed_observations"`
+	ColdWallMs     float64 `json:"cold_wall_ms"`
+	WarmWallMs     float64 `json:"warm_wall_ms"`
+	ReplayMs       float64 `json:"replay_ms"`
+	SameFinger     bool    `json:"fingerprints_match"`
+}
+
+// runStoreBench measures the store's cold→warm payoff and writes
+// BENCH_store.json next to the other BENCH artifacts.
+func runStoreBench(seed int64, scale int) error {
+	dir, err := os.MkdirTemp("", "qurk-store-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := load.Config{Workload: load.WorkloadWarmstart,
+		Tuples: 2000 * scale, Workers: 500, Seed: seed, StorePath: dir}
+	cold, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	warm, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out := storeBench{
+		Workload:       string(cfg.Workload),
+		Tuples:         cfg.Tuples,
+		Seed:           seed,
+		ColdHITs:       cold.HITs,
+		WarmHITs:       warm.HITs,
+		ColdSpentCents: int64(cold.Spent),
+		WarmSpentCents: int64(warm.Spent),
+		CacheServed:    warm.CacheServed,
+		ReplayedAnswer: warm.ReplayedAnswers,
+		ReplayedObs:    warm.ReplayedObservations,
+		ColdWallMs:     float64(cold.Wall) / float64(time.Millisecond),
+		WarmWallMs:     float64(warm.Wall) / float64(time.Millisecond),
+		ReplayMs:       float64(warm.Replay) / float64(time.Millisecond),
+		SameFinger:     cold.PassedKeysFNV == warm.PassedKeysFNV && cold.Passed == warm.Passed,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_store.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("STORE: cold %d HITs (%d¢, %.0f ms) → warm %d HITs (%d¢, %.0f ms; replay %.1f ms, %d answers + %d observations); fingerprints match: %v\n",
+		out.ColdHITs, out.ColdSpentCents, out.ColdWallMs,
+		out.WarmHITs, out.WarmSpentCents, out.WarmWallMs,
+		out.ReplayMs, out.ReplayedAnswer, out.ReplayedObs, out.SameFinger)
+	fmt.Println("wrote BENCH_store.json")
+	return nil
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -50,8 +124,15 @@ func main() {
 		matched = true
 		fmt.Println(r.run().String())
 	}
+	if *only == "" || strings.EqualFold(*only, "STORE") {
+		matched = true
+		if err := runStoreBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: STORE:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE)\n", *only)
 		os.Exit(2)
 	}
 }

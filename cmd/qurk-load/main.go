@@ -7,6 +7,10 @@
 //	qurk-load -workload joinprefilter          # cost-based pre-filtered join
 //	qurk-load -workload orderby -workers 2000  # rating sort, big crowd
 //	qurk-load -verify                          # run twice, assert identical
+//	qurk-load -workload warmstart -store DIR -verify
+//	    # cold run, then a warm run over the same store: asserts run 2
+//	    # pays fewer HITs, answers ≥ half its questions from replayed
+//	    # state, and reproduces run 1's result fingerprint exactly
 package main
 
 import (
@@ -31,7 +35,8 @@ func main() {
 	spam := flag.Float64("spam", 0, "spammer fraction (0 = crowd default 0.05)")
 	abandon := flag.Float64("abandon", 0, "abandonment rate (0 = crowd default 0.02)")
 	batchPenalty := flag.Float64("batchpenalty", 0, "per-question accuracy decay (0 = crowd default 0.015)")
-	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match")
+	storePath := flag.String("store", "", "durable knowledge store directory (required by -workload warmstart)")
+	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
 	flag.Parse()
 
 	cfg := load.Config{
@@ -48,6 +53,7 @@ func main() {
 		Spam:         *spam,
 		Abandon:      *abandon,
 		BatchPenalty: *batchPenalty,
+		StorePath:    *storePath,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -61,6 +67,36 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
 			os.Exit(1)
+		}
+		if cfg.Workload == load.WorkloadWarmstart {
+			// With a store, the second run is supposed to differ: it must
+			// be cheaper, warm-started, and byte-identical in results.
+			// When the store was already warm before the first run (the
+			// flag used twice against one directory), both runs are warm
+			// and "strictly fewer" relaxes to "no more expensive".
+			alreadyWarm := rep.ReplayedAnswers > 0
+			switch {
+			case !alreadyWarm && again.HITs >= rep.HITs:
+				fmt.Fprintf(os.Stderr, "qurk-load: warm run paid %d HITs, cold paid %d\n", again.HITs, rep.HITs)
+				os.Exit(1)
+			case alreadyWarm && again.HITs > rep.HITs:
+				fmt.Fprintf(os.Stderr, "qurk-load: rerun over a warm store paid %d HITs, first run paid %d\n", again.HITs, rep.HITs)
+				os.Exit(1)
+			case 2*again.CacheServed < again.Outcomes:
+				fmt.Fprintf(os.Stderr, "qurk-load: warm run answered only %d of %d questions from the store\n",
+					again.CacheServed, again.Outcomes)
+				os.Exit(1)
+			case again.PassedKeysFNV != rep.PassedKeysFNV || again.Passed != rep.Passed:
+				fmt.Fprintf(os.Stderr, "qurk-load: WARM RESULT DRIFT\ncold:\n%s\nwarm:\n%s", rep, again)
+				os.Exit(1)
+			}
+			fmt.Print(again)
+			if alreadyWarm {
+				fmt.Println("verify: store already warm — both runs served from it at an identical result fingerprint")
+			} else {
+				fmt.Printf("verify: warm run paid %d fewer HITs at an identical result fingerprint\n", rep.HITs-again.HITs)
+			}
+			return
 		}
 		if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
 			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed ||

@@ -5,6 +5,7 @@
 //	qurk -demo query1          # the paper's Query 1 on synthetic data
 //	qurk -demo query2          # the paper's Query 2 (celebrity join)
 //	qurk -script q.qurk -table companies=companies.csv -selectivity 0.4
+//	qurk -demo query2 -store ./qurk-store   # run twice: 2nd run is free
 //
 // Without ground truth, the crowd answers from a deterministic synthetic
 // oracle: boolean tasks pass with the configured selectivity (hashed per
@@ -49,6 +50,8 @@ func main() {
 	showDash := flag.Bool("dashboard", true, "print the dashboard after the run")
 	adaptiveJoins := flag.Bool("adaptive-joins", false,
 		"cost-based join pre-filtering (tasks opt in with a PreFilter clause)")
+	storePath := flag.String("store", "",
+		"durable knowledge store directory: replayed at start (warm cache, informed estimators), streamed to during the run")
 	explain := flag.Bool("explain", false, "print query plans instead of executing")
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -60,16 +63,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash, *adaptiveJoins); err != nil {
+	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash, *adaptiveJoins, *storePath); err != nil {
 		fmt.Fprintln(os.Stderr, "qurk:", err)
 		os.Exit(1)
 	}
 }
 
 func run(script, demo string, tables tableFlags, selectivity float64, seed int64,
-	budgetDollars, skill float64, showDash, adaptiveJoins bool) error {
+	budgetDollars, skill float64, showDash, adaptiveJoins bool, storePath string) error {
 	if demo != "" {
-		return runDemo(demo, seed, skill, showDash)
+		return runDemo(demo, seed, skill, showDash, storePath)
 	}
 	if script == "" {
 		return fmt.Errorf("need -script or -demo (try -demo query1)")
@@ -84,6 +87,7 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		BudgetCents:   budget.Cents(budgetDollars * 100),
 		AutoTune:      true,
 		AdaptiveJoins: adaptiveJoins,
+		StorePath:     storePath,
 	})
 	if err != nil {
 		return err
@@ -121,7 +125,7 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 	return nil
 }
 
-func runDemo(which string, seed int64, skill float64, showDash bool) error {
+func runDemo(which string, seed int64, skill float64, showDash bool, storePath string) error {
 	var (
 		ds    qurk.Dataset
 		tasks string
@@ -152,8 +156,9 @@ RETURNS Bool:
 		return fmt.Errorf("unknown demo %q (want query1 or query2)", which)
 	}
 	eng, err := qurk.New(qurk.Config{
-		Oracle: ds.Oracle,
-		Crowd:  crowd.Config{Seed: seed, MeanSkill: skill},
+		Oracle:    ds.Oracle,
+		Crowd:     crowd.Config{Seed: seed, MeanSkill: skill},
+		StorePath: storePath,
 	})
 	if err != nil {
 		return err

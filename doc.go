@@ -6,4 +6,15 @@
 // DESIGN.md for the architecture, and EXPERIMENTS.md for the reproduced
 // evaluation. The benchmarks in bench_test.go regenerate every
 // experiment table (go test -bench=. -benchmem).
+//
+// Everything the engine learns from the crowd — Task Cache entries,
+// per-join-side selectivity and latency observations, Task Model
+// training examples, worker reputations — can persist across engine
+// restarts through the durable knowledge store (internal/store): an
+// embedded, append-only, CRC-framed WAL with snapshot compaction and
+// corruption-tolerant replay. Set Config.StorePath (or the -store flag
+// on cmd/qurk and cmd/qurk-load) and a fresh engine warm-starts from
+// every previous run's paid-for answers; README.md § "Durable knowledge
+// store" documents the record kinds, compaction policy and crash-safety
+// guarantees.
 package repro

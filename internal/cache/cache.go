@@ -2,14 +2,13 @@
 // (task, arguments) → answers entries. The paper: "We cache a given
 // result to be used in several places (even possibly in different
 // queries)." A hit costs $0 and zero HITs; the dashboard reports the
-// savings. Entries persist across processes via gob.
+// savings. Entries persist across processes through the durable
+// knowledge store (internal/store), which streams cache records to its
+// WAL and replays them at engine start.
 package cache
 
 import (
-	"encoding/gob"
-	"fmt"
-	"io"
-	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/relation"
@@ -149,68 +148,26 @@ func (c *Cache) Clear() {
 	c.hits, c.misses, c.answersServed = 0, 0, 0
 }
 
-// persistedEntry is the gob wire format.
-type persistedEntry struct {
-	Task    string
-	Args    string
+// Exported is one entry with its key, handed to persistence layers.
+type Exported struct {
+	Key     Key
 	Answers []relation.Value
 }
 
-// Save writes the cache contents to w as a gob stream.
-func (c *Cache) Save(w io.Writer) error {
+// Export returns a copy of every entry sorted by key, so persistence
+// layers (internal/store) emit deterministic files.
+func (c *Cache) Export() []Exported {
 	c.mu.Lock()
-	flat := make([]persistedEntry, 0, len(c.entries))
+	flat := make([]Exported, 0, len(c.entries))
 	for k, e := range c.entries {
-		flat = append(flat, persistedEntry{Task: k.Task, Args: k.Args, Answers: e.copied().Answers})
+		flat = append(flat, Exported{Key: k, Answers: e.copied().Answers})
 	}
 	c.mu.Unlock()
-	return gob.NewEncoder(w).Encode(flat)
-}
-
-// Load merges entries from a gob stream produced by Save. Existing keys
-// are overwritten.
-func (c *Cache) Load(r io.Reader) error {
-	var flat []persistedEntry
-	if err := gob.NewDecoder(r).Decode(&flat); err != nil {
-		return fmt.Errorf("cache: load: %v", err)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, pe := range flat {
-		c.entries[Key{Task: pe.Task, Args: pe.Args}] = Entry{Answers: pe.Answers}
-	}
-	return nil
-}
-
-// SaveFile persists the cache to path (atomic via rename).
-func (c *Cache) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// LoadFile merges entries from a file written by SaveFile. A missing
-// file is not an error: a cold cache is valid.
-func (c *Cache) LoadFile(path string) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return c.Load(f)
+	sort.Slice(flat, func(i, j int) bool {
+		if flat[i].Key.Task != flat[j].Key.Task {
+			return flat[i].Key.Task < flat[j].Key.Task
+		}
+		return flat[i].Key.Args < flat[j].Key.Args
+	})
+	return flat
 }

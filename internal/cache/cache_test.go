@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"bytes"
-	"path/filepath"
 	"sync"
 	"testing"
 
@@ -138,59 +136,27 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
-func TestSaveLoadRoundTrip(t *testing.T) {
+func TestExportSortedCopies(t *testing.T) {
 	c := New()
 	c.Put(key("findCEO", "Acme"), Entry{Answers: []relation.Value{
 		relation.NewTuple(relation.Field{Name: "CEO", Value: relation.NewString("Ada")}),
-		relation.NewTuple(relation.Field{Name: "CEO", Value: relation.NewString("Ada")}),
 	}})
 	c.Put(key("isCat", "x.png"), Entry{Answers: []relation.Value{relation.NewBool(true)}})
-	var buf bytes.Buffer
-	if err := c.Save(&buf); err != nil {
-		t.Fatal(err)
+	c.Put(key("findCEO", "Globex"), Entry{Answers: []relation.Value{relation.NewString("Grace")}})
+	exp := c.Export()
+	if len(exp) != 3 {
+		t.Fatalf("exported %d entries", len(exp))
 	}
-	c2 := New()
-	if err := c2.Load(&buf); err != nil {
-		t.Fatal(err)
+	for i := 1; i < len(exp); i++ {
+		prev, cur := exp[i-1].Key, exp[i].Key
+		if prev.Task > cur.Task || (prev.Task == cur.Task && prev.Args >= cur.Args) {
+			t.Fatalf("export not sorted: %v before %v", prev, cur)
+		}
 	}
-	if c2.Len() != 2 {
-		t.Fatalf("loaded %d entries", c2.Len())
-	}
-	e, ok := c2.Peek(key("findCEO", "Acme"))
-	if !ok || len(e.Answers) != 2 || e.Answers[0].Field("CEO").Str() != "Ada" {
-		t.Fatalf("loaded entry = %v ok=%v", e, ok)
-	}
-}
-
-func TestLoadGarbage(t *testing.T) {
-	c := New()
-	if err := c.Load(bytes.NewReader([]byte("not gob"))); err == nil {
-		t.Fatal("garbage load must error")
-	}
-}
-
-func TestSaveLoadFile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "cache.gob")
-	c := New()
-	c.Put(key("t", "a"), Entry{Answers: []relation.Value{relation.NewInt(1)}})
-	if err := c.SaveFile(path); err != nil {
-		t.Fatal(err)
-	}
-	c2 := New()
-	if err := c2.LoadFile(path); err != nil {
-		t.Fatal(err)
-	}
-	if c2.Len() != 1 {
-		t.Fatalf("loaded %d", c2.Len())
-	}
-	// Missing file is a cold start, not an error.
-	c3 := New()
-	if err := c3.LoadFile(filepath.Join(dir, "missing.gob")); err != nil {
-		t.Fatal(err)
-	}
-	if c3.Len() != 0 {
-		t.Fatal("missing file should load nothing")
+	// Mutating the export must not reach the cache.
+	exp[0].Answers[0] = relation.Null
+	if e, _ := c.Peek(exp[0].Key); e.Answers[0].IsNull() {
+		t.Fatal("Export must copy answer slices")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/qlang"
 	"repro/internal/relation"
+	"repro/internal/store"
 	"repro/internal/taskmgr"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	// (defaults 30 and 0.85).
 	ModelMinExamples   int
 	ModelMinConfidence float64
+	// StorePath opens (creating if needed) the durable knowledge store
+	// at this directory. Everything the engine learns from the crowd —
+	// cache entries, selectivity/latency observations, model training
+	// examples, worker reputations — streams to its WAL; at start the
+	// store is replayed so a fresh engine begins with a warm cache,
+	// informed estimators, trained models and already-blocked spammers.
+	// Empty means no persistence (seed behavior).
+	StorePath string
 }
 
 // QueryHandle tracks one submitted query.
@@ -82,6 +91,8 @@ type Engine struct {
 	pool    *crowd.Pool // nil when Config.Pool was supplied
 	mgr     *taskmgr.Manager
 	opt     *optimizer.Optimizer
+	store   *store.Store // nil unless Config.StorePath was set
+	warm    taskmgr.RestoreSummary
 
 	mu      sync.Mutex
 	script  *qlang.Script
@@ -116,6 +127,17 @@ func New(cfg Config) (*Engine, error) {
 		opt:     optimizer.New(mgr),
 		script:  &qlang.Script{},
 	}
+	if cfg.StorePath != "" {
+		st, err := store.Open(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("core: open store: %v", err)
+		}
+		// Replay before anything can submit work, then stream every new
+		// learned artifact back to the WAL.
+		st.View(func(s *store.State) { e.warm = mgr.Restore(s) })
+		mgr.SetJournal(st)
+		e.store = st
+	}
 	go clock.Run(e.stopped)
 	return e, nil
 }
@@ -127,6 +149,9 @@ func (e *Engine) stopped() bool {
 }
 
 // Close shuts the engine down; in-flight queries stop making progress.
+// With a store configured, buffered knowledge records are drained and
+// synced before Close returns, so the next engine replays everything
+// this one learned.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -136,6 +161,9 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	e.clock.Close()
+	if e.store != nil {
+		e.store.Close()
+	}
 }
 
 // Catalog exposes table registration.
@@ -334,17 +362,33 @@ func (e *Engine) addJoinSavings(s *dashboard.Savings, policyFor func(string) tas
 	}
 }
 
-// SaveCache persists the Task Cache so a future engine (or process) can
+// SaveCache persists the Task Cache to one standalone file in the
+// knowledge store's record format, so a future engine (or process) can
 // reuse paid-for answers — the paper's cross-query caching, extended
-// across restarts.
+// across restarts. Engines with Config.StorePath set persist the cache
+// continuously; SaveCache remains for explicit exports.
 func (e *Engine) SaveCache(path string) error {
-	return e.mgr.Cache().SaveFile(path)
+	return store.WriteRecordsFile(path, store.CacheRecords(e.mgr.Cache()))
 }
 
-// LoadCache merges a previously saved Task Cache.
+// LoadCache merges a previously saved Task Cache (or a store snapshot)
+// into the live cache: saved keys overwrite, other keys are kept. A
+// missing file is not an error — a cold cache is valid.
 func (e *Engine) LoadCache(path string) error {
-	return e.mgr.Cache().LoadFile(path)
+	recs, err := store.ReadRecordsFile(path)
+	if err != nil {
+		return err
+	}
+	store.MergeCacheRecords(e.mgr.Cache(), recs)
+	return nil
 }
+
+// Store returns the durable knowledge store, or nil when none is
+// configured.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// WarmStart reports what the store replayed at engine start.
+func (e *Engine) WarmStart() taskmgr.RestoreSummary { return e.warm }
 
 // Snapshot builds the dashboard view (Figure 2).
 func (e *Engine) Snapshot() dashboard.Snapshot {
@@ -381,6 +425,40 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 	}
 	snap.Savings = dashboard.ComputeSavings(tasks, policyFor)
 	e.addJoinSavings(&snap.Savings, policyFor)
+	if e.store != nil {
+		snap.Warmstart = dashboard.WarmstartInfo{
+			Answers:      e.warm.CacheAnswers,
+			Entries:      e.warm.CacheEntries,
+			Observations: e.warm.Observations,
+		}
+		// Price each replayed entry at its task's policy: one batched
+		// redundant question that did not have to be re-asked. Join
+		// predicates are bought as grid HITs, so a cached pair costs a
+		// per-pair share of the grid (mirroring addJoinSavings), not a
+		// whole batched question.
+		lb, rb := e.cfg.Exec.JoinLeftBlock, e.cfg.Exec.JoinRightBlock
+		if lb <= 0 {
+			lb = 5
+		}
+		if rb <= 0 {
+			rb = 5
+		}
+		for task, entries := range e.warm.EntriesByTask {
+			e.mu.Lock()
+			def, ok := e.script.Task(task)
+			e.mu.Unlock()
+			pol := taskmgr.DefaultPolicy()
+			if ok {
+				pol = e.mgr.PolicyFor(def)
+			}
+			pol = pol.Clamped()
+			perEntry := float64(pol.PriceCents) * float64(pol.Assignments) / float64(pol.BatchSize)
+			if ok && def.Type == qlang.TaskJoinPredicate {
+				perEntry = float64(pol.PriceCents) * float64(pol.Assignments) / float64(lb*rb)
+			}
+			snap.Warmstart.SavedCents += budget.Cents(float64(entries) * perEntry)
+		}
+	}
 	// Remaining-work estimate: pending batched questions plus open
 	// assignments, at one (price × assignment) unit each.
 	snap.EstimatedRemainingCents = budget.Cents(e.mgr.Pending() + e.mgr.Inflight())

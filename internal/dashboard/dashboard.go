@@ -55,6 +55,20 @@ type Savings struct {
 	JoinSavedCents   budget.Cents
 }
 
+// WarmstartInfo reports what the durable knowledge store replayed at
+// engine start: paid-for answers and statistics evidence that this run
+// did not have to buy again.
+type WarmstartInfo struct {
+	// Answers counts replayed per-assignment answers (across Entries
+	// cache entries); Observations the replayed statistics evidence.
+	Answers      int64
+	Entries      int64
+	Observations int64
+	// SavedCents prices the replayed cache entries at each task's
+	// current policy — what re-asking them would have cost.
+	SavedCents budget.Cents
+}
+
 // Snapshot is a point-in-time view of the whole system.
 type Snapshot struct {
 	NowMinutes float64
@@ -71,6 +85,9 @@ type Snapshot struct {
 	// EstimatedRemainingCents projects completing all pending and
 	// in-flight work at current policies.
 	EstimatedRemainingCents budget.Cents
+	// Warmstart is what the knowledge store replayed at engine start
+	// (zero when no store is configured).
+	Warmstart WarmstartInfo
 }
 
 // ComputeSavings derives the optimization-benefit panel from task stats:
@@ -111,6 +128,10 @@ func Render(s Snapshot) string {
 	if s.Savings.JoinPairsAvoided > 0 {
 		fmt.Fprintf(&b, "Adaptive joins: avoided %d cross-product pairs (~%v of join HITs)\n",
 			s.Savings.JoinPairsAvoided, s.Savings.JoinSavedCents)
+	}
+	if s.Warmstart.Answers > 0 || s.Warmstart.Observations > 0 {
+		fmt.Fprintf(&b, "Warm start: %d answers, %d observations replayed (~%v saved)\n",
+			s.Warmstart.Answers, s.Warmstart.Observations, s.Warmstart.SavedCents)
 	}
 
 	if len(s.Tasks) > 0 {

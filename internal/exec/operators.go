@@ -529,6 +529,13 @@ func (q *Query) runPreFilter(op *operator, v *plan.PreFilter, in *operator) {
 func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.Tuple,
 	args []relation.Value, argErr []error) {
 	keep := make([]bool, len(rows))
+	// Tag each observation with the join side this stage protects, so
+	// the Statistics Manager learns per-side selectivity and the
+	// mid-query re-check judges this side by its own evidence.
+	side := taskmgr.SideRight
+	if v.Left {
+		side = taskmgr.SideLeft
+	}
 	var wg sync.WaitGroup
 	for i := range rows {
 		if argErr[i] != nil {
@@ -542,6 +549,7 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 			Def:         v.Task,
 			Args:        []relation.Value{args[i]},
 			Assignments: 1,
+			StatSide:    side,
 			Done: func(out taskmgr.Outcome) {
 				defer wg.Done()
 				if out.Err != nil {

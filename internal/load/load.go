@@ -26,6 +26,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/qlang"
 	"repro/internal/relation"
+	"repro/internal/store"
 	"repro/internal/taskmgr"
 	"repro/internal/workload"
 )
@@ -51,6 +52,13 @@ const (
 	// WorkloadOrderBy rates every item on a 1–7 scale and sorts by the
 	// mean rating (the paper's rating-based ORDER BY).
 	WorkloadOrderBy Workload = "orderby"
+	// WorkloadWarmstart is the filter cascade with the Task Cache armed
+	// and backed by the durable knowledge store (Config.StorePath
+	// required): the first run over a given store pays for every
+	// question, a second run replays the store and answers from it.
+	// Compare two runs at the same Tuples/Seed/StorePath: fewer HITs,
+	// identical result fingerprint.
+	WorkloadWarmstart Workload = "warmstart"
 )
 
 // Config parameterizes one load run. Zero values take the documented
@@ -82,6 +90,11 @@ type Config struct {
 	// near-perfect crowd (e.g. Skill 0.999, Spam 1e-12, BatchPenalty
 	// 1e-9) so paid-pair counts, not answer noise, dominate.
 	Skill, SkillStd, Spam, Abandon, BatchPenalty float64
+	// StorePath opens the durable knowledge store at this directory:
+	// replayed state warms the cache and estimators before the run, and
+	// everything learned streams back. Required by WorkloadWarmstart,
+	// optional for the others.
+	StorePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -143,11 +156,22 @@ type Report struct {
 
 	// JoinPairs counts pairs submitted to the join interface (the paid
 	// cross product); PassedKeysFNV fingerprints the sorted passing
-	// pair keys, so two runs — or the join and joinprefilter workloads
-	// over the same dataset — can be compared for identical final
-	// result rows. Both are 0 for non-join workloads.
+	// pair keys (or, for the warmstart workload, the keys passing the
+	// whole cascade), so two runs over the same dataset can be compared
+	// for identical final result rows. Both are 0 for workloads that
+	// define no fingerprint.
 	JoinPairs     int64
 	PassedKeysFNV uint64
+
+	// Store metrics, populated when Config.StorePath is set: CacheServed
+	// counts task applications answered by the (replayed or live) cache;
+	// ReplayedAnswers / ReplayedObservations are the warm-start summary;
+	// Replay is the wall time Open + restore took (nondeterministic,
+	// like Wall).
+	CacheServed          int64
+	ReplayedAnswers      int64
+	ReplayedObservations int64
+	Replay               time.Duration
 
 	// DollarsPerQuery is total spend for the whole run in dollars.
 	DollarsPerQuery float64
@@ -166,6 +190,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  cost          $%.2f/query\n", r.DollarsPerQuery)
 	if r.JoinPairs > 0 {
 		fmt.Fprintf(&b, "  join pairs    %d paid (result fingerprint %016x)\n", r.JoinPairs, r.PassedKeysFNV)
+	}
+	if r.Config.StorePath != "" {
+		fmt.Fprintf(&b, "  warm start    %d answers, %d observations replayed in %v; %d questions served from store\n",
+			r.ReplayedAnswers, r.ReplayedObservations, r.Replay.Round(time.Millisecond), r.CacheServed)
 	}
 	return b.String()
 }
@@ -192,7 +220,7 @@ func Run(cfg Config) (Report, error) {
 	case WorkloadFilter:
 		ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
 		oracle = ds.Oracle
-		sc = filterCascade(ds, cfg)
+		sc = filterCascade(ds)
 	case WorkloadJoin:
 		ds := celebrityDataset(cfg)
 		oracle = ds.Oracle
@@ -205,6 +233,13 @@ func Run(cfg Config) (Report, error) {
 		ds := workload.RankItems(cfg.Tuples, 7, "rateItem", cfg.Seed)
 		oracle = ds.Oracle
 		sc = orderByRatings(ds)
+	case WorkloadWarmstart:
+		if cfg.StorePath == "" {
+			return rep, fmt.Errorf("load: workload %q needs Config.StorePath", cfg.Workload)
+		}
+		ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
+		oracle = ds.Oracle
+		sc = warmstartCascade(ds)
 	default:
 		return rep, fmt.Errorf("load: unknown workload %q", cfg.Workload)
 	}
@@ -229,14 +264,30 @@ func Run(cfg Config) (Report, error) {
 		latencies = append(latencies, (hs.DoneAt - hs.PostedAt).Duration())
 	})
 	mgr := taskmgr.New(market, nil, nil, nil)
+	if cfg.StorePath != "" {
+		replayStart := time.Now()
+		st, err := store.Open(cfg.StorePath)
+		if err != nil {
+			return rep, fmt.Errorf("load: %v", err)
+		}
+		defer st.Close()
+		var warm taskmgr.RestoreSummary
+		st.View(func(s *store.State) { warm = mgr.Restore(s) })
+		mgr.SetJournal(st)
+		rep.Replay = time.Since(replayStart)
+		rep.ReplayedAnswers = warm.CacheAnswers
+		rep.ReplayedObservations = warm.Observations
+	}
 	mgr.SetBasePolicy(taskmgr.Policy{
 		Assignments: cfg.Assignments,
 		BatchSize:   cfg.Batch,
 		PriceCents:  cfg.PriceCents,
 		Linger:      time.Minute,
-		// The cache and model never hit on this synthetic data; skip
-		// their bookkeeping so the harness measures the posting path.
-		UseCache: false,
+		// Without a cache-driven scenario the cache and model never hit
+		// on this synthetic data; skip their bookkeeping so the harness
+		// measures the posting path. The warmstart scenario arms the
+		// cache — that is the point of it.
+		UseCache: sc.useCache,
 		UseModel: false,
 	})
 
@@ -278,6 +329,7 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 	rep.JoinPairs = ctr.pairs.Load()
+	rep.CacheServed = mgr.Cache().Stats().Hits
 	if sc.finish != nil {
 		sc.finish(&rep)
 	}
@@ -296,10 +348,12 @@ func celebrityDataset(cfg Config) workload.Dataset {
 }
 
 // scenario bundles a workload's submission driver with an optional
-// post-run report hook (e.g. the join workloads' result fingerprint).
+// post-run report hook (e.g. the join workloads' result fingerprint)
+// and whether the Task Cache is armed.
 type scenario struct {
-	drive  func(*taskmgr.Manager, *counters)
-	finish func(*Report)
+	drive    func(*taskmgr.Manager, *counters)
+	finish   func(*Report)
+	useCache bool
 }
 
 // fingerprint hashes the sorted passing pair keys: identical result
@@ -338,7 +392,26 @@ func (c *counters) resolve(out taskmgr.Outcome, pass bool) {
 
 // filterCascade submits isCat over every photo and isOutdoor over the
 // survivors, mirroring a two-predicate WHERE clause.
-func filterCascade(ds workload.Dataset, cfg Config) scenario {
+func filterCascade(ds workload.Dataset) scenario {
+	return cascadeScenario(ds, false)
+}
+
+// warmstartCascade is the cascade with the Task Cache armed and the
+// result set fingerprinted: against a fresh store every question is
+// paid for; against a store warmed by a previous identical run the
+// cascade answers from replayed state, pays fewer (typically zero)
+// HITs, and must reproduce the same fingerprint — cached answers are
+// the first run's answers, so the majority votes cannot drift.
+func warmstartCascade(ds workload.Dataset) scenario {
+	sc := cascadeScenario(ds, true)
+	sc.useCache = true
+	return sc
+}
+
+// cascadeScenario drives the two-stage filter cascade; withFingerprint
+// additionally records the keys passing both stages into the report's
+// PassedKeysFNV.
+func cascadeScenario(ds workload.Dataset, withFingerprint bool) scenario {
 	isCat := mustTask(`
 TASK isCat(Image img)
 RETURNS Bool:
@@ -353,7 +426,8 @@ RETURNS Bool:
   Text: "Was this photo taken outdoors? %s", img
   Response: YesNo
 `)
-	return scenario{drive: func(mgr *taskmgr.Manager, ctr *counters) {
+	var passed []string
+	sc := scenario{drive: func(mgr *taskmgr.Manager, ctr *counters) {
 		for _, row := range ds.Tables[0].Snapshot() {
 			img := row.Get("img")
 			ctr.outstanding.Add(1)
@@ -361,13 +435,21 @@ RETURNS Bool:
 				if out.Err == nil && out.Value.Truthy() {
 					ctr.outstanding.Add(1)
 					mgr.Submit(taskmgr.Request{Def: isOutdoor, Args: []relation.Value{img}, Done: func(out2 taskmgr.Outcome) {
-						ctr.resolve(out2, out2.Err == nil && out2.Value.Truthy())
+						pass := out2.Err == nil && out2.Value.Truthy()
+						if pass && withFingerprint {
+							passed = append(passed, img.Str())
+						}
+						ctr.resolve(out2, pass)
 					}})
 				}
 				ctr.resolve(out, false)
 			}})
 		}
 	}}
+	if withFingerprint {
+		sc.finish = func(rep *Report) { rep.PassedKeysFNV = fingerprint(passed) }
+	}
+	return sc
 }
 
 // joinTasks parses the join workloads' task pair: the samePerson grid
@@ -441,11 +523,13 @@ func joinGrids(ds workload.Dataset) scenario {
 
 // joinPreFilter is the cost-based pre-filtered join, end to end in load
 // form: probe the feature filter's selectivity on a prefix of each
-// side, let optimizer.DecidePreFilter price filtered vs unfiltered
-// execution with the live estimate, then either filter the remainder
-// (single-assignment POSSIBLY semantics) and join only survivors, or
-// join everything unfiltered. All submissions happen on the pump
-// goroutine (inside Done callbacks), so runs stay rerun-identical.
+// side (observations tagged per join side), let
+// optimizer.ChoosePreFilter price the four plans — no filter, left
+// only, right only, both — with the live per-side estimates, then
+// filter only the chosen side(s) (single-assignment POSSIBLY
+// semantics) and join the survivors against the untouched side. All
+// submissions happen on the pump goroutine (inside Done callbacks), so
+// runs stay rerun-identical.
 func joinPreFilter(ds workload.Dataset, cfg Config) scenario {
 	samePerson, isCeleb := joinTasks()
 	const probeN = 25
@@ -459,7 +543,7 @@ func joinPreFilter(ds workload.Dataset, cfg Config) scenario {
 		// filterStage submits isCeleb for items[from:to) with a single
 		// assignment, marking survivors; when every outcome of this
 		// stage is in, next runs (on the pump goroutine).
-		filterStage := func(items []taskmgr.JoinItem, keep []bool, from, to int, next func()) {
+		filterStage := func(items []taskmgr.JoinItem, keep []bool, side string, from, to int, next func()) {
 			pending := to - from
 			if pending == 0 {
 				next()
@@ -472,6 +556,7 @@ func joinPreFilter(ds workload.Dataset, cfg Config) scenario {
 					Def:         isCeleb,
 					Args:        items[i].Args,
 					Assignments: 1,
+					StatSide:    side,
 					Done: func(out taskmgr.Outcome) {
 						keep[i] = out.Err != nil || out.Value.Truthy() // fail open
 						ctr.resolve(out, false)
@@ -495,24 +580,46 @@ func joinPreFilter(ds workload.Dataset, cfg Config) scenario {
 		}
 
 		pl, pr := min(probeN, len(left)), min(probeN, len(right))
-		filterStage(left, keepL, 0, pl, func() {
-			filterStage(right, keepR, 0, pr, func() {
-				// Probe done: price the two plans with live selectivity.
-				sel := mgr.StatsFor(isCeleb.Name).Selectivity
+		filterStage(left, keepL, taskmgr.SideLeft, 0, pl, func() {
+			filterStage(right, keepR, taskmgr.SideRight, 0, pr, func() {
+				// Probe done: price the four plans with the live
+				// per-side selectivity estimates.
+				selL, _ := mgr.SideSelectivity(isCeleb.Name, taskmgr.SideLeft)
+				selR, _ := mgr.SideSelectivity(isCeleb.Name, taskmgr.SideRight)
 				fpol := taskmgr.Policy{Assignments: 1, BatchSize: cfg.Batch, PriceCents: cfg.PriceCents}
 				jpol := taskmgr.Policy{Assignments: cfg.Assignments, PriceCents: cfg.PriceCents}
-				plan := optimizer.DecidePreFilter(len(left), len(right), sel, sel, 5, 5, fpol, jpol)
-				if !plan.UsePreFilter {
+				choice := optimizer.ChoosePreFilter(len(left), len(right), selL, selR, 5, 5, fpol, jpol)
+				if !choice.Left && !choice.Right {
 					// Not worth it: the whole cross product joins, probe
 					// answers discarded (their cost is sunk).
 					gridJoin(mgr, ctr, samePerson, left, right, &passed)
 					return
 				}
-				filterStage(left, keepL, pl, len(left), func() {
-					filterStage(right, keepR, pr, len(right), func() {
-						gridJoin(mgr, ctr, samePerson, survivors(left, keepL), survivors(right, keepR), &passed)
-					})
-				})
+				// Complete only the chosen stages; an unchosen side joins
+				// whole — including its probe rejects, which the join
+				// predicate re-checks anyway.
+				joinL, joinR := left, right
+				finish := func() {
+					if choice.Left {
+						joinL = survivors(left, keepL)
+					}
+					if choice.Right {
+						joinR = survivors(right, keepR)
+					}
+					gridJoin(mgr, ctr, samePerson, joinL, joinR, &passed)
+				}
+				stageR := func() {
+					if !choice.Right {
+						finish()
+						return
+					}
+					filterStage(right, keepR, taskmgr.SideRight, pr, len(right), finish)
+				}
+				if choice.Left {
+					filterStage(left, keepL, taskmgr.SideLeft, pl, len(left), stageR)
+				} else {
+					stageR()
+				}
 			})
 		})
 	}

@@ -118,6 +118,62 @@ func TestJoinPreFilterDeclinesWhenUseless(t *testing.T) {
 	}
 }
 
+// TestWarmstartPaysOnceAnswersTwice is the durable-store acceptance
+// bar: run 2 over run 1's store must answer at least half its questions
+// from replayed state (here: all of them), pay strictly fewer HITs, and
+// produce a byte-identical result fingerprint.
+func TestWarmstartPaysOnceAnswersTwice(t *testing.T) {
+	cfg := Config{Workload: WorkloadWarmstart, Tuples: 150, Workers: 60, Seed: 4,
+		StorePath: t.TempDir()}
+
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.HITs == 0 || cold.Errors != 0 {
+		t.Fatalf("cold run: HITs=%d errors=%d", cold.HITs, cold.Errors)
+	}
+	if cold.ReplayedAnswers != 0 {
+		t.Fatalf("cold run replayed %d answers from an empty store", cold.ReplayedAnswers)
+	}
+
+	warm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Errors != 0 {
+		t.Fatalf("warm run errors = %d", warm.Errors)
+	}
+	if warm.HITs >= cold.HITs {
+		t.Fatalf("warm run paid %d HITs, cold paid %d — store bought nothing", warm.HITs, cold.HITs)
+	}
+	if warm.ReplayedAnswers == 0 || warm.ReplayedObservations == 0 {
+		t.Fatalf("warm run replayed answers=%d observations=%d", warm.ReplayedAnswers, warm.ReplayedObservations)
+	}
+	if 2*warm.CacheServed < warm.Outcomes {
+		t.Fatalf("cache served %d of %d questions, want ≥ half", warm.CacheServed, warm.Outcomes)
+	}
+	if warm.PassedKeysFNV != cold.PassedKeysFNV || warm.Passed != cold.Passed {
+		t.Fatalf("result drift: passed %d vs %d, fingerprint %016x vs %016x",
+			warm.Passed, cold.Passed, warm.PassedKeysFNV, cold.PassedKeysFNV)
+	}
+	// Same-config reruns of the warm run are themselves deterministic in
+	// virtual time (the -verify contract).
+	warm2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2.PassedKeysFNV != warm.PassedKeysFNV || warm2.Passed != warm.Passed {
+		t.Fatalf("warm reruns disagree: %016x vs %016x", warm2.PassedKeysFNV, warm.PassedKeysFNV)
+	}
+}
+
+func TestWarmstartNeedsStorePath(t *testing.T) {
+	if _, err := Run(Config{Workload: WorkloadWarmstart}); err == nil {
+		t.Fatal("warmstart without StorePath must error")
+	}
+}
+
 func TestOrderByResolvesEveryItem(t *testing.T) {
 	rep, err := Run(Config{Workload: WorkloadOrderBy, Tuples: 90, Workers: 50, Seed: 7})
 	if err != nil {

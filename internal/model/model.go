@@ -333,22 +333,58 @@ func (m *TaskModel) Stats() Stats {
 	return Stats{Task: m.Task, Examples: m.clf.Examples(), Automated: m.automated, Declined: m.declined}
 }
 
+// Example is one labelled training instance, the unit the durable
+// knowledge store persists for task models: replaying examples through
+// Train rebuilds any classifier, whereas raw weights would tie the store
+// to one learner's internals.
+type Example struct {
+	Args  []relation.Value
+	Label bool
+}
+
 // Registry holds the models the engine knows about, per task.
 type Registry struct {
 	mu     sync.Mutex
 	models map[string]*TaskModel
+	seeds  map[string][]Example // replayed examples awaiting Attach
 }
 
 // NewRegistry returns an empty model registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*TaskModel)}
+	return &Registry{models: make(map[string]*TaskModel), seeds: make(map[string][]Example)}
 }
 
-// Attach registers a model for a task, replacing any previous one.
-func (r *Registry) Attach(m *TaskModel) {
+// SeedExamples stages replayed training examples for a task. A model
+// already attached trains on them immediately; otherwise they are held
+// and fed to the model when (if) one is attached, so replay order and
+// attach order commute.
+func (r *Registry) SeedExamples(task string, examples []Example) {
+	key := strings.ToLower(task)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.models[strings.ToLower(m.Task)] = m
+	m := r.models[key]
+	if m == nil {
+		r.seeds[key] = append(r.seeds[key], examples...)
+	}
+	r.mu.Unlock()
+	if m != nil {
+		for _, ex := range examples {
+			m.Train(ex.Args, ex.Label)
+		}
+	}
+}
+
+// Attach registers a model for a task, replacing any previous one, and
+// trains it on any staged replayed examples.
+func (r *Registry) Attach(m *TaskModel) {
+	key := strings.ToLower(m.Task)
+	r.mu.Lock()
+	r.models[key] = m
+	seeds := r.seeds[key]
+	delete(r.seeds, key)
+	r.mu.Unlock()
+	for _, ex := range seeds {
+		m.Train(ex.Args, ex.Label)
+	}
 }
 
 // For returns the model for a task, if any.

@@ -146,6 +146,38 @@ func DecidePreFilter(l, r int, selL, selR float64, blockL, blockR int,
 	}
 }
 
+// PreFilterChoice is the four-way pre-filter decision: which join
+// inputs (if any) to wrap, with the baseline and chosen-plan costs.
+type PreFilterChoice struct {
+	Left, Right bool
+	CostNone    budget.Cents
+	CostBest    budget.Cents
+}
+
+// ChoosePreFilter prices all four pre-filter plans — none, left only,
+// right only, both — with per-side selectivities and picks the
+// cheapest. This is what per-side estimates buy over DecidePreFilter's
+// both-or-nothing model: a side the filter keeps whole (selectivity
+// near 1) stops paying for its filter stage while the decimated side
+// still shrinks the cross product. Ties prefer fewer filter stages.
+func ChoosePreFilter(l, r int, selL, selR float64, blockL, blockR int,
+	filterPol, joinPol taskmgr.Policy) PreFilterChoice {
+	fl := int(math.Ceil(float64(l) * selL))
+	fr := int(math.Ceil(float64(r) * selR))
+	filterL, filterR := FilterCost(l, filterPol), FilterCost(r, filterPol)
+	c := PreFilterChoice{CostNone: JoinCost(l, r, blockL, blockR, joinPol)}
+	c.CostBest = c.CostNone
+	consider := func(left, right bool, cost budget.Cents) {
+		if cost < c.CostBest {
+			c.Left, c.Right, c.CostBest = left, right, cost
+		}
+	}
+	consider(true, false, filterL+JoinCost(fl, r, blockL, blockR, joinPol))
+	consider(false, true, filterR+JoinCost(l, fr, blockL, blockR, joinPol))
+	consider(true, true, filterL+filterR+JoinCost(fl, fr, blockL, blockR, joinPol))
+	return c
+}
+
 // DecidePreFilterSide costs filtering just one join input, with the
 // other side's cardinality held fixed — the executor's mid-query
 // re-check, applied to the tuples whose filter question has not been
@@ -300,34 +332,42 @@ func normBlock(b int) int {
 }
 
 // PreFilterDecider returns the planner hook for plan.ApplyPreFilters:
-// it prices the join-only baseline against filtering both inputs with
-// the feature question (DecidePreFilter, the paper's model), using the
-// Statistics Manager's live selectivity estimate for the filter task.
+// it prices the join-only baseline against filtering the left input,
+// the right input, or both (ChoosePreFilter), using the Statistics
+// Manager's per-side selectivity estimates for the filter task.
 // blockL×blockR is the join grid shape HITs will use.
 //
-// The decision is both-sides-or-nothing: the Statistics Manager tracks
-// one selectivity per task, so the planner cannot tell a side the
-// filter keeps whole from a side it decimates. The executor's
-// per-stage re-check (PreFilterKeep) is where one-sided economics kick
-// in, once each stage has live evidence.
+// Until any side-tagged observation exists (live or replayed from the
+// knowledge store) the estimates are one shared prior that cannot tell
+// the sides apart, so the decider falls back to the conservative
+// both-sides-or-nothing model (DecidePreFilter) and lets the executor's
+// per-stage re-check drop an unprofitable side once evidence arrives.
 func (o *Optimizer) PreFilterDecider(blockL, blockR int) plan.PreFilterDecider {
 	blockL, blockR = normBlock(blockL), normBlock(blockR)
 	return func(join, filter *qlang.TaskDef, l, r int) plan.PreFilterDecision {
 		fpol := o.preFilterPolicy(filter)
 		jpol := o.Mgr.PolicyFor(join)
-		sel := o.Mgr.StatsFor(filter.Name).Selectivity
-		if p := DecidePreFilter(l, r, sel, sel, blockL, blockR, fpol, jpol); p.UsePreFilter {
-			return plan.PreFilterDecision{Left: true, Right: true}
+		if !o.Mgr.HasSideEvidence(filter.Name) {
+			sel := o.Mgr.StatsFor(filter.Name).Selectivity
+			if p := DecidePreFilter(l, r, sel, sel, blockL, blockR, fpol, jpol); p.UsePreFilter {
+				return plan.PreFilterDecision{Left: true, Right: true}
+			}
+			return plan.PreFilterDecision{}
 		}
-		return plan.PreFilterDecision{}
+		selL, _ := o.Mgr.SideSelectivity(filter.Name, taskmgr.SideLeft)
+		selR, _ := o.Mgr.SideSelectivity(filter.Name, taskmgr.SideRight)
+		c := ChoosePreFilter(l, r, selL, selR, blockL, blockR, fpol, jpol)
+		return plan.PreFilterDecision{Left: c.Left, Right: c.Right}
 	}
 }
 
 // PreFilterKeep returns the executor's mid-query re-check hook: before
 // each block of filter questions is submitted it re-prices filtering
 // the still-unsubmitted (and uncached — the executor probes the task
-// cache with a counter-free Contains probe) tuples against joining them unfiltered, with the
-// selectivity the Statistics Manager has accumulated so far. Until
+// cache with a counter-free Contains probe) tuples against joining
+// them unfiltered, with the selectivity the Statistics Manager has
+// accumulated so far for this stage's own join side (falling back to
+// the combined estimate while the side is unobserved). Until
 // MinPreFilterTrials observations exist the plan-time decision stands.
 func (o *Optimizer) PreFilterKeep(blockL, blockR int) func(pf *plan.PreFilter, remaining int) bool {
 	blockL, blockR = normBlock(blockL), normBlock(blockR)
@@ -335,17 +375,21 @@ func (o *Optimizer) PreFilterKeep(blockL, blockR int) func(pf *plan.PreFilter, r
 		if remaining <= 0 {
 			return true
 		}
-		st := o.Mgr.StatsFor(pf.Task.Name)
-		if st.SelTrials < o.MinPreFilterTrials {
+		side := taskmgr.SideRight
+		if pf.Left {
+			side = taskmgr.SideLeft
+		}
+		sel, trials := o.Mgr.SideSelectivity(pf.Task.Name, side)
+		if trials < o.MinPreFilterTrials {
 			return true
 		}
 		fpol := o.preFilterPolicy(pf.Task)
 		jpol := o.Mgr.PolicyFor(pf.Join.HumanTask)
 		var p PreFilterPlan
 		if pf.Left {
-			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Right), st.Selectivity, blockL, blockR, fpol, jpol)
+			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Right), sel, blockL, blockR, fpol, jpol)
 		} else {
-			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Left), st.Selectivity, blockR, blockL, fpol, jpol)
+			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Left), sel, blockR, blockL, fpol, jpol)
 		}
 		return p.UsePreFilter
 	}

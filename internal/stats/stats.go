@@ -168,6 +168,33 @@ func (s *Selectivity) Trials() int {
 	return int(s.trials)
 }
 
+// SelectivityState is the estimator's exportable sufficient statistic,
+// used by the durable knowledge store to persist estimates across engine
+// restarts.
+type SelectivityState struct {
+	Passes, Trials float64
+}
+
+// State exports the estimator's counts.
+func (s *Selectivity) State() SelectivityState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SelectivityState{Passes: s.passes, Trials: s.trials}
+}
+
+// SetState replaces the estimator's counts (restore after replay).
+func (s *Selectivity) SetState(st SelectivityState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.passes, s.trials = st.Passes, st.Trials
+}
+
+// TaskEWMAAlpha is the smoothing factor the task manager uses for its
+// per-task latency and agreement estimators. The knowledge store folds
+// replayed observations with the same factor so a restored estimator
+// matches one that lived through the observations.
+const TaskEWMAAlpha = 0.3
+
 // EWMA is an exponentially weighted moving average, used for per-task
 // latency estimates.
 type EWMA struct {
@@ -210,6 +237,27 @@ func (e *EWMA) Count() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.n
+}
+
+// EWMAState is the estimator's exportable state (value and observation
+// count; the smoothing factor stays with the live estimator).
+type EWMAState struct {
+	Value float64
+	N     int
+}
+
+// State exports the current value and count.
+func (e *EWMA) State() EWMAState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EWMAState{Value: e.value, N: e.n}
+}
+
+// SetState replaces the value and count (restore after replay).
+func (e *EWMA) SetState(st EWMAState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.value, e.n = st.Value, st.N
 }
 
 // --- rank metrics ----------------------------------------------------------

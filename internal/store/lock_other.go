@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op on platforms without flock; single-process use is
+// the documented contract there.
+func lockDir(string) (*os.File, error) { return nil, nil }
+
+func unlockDir(*os.File) {}

@@ -1,0 +1,447 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/model"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Kind identifies what a record means. The store is modular in its
+// record kinds: every learning layer appends its own kind and the store
+// needs no knowledge of the layers beyond this enum.
+type Kind byte
+
+const (
+	// KindCacheEntry is one complete Task Cache entry: Task + Args (the
+	// cache key) and the per-assignment Answers. Latest entry for a key
+	// wins, matching cache.Put's overwrite semantics.
+	KindCacheEntry Kind = 1
+	// KindSelectivity is one boolean outcome observed by the Statistics
+	// Manager: Task, the join Side it was observed on ("" when untagged),
+	// and Pass.
+	KindSelectivity Kind = 2
+	// KindLatency is one HIT post-to-done latency observation in virtual
+	// minutes (X).
+	KindLatency Kind = 3
+	// KindAgreement is one majority-agreement share observation (X).
+	KindAgreement Kind = 4
+	// KindModelExample is one labelled Task Model training example:
+	// Task, Args (canonical argument encoding) and the Pass label.
+	// Persisting examples instead of weights keeps the store independent
+	// of any one learner's internals; replay retrains whatever model is
+	// attached.
+	KindModelExample Kind = 5
+	// KindReputation is one worker vote: Worker and whether it agreed
+	// with the majority (Pass).
+	KindReputation Kind = 6
+
+	// Aggregate kinds appear in snapshots, folding many observations of
+	// the same key into one record so compaction keeps files small.
+
+	// KindSelectivitySum is a (Task, Side) estimator's counts: X passes
+	// over Y trials.
+	KindSelectivitySum Kind = 7
+	// KindLatencySum is a task's latency EWMA state: value X over N
+	// observations.
+	KindLatencySum Kind = 8
+	// KindAgreementSum is a task's agreement EWMA state: value X over N
+	// observations.
+	KindAgreementSum Kind = 9
+	// KindReputationSum is a worker's totals: N votes, M agreed.
+	KindReputationSum Kind = 10
+)
+
+// Record is the store's unit of appending and replay: a tagged union
+// whose populated fields depend on Kind (see the Kind constants). One
+// flat struct keeps the wire codec trivial and the fuzz surface small.
+type Record struct {
+	Kind   Kind
+	Task   string
+	Side   string // join side for selectivity kinds: "", "left", "right"
+	Worker string
+	// Args is the canonical relation encoding of the argument values
+	// (cache key / model example input), exactly cache.Key.Args.
+	Args    string
+	Answers []relation.Value
+	Pass    bool
+	X, Y    float64
+	N, M    int64
+}
+
+// maxRecordBytes bounds one record's encoded payload; anything larger
+// during replay is treated as corruption.
+const maxRecordBytes = 16 << 20
+
+// encode appends the record's payload (kind byte first) to dst.
+func (r Record) encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = appendStr(dst, r.Task)
+	dst = appendStr(dst, r.Side)
+	dst = appendStr(dst, r.Worker)
+	dst = appendStr(dst, r.Args)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Answers)))
+	for _, v := range r.Answers {
+		dst = appendStr(dst, string(v.Encode(nil)))
+	}
+	if r.Pass {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.X))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Y))
+	dst = binary.AppendVarint(dst, r.N)
+	dst = binary.AppendVarint(dst, r.M)
+	return dst
+}
+
+// decodeRecord parses one payload produced by encode. Every length is
+// validated against the remaining input so corrupted payloads fail
+// instead of allocating absurd amounts.
+func decodeRecord(data []byte) (Record, error) {
+	var r Record
+	if len(data) == 0 {
+		return r, fmt.Errorf("store: empty record")
+	}
+	r.Kind = Kind(data[0])
+	if r.Kind < KindCacheEntry || r.Kind > KindReputationSum {
+		return r, fmt.Errorf("store: unknown record kind %d", data[0])
+	}
+	rest := data[1:]
+	var err error
+	if r.Task, rest, err = takeStr(rest); err != nil {
+		return r, err
+	}
+	if r.Side, rest, err = takeStr(rest); err != nil {
+		return r, err
+	}
+	if r.Worker, rest, err = takeStr(rest); err != nil {
+		return r, err
+	}
+	if r.Args, rest, err = takeStr(rest); err != nil {
+		return r, err
+	}
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || n > uint64(len(rest)) {
+		return r, fmt.Errorf("store: bad answer count")
+	}
+	rest = rest[used:]
+	for i := uint64(0); i < n; i++ {
+		var enc string
+		if enc, rest, err = takeStr(rest); err != nil {
+			return r, err
+		}
+		v, trailing, derr := relation.DecodeValue([]byte(enc))
+		if derr != nil || len(trailing) != 0 {
+			return r, fmt.Errorf("store: bad answer encoding: %v", derr)
+		}
+		r.Answers = append(r.Answers, v)
+	}
+	if len(rest) < 1+8+8 {
+		return r, fmt.Errorf("store: truncated record tail")
+	}
+	r.Pass = rest[0] == 1
+	r.X = math.Float64frombits(binary.LittleEndian.Uint64(rest[1:9]))
+	r.Y = math.Float64frombits(binary.LittleEndian.Uint64(rest[9:17]))
+	rest = rest[17:]
+	var used2 int
+	if r.N, used2 = binary.Varint(rest); used2 <= 0 {
+		return r, fmt.Errorf("store: bad varint")
+	}
+	rest = rest[used2:]
+	if r.M, used2 = binary.Varint(rest); used2 <= 0 {
+		return r, fmt.Errorf("store: bad varint")
+	}
+	return r, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func takeStr(data []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > uint64(len(data)-used) {
+		return "", nil, fmt.Errorf("store: bad string length")
+	}
+	return string(data[used : used+int(n)]), data[used+int(n):], nil
+}
+
+// DecodeArgs splits a canonical argument encoding (cache.Key.Args /
+// Record.Args) back into its values.
+func DecodeArgs(args string) ([]relation.Value, error) {
+	var out []relation.Value
+	rest := []byte(args)
+	for len(rest) > 0 {
+		v, r, err := relation.DecodeValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		rest = r
+	}
+	return out, nil
+}
+
+// --- materialized state ---------------------------------------------------
+
+// RepCounts is one worker's reputation totals.
+type RepCounts struct {
+	Votes, Agreed int64
+}
+
+// modelExampleCap bounds the training examples kept per task: enough to
+// warm any attached model while keeping snapshots and memory bounded.
+// When exceeded, only the most recent cap examples survive compaction.
+const modelExampleCap = 10000
+
+// State is the store's materialized view of everything it has seen:
+// replay folds records into it at Open, the writer folds appended
+// records into it live, and compaction serializes it back out as the
+// snapshot. Access is synchronized by the owning Store (see Store.View).
+type State struct {
+	cacheOrder []cache.Key
+	cache      map[cache.Key][]relation.Value
+	sel        map[string]map[string]stats.SelectivityState // task → side
+	lat        map[string]*stats.EWMA
+	agr        map[string]*stats.EWMA
+	examples   map[string][]model.Example
+	reput      map[string]RepCounts
+	records    int64
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		cache:    make(map[cache.Key][]relation.Value),
+		sel:      make(map[string]map[string]stats.SelectivityState),
+		lat:      make(map[string]*stats.EWMA),
+		agr:      make(map[string]*stats.EWMA),
+		examples: make(map[string][]model.Example),
+		reput:    make(map[string]RepCounts),
+	}
+}
+
+// apply folds one decoded record into the state. It never fails: any
+// record that survived frame CRC + decode is applicable.
+func (s *State) apply(r Record) {
+	s.records++
+	switch r.Kind {
+	case KindCacheEntry:
+		key := cache.Key{Task: r.Task, Args: r.Args}
+		if _, ok := s.cache[key]; !ok {
+			s.cacheOrder = append(s.cacheOrder, key)
+		}
+		s.cache[key] = r.Answers
+	case KindSelectivity:
+		c := s.selCounts(r.Task, r.Side)
+		c.Trials++
+		if r.Pass {
+			c.Passes++
+		}
+		s.sel[r.Task][r.Side] = *c
+	case KindSelectivitySum:
+		c := s.selCounts(r.Task, r.Side)
+		c.Passes += r.X
+		c.Trials += r.Y
+		s.sel[r.Task][r.Side] = *c
+	case KindLatency:
+		s.ewma(s.lat, r.Task).Observe(r.X)
+	case KindLatencySum:
+		s.ewma(s.lat, r.Task).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
+	case KindAgreement:
+		s.ewma(s.agr, r.Task).Observe(r.X)
+	case KindAgreementSum:
+		s.ewma(s.agr, r.Task).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
+	case KindModelExample:
+		args, err := DecodeArgs(r.Args)
+		if err != nil {
+			return
+		}
+		exs := append(s.examples[r.Task], model.Example{Args: args, Label: r.Pass})
+		if len(exs) > 2*modelExampleCap {
+			exs = append(exs[:0], exs[len(exs)-modelExampleCap:]...)
+		}
+		s.examples[r.Task] = exs
+	case KindReputation:
+		c := s.reput[r.Worker]
+		c.Votes++
+		if r.Pass {
+			c.Agreed++
+		}
+		s.reput[r.Worker] = c
+	case KindReputationSum:
+		c := s.reput[r.Worker]
+		c.Votes += r.N
+		c.Agreed += r.M
+		s.reput[r.Worker] = c
+	}
+}
+
+func (s *State) selCounts(task, side string) *stats.SelectivityState {
+	m := s.sel[task]
+	if m == nil {
+		m = make(map[string]stats.SelectivityState)
+		s.sel[task] = m
+	}
+	c := m[side]
+	return &c
+}
+
+func (s *State) ewma(m map[string]*stats.EWMA, task string) *stats.EWMA {
+	e := m[task]
+	if e == nil {
+		e = stats.NewEWMA(stats.TaskEWMAAlpha)
+		m[task] = e
+	}
+	return e
+}
+
+// snapshotRecords serializes the state as aggregate records in a
+// deterministic order (cache insertion order, then sorted tasks and
+// workers), so two identical states produce byte-identical snapshots.
+func (s *State) snapshotRecords() []Record {
+	var out []Record
+	for _, key := range s.cacheOrder {
+		out = append(out, Record{Kind: KindCacheEntry, Task: key.Task, Args: key.Args, Answers: s.cache[key]})
+	}
+	for _, task := range sortedKeys(s.sel) {
+		sides := s.sel[task]
+		for _, side := range sortedKeys(sides) {
+			c := sides[side]
+			out = append(out, Record{Kind: KindSelectivitySum, Task: task, Side: side, X: c.Passes, Y: c.Trials})
+		}
+	}
+	for _, task := range sortedKeys(s.lat) {
+		st := s.lat[task].State()
+		out = append(out, Record{Kind: KindLatencySum, Task: task, X: st.Value, N: int64(st.N)})
+	}
+	for _, task := range sortedKeys(s.agr) {
+		st := s.agr[task].State()
+		out = append(out, Record{Kind: KindAgreementSum, Task: task, X: st.Value, N: int64(st.N)})
+	}
+	for _, task := range sortedKeys(s.examples) {
+		exs := s.examples[task]
+		if len(exs) > modelExampleCap {
+			exs = exs[len(exs)-modelExampleCap:]
+		}
+		for _, ex := range exs {
+			var enc []byte
+			for _, a := range ex.Args {
+				enc = a.Encode(enc)
+			}
+			out = append(out, Record{Kind: KindModelExample, Task: task, Args: string(enc), Pass: ex.Label})
+		}
+	}
+	for _, w := range sortedKeys(s.reput) {
+		c := s.reput[w]
+		out = append(out, Record{Kind: KindReputationSum, Worker: w, N: c.Votes, M: c.Agreed})
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CacheEntry is one replayed cache entry.
+type CacheEntry struct {
+	Key     cache.Key
+	Answers []relation.Value
+}
+
+// CacheEntries returns the replayed cache contents in first-seen order.
+func (s *State) CacheEntries() []CacheEntry {
+	out := make([]CacheEntry, 0, len(s.cacheOrder))
+	for _, key := range s.cacheOrder {
+		out = append(out, CacheEntry{Key: key, Answers: s.cache[key]})
+	}
+	return out
+}
+
+// StatTasks returns every task with replayed statistics, sorted.
+func (s *State) StatTasks() []string {
+	set := make(map[string]bool)
+	for t := range s.sel {
+		set[t] = true
+	}
+	for t := range s.lat {
+		set[t] = true
+	}
+	for t := range s.agr {
+		set[t] = true
+	}
+	return sortedKeys(set)
+}
+
+// Selectivities returns one task's per-side estimator counts ("" is the
+// untagged side). The returned map is a copy.
+func (s *State) Selectivities(task string) map[string]stats.SelectivityState {
+	out := make(map[string]stats.SelectivityState, len(s.sel[task]))
+	for side, c := range s.sel[task] {
+		out[side] = c
+	}
+	return out
+}
+
+// Latency returns one task's replayed latency EWMA state.
+func (s *State) Latency(task string) stats.EWMAState {
+	if e := s.lat[task]; e != nil {
+		return e.State()
+	}
+	return stats.EWMAState{}
+}
+
+// Agreement returns one task's replayed agreement EWMA state.
+func (s *State) Agreement(task string) stats.EWMAState {
+	if e := s.agr[task]; e != nil {
+		return e.State()
+	}
+	return stats.EWMAState{}
+}
+
+// ModelExamples returns the replayed training examples per task.
+func (s *State) ModelExamples() map[string][]model.Example {
+	out := make(map[string][]model.Example, len(s.examples))
+	for task, exs := range s.examples {
+		out[task] = append([]model.Example(nil), exs...)
+	}
+	return out
+}
+
+// Reputations returns the replayed per-worker vote totals.
+func (s *State) Reputations() map[string]RepCounts {
+	out := make(map[string]RepCounts, len(s.reput))
+	for w, c := range s.reput {
+		out[w] = c
+	}
+	return out
+}
+
+// Records returns how many records have been folded into the state.
+func (s *State) Records() int64 { return s.records }
+
+// Fingerprint hashes the entire state in deterministic order; replaying
+// the same bytes must always yield the same fingerprint (the fuzz
+// target's no-double-apply check).
+func (s *State) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, rec := range s.snapshotRecords() {
+		_, _ = h.Write(rec.encode(nil))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // SubmitGroup posts several *different* boolean tasks about (typically)
@@ -54,7 +55,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 				st.mu.Unlock()
 				out := reduce(r.Def, entry.Answers)
 				out.FromCache = true
-				st.selectivity.Observe(out.Value.Truthy())
+				st.observeSelectivity(out.Value.Truthy(), r.StatSide)
 				resolved = append(resolved, resolution{done: r.Done, out: out})
 				continue
 			}
@@ -65,7 +66,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 					st.mu.Lock()
 					st.modelAnswers++
 					st.mu.Unlock()
-					st.selectivity.Observe(v.Truthy())
+					st.observeSelectivity(v.Truthy(), r.StatSide)
 					resolved = append(resolved, resolution{done: r.Done,
 						out: Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true}})
 					continue
@@ -100,7 +101,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		}
 		h.Items = append(h.Items, hit.Item{Key: key, Args: r.Args, Task: r.Def.Name, Prompt: prompt})
 		h.GroupKeys = append(h.GroupKeys, r.Def.Name)
-		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, done: r.Done}
+		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, side: r.StatSide, done: r.Done}
 	}
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
@@ -166,7 +167,12 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 // selectivity, caching and training per item task rather than per HIT
 // task. No manager lock is held while it runs.
 func (m *Manager) finalizeGroup(fl *inflightHIT) {
-	fl.state.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
+	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
+	fl.state.latency.Observe(latencyMin)
+	j := m.getJournal()
+	if j != nil {
+		j.Append(store.Record{Kind: store.KindLatency, Task: fl.hit.Task, X: latencyMin})
+	}
 	base := m.basePolicy()
 	fl.state.mu.Lock()
 	pol := fl.state.effectivePolicyLocked(base)
@@ -187,7 +193,7 @@ func (m *Manager) finalizeGroup(fl *inflightHIT) {
 		b, conf := stats.MajorityBool(answers)
 		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
 		st.agreement.Observe(conf)
-		st.selectivity.Observe(b)
+		st.observeSelectivity(b, item.side)
 		m.noteWorkerVotes(fl.byWorker, hi.Key, b)
 		if pol.UseCache {
 			m.cache.Put(cache.NewKey(item.def.Name, item.args), cache.Entry{Answers: answers})
@@ -196,6 +202,9 @@ func (m *Manager) finalizeGroup(fl *inflightHIT) {
 			if tm, ok := m.models.For(item.def.Name); ok {
 				tm.Train(item.args, b)
 			}
+		}
+		if j != nil {
+			m.journalItem(j, pol, item.def, item.args, item.side, answers, out)
 		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
 	}

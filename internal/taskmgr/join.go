@@ -10,6 +10,7 @@ import (
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // hitPair is one unresolved cell of a join grid.
@@ -223,7 +224,12 @@ func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
 // join-grid HIT in grid order. No manager lock is held while it runs.
 func (m *Manager) finalizeJoin(fl *joinInflight) {
 	st := fl.state
-	st.latency.Observe((m.market.Clock().Now() - fl.postedAt).Minutes())
+	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
+	st.latency.Observe(latencyMin)
+	j := m.getJournal()
+	if j != nil {
+		j.Append(store.Record{Kind: store.KindLatency, Task: fl.def.Name, X: latencyMin})
+	}
 	base := m.basePolicy()
 	st.mu.Lock()
 	pol := st.effectivePolicyLocked(base)
@@ -249,6 +255,9 @@ func (m *Manager) finalizeJoin(fl *joinInflight) {
 			if tm, ok := m.models.For(fl.def.Name); ok {
 				tm.Train(item.args, b)
 			}
+		}
+		if j != nil {
+			m.journalItem(j, pol, fl.def, item.args, "", answers, out)
 		}
 		if fl.need[key] {
 			resolved = append(resolved, resolution{key: key, out: out})

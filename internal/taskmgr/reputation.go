@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/hit"
+	"repro/internal/store"
 )
 
 // WorkerQuality is Qurk's view of one worker, inferred purely from how
@@ -26,11 +27,16 @@ type workerRecord struct {
 // reputation lock (never m.mu) so the marketplace's worker filter can
 // consult reputations while the manager is posting under m.mu.
 func (m *Manager) noteWorkerVotes(byWorker []hit.Answers, key string, majority bool) {
+	j := m.getJournal()
 	m.repMu.Lock()
-	defer m.repMu.Unlock()
 	if m.workers == nil {
 		m.workers = make(map[string]*workerRecord)
 	}
+	type vote struct {
+		worker string
+		agreed bool
+	}
+	var votes []vote
 	for _, wa := range byWorker {
 		v, ok := wa.Values[key]
 		if !ok || wa.WorkerID == "" {
@@ -42,10 +48,42 @@ func (m *Manager) noteWorkerVotes(byWorker []hit.Answers, key string, majority b
 			m.workers[wa.WorkerID] = rec
 		}
 		rec.votes++
-		if v.Truthy() == majority {
+		agreed := v.Truthy() == majority
+		if agreed {
 			rec.agreed++
 		}
+		if j != nil {
+			votes = append(votes, vote{worker: wa.WorkerID, agreed: agreed})
+		}
 	}
+	m.repMu.Unlock()
+	// Journal outside repMu: the marketplace's worker filter takes repMu
+	// from inside marketplace calls and must never wait on persistence.
+	for _, v := range votes {
+		j.Append(store.Record{Kind: store.KindReputation, Worker: v.worker, Pass: v.agreed})
+	}
+}
+
+// RestoreReputation folds replayed vote totals into a worker's record —
+// the durable half of spam defense: a worker blocked in one engine run
+// stays blocked in the next (once EnableBlocklist is re-armed) without
+// re-paying for the bad votes that exposed them.
+func (m *Manager) RestoreReputation(worker string, votes, agreed int64) {
+	if worker == "" || votes <= 0 {
+		return
+	}
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	if m.workers == nil {
+		m.workers = make(map[string]*workerRecord)
+	}
+	rec, ok := m.workers[worker]
+	if !ok {
+		rec = &workerRecord{}
+		m.workers[worker] = rec
+	}
+	rec.votes += votes
+	rec.agreed += agreed
 }
 
 // WorkerQualities reports the agreement-based reputation of every

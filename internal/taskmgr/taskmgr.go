@@ -34,6 +34,7 @@ import (
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Policy tunes how one task's applications become HITs. The optimizer
@@ -122,6 +123,15 @@ type Outcome struct {
 	Err error
 }
 
+// Join-side tags for Request.StatSide: a pre-filter stage says which
+// input of its join it protects, so the Statistics Manager can keep a
+// selectivity estimate per (task, side) — the resolution the planner
+// needs to wrap only the profitable side.
+const (
+	SideLeft  = "left"
+	SideRight = "right"
+)
+
 // Request is one logical task application submitted by an operator.
 type Request struct {
 	Def  *qlang.TaskDef
@@ -132,6 +142,10 @@ type Request struct {
 	// Assignments overrides the policy's redundancy for this request
 	// (0 = use policy). POSSIBLY predicates use 1.
 	Assignments int
+	// StatSide tags a boolean outcome with the join side it was observed
+	// on (SideLeft/SideRight, "" = untagged): the observation feeds both
+	// the task's combined selectivity estimator and the per-side one.
+	StatSide string
 	// Done receives the outcome; it is called exactly once, possibly
 	// synchronously (cache/model hits) and possibly from the clock
 	// goroutine.
@@ -174,8 +188,36 @@ type taskState struct {
 	spent          budget.Cents
 
 	selectivity stats.Selectivity
-	latency     *stats.EWMA
-	agreement   *stats.EWMA
+	// sideSel holds per-join-side selectivity estimators keyed by
+	// SideLeft/SideRight; created lazily, guarded by mu (the estimators
+	// themselves are internally synchronized).
+	sideSel   map[string]*stats.Selectivity
+	latency   *stats.EWMA
+	agreement *stats.EWMA
+}
+
+// observeSelectivity records one boolean outcome into the task's
+// combined estimator and, when side is tagged, the per-side estimator.
+func (st *taskState) observeSelectivity(pass bool, side string) {
+	st.selectivity.Observe(pass)
+	if side == "" {
+		return
+	}
+	st.sideEstimator(side).Observe(pass)
+}
+
+func (st *taskState) sideEstimator(side string) *stats.Selectivity {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.sideSel == nil {
+		st.sideSel = make(map[string]*stats.Selectivity)
+	}
+	est := st.sideSel[side]
+	if est == nil {
+		est = &stats.Selectivity{}
+		st.sideSel[side] = est
+	}
+	return est
 }
 
 type pendingItem struct {
@@ -183,7 +225,8 @@ type pendingItem struct {
 	args        []relation.Value
 	prompt      string
 	def         *qlang.TaskDef
-	assignments int // 0 = policy default
+	assignments int    // 0 = policy default
+	side        string // join-side tag for selectivity observations
 	done        func(Outcome)
 	addedAt     mturk.VirtualTime
 }
@@ -226,11 +269,41 @@ type Manager struct {
 	nextKey atomic.Int64
 	flights flightTable
 
+	// journal, when set, receives a durable record for every learned
+	// artifact produced on the paid (human) paths: cache entries,
+	// selectivity/latency/agreement observations, model training
+	// examples and reputation votes. Appends are asynchronous inside the
+	// store and the pointer is read atomically, so finalizations never
+	// block on persistence.
+	journal atomic.Pointer[Journal]
+
 	// workers tracks agreement-based reputation, guarded by repMu —
 	// not m.mu — because the marketplace's worker filter reads it from
 	// inside marketplace calls (reputation.go).
 	repMu   sync.Mutex
 	workers map[string]*workerRecord
+}
+
+// Journal receives the records the manager emits on its learning paths;
+// *store.Store implements it. Append must not block.
+type Journal interface {
+	Append(rec store.Record)
+}
+
+// SetJournal installs (or, with nil, removes) the record sink.
+func (m *Manager) SetJournal(j Journal) {
+	if j == nil {
+		m.journal.Store(nil)
+		return
+	}
+	m.journal.Store(&j)
+}
+
+func (m *Manager) getJournal() Journal {
+	if p := m.journal.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 type inflightHIT struct {
@@ -377,7 +450,7 @@ func (m *Manager) state(name string, def *qlang.TaskDef) *taskState {
 	m.mu.Lock()
 	st, ok := m.tasks[key]
 	if !ok {
-		st = &taskState{latency: stats.NewEWMA(0.3), agreement: stats.NewEWMA(0.3)}
+		st = &taskState{latency: stats.NewEWMA(stats.TaskEWMAAlpha), agreement: stats.NewEWMA(stats.TaskEWMAAlpha)}
 		m.tasks[key] = st
 	}
 	m.mu.Unlock()
@@ -422,7 +495,7 @@ func (m *Manager) Submit(req Request) {
 			out := reduce(req.Def, entry.Answers)
 			out.FromCache = true
 			if isBooleanTask(req.Def) {
-				st.selectivity.Observe(out.Value.Truthy())
+				st.observeSelectivity(out.Value.Truthy(), req.StatSide)
 			}
 			req.Done(out)
 			return
@@ -436,7 +509,7 @@ func (m *Manager) Submit(req Request) {
 				st.mu.Lock()
 				st.modelAnswers++
 				st.mu.Unlock()
-				st.selectivity.Observe(v.Truthy())
+				st.observeSelectivity(v.Truthy(), req.StatSide)
 				req.Done(Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true})
 				return
 			}
@@ -450,6 +523,7 @@ func (m *Manager) Submit(req Request) {
 		prompt:      req.Prompt,
 		def:         req.Def,
 		assignments: req.Assignments,
+		side:        req.StatSide,
 		done:        req.Done,
 		addedAt:     m.market.Clock().Now(),
 	}
@@ -652,6 +726,10 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 	st := fl.state
 	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
 	st.latency.Observe(latencyMin)
+	j := m.getJournal()
+	if j != nil {
+		j.Append(store.Record{Kind: store.KindLatency, Task: fl.hit.Task, X: latencyMin})
+	}
 
 	type resolution struct {
 		done func(Outcome)
@@ -671,7 +749,7 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 		out := reduce(item.def, answers)
 		st.agreement.Observe(out.Agreement)
 		if isBooleanTask(item.def) {
-			st.selectivity.Observe(out.Value.Truthy())
+			st.observeSelectivity(out.Value.Truthy(), item.side)
 			m.noteWorkerVotes(fl.byWorker, hi.Key, out.Value.Truthy())
 		}
 		if pol.UseCache {
@@ -682,10 +760,38 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 				tm.Train(item.args, out.Value.Truthy())
 			}
 		}
+		if j != nil {
+			m.journalItem(j, pol, item.def, item.args, item.side, answers, out)
+		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
 	}
 	for _, r := range resolved {
 		r.done(r.out)
+	}
+}
+
+// journalItem streams one finalized item's learned artifacts to the
+// journal: the cache entry, the selectivity/agreement observations and
+// the model training example. Answer slices are copied because done
+// callbacks receive (and may mutate) the originals while the store
+// encodes asynchronously.
+func (m *Manager) journalItem(j Journal, pol Policy, def *qlang.TaskDef,
+	args []relation.Value, side string, answers []relation.Value, out Outcome) {
+	key := cache.NewKey(def.Name, args)
+	if pol.UseCache {
+		j.Append(store.Record{
+			Kind: store.KindCacheEntry, Task: key.Task, Args: key.Args,
+			Answers: append([]relation.Value(nil), answers...),
+		})
+	}
+	j.Append(store.Record{Kind: store.KindAgreement, Task: def.Name, X: out.Agreement})
+	if !isBooleanTask(def) {
+		return
+	}
+	pass := out.Value.Truthy()
+	j.Append(store.Record{Kind: store.KindSelectivity, Task: def.Name, Side: side, Pass: pass})
+	if pol.TrainModel {
+		j.Append(store.Record{Kind: store.KindModelExample, Task: def.Name, Args: key.Args, Pass: pass})
 	}
 }
 
@@ -790,6 +896,38 @@ func (m *Manager) Stats() []TaskStats {
 	}
 	sortTaskStats(out)
 	return out
+}
+
+// SideSelectivity reports the selectivity estimate and trial count for
+// one join side of a task (SideLeft/SideRight). While the side has no
+// observations of its own it falls back to the task's combined
+// estimator, so early decisions keep the old one-estimate behavior.
+func (m *Manager) SideSelectivity(task, side string) (estimate float64, trials int) {
+	st := m.state(task, nil)
+	st.mu.Lock()
+	est := st.sideSel[side]
+	st.mu.Unlock()
+	if est != nil && est.Trials() > 0 {
+		return est.Estimate(), est.Trials()
+	}
+	return st.selectivity.Estimate(), st.selectivity.Trials()
+}
+
+// HasSideEvidence reports whether any join-side-tagged selectivity
+// observations exist for a task. The planner only trusts the per-side
+// cost model once the sides have actually been measured (or replayed
+// from the knowledge store); before that, per-side estimates are just
+// the shared prior and cannot distinguish the sides.
+func (m *Manager) HasSideEvidence(task string) bool {
+	st := m.state(task, nil)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, est := range st.sideSel {
+		if est.Trials() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // StatsFor returns one task's statistics.
