@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -73,12 +74,23 @@ RETURNS Bool:
 	// Pace the clock so the audience can race the simulated turkers.
 	eng.Clock().SetPace(pace)
 
-	// Start the demo's two long-running queries.
-	if _, err := eng.Run(`SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone FROM companies`); err != nil {
-		return err
-	}
-	if _, err := eng.Run(`SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`); err != nil {
-		return err
+	// Start the demo's two long-running queries through the streaming
+	// API; the drained cursors keep the dashboard's progress live while
+	// Close (on shutdown) cancels whatever is still in flight.
+	ctx := context.Background()
+	for _, sql := range []string{
+		`SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone FROM companies`,
+		`SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`,
+	} {
+		rows, err := eng.Query(ctx, sql)
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer rows.Close()
+			for rows.Next() {
+			}
+		}()
 	}
 
 	fmt.Printf("Qurk demo dashboard on http://localhost%s/ (tasks at /tasks)\n", addr)

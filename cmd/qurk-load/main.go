@@ -11,6 +11,12 @@
 //	    # cold run, then a warm run over the same store: asserts run 2
 //	    # pays fewer HITs, answers ≥ half its questions from replayed
 //	    # state, and reproduces run 1's result fingerprint exactly
+//	qurk-load -workload streaming -tuples 200 -cancelafter 20 -verify
+//	    # context-first query API end to end: asserts the Rows cursor
+//	    # delivered its first tuple before the final HIT completed, that
+//	    # posting stopped dead at ctx cancellation (0 HITs in practice;
+//	    # at most 2 already-in-flight posts tolerated, expired + refunded),
+//	    # and that the completed prefix's fingerprint is rerun-identical
 package main
 
 import (
@@ -22,7 +28,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby")
+	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming")
 	tuples := flag.Int("tuples", 1000, "input cardinality")
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
@@ -36,6 +42,8 @@ func main() {
 	abandon := flag.Float64("abandon", 0, "abandonment rate (0 = crowd default 0.02)")
 	batchPenalty := flag.Float64("batchpenalty", 0, "per-question accuracy decay (0 = crowd default 0.015)")
 	storePath := flag.String("store", "", "durable knowledge store directory (required by -workload warmstart)")
+	cancelAfter := flag.Int("cancelafter", 0, "streaming: cancel the query context after N delivered rows (0 = run to completion)")
+	streamWindow := flag.Int("streamwindow", 0, "streaming: concurrent in-flight filter cascades (0 = default 8)")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
 	flag.Parse()
 
@@ -54,6 +62,8 @@ func main() {
 		Abandon:      *abandon,
 		BatchPenalty: *batchPenalty,
 		StorePath:    *storePath,
+		CancelAfter:  *cancelAfter,
+		StreamWindow: *streamWindow,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -61,6 +71,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep)
+
+	if cfg.Workload == load.WorkloadStreaming {
+		if err := checkStreaming(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-load:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *verify {
 		again, err := load.Run(cfg)
@@ -98,6 +115,23 @@ func main() {
 			}
 			return
 		}
+		if cfg.Workload == load.WorkloadStreaming {
+			// Cancellation lands at a racy real-time moment, so the HIT
+			// totals legitimately vary; the completed prefix — the rows
+			// the caller actually received before cancel — must not.
+			if err := checkStreaming(again); err != nil {
+				fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
+				os.Exit(1)
+			}
+			if rep.PassedKeysFNV != again.PassedKeysFNV || rep.Delivered != again.Delivered {
+				fmt.Fprintf(os.Stderr, "qurk-load: PREFIX DRIFT\nfirst:\n%s\nsecond:\n%s", rep, again)
+				os.Exit(1)
+			}
+			fmt.Print(again)
+			fmt.Printf("verify: completed prefix rerun-identical (%d rows, fingerprint %016x)\n",
+				rep.Delivered, rep.PassedKeysFNV)
+			return
+		}
 		if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
 			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed ||
 			rep.JoinPairs != again.JoinPairs || rep.PassedKeysFNV != again.PassedKeysFNV {
@@ -106,4 +140,30 @@ func main() {
 		}
 		fmt.Println("verify: identical virtual-time metrics across reruns")
 	}
+}
+
+// checkStreaming asserts the streaming workload's two contracts: the
+// cursor streamed (first row strictly before the run's end) and, when
+// cancellation was requested, posting stopped dead afterwards.
+func checkStreaming(rep load.Report) error {
+	// With fewer than two delivered rows there is no "earlier" HIT for
+	// the first row to precede — a one-row run ends when it starts.
+	if rep.Delivered > 1 && rep.FirstRow >= rep.Makespan {
+		return fmt.Errorf("first row at %.2f vmin did not precede makespan %.2f vmin",
+			rep.FirstRow.Minutes(), rep.Makespan.Minutes())
+	}
+	// Posting must stop dead at cancellation. The only tolerated
+	// exception: a submitter goroutine already past its scope check when
+	// Cancel landed may complete one post (immediately expired and
+	// refunded via registerHIT → cancelInflightHIT). At most two
+	// goroutines submit concurrently in this workload (the filter
+	// operator and the clock pump), so anything beyond 2 means a
+	// submission path is missing the scope check. In practice the
+	// measured value is 0 — the report prints it.
+	const postCancelRaceSlack = 2
+	if rep.Config.CancelAfter > 0 && rep.HITsAfterCancel > postCancelRaceSlack {
+		return fmt.Errorf("%d HITs posted after cancellation (race allowance %d)",
+			rep.HITsAfterCancel, postCancelRaceSlack)
+	}
+	return nil
 }

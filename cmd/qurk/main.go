@@ -6,6 +6,13 @@
 //	qurk -demo query2          # the paper's Query 2 (celebrity join)
 //	qurk -script q.qurk -table companies=companies.csv -selectivity 0.4
 //	qurk -demo query2 -store ./qurk-store   # run twice: 2nd run is free
+//	qurk -repl -table photos=photos.csv     # interactive session
+//
+// In the REPL, statements end with ';' (or a blank line): TASK blocks
+// define tasks, SELECT statements run as streaming queries whose rows
+// print as the crowd produces them. Ctrl-C cancels the in-flight query
+// (its open HITs are expired and unspent budget released) instead of
+// killing the process; a second Ctrl-C exits.
 //
 // Without ground truth, the crowd answers from a deterministic synthetic
 // oracle: boolean tasks pass with the configured selectivity (hashed per
@@ -16,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -53,11 +61,19 @@ func main() {
 	storePath := flag.String("store", "",
 		"durable knowledge store directory: replayed at start (warm cache, informed estimators), streamed to during the run")
 	explain := flag.Bool("explain", false, "print query plans instead of executing")
+	repl := flag.Bool("repl", false, "interactive session: streaming queries, Ctrl-C cancels the in-flight query")
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
 
 	if *explain {
 		if err := explainScript(*script, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repl {
+		if err := runREPL(tables, *selectivity, *seed, *budgetDollars, *skill, *adaptiveJoins, *storePath); err != nil {
 			fmt.Fprintln(os.Stderr, "qurk:", err)
 			os.Exit(1)
 		}
@@ -93,29 +109,23 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		return err
 	}
 	defer eng.Close()
-	for _, spec := range tables {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			return fmt.Errorf("bad -table %q (want name=path.csv)", spec)
-		}
-		tab, err := relation.LoadCSVFile(name, path)
-		if err != nil {
-			return err
-		}
-		if err := eng.Register(tab); err != nil {
-			return err
-		}
+	if err := registerTables(eng, tables); err != nil {
+		return err
 	}
 	handles, err := eng.RunScript(string(src))
 	if err != nil {
 		return err
 	}
 	for i, h := range handles {
-		rows := h.Wait()
+		cursor := h.Rows()
+		var rows []qurk.Tuple
+		for cursor.Next() {
+			rows = append(rows, cursor.Tuple())
+		}
 		fmt.Printf("-- query %d: %s\n", i+1, h.SQL)
 		printRows(rows)
-		if errs := h.Exec.Errors(); len(errs) > 0 {
-			fmt.Printf("   (%d tuple errors, first: %v)\n", len(errs), errs[0])
+		if err := cursor.Err(); err != nil {
+			fmt.Printf("   (query error: %v)\n", err)
 		}
 	}
 	if showDash {
@@ -172,8 +182,16 @@ RETURNS Bool:
 	if err := eng.Define(tasks); err != nil {
 		return err
 	}
-	rows, err := eng.QueryAndWait(query)
+	cursor, err := eng.Query(context.Background(), query)
 	if err != nil {
+		return err
+	}
+	defer cursor.Close()
+	var rows []qurk.Tuple
+	for cursor.Next() {
+		rows = append(rows, cursor.Tuple())
+	}
+	if err := cursor.Err(); err != nil {
 		return err
 	}
 	fmt.Printf("-- %s\n", query)

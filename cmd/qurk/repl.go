@@ -1,0 +1,234 @@
+package main
+
+// The interactive session. Statements terminate with ';' or a blank
+// line; TASK blocks register tasks, SELECT statements run as streaming
+// queries printing rows as the simulated crowd produces them. SIGINT
+// (Ctrl-C) cancels the in-flight query through its context — open HITs
+// are expired at the marketplace and unspent budget released — and a
+// second SIGINT exits the process.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/dashboard"
+	"repro/internal/relation"
+	"repro/qurk"
+)
+
+// replSession owns the engine and the SIGINT → cancel routing.
+type replSession struct {
+	eng *qurk.Engine
+
+	mu       sync.Mutex
+	cancel   context.CancelFunc // in-flight query's context cancel
+	canceled bool               // first Ctrl-C already spent on it
+}
+
+// interrupt implements the two-stage Ctrl-C contract.
+func (s *replSession) interrupt() (exit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil && !s.canceled {
+		s.canceled = true
+		s.cancel()
+		fmt.Println("\n^C — canceling query (Ctrl-C again to exit)")
+		return false
+	}
+	return true
+}
+
+func (s *replSession) setCancel(c context.CancelFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cancel, s.canceled = c, false
+}
+
+func runREPL(tables tableFlags, selectivity float64, seed int64,
+	budgetDollars, skill float64, adaptiveJoins bool, storePath string) error {
+	eng, err := qurk.New(qurk.Config{
+		Oracle:        hashOracle{selectivity: selectivity},
+		Crowd:         crowd.Config{Seed: seed, MeanSkill: skill},
+		BudgetCents:   budget.Cents(budgetDollars * 100),
+		AutoTune:      true,
+		AdaptiveJoins: adaptiveJoins,
+		StorePath:     storePath,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if err := registerTables(eng, tables); err != nil {
+		return err
+	}
+
+	s := &replSession{eng: eng}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		for range sigc {
+			if s.interrupt() {
+				fmt.Println("\nbye")
+				// Close drains the knowledge store's buffered records
+				// (when -store is set) and cancels in-flight queries, so
+				// a Ctrl-C exit loses nothing a \q exit would keep.
+				eng.Close()
+				os.Exit(130)
+			}
+		}
+	}()
+
+	fmt.Println("qurk interactive — end statements with ';' (or a blank line).")
+	fmt.Println("TASK blocks define tasks; SELECT streams rows as the crowd answers.")
+	fmt.Println(`Commands: \dash (dashboard), \tables, \q (quit). Ctrl-C cancels the running query.`)
+	in := bufio.NewScanner(os.Stdin)
+	var buf []string
+	prompt := func() {
+		if len(buf) == 0 {
+			fmt.Print("qurk> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case len(buf) == 0 && trimmed == "":
+			// idle blank line
+		case len(buf) == 0 && strings.HasPrefix(trimmed, `\`):
+			s.command(trimmed)
+		default:
+			done := trimmed == "" || strings.HasSuffix(trimmed, ";")
+			if trimmed != "" {
+				// Strip the terminator from the whitespace-trimmed tail so
+				// "SELECT ...; " (trailing blanks) parses cleanly, keeping
+				// the line's leading indentation for TASK bodies.
+				kept := strings.TrimRight(line, " \t\r")
+				buf = append(buf, strings.TrimSuffix(kept, ";"))
+			}
+			if done && len(buf) > 0 {
+				s.execute(strings.Join(buf, "\n"))
+				buf = buf[:0]
+			}
+		}
+		prompt()
+	}
+	fmt.Println()
+	return in.Err()
+}
+
+func (s *replSession) command(cmd string) {
+	switch strings.ToLower(strings.Fields(cmd)[0]) {
+	case `\q`, `\quit`, `\exit`:
+		fmt.Println("bye")
+		s.eng.Close()
+		os.Exit(0)
+	case `\dash`, `\dashboard`:
+		fmt.Println(dashboard.Render(s.eng.Snapshot()))
+	case `\tables`:
+		for _, name := range s.eng.Catalog().Names() {
+			if t, ok := s.eng.Catalog().Table(name); ok {
+				fmt.Printf("  %s (%d rows)\n", name, t.Len())
+			}
+		}
+	default:
+		fmt.Printf("unknown command %s (try \\dash, \\tables, \\q)\n", cmd)
+	}
+}
+
+// execute routes one statement: TASK definitions to Define, everything
+// else through the streaming query path.
+func (s *replSession) execute(stmt string) {
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "TASK") {
+		if err := s.eng.Define(stmt); err != nil {
+			fmt.Println("define error:", err)
+			return
+		}
+		fmt.Println("task defined")
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.setCancel(cancel)
+	defer func() {
+		s.setCancel(nil)
+		cancel()
+	}()
+
+	rows, err := s.eng.Query(ctx, stmt)
+	if err != nil {
+		var pe *qurk.ParseError
+		if errors.As(err, &pe) {
+			fmt.Printf("parse error at line %d col %d: %s\n", pe.Line, pe.Col, pe.Msg)
+			return
+		}
+		fmt.Println("query error:", err)
+		return
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		t := rows.Tuple()
+		if n == 0 {
+			printHeader(t)
+		}
+		printTuple(t)
+		n++
+	}
+	switch err := rows.Err(); {
+	case err == nil:
+		fmt.Printf("(%d rows, spent %v)\n", n, rows.Handle().SunkCents())
+	case errors.Is(err, qurk.ErrCanceled):
+		fmt.Printf("(canceled after %d rows, sunk %v)\n", n, rows.Handle().SunkCents())
+	case errors.Is(err, qurk.ErrBudgetExhausted):
+		fmt.Printf("(budget exhausted after %d rows: %v)\n", n, err)
+	case errors.Is(err, qurk.ErrDeadline):
+		fmt.Printf("(deadline exceeded after %d rows)\n", n)
+	default:
+		fmt.Printf("(%d rows; query error: %v)\n", n, err)
+	}
+}
+
+func printHeader(t qurk.Tuple) {
+	cols := t.Schema.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	fmt.Println("   " + strings.Join(names, " | "))
+}
+
+func printTuple(t qurk.Tuple) {
+	cells := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		cells[i] = v.String()
+	}
+	fmt.Println("   " + strings.Join(cells, " | "))
+}
+
+func registerTables(eng *qurk.Engine, tables tableFlags) error {
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q (want name=path.csv)", spec)
+		}
+		tab, err := relation.LoadCSVFile(name, path)
+		if err != nil {
+			return err
+		}
+		if err := eng.Register(tab); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,6 +7,18 @@
 // evaluation. The benchmarks in bench_test.go regenerate every
 // experiment table (go test -bench=. -benchmem).
 //
+// Queries run through a context-first streaming API in the style of
+// database/sql: Engine.Query(ctx, sql, ...QueryOption) returns a Rows
+// cursor fed incrementally by the executor, per-query options override
+// engine defaults (budget cap, virtual-time deadline, task policies,
+// priority, adaptive joins), context cancellation propagates through
+// the executor and task manager to the marketplace (open HITs expired,
+// unspent budget refunded), and terminal errors are typed
+// (ErrBudgetExhausted, ErrCanceled, ErrDeadline, *ParseError). The
+// pre-context entry points (Run, QueryAndWait, QueryHandle.Wait) are
+// deprecated shims over Query; see README.md § "Querying" for the
+// deprecation policy and the qurk/api.txt surface pin.
+//
 // Everything the engine learns from the crowd — Task Cache entries,
 // per-join-side selectivity and latency observations, Task Model
 // training examples, worker reputations — can persist across engine

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,18 +46,26 @@ func run(pairwise bool, seed int64) (rows int, hits int64, spent qurk.Cents) {
 	if err := eng.Define(joinTask); err != nil {
 		log.Fatal(err)
 	}
-	result, err := eng.QueryAndWait(query2)
+	result, err := eng.Query(context.Background(), query2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := eng.Manager().StatsFor("sameperson")
+	defer result.Close()
 	if !pairwise {
-		fmt.Println("matches found by the two-column interface:")
-		for _, row := range result {
+		fmt.Println("matches found by the two-column interface (streamed as grids resolve):")
+	}
+	for result.Next() {
+		row := result.Tuple()
+		rows++
+		if !pairwise {
 			fmt.Printf("  %-24s sighting #%d\n", row.Values[0].Str(), row.Values[1].Int())
 		}
 	}
-	return len(result), s.HITsPosted, s.SpentCents
+	if err := result.Err(); err != nil {
+		log.Fatal(err)
+	}
+	s := eng.Manager().StatsFor("sameperson")
+	return rows, s.HITsPosted, s.SpentCents
 }
 
 func main() {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -77,14 +78,22 @@ RETURNS Bool:
 	}
 
 	dedup := func(left, right string) int {
-		rows, err := eng.QueryAndWait(fmt.Sprintf(`
+		rows, err := eng.Query(context.Background(), fmt.Sprintf(`
 SELECT %s.listing, %s.listing
 FROM %s, %s
 WHERE sameProduct(%s.listing, %s.listing)`, left, right, left, right, left, right))
 		if err != nil {
 			log.Fatal(err)
 		}
-		return len(rows)
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		return n
 	}
 
 	n1 := dedup("batch1a", "batch1b")

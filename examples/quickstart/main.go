@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,18 +47,26 @@ RETURNS (String CEO, String Phone):
 		log.Fatal(err)
 	}
 
-	// Query 1 from the paper.
-	rows, err := eng.QueryAndWait(`
+	// Query 1 from the paper, consumed as a stream: each row prints the
+	// moment the crowd resolves it, while later HITs are still open.
+	rows, err := eng.Query(context.Background(), `
 SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
 FROM companies`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 
-	for _, row := range rows {
+	n := 0
+	for rows.Next() {
+		row := rows.Tuple()
 		fmt.Printf("%-28s CEO=%-18s Phone=%s\n",
 			row.Values[0].Str(), row.Get("findCEO.CEO").Str(), row.Get("findCEO.Phone").Str())
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err) // typed: qurk.ErrBudgetExhausted, qurk.ErrCanceled, ...
 	}
 	fmt.Printf("\n%d companies, %s spent, %.1f virtual minutes\n",
-		len(rows), eng.Manager().Account().Spent(), eng.Clock().Now().Minutes())
+		n, eng.Manager().Account().Spent(), eng.Clock().Now().Minutes())
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,27 +50,44 @@ RETURNS Int:
 		log.Fatal(err)
 	}
 
-	positives, err := eng.QueryAndWait(`
-SELECT id, text FROM reviews WHERE isPositive(text)`)
+	// Stream the positives as the crowd confirms them; a per-query
+	// budget shows the typed-error contract (this cap is ample, so the
+	// query completes — shrink it to watch ErrBudgetExhausted surface).
+	ctx := context.Background()
+	positives, err := eng.Query(ctx, `
+SELECT id, text FROM reviews WHERE isPositive(text)`,
+		qurk.WithBudget(qurk.Cents(500)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("crowd kept %d of 40 reviews as positive; first few:\n", len(positives))
-	for i, row := range positives {
-		if i == 3 {
-			break
+	defer positives.Close()
+	kept := 0
+	for positives.Next() {
+		if row := positives.Tuple(); kept < 3 {
+			fmt.Printf("  #%-3d %s\n", row.Get("id").Int(), row.Get("text").Str())
 		}
-		fmt.Printf("  #%-3d %s\n", row.Get("id").Int(), row.Get("text").Str())
+		kept++
 	}
+	if err := positives.Err(); err != nil {
+		log.Fatal(err) // errors.Is(err, qurk.ErrBudgetExhausted) on a tight cap
+	}
+	fmt.Printf("crowd kept %d of 40 reviews as positive\n", kept)
 
-	ranked, err := eng.QueryAndWait(`
+	// ORDER BY buffers before emitting, so a plain drained cursor is
+	// natural here; QueryAndWait remains as a deprecated one-call shim.
+	ranked, err := eng.Query(ctx, `
 SELECT img, appeal(img) AS score FROM items ORDER BY score DESC LIMIT 5`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ranked.Close()
 	fmt.Println("\ntop photos by crowd rating:")
-	for _, row := range ranked {
+	for ranked.Next() {
+		row := ranked.Tuple()
 		fmt.Printf("  %-16s %.2f\n", row.Get("img").Str(), row.Get("score").Float())
+	}
+	if err := ranked.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	snap := eng.Snapshot()

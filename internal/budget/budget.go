@@ -118,6 +118,21 @@ func (a *Account) Commit(amount Cents) {
 	a.spent += amount
 }
 
+// Refund returns previously spent money (e.g. the uncompleted
+// assignments of a HIT disposed by query cancellation). Spend never
+// goes negative.
+func (a *Account) Refund(amount Cents) {
+	if amount <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= amount
+	if a.spent < 0 {
+		a.spent = 0
+	}
+}
+
 // Spend charges without a prior reservation, failing when over limit.
 func (a *Account) Spend(amount Cents) error {
 	if amount < 0 {

@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/mturk"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
+	"repro/internal/qerr"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -74,13 +76,38 @@ type QueryHandle struct {
 	Exec      *exec.Query
 	StartedAt mturk.VirtualTime
 	engine    *Engine
+	scope     *taskmgr.Scope
 }
 
 // Wait blocks until the query finishes and returns its rows.
+//
+// Deprecated: Wait cannot report errors — failures hide in
+// Exec.Errors(). Iterate Rows (or call Err after Wait) instead.
 func (h *QueryHandle) Wait() []relation.Tuple { return h.Exec.Wait() }
 
 // Result returns the pollable results table.
 func (h *QueryHandle) Result() *relation.Table { return h.Exec.Result() }
+
+// Rows returns a fresh streaming cursor over the query's results from
+// the beginning.
+func (h *QueryHandle) Rows() *Rows { return &Rows{h: h} }
+
+// Err reports the query's terminal error through the typed taxonomy
+// (nil / ErrCanceled / ErrDeadline / ErrBudgetExhausted / first
+// operator error). See Rows.Err.
+func (h *QueryHandle) Err() error { return h.Exec.Err() }
+
+// Cancel terminates the query: outstanding HITs are expired at the
+// marketplace and unspent budget released. Idempotent; a no-op once
+// the query has finished.
+func (h *QueryHandle) Cancel() { h.Exec.Cancel(qerr.ErrCanceled) }
+
+// Canceled reports whether the query was canceled before completing.
+func (h *QueryHandle) Canceled() bool { return h.Exec.Canceled() }
+
+// SunkCents reports the money this query actually consumed: HITs
+// posted minus refunds for assignments expired by cancellation.
+func (h *QueryHandle) SunkCents() budget.Cents { return h.scope.Spent() }
 
 // Engine is a running Qurk instance.
 type Engine struct {
@@ -148,7 +175,9 @@ func (e *Engine) stopped() bool {
 	return e.closed
 }
 
-// Close shuts the engine down; in-flight queries stop making progress.
+// Close shuts the engine down. In-flight queries are canceled (their
+// Rows streams end with ErrCanceled, open HITs are expired and unspent
+// budget released), so no operator or watcher goroutine outlives Close.
 // With a store configured, buffered knowledge records are drained and
 // synced before Close returns, so the next engine replays everything
 // this one learned.
@@ -159,7 +188,14 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	queries := append([]*QueryHandle(nil), e.queries...)
 	e.mu.Unlock()
+	for _, h := range queries {
+		h.Exec.Cancel(fmt.Errorf("%w: engine closed", qerr.ErrCanceled))
+	}
+	for _, h := range queries {
+		<-h.Exec.Done()
+	}
 	e.clock.Close()
 	if e.store != nil {
 		e.store.Close()
@@ -248,6 +284,10 @@ func (e *Engine) Tasks() []*qlang.TaskDef {
 }
 
 // Run parses, plans and starts one SELECT query, returning its handle.
+//
+// Deprecated: use Query — it takes a context, per-query options and
+// returns a streaming cursor with typed errors. Run remains as a shim
+// (no cancellation context, engine-default options).
 func (e *Engine) Run(sql string) (*QueryHandle, error) {
 	stmt, err := qlang.ParseQuery(sql)
 	if err != nil {
@@ -278,6 +318,12 @@ func (e *Engine) RunScript(src string) ([]*QueryHandle, error) {
 }
 
 func (e *Engine) runStmt(sql string, stmt *qlang.SelectStmt) (*QueryHandle, error) {
+	return e.startQuery(context.Background(), sql, stmt, queryOptions{})
+}
+
+// startQuery plans and launches one SELECT under a context and
+// per-query options; every public query entry point funnels through it.
+func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectStmt, o queryOptions) (*QueryHandle, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -293,42 +339,80 @@ func (e *Engine) runStmt(sql string, stmt *qlang.SelectStmt) (*QueryHandle, erro
 	cfg := e.cfg.Exec
 	cfg.Mgr = e.mgr
 	cfg.Script = script
+	cfg.Now = e.clock.Now
+
+	// The scope carries this query's overrides and is what cancellation
+	// propagates through: exec → taskmgr → marketplace.
+	scope := e.mgr.NewScope()
+	if o.budgetCents > 0 {
+		scope.SetBudget(o.budgetCents)
+	}
+	for task, pol := range o.policies {
+		scope.SetPolicy(task, pol)
+	}
+	if o.priority != 0 {
+		scope.SetPriority(o.priority)
+	}
+	cfg.Scope = scope
+
 	if e.cfg.AdaptiveFilters && cfg.FilterOrder == nil {
 		cfg.FilterOrder = e.opt.FilterOrder(script)
 	}
-	if e.cfg.AdaptiveJoins {
-		node = plan.ApplyPreFilters(node, script,
-			e.opt.PreFilterDecider(cfg.JoinLeftBlock, cfg.JoinRightBlock))
+	adaptive := e.cfg.AdaptiveJoins
+	if o.adaptive != nil {
+		adaptive = *o.adaptive
+	}
+	if adaptive {
+		node = plan.ApplyPreFilters(node, script, e.opt.PreFilterDeciderFor(cfg))
 		if cfg.PreFilterKeep == nil {
-			cfg.PreFilterKeep = e.opt.PreFilterKeep(cfg.JoinLeftBlock, cfg.JoinRightBlock)
+			cfg.PreFilterKeep = e.opt.PreFilterKeepFor(cfg)
 		}
 	}
-	q, err := exec.Start(node, cfg)
+	q, err := exec.StartContext(ctx, node, cfg)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
+	if e.closed {
+		// Close raced the start; terminate the fresh query the way Close
+		// would have.
+		e.mu.Unlock()
+		q.Cancel(fmt.Errorf("%w: engine closed", qerr.ErrCanceled))
+		return nil, fmt.Errorf("core: engine closed")
+	}
 	e.nextID++
 	h := &QueryHandle{
 		ID: e.nextID, SQL: sql, Plan: node, Exec: q,
-		StartedAt: e.clock.Now(), engine: e,
+		StartedAt: e.clock.Now(), engine: e, scope: scope,
 	}
 	e.queries = append(e.queries, h)
 	e.mu.Unlock()
+	if o.deadline > 0 {
+		// Virtual-time deadline: the clock fires it at simulated
+		// now+deadline, deterministic under the event pump.
+		e.clock.Schedule(o.deadline, func() { q.Cancel(qerr.ErrDeadline) })
+	}
 	return h, nil
 }
 
-// QueryAndWait runs one query to completion.
+// QueryAndWait runs one query to completion and returns its rows. A
+// failure mid-query returns the completed prefix alongside the typed
+// error (ErrBudgetExhausted, ErrCanceled, … — the first operator error
+// is never silently dropped).
+//
+// Deprecated: use Query — it adds a context, per-query options and
+// streaming results. QueryAndWait remains as a shim over it.
 func (e *Engine) QueryAndWait(sql string) ([]relation.Tuple, error) {
-	h, err := e.Run(sql)
+	rows, err := e.Query(context.Background(), sql)
 	if err != nil {
 		return nil, err
 	}
-	rows := h.Wait()
-	if errs := h.Exec.Errors(); len(errs) > 0 {
-		return rows, fmt.Errorf("core: %d tuple errors, first: %v", len(errs), errs[0])
+	defer rows.Close()
+	var out []relation.Tuple
+	for rows.Next() {
+		out = append(out, rows.Tuple())
 	}
-	return rows, nil
+	return out, rows.Err()
 }
 
 // Queries lists submitted query handles.
@@ -474,9 +558,11 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 			PlanExplain: plan.Explain(h.Plan),
 			Ops:         h.Exec.OpStats(),
 			Done:        done,
+			Canceled:    h.Exec.Canceled(),
+			SunkCents:   h.scope.Spent(),
 			Results:     h.Exec.Result().Len(),
 			ElapsedMin:  (now - h.StartedAt).Minutes(),
-			Errors:      len(h.Exec.Errors()),
+			Errors:      int(h.Exec.ErrorCount()),
 		})
 	}
 	return snap

@@ -19,16 +19,21 @@ import (
 	"repro/internal/taskmgr"
 )
 
-// QueryInfo describes one (running or finished) query.
+// QueryInfo describes one (running, finished or canceled) query.
 type QueryInfo struct {
 	ID          int
 	SQL         string
 	PlanExplain string
 	Ops         []exec.OpStats
 	Done        bool
-	Results     int
-	ElapsedMin  float64 // virtual minutes since submission
-	Errors      int
+	// Canceled marks a query terminated by context / deadline / Close;
+	// SunkCents is the money it consumed before its open HITs were
+	// expired (posted cost minus expiry refunds).
+	Canceled   bool
+	SunkCents  budget.Cents
+	Results    int
+	ElapsedMin float64 // virtual minutes since submission
+	Errors     int
 }
 
 // BudgetInfo is the money panel.
@@ -154,7 +159,10 @@ func Render(s Snapshot) string {
 
 	for _, q := range s.Queries {
 		status := "running"
-		if q.Done {
+		switch {
+		case q.Canceled:
+			status = fmt.Sprintf("CANCELED, sunk %v", q.SunkCents)
+		case q.Done:
 			status = "done"
 		}
 		fmt.Fprintf(&b, "\nQuery %d [%s, %.1f min, %d results, %d errors]\n  %s\n",

@@ -1,11 +1,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mturk"
 	"repro/internal/plan"
+	"repro/internal/qerr"
 	"repro/internal/qlang"
 	"repro/internal/queue"
 	"repro/internal/relation"
@@ -55,6 +58,14 @@ type Config struct {
 	// OnError receives per-tuple execution errors (default: collected
 	// in Query.Errors).
 	OnError func(error)
+	// Scope binds every human-task submission of this query to one
+	// taskmgr cancellation scope, so Cancel can expire the query's open
+	// HITs and release its unspent budget. Nil runs unscoped (HITs
+	// outlive the query, matching the pre-context behavior).
+	Scope *taskmgr.Scope
+	// Now reports current virtual time; when set, the query records the
+	// virtual moment its first result tuple streamed out (FirstRowAt).
+	Now func() mturk.VirtualTime
 }
 
 func (c Config) withDefaults() Config {
@@ -121,14 +132,23 @@ type Query struct {
 	Root   plan.Node
 	result *relation.Table
 
-	cfg Config
-	ops []*operator
+	cfg  Config
+	ops  []*operator
+	done chan struct{} // closed when the result stream has fully drained
 
 	trackers []*joinTracker
 
-	mu     sync.Mutex
-	errors []error
+	mu          sync.Mutex
+	errors      []error
+	errTotal    int64
+	cause       error // cancellation cause; nil while live
+	firstRowAt  mturk.VirtualTime
+	hasFirstRow bool
 }
+
+// maxRecordedErrors bounds Query.Errors so a canceled or failing query
+// over a large input cannot hoard memory; ErrorCount keeps the total.
+const maxRecordedErrors = 1000
 
 // joinTracker pairs a human join with its input operators so the
 // dashboard can report how much of the cross product the pre-filter
@@ -188,11 +208,107 @@ func (q *Query) Result() *relation.Table { return q.result }
 // Wait blocks until the query finishes and returns all result tuples.
 func (q *Query) Wait() []relation.Tuple { return q.result.WaitClosed() }
 
-// Errors returns per-tuple errors recorded during execution.
+// Errors returns per-tuple errors recorded during execution (capped at
+// maxRecordedErrors; see ErrorCount for the uncapped total).
 func (q *Query) Errors() []error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return append([]error(nil), q.errors...)
+}
+
+// ErrorCount reports how many per-tuple errors occurred in total.
+func (q *Query) ErrorCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.errTotal
+}
+
+// Err reports the query's terminal error through the typed taxonomy:
+// the cancellation cause when the query was canceled (ErrCanceled /
+// ErrDeadline), otherwise the first operator error classified
+// (ErrBudgetExhausted for budget failures), or nil for a clean run.
+// Like database/sql's Rows.Err, it is meaningful once the result
+// stream has ended but may be called at any time.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	cause := q.cause
+	var first error
+	if len(q.errors) > 0 {
+		first = q.errors[0]
+	}
+	q.mu.Unlock()
+	if cause != nil {
+		return qerr.Classify(cause)
+	}
+	return qerr.Classify(first)
+}
+
+// Done returns a channel closed when the query's result stream has
+// fully drained (normally or after cancellation).
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Canceled reports whether Cancel has been called.
+func (q *Query) Canceled() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cause != nil
+}
+
+// FirstRowAt reports the virtual time the first result tuple streamed
+// out of the root operator (requires Config.Now; ok=false before the
+// first row or without it).
+func (q *Query) FirstRowAt() (mturk.VirtualTime, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.firstRowAt, q.hasFirstRow
+}
+
+// Cancel stops the query with the given cause (ErrCanceled when nil):
+// the query's scope is canceled — expiring its open HITs at the
+// marketplace and releasing unspent budget — operator queues are closed
+// so every stage drains, and the result table closes once in-flight
+// tuples settle. Cancel after completion is a no-op; the first cause
+// wins. Safe from any goroutine.
+func (q *Query) Cancel(cause error) {
+	select {
+	case <-q.done:
+		return
+	default:
+	}
+	// The result table closes strictly before q.done does; between the
+	// two a completed query must not be relabeled as canceled (the usual
+	// defer rows.Close() after a full iteration lands exactly there).
+	if q.result.Closed() {
+		return
+	}
+	if cause == nil {
+		cause = qerr.ErrCanceled
+	}
+	q.mu.Lock()
+	if q.cause != nil {
+		q.mu.Unlock()
+		return
+	}
+	q.cause = cause
+	q.mu.Unlock()
+	// Resolve blocked operator waits first (outcome callbacks fire with
+	// the cause), then close the queues so blocked Pops observe
+	// end-of-stream.
+	if q.cfg.Scope != nil {
+		q.cfg.Scope.Cancel(cause)
+	}
+	for _, op := range q.ops {
+		op.out.Close()
+	}
+}
+
+func (q *Query) noteFirstRow() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.hasFirstRow {
+		q.firstRowAt = q.cfg.Now()
+		q.hasFirstRow = true
+	}
 }
 
 // OpStats snapshots every operator's progress, leaves first.
@@ -211,6 +327,16 @@ func (q *Query) reportError(err error) {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// After cancellation every outstanding item resolves with the cause;
+	// neither recording nor counting that flood — the dashboard's error
+	// column means genuine tuple errors, and the cause is the headline.
+	if q.cause != nil {
+		return
+	}
+	q.errTotal++
+	if len(q.errors) >= maxRecordedErrors {
+		return
+	}
 	q.errors = append(q.errors, err)
 }
 
@@ -221,10 +347,11 @@ func Start(root plan.Node, cfg Config) (*Query, error) {
 	if needsHumans(root) && cfg.Mgr == nil {
 		return nil, fmt.Errorf("exec: plan has human operators but no task manager")
 	}
-	q := &Query{Root: root, cfg: cfg}
+	q := &Query{Root: root, cfg: cfg, done: make(chan struct{})}
 	q.result = relation.NewTable("result", root.Schema())
 	top, err := q.launch(root)
 	if err != nil {
+		close(q.done)
 		return nil, err
 	}
 	go func() {
@@ -233,12 +360,38 @@ func Start(root plan.Node, cfg Config) (*Query, error) {
 			if !ok {
 				break
 			}
+			if q.cfg.Now != nil {
+				q.noteFirstRow()
+			}
 			if err := q.result.Insert(t); err != nil {
 				q.reportError(err)
 			}
 		}
 		q.result.Close()
+		close(q.done)
 	}()
+	return q, nil
+}
+
+// StartContext is Start bound to a context: when ctx is canceled (or
+// its deadline expires) the query is canceled with the matching typed
+// cause, which propagates through the task manager to the marketplace —
+// open HITs for the dead query are expired and unspent budget released.
+// The watcher goroutine exits when the query finishes on its own.
+func StartContext(ctx context.Context, root plan.Node, cfg Config) (*Query, error) {
+	q, err := Start(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				q.Cancel(qerr.FromContext(ctx.Err()))
+			case <-q.done:
+			}
+		}()
+	}
 	return q, nil
 }
 
@@ -403,6 +556,7 @@ func (q *Query) resolveCallsN(t relation.Tuple, exprs []qlang.Expr, assignments 
 			Def:         def,
 			Args:        args,
 			Assignments: assignments,
+			Scope:       q.cfg.Scope,
 			Done: func(out taskmgr.Outcome) {
 				mu.Lock()
 				if out.Err != nil && firstErr == nil {

@@ -199,8 +199,9 @@ func (q *Query) groupFilter(op *operator, t relation.Tuple, human []qlang.Expr, 
 			remaining++
 			mu.Unlock()
 			reqs = append(reqs, taskmgr.Request{
-				Def:  def,
-				Args: args,
+				Def:   def,
+				Args:  args,
+				Scope: q.cfg.Scope,
 				Done: func(out taskmgr.Outcome) {
 					mu.Lock()
 					if out.Err != nil && firstErr == nil {
@@ -369,6 +370,9 @@ func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
 	lb, rb := q.cfg.JoinLeftBlock, q.cfg.JoinRightBlock
 	var wg sync.WaitGroup
 	for li := 0; li < len(ls); li += lb {
+		if q.Canceled() {
+			break
+		}
 		lhi := li + lb
 		if lhi > len(ls) {
 			lhi = len(ls)
@@ -399,7 +403,7 @@ func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
 				byKey[it.Key] = rblock[i].tuple
 			}
 			wg.Add(len(lblock) * len(rblock))
-			q.cfg.Mgr.JoinBlock(v.HumanTask, leftItems, rightItems, func(pairKey string, out taskmgr.Outcome) {
+			q.cfg.Mgr.JoinBlockIn(q.cfg.Scope, v.HumanTask, leftItems, rightItems, func(pairKey string, out taskmgr.Outcome) {
 				defer wg.Done()
 				if out.Err != nil {
 					q.reportError(out.Err)
@@ -428,12 +432,16 @@ func (q *Query) joinTwoColumn(op *operator, v *plan.Join, ls, rs []joinSide) {
 func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
 	var wg sync.WaitGroup
 	for _, l := range ls {
+		if q.Canceled() {
+			break
+		}
 		for _, r := range rs {
 			l, r := l, r
 			wg.Add(1)
 			q.cfg.Mgr.Submit(taskmgr.Request{
-				Def:  v.HumanTask,
-				Args: []relation.Value{l.arg, r.arg},
+				Def:   v.HumanTask,
+				Args:  []relation.Value{l.arg, r.arg},
+				Scope: q.cfg.Scope,
 				Done: func(out taskmgr.Outcome) {
 					defer wg.Done()
 					if out.Err != nil {
@@ -503,6 +511,12 @@ func (q *Query) runPreFilter(op *operator, v *plan.PreFilter, in *operator) {
 	block := q.cfg.PreFilterBlock
 	filtering := true
 	for start := 0; start < len(rows); start += block {
+		if q.Canceled() {
+			// The rest of the input is moot: the join downstream is dead
+			// too, so neither fail-open pass-through nor more filter HITs
+			// would buy anything.
+			return
+		}
 		if filtering && start > 0 && q.cfg.PreFilterKeep != nil {
 			if !q.cfg.PreFilterKeep(v, uncachedAfter[start]) {
 				filtering = false
@@ -550,6 +564,7 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 			Args:        []relation.Value{args[i]},
 			Assignments: 1,
 			StatSide:    side,
+			Scope:       q.cfg.Scope,
 			Done: func(out taskmgr.Outcome) {
 				defer wg.Done()
 				if out.Err != nil {

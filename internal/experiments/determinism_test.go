@@ -87,12 +87,12 @@ RETURNS Bool:
 		wg.Add(1)
 		go func(i int, q string) {
 			defer wg.Done()
-			h, err := e.Run(q)
+			n, err := queryAndWait(e, q)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			rows[i] = len(h.Wait())
+			rows[i] = len(n)
 		}(i, q)
 	}
 	wg.Wait()

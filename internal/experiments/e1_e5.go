@@ -21,11 +21,11 @@ func E1Pipeline(seed int64) Table {
 	defer e.Close()
 	defineAll(e)
 
-	r1, err := e.QueryAndWait(query1)
+	r1, err := queryAndWait(e, query1)
 	if err != nil {
 		panic(err)
 	}
-	r2, err := e.QueryAndWait(query2)
+	r2, err := queryAndWait(e, query2)
 	if err != nil {
 		panic(err)
 	}
@@ -84,7 +84,7 @@ func E2Cache(nCompanies int, seed int64) Table {
 	var prevSpent int64
 	for run := 1; run <= 3; run++ {
 		before := e.Clock().Now()
-		if _, err := e.QueryAndWait(query1); err != nil {
+		if _, err := queryAndWait(e, query1); err != nil {
 			panic(err)
 		}
 		s := e.Manager().StatsFor("findceo")
@@ -141,7 +141,7 @@ func E3JoinInterfaces(nCelebs, nSpotted int, seed int64) Table {
 			e.Manager().SetPolicy("samePerson", pol)
 		}
 		start := e.Clock().Now()
-		rows, err := e.QueryAndWait(query2)
+		rows, err := queryAndWait(e, query2)
 		if err != nil {
 			panic(err)
 		}
@@ -235,7 +235,7 @@ func E4TaskModel(batches, perBatch int, seed int64) Table {
 		if err := e.Register(batchTab); err != nil {
 			panic(err)
 		}
-		rows, err := e.QueryAndWait(fmt.Sprintf(`SELECT img FROM photos_b%d WHERE isCat(img)`, b))
+		rows, err := queryAndWait(e, fmt.Sprintf(`SELECT img FROM photos_b%d WHERE isCat(img)`, b))
 		if err != nil {
 			panic(err)
 		}
@@ -296,7 +296,7 @@ func E5PreFilter(nCelebs, nSpotted int, seed int64) Table {
 		if withFilter {
 			query = `SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE isClear(spottedstars.image) AND samePerson(celebrities.image, spottedstars.image)`
 		}
-		rows, err := e.QueryAndWait(query)
+		rows, err := queryAndWait(e, query)
 		if err != nil {
 			panic(err)
 		}

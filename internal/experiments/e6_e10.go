@@ -33,7 +33,7 @@ func E6Redundancy(nPhotos int, seed int64) Table {
 		pol := taskmgr.DefaultPolicy()
 		pol.Assignments = n
 		e.Manager().SetPolicy("isCat", pol)
-		rows, err := e.QueryAndWait(`SELECT img FROM photos WHERE isCat(img)`)
+		rows, err := queryAndWait(e, `SELECT img FROM photos WHERE isCat(img)`)
 		if err != nil {
 			panic(err)
 		}
@@ -84,7 +84,7 @@ func E7Adaptive(nPhotos int, seed int64) Table {
 		ds := workload.Photos(nPhotos, 0.15, 0.9, seed)
 		e := mustEngine(cfg, defaultCrowd(seed), ds)
 		defineAll(e)
-		if _, err := e.QueryAndWait(`SELECT img FROM photos WHERE isOutdoor(img) AND isCat(img)`); err != nil {
+		if _, err := queryAndWait(e, `SELECT img FROM photos WHERE isOutdoor(img) AND isCat(img)`); err != nil {
 			panic(err)
 		}
 		cat := e.Manager().StatsFor("iscat")
@@ -145,7 +145,7 @@ func E8Batching(nPhotos int, seed int64) Table {
 		pol.BatchSize = b
 		e.Manager().SetPolicy("isCat", pol)
 		start := e.Clock().Now()
-		rows, err := e.QueryAndWait(`SELECT img FROM photos WHERE isCat(img)`)
+		rows, err := queryAndWait(e, `SELECT img FROM photos WHERE isCat(img)`)
 		if err != nil {
 			panic(err)
 		}
@@ -164,7 +164,7 @@ func E8Batching(nPhotos int, seed int64) Table {
 	e := mustEngine(core.Config{Exec: exec.Config{GroupFilters: true}}, defaultCrowd(seed), ds)
 	defineAll(e)
 	start := e.Clock().Now()
-	if _, err := e.QueryAndWait(`SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`); err != nil {
+	if _, err := queryAndWait(e, `SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`); err != nil {
 		panic(err)
 	}
 	latency := (e.Clock().Now() - start).Minutes()
@@ -198,7 +198,7 @@ func E9Sort(nItems int, seed int64) Table {
 	ds := workload.RankItems(nItems, 9, "squareScore", seed)
 	e := mustEngine(core.Config{}, defaultCrowd(seed), ds)
 	defineAll(e)
-	rows, err := e.QueryAndWait(`SELECT img, truth FROM items ORDER BY squareScore(img)`)
+	rows, err := queryAndWait(e, `SELECT img, truth FROM items ORDER BY squareScore(img)`)
 	if err != nil {
 		panic(err)
 	}
@@ -301,7 +301,7 @@ func E10Async(nPhotos int, seed int64) Table {
 	e := mustEngine(core.Config{}, defaultCrowd(seed), ds)
 	defineAll(e)
 	start := e.Clock().Now()
-	if _, err := e.QueryAndWait(`SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`); err != nil {
+	if _, err := queryAndWait(e, `SELECT img FROM photos WHERE isCat(img) AND isOutdoor(img)`); err != nil {
 		panic(err)
 	}
 	asyncMin := (e.Clock().Now() - start).Minutes()

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/relation"
 	"repro/internal/workload"
 )
 
@@ -178,3 +180,19 @@ const (
 	query1 = `SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone FROM companies`
 	query2 = `SELECT celebrities.name, spottedstars.id FROM celebrities, spottedstars WHERE samePerson(celebrities.image, spottedstars.image)`
 )
+
+// queryAndWait drains one query through the context API, returning the
+// rows and the typed terminal error (the experiments' one-call idiom,
+// kept off the deprecated Engine.QueryAndWait shim).
+func queryAndWait(e *core.Engine, sql string) ([]relation.Tuple, error) {
+	rows, err := e.Query(context.Background(), sql)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []relation.Tuple
+	for rows.Next() {
+		out = append(out, rows.Tuple())
+	}
+	return out, rows.Err()
+}

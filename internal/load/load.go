@@ -52,6 +52,13 @@ const (
 	// WorkloadOrderBy rates every item on a 1–7 scale and sorts by the
 	// mean rating (the paper's rating-based ORDER BY).
 	WorkloadOrderBy Workload = "orderby"
+	// WorkloadStreaming drives the context-first query API end to end:
+	// a filter query consumed through a streaming Rows cursor against a
+	// single saturated worker, so the first tuple provably arrives while
+	// later HITs are still in flight, and (with CancelAfter) context
+	// cancellation mid-stream provably stops HIT posting with a
+	// deterministic completed-prefix fingerprint.
+	WorkloadStreaming Workload = "streaming"
 	// WorkloadWarmstart is the filter cascade with the Task Cache armed
 	// and backed by the durable knowledge store (Config.StorePath
 	// required): the first run over a given store pays for every
@@ -95,6 +102,13 @@ type Config struct {
 	// everything learned streams back. Required by WorkloadWarmstart,
 	// optional for the others.
 	StorePath string
+	// CancelAfter (streaming workload) cancels the query's context once
+	// that many rows have streamed out; 0 runs to completion.
+	CancelAfter int
+	// StreamWindow (streaming workload) bounds concurrently in-flight
+	// filter cascades (exec.Config.FilterWindow; default 8), throttling
+	// HIT posting so cancellation has unposted work to save.
+	StreamWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = (c.Workers + 63) / 64
+	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = 8
 	}
 	return c
 }
@@ -175,6 +192,17 @@ type Report struct {
 
 	// DollarsPerQuery is total spend for the whole run in dollars.
 	DollarsPerQuery float64
+
+	// Streaming-workload metrics: FirstRow is the virtual time the first
+	// result tuple streamed out of the cursor (strictly before Makespan
+	// on a streaming run); Delivered counts the rows of the canceled
+	// prefix (all rows when CancelAfter is 0); HITsAfterCancel counts
+	// HITs posted after cancellation took effect — 0 in practice, with
+	// at most an already-in-flight post racing the cancel (expired and
+	// refunded either way).
+	FirstRow        mturk.VirtualTime
+	Delivered       int64
+	HITsAfterCancel int64
 }
 
 // String renders the report the way qurk-load prints it.
@@ -195,6 +223,14 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  warm start    %d answers, %d observations replayed in %v; %d questions served from store\n",
 			r.ReplayedAnswers, r.ReplayedObservations, r.Replay.Round(time.Millisecond), r.CacheServed)
 	}
+	if r.Config.Workload == WorkloadStreaming {
+		fmt.Fprintf(&b, "  streaming     first row at %.1f vmin (makespan %.1f); %d rows delivered (fingerprint %016x)\n",
+			r.FirstRow.Minutes(), r.Makespan.Minutes(), r.Delivered, r.PassedKeysFNV)
+		if r.Config.CancelAfter > 0 {
+			fmt.Fprintf(&b, "  cancellation  after %d rows: %d HITs posted post-cancel, sunk cost %v\n",
+				r.Config.CancelAfter, r.HITsAfterCancel, r.Spent)
+		}
+	}
 	return b.String()
 }
 
@@ -209,6 +245,12 @@ func mustTask(src string) *qlang.TaskDef {
 // Run executes one load scenario and reports its metrics.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workload == WorkloadStreaming {
+		// The streaming scenario exercises the whole engine (context
+		// API, Rows cursor, cancellation) rather than the bare
+		// marketplace + task-manager stack.
+		return runStreaming(cfg)
+	}
 	rep := Report{Config: cfg}
 
 	clock := mturk.NewClock()

@@ -59,6 +59,15 @@ func (c *Clock) paceWait(factor float64) bool {
 		return true
 	}
 	sleep := time.Duration(float64(delta) * factor)
+	if sleep <= 0 {
+		// The gap is smaller than the pace can resolve (a zero-length
+		// sleep fires immediately and advances nothing): jump straight
+		// to the event instead of spinning on empty timers.
+		if now := c.Now(); at > now {
+			c.now.Store(int64(at))
+		}
+		return true
+	}
 	const maxChunk = 10 * time.Millisecond
 	if sleep > maxChunk {
 		sleep = maxChunk

@@ -116,6 +116,35 @@ func JoinCost(l, r, blockL, blockR int, pol taskmgr.Policy) budget.Cents {
 	return budget.Cents(int64(blocks) * pol.PriceCents * int64(pol.Assignments))
 }
 
+// JoinCoster prices an l×r human-join cross product under a policy; the
+// grid and pairwise interfaces provide the two implementations, so the
+// same pre-filter decision logic covers both.
+type JoinCoster func(l, r int, pol taskmgr.Policy) budget.Cents
+
+// GridJoinCoster prices the two-column grid interface (Figure 3): one
+// HIT per blockL×blockR block pair.
+func GridJoinCoster(blockL, blockR int) JoinCoster {
+	return func(l, r int, pol taskmgr.Policy) budget.Cents {
+		return JoinCost(l, r, blockL, blockR, pol)
+	}
+}
+
+// PairwiseJoinCost prices the one-question-per-pair baseline interface
+// (exec.Config.JoinPairwise): l×r boolean questions, batched under the
+// task policy like any other filter-shaped workload. Per pair the cost
+// is price × assignments / batch — typically far steeper than the
+// grid's per-pair share, which is why pre-filtering pays off even
+// sooner for pairwise joins.
+func PairwiseJoinCost(l, r int, pol taskmgr.Policy) budget.Cents {
+	if l <= 0 || r <= 0 {
+		return 0
+	}
+	return FilterCost(l*r, pol)
+}
+
+// PairwiseJoinCoster adapts PairwiseJoinCost to the JoinCoster hook.
+func PairwiseJoinCoster() JoinCoster { return PairwiseJoinCost }
+
 // PreFilterPlan decides whether running a cheap feature filter over both
 // join inputs (selectivity σ each side) pays for itself by shrinking the
 // cross product (the dashboard's "filtering-based reduction in
@@ -129,14 +158,22 @@ type PreFilterPlan struct {
 }
 
 // DecidePreFilter compares join-only cost against filter-both-sides-
-// then-join cost.
+// then-join cost for the two-column grid interface.
 func DecidePreFilter(l, r int, selL, selR float64, blockL, blockR int,
 	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
-	without := JoinCost(l, r, blockL, blockR, joinPol)
+	return DecidePreFilterWith(GridJoinCoster(blockL, blockR), l, r, selL, selR, filterPol, joinPol)
+}
+
+// DecidePreFilterWith is DecidePreFilter under an arbitrary join cost
+// model — the per-pair term that makes pairwise joins (and any future
+// interface) eligible for cost-based pre-filtering.
+func DecidePreFilterWith(joinCost JoinCoster, l, r int, selL, selR float64,
+	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
+	without := joinCost(l, r, joinPol)
 	fl := int(math.Ceil(float64(l) * selL))
 	fr := int(math.Ceil(float64(r) * selR))
 	with := FilterCost(l, filterPol) + FilterCost(r, filterPol) +
-		JoinCost(fl, fr, blockL, blockR, joinPol)
+		joinCost(fl, fr, joinPol)
 	return PreFilterPlan{
 		UsePreFilter:  with < without,
 		CostWithout:   without,
@@ -162,19 +199,26 @@ type PreFilterChoice struct {
 // still shrinks the cross product. Ties prefer fewer filter stages.
 func ChoosePreFilter(l, r int, selL, selR float64, blockL, blockR int,
 	filterPol, joinPol taskmgr.Policy) PreFilterChoice {
+	return ChoosePreFilterWith(GridJoinCoster(blockL, blockR), l, r, selL, selR, filterPol, joinPol)
+}
+
+// ChoosePreFilterWith is ChoosePreFilter under an arbitrary join cost
+// model (see JoinCoster).
+func ChoosePreFilterWith(joinCost JoinCoster, l, r int, selL, selR float64,
+	filterPol, joinPol taskmgr.Policy) PreFilterChoice {
 	fl := int(math.Ceil(float64(l) * selL))
 	fr := int(math.Ceil(float64(r) * selR))
 	filterL, filterR := FilterCost(l, filterPol), FilterCost(r, filterPol)
-	c := PreFilterChoice{CostNone: JoinCost(l, r, blockL, blockR, joinPol)}
+	c := PreFilterChoice{CostNone: joinCost(l, r, joinPol)}
 	c.CostBest = c.CostNone
 	consider := func(left, right bool, cost budget.Cents) {
 		if cost < c.CostBest {
 			c.Left, c.Right, c.CostBest = left, right, cost
 		}
 	}
-	consider(true, false, filterL+JoinCost(fl, r, blockL, blockR, joinPol))
-	consider(false, true, filterR+JoinCost(l, fr, blockL, blockR, joinPol))
-	consider(true, true, filterL+filterR+JoinCost(fl, fr, blockL, blockR, joinPol))
+	consider(true, false, filterL+joinCost(fl, r, joinPol))
+	consider(false, true, filterR+joinCost(l, fr, joinPol))
+	consider(true, true, filterL+filterR+joinCost(fl, fr, joinPol))
 	return c
 }
 
@@ -184,9 +228,16 @@ func ChoosePreFilter(l, r int, selL, selR float64, blockL, blockR int,
 // submitted (and is not already answered by the cache) yet.
 func DecidePreFilterSide(n, other int, sel float64, blockL, blockR int,
 	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
-	without := JoinCost(n, other, blockL, blockR, joinPol)
+	return DecidePreFilterSideWith(GridJoinCoster(blockL, blockR), n, other, sel, filterPol, joinPol)
+}
+
+// DecidePreFilterSideWith is DecidePreFilterSide under an arbitrary
+// join cost model (see JoinCoster).
+func DecidePreFilterSideWith(joinCost JoinCoster, n, other int, sel float64,
+	filterPol, joinPol taskmgr.Policy) PreFilterPlan {
+	without := joinCost(n, other, joinPol)
 	fn := int(math.Ceil(float64(n) * sel))
-	with := FilterCost(n, filterPol) + JoinCost(fn, other, blockL, blockR, joinPol)
+	with := FilterCost(n, filterPol) + joinCost(fn, other, joinPol)
 	return PreFilterPlan{
 		UsePreFilter: with < without,
 		CostWithout:  without,
@@ -331,46 +382,76 @@ func normBlock(b int) int {
 	return b
 }
 
-// PreFilterDecider returns the planner hook for plan.ApplyPreFilters:
+// PreFilterDecider returns the planner hook for plan.ApplyPreFilters
+// priced for the two-column grid interface; see PreFilterDeciderFor.
+func (o *Optimizer) PreFilterDecider(blockL, blockR int) plan.PreFilterDecider {
+	return o.PreFilterDeciderFor(exec.Config{JoinLeftBlock: blockL, JoinRightBlock: blockR})
+}
+
+// PreFilterDeciderFor returns the planner hook for plan.ApplyPreFilters:
 // it prices the join-only baseline against filtering the left input,
 // the right input, or both (ChoosePreFilter), using the Statistics
-// Manager's per-side selectivity estimates for the filter task.
-// blockL×blockR is the join grid shape HITs will use.
+// Manager's per-side selectivity estimates for the filter task. The
+// join cost model follows the executor config — the blockL×blockR grid
+// normally, the per-pair term when cfg.JoinPairwise runs the
+// one-question-per-pair baseline interface.
 //
 // Until any side-tagged observation exists (live or replayed from the
 // knowledge store) the estimates are one shared prior that cannot tell
 // the sides apart, so the decider falls back to the conservative
 // both-sides-or-nothing model (DecidePreFilter) and lets the executor's
 // per-stage re-check drop an unprofitable side once evidence arrives.
-func (o *Optimizer) PreFilterDecider(blockL, blockR int) plan.PreFilterDecider {
-	blockL, blockR = normBlock(blockL), normBlock(blockR)
+func (o *Optimizer) PreFilterDeciderFor(cfg exec.Config) plan.PreFilterDecider {
+	coster := o.joinCosterFor(cfg, true)
 	return func(join, filter *qlang.TaskDef, l, r int) plan.PreFilterDecision {
 		fpol := o.preFilterPolicy(filter)
 		jpol := o.Mgr.PolicyFor(join)
 		if !o.Mgr.HasSideEvidence(filter.Name) {
 			sel := o.Mgr.StatsFor(filter.Name).Selectivity
-			if p := DecidePreFilter(l, r, sel, sel, blockL, blockR, fpol, jpol); p.UsePreFilter {
+			if p := DecidePreFilterWith(coster, l, r, sel, sel, fpol, jpol); p.UsePreFilter {
 				return plan.PreFilterDecision{Left: true, Right: true}
 			}
 			return plan.PreFilterDecision{}
 		}
 		selL, _ := o.Mgr.SideSelectivity(filter.Name, taskmgr.SideLeft)
 		selR, _ := o.Mgr.SideSelectivity(filter.Name, taskmgr.SideRight)
-		c := ChoosePreFilter(l, r, selL, selR, blockL, blockR, fpol, jpol)
+		c := ChoosePreFilterWith(coster, l, r, selL, selR, fpol, jpol)
 		return plan.PreFilterDecision{Left: c.Left, Right: c.Right}
 	}
 }
 
-// PreFilterKeep returns the executor's mid-query re-check hook: before
-// each block of filter questions is submitted it re-prices filtering
-// the still-unsubmitted (and uncached — the executor probes the task
-// cache with a counter-free Contains probe) tuples against joining
-// them unfiltered, with the selectivity the Statistics Manager has
-// accumulated so far for this stage's own join side (falling back to
-// the combined estimate while the side is unobserved). Until
-// MinPreFilterTrials observations exist the plan-time decision stands.
+// joinCosterFor picks the join cost model matching the executor config.
+// leftFirst orients the grid blocks: the plan-time decider always costs
+// (left, right) while the keep-hook costs (this side, other side).
+func (o *Optimizer) joinCosterFor(cfg exec.Config, leftFirst bool) JoinCoster {
+	if cfg.JoinPairwise {
+		return PairwiseJoinCoster()
+	}
+	blockL, blockR := normBlock(cfg.JoinLeftBlock), normBlock(cfg.JoinRightBlock)
+	if leftFirst {
+		return GridJoinCoster(blockL, blockR)
+	}
+	return GridJoinCoster(blockR, blockL)
+}
+
+// PreFilterKeep returns the executor's mid-query re-check hook priced
+// for the two-column grid interface; see PreFilterKeepFor.
 func (o *Optimizer) PreFilterKeep(blockL, blockR int) func(pf *plan.PreFilter, remaining int) bool {
-	blockL, blockR = normBlock(blockL), normBlock(blockR)
+	return o.PreFilterKeepFor(exec.Config{JoinLeftBlock: blockL, JoinRightBlock: blockR})
+}
+
+// PreFilterKeepFor returns the executor's mid-query re-check hook:
+// before each block of filter questions is submitted it re-prices
+// filtering the still-unsubmitted (and uncached — the executor probes
+// the task cache with a counter-free Contains probe) tuples against
+// joining them unfiltered, with the selectivity the Statistics Manager
+// has accumulated so far for this stage's own join side (falling back
+// to the combined estimate while the side is unobserved). The join
+// cost model follows the executor config (grid or pairwise). Until
+// MinPreFilterTrials observations exist the plan-time decision stands.
+func (o *Optimizer) PreFilterKeepFor(cfg exec.Config) func(pf *plan.PreFilter, remaining int) bool {
+	leftCoster := o.joinCosterFor(cfg, true)
+	rightCoster := o.joinCosterFor(cfg, false)
 	return func(pf *plan.PreFilter, remaining int) bool {
 		if remaining <= 0 {
 			return true
@@ -387,9 +468,9 @@ func (o *Optimizer) PreFilterKeep(blockL, blockR int) func(pf *plan.PreFilter, r
 		jpol := o.Mgr.PolicyFor(pf.Join.HumanTask)
 		var p PreFilterPlan
 		if pf.Left {
-			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Right), sel, blockL, blockR, fpol, jpol)
+			p = DecidePreFilterSideWith(leftCoster, remaining, plan.EstimateRows(pf.Join.Right), sel, fpol, jpol)
 		} else {
-			p = DecidePreFilterSide(remaining, plan.EstimateRows(pf.Join.Left), sel, blockR, blockL, fpol, jpol)
+			p = DecidePreFilterSideWith(rightCoster, remaining, plan.EstimateRows(pf.Join.Left), sel, fpol, jpol)
 		}
 		return p.UsePreFilter
 	}

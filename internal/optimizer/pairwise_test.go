@@ -1,0 +1,50 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/taskmgr"
+)
+
+func TestPairwiseJoinCost(t *testing.T) {
+	pol := taskmgr.Policy{Assignments: 3, BatchSize: 5, PriceCents: 1}
+	// 20×30 = 600 pairs at 3 assignments / batch 5 = 120 HITs = 360¢.
+	if got := PairwiseJoinCost(20, 30, pol); got != 360 {
+		t.Fatalf("PairwiseJoinCost = %v, want 360", got)
+	}
+	if got := PairwiseJoinCost(0, 30, pol); got != 0 {
+		t.Fatalf("empty side must cost 0, got %v", got)
+	}
+}
+
+// TestPairwisePreFilterEligible is the ROADMAP item: under the
+// per-pair cost model a selective feature filter pays for itself at
+// cardinalities where the cheap two-column grid says it would not.
+func TestPairwisePreFilterEligible(t *testing.T) {
+	fpol := taskmgr.Policy{Assignments: 1, BatchSize: 1, PriceCents: 1}
+	jpol := taskmgr.Policy{Assignments: 3, BatchSize: 1, PriceCents: 1}
+	l, r, sel := 20, 20, 0.5
+	grid := DecidePreFilter(l, r, sel, sel, 5, 5, fpol, jpol)
+	pair := DecidePreFilterWith(PairwiseJoinCoster(), l, r, sel, sel, fpol, jpol)
+	// Grid: 16 blocks × 3¢ = 48¢ without; filters cost 40¢ + 4 blocks ×
+	// 3¢ = 52¢ with → not worth it. Pairwise: 400 pairs × 3¢ = 1200¢
+	// without; 40¢ + 100 × 3¢ = 340¢ with → clearly worth it.
+	if grid.UsePreFilter {
+		t.Fatalf("grid model unexpectedly pre-filters: %+v", grid)
+	}
+	if !pair.UsePreFilter {
+		t.Fatalf("pairwise model must pre-filter: %+v", pair)
+	}
+	if pair.CostWith >= pair.CostWithout {
+		t.Fatalf("pairwise costs inverted: %+v", pair)
+	}
+	// The side-wise re-check hook prices the same way.
+	side := DecidePreFilterSideWith(PairwiseJoinCoster(), l, r, sel, fpol, jpol)
+	if !side.UsePreFilter {
+		t.Fatalf("pairwise side re-check must keep filtering: %+v", side)
+	}
+	choice := ChoosePreFilterWith(PairwiseJoinCoster(), l, r, sel, sel, fpol, jpol)
+	if !choice.Left || !choice.Right {
+		t.Fatalf("with equal halving selectivity both sides should filter: %+v", choice)
+	}
+}

@@ -1,0 +1,66 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/qlang"
+)
+
+func TestClassifyBudget(t *testing.T) {
+	err := Classify(fmt.Errorf("taskmgr: isCat: %w", budget.ErrExhausted))
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+func TestClassifyContext(t *testing.T) {
+	if err := Classify(context.Canceled); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if err := Classify(context.DeadlineExceeded); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+func TestClassifyParse(t *testing.T) {
+	_, perr := qlang.ParseQuery("SELECT FROM")
+	if perr == nil {
+		t.Fatal("expected a parse error")
+	}
+	err := Classify(perr)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 1 || pe.Col <= 0 {
+		t.Fatalf("want line 1 and a column, got line %d col %d", pe.Line, pe.Col)
+	}
+	if !strings.Contains(pe.Error(), "line 1") {
+		t.Fatalf("Error() lacks position: %q", pe.Error())
+	}
+}
+
+func TestClassifyIdempotent(t *testing.T) {
+	wrapped := fmt.Errorf("query 3: %w", ErrDeadline)
+	if got := Classify(wrapped); !errors.Is(got, ErrDeadline) {
+		t.Fatalf("want ErrDeadline preserved, got %v", got)
+	}
+	plain := errors.New("something else")
+	if got := Classify(plain); got != plain {
+		t.Fatalf("unclassifiable error must pass through, got %v", got)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(context.DeadlineExceeded) != ErrDeadline {
+		t.Fatal("deadline not mapped")
+	}
+	if FromContext(context.Canceled) != ErrCanceled {
+		t.Fatal("cancel not mapped")
+	}
+}

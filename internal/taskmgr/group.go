@@ -31,10 +31,20 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		}
 	}
 
+	// Grouped requests come from one operator over one tuple, so they
+	// share a scope; a HIT still belongs to exactly one scope.
+	scope := reqs[0].Scope
+	if cause := scope.Err(); cause != nil {
+		for _, r := range reqs {
+			r.Done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", r.Def.Name, cause)})
+		}
+		return nil
+	}
+
 	lead := m.state(reqs[0].Def.Name, reqs[0].Def)
 	base := m.basePolicy()
 	lead.mu.Lock()
-	pol := lead.effectivePolicyLocked(base)
+	pol := lead.scopedPolicyLocked(base, scope)
 	lead.mu.Unlock()
 
 	type resolution struct {
@@ -105,7 +115,17 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	}
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := scope.spend(cost); err != nil {
+		for _, r := range resolved {
+			r.done(r.out)
+		}
+		for _, r := range remaining {
+			r.Done(Outcome{Err: fmt.Errorf("taskmgr: group: %w", err)})
+		}
+		return nil
+	}
 	if err := m.account.Spend(cost); err != nil {
+		scope.refund(cost)
 		for _, r := range resolved {
 			r.done(r.out)
 		}
@@ -132,6 +152,8 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	fl := &inflightHIT{
 		hit:      h,
 		state:    lead,
+		scope:    scope,
+		cost:     cost,
 		byKey:    byKey,
 		answers:  make(map[string][]relation.Value, len(remaining)),
 		needed:   pol.Assignments,
@@ -149,6 +171,8 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		s.mu.Lock()
 		delete(s.hits, h.ID)
 		s.mu.Unlock()
+		m.account.Refund(cost)
+		scope.refund(cost)
 		for _, r := range resolved {
 			r.done(r.out)
 		}
@@ -156,6 +180,9 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 			r.Done(Outcome{Err: err})
 		}
 		return nil
+	}
+	if cause := scope.registerHIT(h.ID); cause != nil {
+		m.cancelInflightHIT(h.ID, cause)
 	}
 	for _, r := range resolved {
 		r.done(r.out)

@@ -33,13 +33,28 @@ type JoinItem struct {
 // posted. Otherwise the grid shrinks to the rows/columns still needed
 // (workers answer all shown pairs; fresh answers refresh the cache).
 func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done func(pairKey string, out Outcome)) {
+	m.JoinBlockIn(nil, def, left, right, done)
+}
+
+// JoinBlockIn is JoinBlock bound to a query scope: a canceled scope
+// resolves every pair immediately with the cause, and the posted grid
+// HIT is registered for expiry/refund should the scope cancel mid-HIT.
+func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []JoinItem, done func(pairKey string, out Outcome)) {
 	if len(left) == 0 || len(right) == 0 {
+		return
+	}
+	if cause := scope.Err(); cause != nil {
+		for _, l := range left {
+			for _, r := range right {
+				done(hit.PairKey(l.Key, r.Key), Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, cause)})
+			}
+		}
 		return
 	}
 	st := m.state(def.Name, def)
 	base := m.basePolicy()
 	st.mu.Lock()
-	pol := st.effectivePolicyLocked(base)
+	pol := st.scopedPolicyLocked(base, scope)
 	st.submitted += int64(len(left) * len(right))
 	st.mu.Unlock()
 
@@ -123,7 +138,17 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 	}
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := scope.spend(cost); err != nil {
+		for _, r := range resolved {
+			done(r.key, r.out)
+		}
+		for _, p := range unresolved {
+			done(hit.PairKey(p.l.Key, p.r.Key), Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
+		}
+		return
+	}
 	if err := m.account.Spend(cost); err != nil {
+		scope.refund(cost)
 		for _, r := range resolved {
 			done(r.key, r.out)
 		}
@@ -152,6 +177,8 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 	fl := &joinInflight{
 		state:    st,
 		def:      def,
+		scope:    scope,
+		cost:     cost,
 		items:    pairItems,
 		order:    order,
 		need:     needPair,
@@ -171,6 +198,8 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 		s.mu.Lock()
 		delete(s.joins, h.ID)
 		s.mu.Unlock()
+		m.account.Refund(cost)
+		scope.refund(cost)
 		for _, r := range resolved {
 			done(r.key, r.out)
 		}
@@ -178,6 +207,9 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 			done(hit.PairKey(p.l.Key, p.r.Key), Outcome{Err: err})
 		}
 		return
+	}
+	if cause := scope.registerHIT(h.ID); cause != nil {
+		m.cancelInflightHIT(h.ID, cause)
 	}
 	for _, r := range resolved {
 		done(r.key, r.out)
@@ -187,6 +219,8 @@ func (m *Manager) JoinBlock(def *qlang.TaskDef, left, right []JoinItem, done fun
 type joinInflight struct {
 	state    *taskState
 	def      *qlang.TaskDef
+	scope    *Scope                 // owning query scope (nil = unscoped)
+	cost     budget.Cents           // charged at post time
 	items    map[string]pendingItem // every grid pair, keyed by pair key
 	order    []string               // pair keys in row-major grid order
 	need     map[string]bool        // pairs the caller is waiting on
@@ -217,6 +251,7 @@ func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
 	}
 	delete(s.joins, res.HITID)
 	s.mu.Unlock()
+	fl.scope.unregisterHIT(res.HITID)
 	m.finalizeJoin(fl)
 }
 

@@ -1,0 +1,279 @@
+package taskmgr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/qerr"
+)
+
+// Scope groups the task applications of one query so they can be
+// governed — and canceled — together. A scope carries the per-query
+// knobs of the context-first API: an optional budget cap layered under
+// the engine account, per-task policy overrides, and a batching
+// priority. Cancel resolves every pending item with the cause, expires
+// the scope's open HITs at the marketplace (late submissions are
+// discarded unpaid, like MTurk's DeleteHIT) and refunds the money those
+// HITs had charged for assignments that never completed, so only the
+// query's true sunk cost stays spent.
+//
+// Items of different scopes never share a HIT: a HIT belongs to exactly
+// one scope (or none), which is what makes whole-HIT expiry sound.
+type Scope struct {
+	mgr *Manager
+
+	mu       sync.Mutex
+	err      error // cancellation cause; nil while live
+	budget   *budget.Account
+	policies map[string]Policy
+	priority int
+	spent    budget.Cents
+	hits     map[string]bool // open HIT IDs posted for this scope
+}
+
+// NewScope creates a live scope bound to the manager.
+func (m *Manager) NewScope() *Scope {
+	return &Scope{mgr: m, hits: make(map[string]bool)}
+}
+
+// SetBudget caps this scope's total spend (0 removes the cap). The
+// engine-wide account still applies on top.
+func (s *Scope) SetBudget(limit budget.Cents) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit <= 0 {
+		s.budget = nil
+		return
+	}
+	s.budget = budget.NewAccount(limit)
+}
+
+// SetPolicy overrides the named task's policy for this scope only.
+// TASK-definition overrides (Price/Assignments/Batch clauses) still win,
+// exactly as they do over engine-level policies.
+func (s *Scope) SetPolicy(task string, p Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.policies == nil {
+		s.policies = make(map[string]Policy)
+	}
+	s.policies[strings.ToLower(task)] = p
+}
+
+// SetPriority orders this scope's pending items ahead of (positive) or
+// behind (negative) other scopes when batches are cut. Default 0.
+func (s *Scope) SetPriority(p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.priority = p
+}
+
+func (s *Scope) policyFor(task string) (Policy, bool) {
+	if s == nil {
+		return Policy{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.policies[task]
+	return p, ok
+}
+
+func (s *Scope) priorityNow() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.priority
+}
+
+// Err returns the cancellation cause, or nil while the scope is live.
+func (s *Scope) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Spent reports the scope's sunk cost: money charged for its HITs minus
+// refunds for assignments expired by cancellation.
+func (s *Scope) Spent() budget.Cents {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spent
+}
+
+// spend charges the scope's own budget (when capped) and records the
+// sunk cost. It fails without side effects when the cap cannot cover
+// the charge.
+func (s *Scope) spend(cost budget.Cents) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget != nil {
+		if err := s.budget.Spend(cost); err != nil {
+			return err
+		}
+	}
+	s.spent += cost
+	return nil
+}
+
+// refund returns money to the scope (cap headroom and sunk-cost line).
+func (s *Scope) refund(amount budget.Cents) {
+	if s == nil || amount <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget != nil {
+		s.budget.Refund(amount)
+	}
+	s.spent -= amount
+	if s.spent < 0 {
+		s.spent = 0
+	}
+}
+
+// registerHIT records an open HIT as belonging to this scope. It fails
+// with the cancellation cause when the scope was canceled while the HIT
+// was being posted — the caller must then expire the HIT itself.
+func (s *Scope) registerHIT(hitID string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.hits == nil {
+		s.hits = make(map[string]bool)
+	}
+	s.hits[hitID] = true
+	return nil
+}
+
+// unregisterHIT forgets a HIT that resolved through the normal paths.
+func (s *Scope) unregisterHIT(hitID string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.hits, hitID)
+}
+
+// Cancel terminates the scope with cause (ErrCanceled when nil):
+// pending items resolve with the cause, open HITs are expired and their
+// uncompleted assignments refunded, and every later Submit for this
+// scope fails fast without posting. Idempotent; the first cause wins.
+func (s *Scope) Cancel(cause error) {
+	if s == nil {
+		return
+	}
+	if cause == nil {
+		cause = qerr.ErrCanceled
+	}
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.err = cause
+	open := make([]string, 0, len(s.hits))
+	for id := range s.hits {
+		open = append(open, id)
+	}
+	s.hits = nil
+	s.mu.Unlock()
+	s.mgr.sweepCanceledPending(s, cause)
+	for _, id := range open {
+		s.mgr.cancelInflightHIT(id, cause)
+	}
+}
+
+// sweepCanceledPending removes the scope's queued-but-unposted items
+// from every task state and resolves them with the cause.
+func (m *Manager) sweepCanceledPending(s *Scope, cause error) {
+	m.mu.Lock()
+	states := make([]*taskState, 0, len(m.tasks))
+	for _, st := range m.tasks {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	var dropped []pendingItem
+	for _, st := range states {
+		st.mu.Lock()
+		kept := st.pending[:0]
+		for _, it := range st.pending {
+			if it.scope == s {
+				dropped = append(dropped, it)
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		st.pending = kept
+		st.mu.Unlock()
+	}
+	for _, it := range dropped {
+		it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", it.def.Name, cause)})
+	}
+}
+
+// cancelInflightHIT expires one posted HIT: it is removed from the
+// in-flight table (so a racing completion finalizes nothing), disposed
+// at the marketplace, its uncompleted assignments refunded, and every
+// outstanding item resolved with the cause. The stripe lock arbitrates
+// against finalization, so each item still resolves exactly once.
+func (m *Manager) cancelInflightHIT(hitID string, cause error) {
+	str := m.flights.stripeFor(hitID)
+	str.mu.Lock()
+	if fl, ok := str.hits[hitID]; ok {
+		delete(str.hits, hitID)
+		str.mu.Unlock()
+		m.expireHIT(hitID, fl.scope, fl.cost)
+		for _, hi := range fl.hit.Items {
+			if item, ok := fl.byKey[hi.Key]; ok {
+				item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", item.def.Name, cause)})
+			}
+		}
+		return
+	}
+	if fl, ok := str.joins[hitID]; ok {
+		delete(str.joins, hitID)
+		str.mu.Unlock()
+		m.expireHIT(hitID, fl.scope, fl.cost)
+		for _, key := range fl.order {
+			if fl.need[key] {
+				fl.done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %w", fl.def.Name, cause)})
+			}
+		}
+		return
+	}
+	str.mu.Unlock()
+}
+
+// expireHIT disposes a HIT at the marketplace and refunds whatever its
+// uncompleted assignments had charged, to both the engine account and
+// the scope.
+func (m *Manager) expireHIT(hitID string, s *Scope, cost budget.Cents) {
+	refund := budget.Cents(0)
+	if status, ok := m.market.Dispose(hitID); ok {
+		refund = cost - status.Spent
+	}
+	if refund <= 0 {
+		return
+	}
+	m.account.Refund(refund)
+	s.refund(refund)
+}

@@ -146,6 +146,10 @@ type Request struct {
 	// on (SideLeft/SideRight, "" = untagged): the observation feeds both
 	// the task's combined selectivity estimator and the per-side one.
 	StatSide string
+	// Scope binds the request to one query's cancellation scope (nil =
+	// unscoped). A canceled scope resolves the request immediately with
+	// the cause; items of different scopes never share a HIT.
+	Scope *Scope
 	// Done receives the outcome; it is called exactly once, possibly
 	// synchronously (cache/model hits) and possibly from the clock
 	// goroutine.
@@ -173,6 +177,7 @@ type TaskStats struct {
 // be observed without it.
 type taskState struct {
 	mu           sync.Mutex
+	name         string // registry key (lowercased task name)
 	def          *qlang.TaskDef
 	policy       Policy
 	hasOwnPolicy bool
@@ -227,6 +232,8 @@ type pendingItem struct {
 	def         *qlang.TaskDef
 	assignments int    // 0 = policy default
 	side        string // join-side tag for selectivity observations
+	scope       *Scope // owning query scope (nil = unscoped)
+	priority    int    // scope priority at submission time
 	done        func(Outcome)
 	addedAt     mturk.VirtualTime
 }
@@ -309,6 +316,8 @@ func (m *Manager) getJournal() Journal {
 type inflightHIT struct {
 	hit      *hit.HIT
 	state    *taskState
+	scope    *Scope       // owning query scope (nil = unscoped)
+	cost     budget.Cents // charged at post time; basis for expiry refunds
 	byKey    map[string]pendingItem
 	answers  map[string][]relation.Value
 	byWorker []hit.Answers
@@ -359,6 +368,7 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		}
 		delete(s.hits, hitID)
 		s.mu.Unlock()
+		fl.scope.unregisterHIT(hitID)
 		if fl.received == 0 {
 			for _, it := range fl.hit.Items {
 				if item, ok := fl.byKey[it.Key]; ok {
@@ -378,6 +388,7 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		}
 		delete(s.joins, hitID)
 		s.mu.Unlock()
+		fl.scope.unregisterHIT(hitID)
 		if fl.received == 0 {
 			for _, key := range fl.order {
 				if fl.need[key] {
@@ -434,9 +445,21 @@ func (m *Manager) PolicyFor(def *qlang.TaskDef) Policy {
 
 // effectivePolicyLocked resolves the policy for this task; st.mu held.
 func (st *taskState) effectivePolicyLocked(base Policy) Policy {
+	return st.scopedPolicyLocked(base, nil)
+}
+
+// scopedPolicyLocked resolves the policy for this task as seen by one
+// query scope: a per-query override (WithPolicy) replaces the engine /
+// task policy, TASK-definition clauses still win on top, exactly as
+// they do everywhere else. st.mu held; the scope lock is taken after
+// it (st.mu → scope.mu is the global lock order).
+func (st *taskState) scopedPolicyLocked(base Policy, scope *Scope) Policy {
 	p := base
 	if st.hasOwnPolicy {
 		p = st.policy
+	}
+	if sp, ok := scope.policyFor(st.name); ok {
+		p = sp
 	}
 	if st.def != nil {
 		p = p.merged(st.def)
@@ -450,7 +473,7 @@ func (m *Manager) state(name string, def *qlang.TaskDef) *taskState {
 	m.mu.Lock()
 	st, ok := m.tasks[key]
 	if !ok {
-		st = &taskState{latency: stats.NewEWMA(stats.TaskEWMAAlpha), agreement: stats.NewEWMA(stats.TaskEWMAAlpha)}
+		st = &taskState{name: key, latency: stats.NewEWMA(stats.TaskEWMAAlpha), agreement: stats.NewEWMA(stats.TaskEWMAAlpha)}
 		m.tasks[key] = st
 	}
 	m.mu.Unlock()
@@ -479,11 +502,15 @@ func (m *Manager) Submit(req Request) {
 	if req.Def == nil || req.Done == nil {
 		panic("taskmgr: Submit needs a task definition and Done callback")
 	}
+	if cause := req.Scope.Err(); cause != nil {
+		req.Done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", req.Def.Name, cause)})
+		return
+	}
 	st := m.state(req.Def.Name, req.Def)
 	base := m.basePolicy()
 	st.mu.Lock()
 	st.submitted++
-	pol := st.effectivePolicyLocked(base)
+	pol := st.scopedPolicyLocked(base, req.Scope)
 	st.mu.Unlock()
 
 	// 1. Task Cache: a prior answer costs nothing.
@@ -524,14 +551,33 @@ func (m *Manager) Submit(req Request) {
 		def:         req.Def,
 		assignments: req.Assignments,
 		side:        req.StatSide,
+		scope:       req.Scope,
+		priority:    req.Scope.priorityNow(),
 		done:        req.Done,
 		addedAt:     m.market.Clock().Now(),
 	}
 	var batches [][]pendingItem
 	st.mu.Lock()
+	// Re-check the scope under st.mu: Cancel's pending sweep also takes
+	// st.mu, so either it already ran (we must resolve here, or the item
+	// would be stranded) or it will run after us and sweep this item.
+	if cause := req.Scope.Err(); cause != nil {
+		st.mu.Unlock()
+		req.Done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", req.Def.Name, cause)})
+		return
+	}
 	st.pending = append(st.pending, item)
 	if len(st.pending) >= pol.BatchSize {
-		batches = st.cutBatchesLocked(pol)
+		batches = st.cutBatchesLocked(base, false)
+		if len(batches) == 0 && !st.lingerArmed && len(st.pending) >= pol.BatchSize {
+			// Threshold reached but every (assignments, scope) group is
+			// still partial — mixed groups sharing one task — and no
+			// linger timer is armed to flush them later. Cut the partials
+			// rather than strand them: their Done callbacks must make
+			// progress. (With a linger armed the timer will flush, giving
+			// the groups a chance to fill first.)
+			batches = st.cutBatchesLocked(base, true)
+		}
 	} else if !st.lingerArmed && pol.Linger > 0 {
 		// Arm a linger timer so partial batches cannot starve.
 		st.lingerArmed = true
@@ -539,7 +585,7 @@ func (m *Manager) Submit(req Request) {
 		m.market.Clock().Schedule(pol.Linger, func() { m.lingerFlush(taskName) })
 	}
 	st.mu.Unlock()
-	m.postBatches(st, pol, batches)
+	m.postBatches(st, batches)
 }
 
 // lingerFlush flushes whatever is pending for a task when its linger
@@ -549,10 +595,9 @@ func (m *Manager) lingerFlush(task string) {
 	base := m.basePolicy()
 	st.mu.Lock()
 	st.lingerArmed = false
-	pol := st.effectivePolicyLocked(base)
-	batches := st.cutBatchesLocked(pol)
+	batches := st.cutBatchesLocked(base, true)
 	st.mu.Unlock()
-	m.postBatches(st, pol, batches)
+	m.postBatches(st, batches)
 }
 
 // Flush posts any partial batch for the named task immediately.
@@ -578,56 +623,94 @@ func (m *Manager) FlushAll() {
 func (m *Manager) flushState(st *taskState) {
 	base := m.basePolicy()
 	st.mu.Lock()
-	pol := st.effectivePolicyLocked(base)
-	batches := st.cutBatchesLocked(pol)
+	batches := st.cutBatchesLocked(base, true)
 	st.mu.Unlock()
-	m.postBatches(st, pol, batches)
+	m.postBatches(st, batches)
 }
 
-// cutBatchesLocked partitions the pending items into HIT-sized batches.
-// Items with different assignment overrides never share a HIT (their
-// redundancy differs). st.mu held; posting happens after it is released.
-func (st *taskState) cutBatchesLocked(pol Policy) [][]pendingItem {
+// batchGroup keys one batchable family of pending items: items with
+// different assignment overrides never share a HIT (their redundancy
+// differs) and items of different query scopes never share a HIT (so a
+// canceled query can expire whole HITs and per-scope budgets/policies
+// apply cleanly).
+type batchGroup struct {
+	assignments int
+	scope       *Scope
+}
+
+// cutBatchesLocked partitions the pending items into HIT-sized batches
+// per (assignments, scope) group, each under its scope's effective
+// policy. force cuts everything (flush/linger); otherwise only full
+// batches are cut and remainders stay pending for the linger timer.
+// Higher-priority scopes cut first (stable, so FIFO order is preserved
+// within a priority level). st.mu held; posting happens after release.
+func (st *taskState) cutBatchesLocked(base Policy, force bool) [][]pendingItem {
 	if len(st.pending) == 0 {
 		return nil
 	}
-	byAsg := make(map[int][]pendingItem)
-	var order []int
-	for _, it := range st.pending {
-		if _, seen := byAsg[it.assignments]; !seen {
-			order = append(order, it.assignments)
+	mixed := false
+	for _, it := range st.pending[1:] {
+		if it.priority != st.pending[0].priority {
+			mixed = true
+			break
 		}
-		byAsg[it.assignments] = append(byAsg[it.assignments], it)
 	}
-	st.pending = nil
+	if mixed {
+		sort.SliceStable(st.pending, func(i, j int) bool {
+			return st.pending[i].priority > st.pending[j].priority
+		})
+	}
+	byGroup := make(map[batchGroup][]pendingItem)
+	var order []batchGroup
+	for _, it := range st.pending {
+		g := batchGroup{assignments: it.assignments, scope: it.scope}
+		if _, seen := byGroup[g]; !seen {
+			order = append(order, g)
+		}
+		byGroup[g] = append(byGroup[g], it)
+	}
+	st.pending = st.pending[:0]
 	var batches [][]pendingItem
-	for _, asg := range order {
-		items := byAsg[asg]
-		for len(items) > 0 {
-			n := pol.BatchSize
+	for _, g := range order {
+		items := byGroup[g]
+		size := st.scopedPolicyLocked(base, g.scope).BatchSize
+		for len(items) >= size || (force && len(items) > 0) {
+			n := size
 			if n > len(items) {
 				n = len(items)
 			}
-			batches = append(batches, items[:n])
+			batches = append(batches, items[:n:n])
 			items = items[n:]
 		}
+		st.pending = append(st.pending, items...)
 	}
 	return batches
 }
 
-func (m *Manager) postBatches(st *taskState, pol Policy, batches [][]pendingItem) {
+func (m *Manager) postBatches(st *taskState, batches [][]pendingItem) {
 	for _, batch := range batches {
-		m.postBatch(st, pol, batch)
+		m.postBatch(st, batch)
 	}
 }
 
 // postBatch compiles one batch into a HIT and posts it. All items in a
-// batch share the same assignments override (see cutBatchesLocked). No
-// locks are held: posting calls into the marketplace and, on synchronous
-// failure, back into user callbacks.
-func (m *Manager) postBatch(st *taskState, pol Policy, batch []pendingItem) {
+// batch share the same assignments override and scope (see
+// cutBatchesLocked). No locks are held: posting calls into the
+// marketplace and, on synchronous failure, back into user callbacks.
+func (m *Manager) postBatch(st *taskState, batch []pendingItem) {
+	scope := batch[0].scope
+	base := m.basePolicy()
+	st.mu.Lock()
+	pol := st.scopedPolicyLocked(base, scope)
+	st.mu.Unlock()
 	if batch[0].assignments > 0 {
 		pol.Assignments = batch[0].assignments
+	}
+	if cause := scope.Err(); cause != nil {
+		for _, it := range batch {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", it.def.Name, cause)})
+		}
+		return
 	}
 	def := st.defOf()
 	h := &hit.HIT{
@@ -651,7 +734,14 @@ func (m *Manager) postBatch(st *taskState, pol Policy, batch []pendingItem) {
 	}
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	if err := scope.spend(cost); err != nil {
+		for _, it := range batch {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
+		}
+		return
+	}
 	if err := m.account.Spend(cost); err != nil {
+		scope.refund(cost)
 		for _, it := range batch {
 			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
 		}
@@ -666,6 +756,8 @@ func (m *Manager) postBatch(st *taskState, pol Policy, batch []pendingItem) {
 	fl := &inflightHIT{
 		hit:      h,
 		state:    st,
+		scope:    scope,
+		cost:     cost,
 		byKey:    byKey,
 		answers:  make(map[string][]relation.Value, len(batch)),
 		needed:   pol.Assignments,
@@ -682,9 +774,17 @@ func (m *Manager) postBatch(st *taskState, pol Policy, batch []pendingItem) {
 		s.mu.Lock()
 		delete(s.hits, h.ID)
 		s.mu.Unlock()
+		m.account.Refund(cost)
+		scope.refund(cost)
 		for _, it := range batch {
 			it.done(Outcome{Err: fmt.Errorf("taskmgr: post %s: %v", def.Name, err)})
 		}
+		return
+	}
+	if cause := scope.registerHIT(h.ID); cause != nil {
+		// The scope was canceled while the HIT was being posted; expire
+		// it ourselves — cancellation's sweep never saw it.
+		m.cancelInflightHIT(h.ID, cause)
 	}
 }
 
@@ -711,6 +811,7 @@ func (m *Manager) onAssignment(res mturk.AssignmentResult) {
 	}
 	delete(s.hits, res.HITID)
 	s.mu.Unlock()
+	fl.scope.unregisterHIT(res.HITID)
 	m.finalizeInflight(fl)
 }
 

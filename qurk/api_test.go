@@ -1,0 +1,142 @@
+package qurk_test
+
+// TestExportedAPISurface pins this package's exported surface to
+// api.txt, in the spirit of golang.org/x/exp/cmd/apidiff but
+// self-contained: CI fails when the surface drifts without (a)
+// regenerating api.txt and (b) noting the new fingerprint in
+// CHANGES.md. Regenerate with:
+//
+//	QURK_API_UPDATE=1 go test ./qurk -run TestExportedAPISurface
+//
+// then add a line containing "api-fingerprint: <new fp>" to the
+// CHANGES.md entry describing the change.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiFile = "api.txt"
+
+func apiSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	render := func(node interface{}) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						sig := *d
+						sig.Doc, sig.Body = nil, nil
+						lines = append(lines, render(&sig))
+					}
+				case *ast.GenDecl:
+					kw := d.Tok.String()
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								c := *s
+								c.Doc, c.Comment = nil, nil
+								lines = append(lines, kw+" "+render(&c))
+							}
+						case *ast.ValueSpec:
+							exported := false
+							for _, n := range s.Names {
+								if n.IsExported() {
+									exported = true
+								}
+							}
+							if exported {
+								c := *s
+								c.Doc, c.Comment = nil, nil
+								lines = append(lines, kw+" "+render(&c))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func fingerprint(lines []string) string {
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func renderAPIFile(lines []string, fp string) string {
+	var b strings.Builder
+	b.WriteString("# qurk exported API surface. Regenerate: QURK_API_UPDATE=1 go test ./qurk -run TestExportedAPISurface\n")
+	b.WriteString("# Then note the new fingerprint in CHANGES.md.\n")
+	fmt.Fprintf(&b, "# api-fingerprint: %s\n", fp)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestExportedAPISurface(t *testing.T) {
+	lines := apiSurface(t)
+	fp := fingerprint(lines)
+	want := renderAPIFile(lines, fp)
+
+	if os.Getenv("QURK_API_UPDATE") != "" {
+		if err := os.WriteFile(apiFile, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (fingerprint %s) — remember the CHANGES.md note", apiFile, fp)
+	} else {
+		got, err := os.ReadFile(apiFile)
+		if err != nil {
+			t.Fatalf("missing %s: %v (regenerate with QURK_API_UPDATE=1)", apiFile, err)
+		}
+		if string(got) != want {
+			t.Fatalf("qurk exported API surface drifted from %s (new fingerprint %s).\n"+
+				"If the change is intentional: QURK_API_UPDATE=1 go test ./qurk -run TestExportedAPISurface\n"+
+				"and describe it in CHANGES.md including the line \"api-fingerprint: %s\".", apiFile, fp, fp)
+		}
+	}
+
+	// The fingerprint must be acknowledged in CHANGES.md: an API change
+	// without a changelog note fails even when api.txt was regenerated.
+	changes, err := os.ReadFile("../CHANGES.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(changes), "api-fingerprint: "+fp) {
+		t.Fatalf("CHANGES.md has no note for the current qurk API surface; add "+
+			"\"api-fingerprint: %s\" to the entry describing the change", fp)
+	}
+}

@@ -4,7 +4,7 @@
 // Madden and Miller, "Demonstration of Qurk: A Query Processor for Human
 // Operators", SIGMOD 2011.
 //
-// A minimal session:
+// A minimal session, in the context-first style of database/sql:
 //
 //	ds := qurk.Companies(20, 1) // synthetic data + ground truth
 //	eng, err := qurk.New(qurk.Config{Oracle: ds.Oracle})
@@ -20,14 +20,37 @@
 //	  Text: "Find the CEO and the CEO's phone number for the company %s", companyName
 //	  Response: Form(("CEO", String), ("Phone", String))
 //	`)
-//	rows, err := eng.QueryAndWait(`
+//	rows, err := eng.Query(ctx, `
 //	SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
 //	FROM companies`)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Tuple()) // first rows arrive while later HITs run
+//	}
+//	if err := rows.Err(); err != nil { ... } // typed: ErrBudgetExhausted, ...
+//
+// Queries stream: Rows delivers tuples as the executor produces them.
+// Canceling ctx (or rows.Close, or a WithDeadline virtual deadline)
+// cancels the query end to end — open HITs are expired at the simulated
+// marketplace and unspent budget is released. Per-query options
+// (WithBudget, WithPolicy, WithPriority, WithAdaptiveJoins) override
+// the engine defaults for one query.
 //
 // The engine runs HITs against a configurable synthetic crowd under a
 // virtual clock, so latency is reported in simulated minutes while
 // programs finish in milliseconds. See DESIGN.md for the architecture
 // and EXPERIMENTS.md for the reproduced evaluation.
+//
+// # Deprecation policy
+//
+// Engine.Run, Engine.QueryAndWait and QueryHandle.Wait predate the
+// context API and remain as thin shims over Engine.Query. Deprecated
+// entry points keep working for at least two further releases of this
+// module and are removed only with a major-version bump; new code
+// should use Query. The exported surface of this package is pinned by
+// qurk/api.txt (enforced in CI): changing it requires regenerating that
+// file and noting the change in CHANGES.md.
 package qurk
 
 import (
@@ -52,6 +75,13 @@ type (
 	Config = core.Config
 	// QueryHandle tracks a submitted query.
 	QueryHandle = core.QueryHandle
+	// Rows is the streaming result cursor returned by Engine.Query.
+	Rows = core.Rows
+	// QueryOption customizes one Query call (WithBudget, WithDeadline,
+	// WithPolicy, WithAdaptiveJoins, WithPriority).
+	QueryOption = core.QueryOption
+	// ParseError is a query-text error with line/column position.
+	ParseError = core.ParseError
 	// CrowdConfig tunes the simulated worker population.
 	CrowdConfig = crowd.Config
 	// Oracle supplies ground truth to the simulated crowd.
@@ -74,6 +104,34 @@ type (
 	Dataset = workload.Dataset
 	// Snapshot is the dashboard view of the system.
 	Snapshot = dashboard.Snapshot
+)
+
+// Typed query errors; returned wrapped from Rows.Err / QueryAndWait,
+// test with errors.Is.
+var (
+	// ErrCanceled: the query's context was canceled, its Rows closed
+	// early, or the engine shut down under it.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadline: the query's WithDeadline virtual-time deadline (or
+	// its context deadline) expired first.
+	ErrDeadline = core.ErrDeadline
+	// ErrBudgetExhausted: a budget — engine-wide or per-query — could
+	// not cover a HIT.
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+)
+
+// Per-query options for Engine.Query; see the core package for details.
+var (
+	// WithBudget caps one query's total spend (ErrBudgetExhausted past it).
+	WithBudget = core.WithBudget
+	// WithDeadline cancels the query after d of virtual time (ErrDeadline).
+	WithDeadline = core.WithDeadline
+	// WithPolicy overrides one task's policy for this query only.
+	WithPolicy = core.WithPolicy
+	// WithAdaptiveJoins toggles cost-based join pre-filtering per query.
+	WithAdaptiveJoins = core.WithAdaptiveJoins
+	// WithPriority orders this query's HIT batches relative to others.
+	WithPriority = core.WithPriority
 )
 
 // New starts an engine. Callers must Close it.

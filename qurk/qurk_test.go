@@ -1,6 +1,8 @@
 package qurk_test
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -34,6 +36,7 @@ RETURNS (String CEO, String Phone):
 `); err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore SA1019 the deprecated shim must keep working; this is its test
 	rows, err := eng.QueryAndWait(`
 SELECT companyName, findCEO(companyName).CEO, findCEO(companyName).Phone
 FROM companies`)
@@ -84,5 +87,56 @@ func TestWorkloadsExported(t *testing.T) {
 	combined := qurk.CombineOracles(a.Oracle, b.Oracle)
 	if combined.Truth("isCat", []qurk.Value{a.Tables[0].Row(0).Get("img")}).IsNull() {
 		t.Error("CombineOracles")
+	}
+}
+
+// TestContextQueryFacade exercises the context-first surface through
+// the facade: streaming Rows, per-query options, and typed errors.
+func TestContextQueryFacade(t *testing.T) {
+	ds := qurk.Photos(20, 0.5, 0.6, 1)
+	eng, err := qurk.New(qurk.Config{
+		Oracle: ds.Oracle,
+		Crowd:  qurk.CrowdConfig{Seed: 1, MeanSkill: 0.97, SkillStd: 0.01, SpamFraction: 1e-9, AbandonRate: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, tab := range ds.Tables {
+		if err := eng.Register(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Define(`
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tight per-query budget surfaces the typed error mid-stream.
+	rows, err := eng.Query(context.Background(), `SELECT img FROM photos WHERE isCat(img)`,
+		qurk.WithBudget(qurk.Cents(3)), qurk.WithPriority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, qurk.ErrBudgetExhausted) {
+		t.Fatalf("want qurk.ErrBudgetExhausted, got %v", err)
+	}
+	if sunk := rows.Handle().SunkCents(); sunk > 3 {
+		t.Fatalf("sunk %v past the 3¢ cap", sunk)
+	}
+
+	// Parse errors carry positions through the facade.
+	_, err = eng.Query(context.Background(), "SELECT WHERE")
+	var pe *qurk.ParseError
+	if !errors.As(err, &pe) || pe.Line != 1 {
+		t.Fatalf("want positioned *qurk.ParseError, got %v", err)
 	}
 }
