@@ -7,6 +7,7 @@
 //	qurk-bench -only E3 -seed 7 # one experiment, custom seed
 //	qurk-bench -scale 3         # 3× larger workloads
 //	qurk-bench -only STORE      # cold vs warm run, writes BENCH_store.json
+//	qurk-bench -only SORT       # ranking-strategy economics, writes BENCH_sort.json
 package main
 
 import (
@@ -89,9 +90,63 @@ func runStoreBench(seed int64, scale int) error {
 	return nil
 }
 
+// sortBench is the BENCH_sort.json schema: one seed-pinned sort
+// workload run comparing the ranking strategies' HIT economics.
+type sortBench struct {
+	Workload         string  `json:"workload"`
+	Tuples           int     `json:"tuples"`
+	TopK             int     `json:"topk"`
+	Seed             int64   `json:"seed"`
+	RateHITs         int64   `json:"rate_hits"`
+	CompareHITs      int64   `json:"compare_hits"`
+	TopKHITs         int64   `json:"topk_hits"`
+	HybridHITs       int64   `json:"hybrid_hits"`
+	SpentCents       int64   `json:"spent_cents"`
+	WallMs           float64 `json:"wall_ms"`
+	HybridOrderMatch bool    `json:"hybrid_order_matches_compare"`
+	TopKPrefixMatch  bool    `json:"topk_prefix_matches_compare"`
+}
+
+// runSortBench measures the ranking subsystem's strategy economics and
+// writes BENCH_sort.json next to the other BENCH artifacts.
+func runSortBench(seed int64, scale int) error {
+	cfg := load.Config{Workload: load.WorkloadSort,
+		Tuples: 120 * scale, Workers: 200, Seed: seed}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out := sortBench{
+		Workload:         string(cfg.Workload),
+		Tuples:           rep.Config.Tuples,
+		TopK:             rep.Config.TopK,
+		Seed:             seed,
+		RateHITs:         rep.SortRateHITs,
+		CompareHITs:      rep.SortCompareHITs,
+		TopKHITs:         rep.SortTopKHITs,
+		HybridHITs:       rep.SortHybridHITs,
+		SpentCents:       int64(rep.Spent),
+		WallMs:           float64(rep.Wall) / float64(time.Millisecond),
+		HybridOrderMatch: rep.SortHybridFNV == rep.SortOrderFNV,
+		TopKPrefixMatch:  rep.SortTopKFNV == rep.SortTopKBaseFNV,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_sort.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("SORT: %d items — rate %d HITs, compare %d, top-%d %d, hybrid %d (%d¢, %.0f ms); hybrid order matches compare: %v\n",
+		out.Tuples, out.RateHITs, out.CompareHITs, out.TopK, out.TopKHITs, out.HybridHITs,
+		out.SpentCents, out.WallMs, out.HybridOrderMatch)
+	fmt.Println("wrote BENCH_sort.json")
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -131,8 +186,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "SORT") {
+		matched = true
+		if err := runSortBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: SORT:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -33,7 +33,7 @@ func main() {
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
 	batch := flag.Int("batch", 5, "tuples per HIT")
-	assignments := flag.Int("assignments", 3, "redundancy per HIT")
+	assignments := flag.Int("assignments", 0, "redundancy per HIT (0 = workload default: 3, sort: 5)")
 	price := flag.Int64("price", 1, "reward cents per HIT")
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
 	skill := flag.Float64("skill", 0, "mean worker skill (0 = crowd default 0.85)")
@@ -42,6 +42,7 @@ func main() {
 	abandon := flag.Float64("abandon", 0, "abandonment rate (0 = crowd default 0.02)")
 	batchPenalty := flag.Float64("batchpenalty", 0, "per-question accuracy decay (0 = crowd default 0.015)")
 	storePath := flag.String("store", "", "durable knowledge store directory (required by -workload warmstart)")
+	topk := flag.Int("topk", 0, "sort: LIMIT pushed into the top-k comparison phase (0 = default 3; clamped below the group size of 5)")
 	cancelAfter := flag.Int("cancelafter", 0, "streaming: cancel the query context after N delivered rows (0 = run to completion)")
 	streamWindow := flag.Int("streamwindow", 0, "streaming: concurrent in-flight filter cascades (0 = default 8)")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
@@ -62,6 +63,7 @@ func main() {
 		Abandon:      *abandon,
 		BatchPenalty: *batchPenalty,
 		StorePath:    *storePath,
+		TopK:         *topk,
 		CancelAfter:  *cancelAfter,
 		StreamWindow: *streamWindow,
 	}
@@ -74,6 +76,12 @@ func main() {
 
 	if cfg.Workload == load.WorkloadStreaming {
 		if err := checkStreaming(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-load:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Workload == load.WorkloadSort {
+		if err := checkSort(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "qurk-load:", err)
 			os.Exit(1)
 		}
@@ -115,6 +123,24 @@ func main() {
 			}
 			return
 		}
+		if cfg.Workload == load.WorkloadSort {
+			if err := checkSort(again); err != nil {
+				fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
+				os.Exit(1)
+			}
+			if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
+				rep.SortRateHITs != again.SortRateHITs || rep.SortCompareHITs != again.SortCompareHITs ||
+				rep.SortTopKHITs != again.SortTopKHITs || rep.SortHybridHITs != again.SortHybridHITs ||
+				rep.SortOrderFNV != again.SortOrderFNV || rep.SortHybridFNV != again.SortHybridFNV ||
+				rep.SortTopKFNV != again.SortTopKFNV {
+				fmt.Fprintf(os.Stderr, "qurk-load: NONDETERMINISTIC\nfirst:\n%s\nsecond:\n%s", rep, again)
+				os.Exit(1)
+			}
+			fmt.Print(again)
+			fmt.Printf("verify: rerun-identical; top-%d paid %d of compare's %d HITs; hybrid paid %d at an identical final order\n",
+				rep.Config.TopK, rep.SortTopKHITs, rep.SortCompareHITs, rep.SortHybridHITs)
+			return
+		}
 		if cfg.Workload == load.WorkloadStreaming {
 			// Cancellation lands at a racy real-time moment, so the HIT
 			// totals legitimately vary; the completed prefix — the rows
@@ -140,6 +166,30 @@ func main() {
 		}
 		fmt.Println("verify: identical virtual-time metrics across reruns")
 	}
+}
+
+// checkSort asserts the sort workload's contracts on its seed-pinned
+// near-perfect crowd: top-k pushdown pays strictly fewer comparison
+// HITs than full ordering, the hybrid pays strictly fewer than
+// compare-only while reproducing its exact final order, and the
+// tournament's top k equals the full ordering's first k.
+func checkSort(rep load.Report) error {
+	if rep.SortTopKHITs >= rep.SortCompareHITs {
+		return fmt.Errorf("top-%d paid %d comparison HITs, full ordering paid %d",
+			rep.Config.TopK, rep.SortTopKHITs, rep.SortCompareHITs)
+	}
+	if rep.SortHybridHITs >= rep.SortCompareHITs {
+		return fmt.Errorf("hybrid paid %d HITs, compare-only paid %d", rep.SortHybridHITs, rep.SortCompareHITs)
+	}
+	if rep.SortHybridFNV != rep.SortOrderFNV {
+		return fmt.Errorf("hybrid order %016x differs from compare order %016x",
+			rep.SortHybridFNV, rep.SortOrderFNV)
+	}
+	if rep.SortTopKFNV != rep.SortTopKBaseFNV {
+		return fmt.Errorf("top-%d order %016x differs from the full ordering's first %d (%016x)",
+			rep.Config.TopK, rep.SortTopKFNV, rep.Config.TopK, rep.SortTopKBaseFNV)
+	}
+	return nil
 }
 
 // checkStreaming asserts the streaming workload's two contracts: the

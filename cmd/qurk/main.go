@@ -16,10 +16,13 @@
 //
 // Without ground truth, the crowd answers from a deterministic synthetic
 // oracle: boolean tasks pass with the configured selectivity (hashed per
-// argument, so redundancy and caching behave realistically). Rating and
-// free-text tasks get a degenerate constant truth under -script; use the
-// -demo workloads (or the library API with a real Oracle) for richer
-// ground truth.
+// argument, so redundancy and caching behave realistically), and Rating
+// and Rank tasks answer with a stable per-item latent score on their
+// scale — shared between a rating task and its Compare: companion, so
+// ORDER BY queries exercise the full human-powered sort (rate / compare
+// / hybrid) from the CLI. Free-text tasks get a degenerate constant
+// truth under -script; use the -demo workloads (or the library API with
+// a real Oracle) for richer ground truth.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"hash/fnv"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/budget"
 	"repro/internal/crowd"
@@ -97,8 +101,9 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 	if err != nil {
 		return err
 	}
+	oracle := &hashOracle{selectivity: selectivity}
 	eng, err := qurk.New(qurk.Config{
-		Oracle:        hashOracle{selectivity: selectivity},
+		Oracle:        oracle,
 		Crowd:         crowd.Config{Seed: seed, MeanSkill: skill},
 		BudgetCents:   budget.Cents(budgetDollars * 100),
 		AutoTune:      true,
@@ -109,6 +114,7 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		return err
 	}
 	defer eng.Close()
+	oracle.bindTasks(eng.Tasks)
 	if err := registerTables(eng, tables); err != nil {
 		return err
 	}
@@ -266,24 +272,67 @@ func explainScript(script string, tables tableFlags) error {
 // answers deterministically from a hash of (task, args), so repeated and
 // redundant questions agree, selectivity is controllable, and caching
 // behaves as it would with stable real-world truth.
+//
+// With tasks bound (bindTasks, done right after the engine exists),
+// Rating and Rank tasks answer with a stable latent score on their
+// scale, hashed from the arguments alone — so a rating task and its
+// Compare: companion agree on every item's latent quality and the
+// human-powered sort strategies (rate / compare / hybrid) produce
+// consistent orders from the CLI too.
 type hashOracle struct {
 	selectivity float64
+
+	mu    sync.Mutex
+	tasks func() []*qlang.TaskDef
 }
 
-// Truth implements crowd.Oracle.
-func (o hashOracle) Truth(task string, args []relation.Value) relation.Value {
+// bindTasks late-binds the task catalog (the engine is constructed
+// after the oracle). Call before any query runs.
+func (o *hashOracle) bindTasks(tasks func() []*qlang.TaskDef) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tasks = tasks
+}
+
+func (o *hashOracle) taskDef(name string) *qlang.TaskDef {
+	o.mu.Lock()
+	tasks := o.tasks
+	o.mu.Unlock()
+	if tasks == nil {
+		return nil
+	}
+	for _, def := range tasks() {
+		if strings.EqualFold(def.Name, name) {
+			return def
+		}
+	}
+	return nil
+}
+
+func hash01(salt string, args []relation.Value) float64 {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(strings.ToLower(task)))
+	_, _ = h.Write([]byte(salt))
 	for _, a := range args {
 		_, _ = h.Write(a.Encode(nil))
 	}
-	x := float64(h.Sum64()%1_000_000) / 1_000_000
-	switch {
-	case x < o.selectivity:
-		return relation.NewBool(true)
-	default:
-		return relation.NewBool(false)
-	}
+	return float64(h.Sum64()%1_000_000) / 1_000_000
 }
 
-var _ crowd.Oracle = hashOracle{}
+// Truth implements crowd.Oracle.
+func (o *hashOracle) Truth(task string, args []relation.Value) relation.Value {
+	if def := o.taskDef(task); def != nil &&
+		(def.Type == qlang.TaskRating || def.Type == qlang.TaskRank) {
+		lo, hi := def.Response.ScaleMin, def.Response.ScaleMax
+		if hi <= lo {
+			lo, hi = 1, 9
+		}
+		// Salted by "score" and NOT by task name: every ranking task
+		// sees the same latent quality for the same item.
+		x := hash01("score", args)
+		return relation.NewFloat(float64(lo) + x*float64(hi-lo))
+	}
+	x := hash01(strings.ToLower(task), args)
+	return relation.NewBool(x < o.selectivity)
+}
+
+var _ crowd.Oracle = (*hashOracle)(nil)

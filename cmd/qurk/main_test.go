@@ -82,7 +82,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestHashOracleDeterministicSelectivity(t *testing.T) {
-	o := hashOracle{selectivity: 0.3}
+	o := &hashOracle{selectivity: 0.3}
 	args := []relation.Value{relation.NewImage("x.png")}
 	a := o.Truth("keep", args)
 	b := o.Truth("keep", args)

@@ -54,8 +54,9 @@ func (s *replSession) setCancel(c context.CancelFunc) {
 
 func runREPL(tables tableFlags, selectivity float64, seed int64,
 	budgetDollars, skill float64, adaptiveJoins bool, storePath string) error {
+	oracle := &hashOracle{selectivity: selectivity}
 	eng, err := qurk.New(qurk.Config{
-		Oracle:        hashOracle{selectivity: selectivity},
+		Oracle:        oracle,
 		Crowd:         crowd.Config{Seed: seed, MeanSkill: skill},
 		BudgetCents:   budget.Cents(budgetDollars * 100),
 		AutoTune:      true,
@@ -66,6 +67,7 @@ func runREPL(tables tableFlags, selectivity float64, seed int64,
 		return err
 	}
 	defer eng.Close()
+	oracle.bindTasks(eng.Tasks)
 	if err := registerTables(eng, tables); err != nil {
 		return err
 	}

@@ -19,6 +19,21 @@
 // deprecated shims over Query; see README.md § "Querying" for the
 // deprecation policy and the qurk/api.txt surface pin.
 //
+// ORDER BY over a human ranking task runs through the ranking
+// subsystem (internal/rank): batched S-way comparison HITs, per-item
+// rating HITs, or a cost-chosen hybrid that rates everything and
+// comparison-refines only rating-ambiguous windows, with LIMIT pushed
+// into the sort (top-k tournament). Sorting is a pipeline barrier:
+// no row can stream out of a Rank (or OrderBy) operator before the
+// last input tuple has been rated or compared, because any unseen
+// tuple could belong first — so first-row latency for sorted queries
+// is bounded below by the slowest sort-key HIT. Once the order is
+// final the operator streams rows out through the Rows cursor
+// immediately, releasing each buffered tuple as it is emitted; only
+// the barrier, not the emission, is inherent. README.md § "Human-
+// powered sorts" documents the strategies, the Compare:/GroupSize:
+// task syntax, and a worked cost example.
+//
 // Everything the engine learns from the crowd — Task Cache entries,
 // per-join-side selectivity and latency observations, Task Model
 // training examples, worker reputations — can persist across engine

@@ -20,6 +20,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/qerr"
 	"repro/internal/qlang"
+	"repro/internal/rank"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/taskmgr"
@@ -340,6 +341,12 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	cfg.Mgr = e.mgr
 	cfg.Script = script
 	cfg.Now = e.clock.Now
+	if cfg.RankStrategy == nil {
+		// Human-powered sorts run under the cost-chosen strategy:
+		// compare vs rate vs hybrid, priced from policies and live
+		// (or store-replayed) statistics.
+		cfg.RankStrategy = e.opt.RankChooser()
+	}
 
 	// The scope carries this query's overrides and is what cancellation
 	// propagates through: exec → taskmgr → marketplace.
@@ -446,6 +453,50 @@ func (e *Engine) addJoinSavings(s *dashboard.Savings, policyFor func(string) tas
 	}
 }
 
+// addRankSavings folds every query's sort report into the savings
+// panel: the comparison HITs the chosen strategy paid versus the
+// all-pairs compare baseline for the same input, priced at the
+// comparison (or, lacking one, the rating) task's policy.
+func (e *Engine) addRankSavings(s *dashboard.Savings, policyFor func(string) taskmgr.Policy) {
+	e.mu.Lock()
+	queries := append([]*QueryHandle(nil), e.queries...)
+	e.mu.Unlock()
+	for _, h := range queries {
+		for _, rs := range h.Exec.RankStats() {
+			rk, ok := h.rankNodeFor(rs.Op)
+			if !ok {
+				continue
+			}
+			taskName := rk.Task.Name
+			if rk.Compare != nil {
+				taskName = rk.Compare.Name
+			}
+			pol := policyFor(taskName).Clamped()
+			perHIT := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+			baseline := int64(rank.CompareHITCount(rs.Items, rs.GroupSize, 0))
+			s.SortCompareHITs += int64(rs.CompareHITs)
+			if rs.RateAsks > 0 {
+				ratePol := policyFor(rk.Task.Name).Clamped()
+				s.SortRateHITs += int64(rank.RateHITCount(rs.RateAsks, ratePol.BatchSize))
+			}
+			if avoided := baseline - int64(rs.CompareHITs); avoided > 0 && rk.Compare != nil {
+				s.SortSavedCents += budget.Cents(avoided) * perHIT
+			}
+		}
+	}
+}
+
+// rankNodeFor finds the query's Rank node with the given operator label.
+func (h *QueryHandle) rankNodeFor(label string) (*plan.Rank, bool) {
+	var found *plan.Rank
+	plan.Walk(h.Plan, func(n plan.Node) {
+		if rk, ok := n.(*plan.Rank); ok && found == nil && rk.Label() == label {
+			found = rk
+		}
+	})
+	return found, found != nil
+}
+
 // SaveCache persists the Task Cache to one standalone file in the
 // knowledge store's record format, so a future engine (or process) can
 // reuse paid-for answers — the paper's cross-query caching, extended
@@ -509,6 +560,7 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 	}
 	snap.Savings = dashboard.ComputeSavings(tasks, policyFor)
 	e.addJoinSavings(&snap.Savings, policyFor)
+	e.addRankSavings(&snap.Savings, policyFor)
 	if e.store != nil {
 		snap.Warmstart = dashboard.WarmstartInfo{
 			Answers:      e.warm.CacheAnswers,

@@ -346,10 +346,18 @@ func noisyAnswer(resp qlang.Response, truth relation.Value, correct, spammer boo
 		// Return the noisy latent score; rerank() converts to ranks.
 		score := truth.Float()
 		if spammer {
+			// Spammers order without looking: a fresh uniform fake score
+			// per item decouples their ranking from the truth entirely,
+			// inverting pairs at random — exactly the failure mode the
+			// win-ratio aggregation has to outvote.
 			return relation.NewFloat(u1 * 100)
 		}
 		if !correct {
-			score += u2 * 10
+			// Honest mistakes are local: a perturbation on the order of
+			// one scale step swaps an item with its neighbours
+			// (adjacent-pair inversions), not across the whole list —
+			// workers confuse close items, not obvious ones.
+			score += u2 * 1.5
 		}
 		return relation.NewFloat(score)
 	default: // ResponseForm: free text / tuples

@@ -58,6 +58,13 @@ type Savings struct {
 	// them at the join task's per-pair grid cost.
 	JoinPairsAvoided int64
 	JoinSavedCents   budget.Cents
+	// SortCompareHITs / SortRateHITs count what the cost-chosen sort
+	// strategies actually posted across queries; SortSavedCents prices
+	// the comparison HITs the chosen strategies avoided against the
+	// all-pairs compare baseline.
+	SortCompareHITs int64
+	SortRateHITs    int64
+	SortSavedCents  budget.Cents
 }
 
 // WarmstartInfo reports what the durable knowledge store replayed at
@@ -133,6 +140,10 @@ func Render(s Snapshot) string {
 	if s.Savings.JoinPairsAvoided > 0 {
 		fmt.Fprintf(&b, "Adaptive joins: avoided %d cross-product pairs (~%v of join HITs)\n",
 			s.Savings.JoinPairsAvoided, s.Savings.JoinSavedCents)
+	}
+	if s.Savings.SortCompareHITs > 0 || s.Savings.SortRateHITs > 0 {
+		fmt.Fprintf(&b, "Sort: %d comparison HITs vs %d rating HITs, ~%v saved\n",
+			s.Savings.SortCompareHITs, s.Savings.SortRateHITs, s.Savings.SortSavedCents)
 	}
 	if s.Warmstart.Answers > 0 || s.Warmstart.Observations > 0 {
 		fmt.Fprintf(&b, "Warm start: %d answers, %d observations replayed (~%v saved)\n",

@@ -11,6 +11,7 @@ import (
 	"repro/internal/qerr"
 	"repro/internal/qlang"
 	"repro/internal/queue"
+	"repro/internal/rank"
 	"repro/internal/relation"
 	"repro/internal/taskmgr"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	// before waiting for outcomes and re-checking the decision
 	// (default 25). Smaller blocks adapt faster at a latency cost.
 	PreFilterBlock int
+	// RankStrategy decides, per Rank node and runtime cardinality, how
+	// the human-powered sort runs (compare / rate / hybrid, batch size,
+	// top-k). The optimizer's RankChooser plugs in here; nil falls back
+	// to a static heuristic (rate when a rating surface exists,
+	// compare otherwise).
+	RankStrategy func(v *plan.Rank, n int) rank.Decision
 	// OnError receives per-tuple execution errors (default: collected
 	// in Query.Errors).
 	OnError func(error)
@@ -144,6 +151,36 @@ type Query struct {
 	cause       error // cancellation cause; nil while live
 	firstRowAt  mturk.VirtualTime
 	hasFirstRow bool
+	rankStats   []RankStat
+}
+
+// RankStat reports one Rank operator's chosen strategy and spend, for
+// the dashboard's sort panel.
+type RankStat struct {
+	Op        string // operator label
+	Strategy  string
+	Items     int
+	GroupSize int
+	// CompareHITs counts comparison (Order) HITs the strategy posted;
+	// RateAsks the rating questions it submitted (batched into
+	// ⌈RateAsks/batch⌉ HITs by the task policy).
+	CompareHITs int
+	RateAsks    int
+	// Windows / Refined describe hybrid comparison refinement.
+	Windows, Refined int
+}
+
+// RankStats snapshots every completed Rank operator's report.
+func (q *Query) RankStats() []RankStat {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]RankStat(nil), q.rankStats...)
+}
+
+func (q *Query) noteRankStat(rs RankStat) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.rankStats = append(q.rankStats, rs)
 }
 
 // maxRecordedErrors bounds Query.Errors so a canceled or failing query
@@ -419,6 +456,8 @@ func needsHumans(n plan.Node) bool {
 			}
 		case *plan.PreFilter:
 			found = true
+		case *plan.Rank:
+			found = true
 		}
 	})
 	// Calls inside filters/projections are checked at runtime against
@@ -480,6 +519,12 @@ func (q *Query) launch(n plan.Node) (*operator, error) {
 			return nil, err
 		}
 		go q.runOrderBy(op, v, in)
+	case *plan.Rank:
+		in, err := q.launch(v.Input)
+		if err != nil {
+			return nil, err
+		}
+		go q.runRank(op, v, in)
 	case *plan.Aggregate:
 		in, err := q.launch(v.Input)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/hit"
 	"repro/internal/plan"
 	"repro/internal/qlang"
+	"repro/internal/rank"
 	"repro/internal/relation"
 	"repro/internal/taskmgr"
 )
@@ -585,8 +586,135 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 	}
 }
 
-// runOrderBy buffers the input, resolves human sort keys (e.g. rating
-// tasks), sorts, and emits in order.
+// runRank is the human-powered sort: it buffers the input (ORDER BY is
+// a barrier — no tuple can be emitted before the last input tuple has
+// been compared or rated; see doc.go), evaluates the ranking task's
+// arguments per tuple, hands the set to the rank subsystem under the
+// strategy the optimizer chose (compare / rate / hybrid, with top-k
+// pushdown), and streams the ordered rows out as soon as the order is
+// final, releasing buffered tuples as they are emitted.
+//
+// Tuples whose arguments fail to evaluate are reported, excluded from
+// ranking, and emitted where a NULL sort key would land — before the
+// ranked rows ascending, after them descending — in input order.
+func (q *Query) runRank(op *operator, v *plan.Rank, in *operator) {
+	defer op.finish()
+	var rows []relation.Tuple
+	for {
+		t, ok := in.out.Pop()
+		if !ok {
+			break
+		}
+		atomic.AddInt64(&op.in, 1)
+		rows = append(rows, t)
+	}
+	if q.cfg.Mgr == nil {
+		q.reportError(fmt.Errorf("exec: human sort without task manager"))
+		for i := range rows {
+			op.push(rows[i])
+		}
+		return
+	}
+
+	items := make([]rank.Item, 0, len(rows))
+	itemRow := make([]int, 0, len(rows)) // item index → row index
+	var failed []int
+	for i, t := range rows {
+		args := make([]relation.Value, len(v.Args))
+		ok := true
+		for j, e := range v.Args {
+			val, err := Eval(e, t, nil)
+			if err != nil {
+				q.reportError(err)
+				ok = false
+				break
+			}
+			args[j] = val
+		}
+		if !ok {
+			failed = append(failed, i)
+			continue
+		}
+		items = append(items, rank.Item{Key: fmt.Sprintf("r%06d", i), Args: args})
+		itemRow = append(itemRow, i)
+	}
+
+	decide := q.cfg.RankStrategy
+	if decide == nil {
+		decide = defaultRankStrategy
+	}
+	d := decide(v, len(items))
+
+	done := make(chan struct{})
+	var perm []int
+	var rst rank.Stats
+	rank.Run(items, rateSurface(v), v.Compare, d, rank.Config{
+		Mgr:     q.cfg.Mgr,
+		Scope:   q.cfg.Scope,
+		OnError: q.reportError,
+	}, func(p []int, st rank.Stats) {
+		perm, rst = p, st
+		close(done)
+	})
+	<-done
+	q.noteRankStat(RankStat{
+		Op:          v.Label(),
+		Strategy:    string(rst.Strategy),
+		Items:       rst.Items,
+		GroupSize:   d.GroupSize,
+		CompareHITs: rst.CompareHITs,
+		RateAsks:    rst.RateAsks,
+		Windows:     rst.Windows,
+		Refined:     rst.Refined,
+	})
+
+	emit := func(i int) {
+		op.push(rows[i])
+		rows[i] = relation.Tuple{} // release as emitted; the barrier is over
+	}
+	if !v.Desc {
+		for _, i := range failed {
+			emit(i)
+		}
+	}
+	for _, pi := range perm {
+		emit(itemRow[pi])
+	}
+	if v.Desc {
+		for _, i := range failed {
+			emit(i)
+		}
+	}
+}
+
+// rateSurface returns the rating task of a Rank node, or nil when the
+// ORDER BY task can only compare.
+func rateSurface(v *plan.Rank) *qlang.TaskDef {
+	if v.Task != nil && v.Task.Type == qlang.TaskRating {
+		return v.Task
+	}
+	return nil
+}
+
+// defaultRankStrategy is the static fallback when no optimizer is
+// wired: rate when the task rates, compare otherwise.
+func defaultRankStrategy(v *plan.Rank, n int) rank.Decision {
+	d := rank.Decision{
+		Strategy:  rank.StrategyCompare,
+		GroupSize: rank.GroupSizeFor(rateSurface(v), v.Compare),
+		TopK:      v.TopK,
+		Desc:      v.Desc,
+	}
+	if rateSurface(v) != nil {
+		d.Strategy = rank.StrategyRate
+	}
+	return d
+}
+
+// runOrderBy is the generic sort for multi-key or mixed-expression
+// ORDER BY clauses: it buffers the input (a barrier, like runRank),
+// resolves human sort keys (e.g. rating tasks) per tuple, sorts, and
+// emits in order — releasing each buffered tuple as it streams out.
 func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
 	defer op.finish()
 	var rows []relation.Tuple
@@ -658,6 +786,11 @@ func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
 	})
 	for _, i := range idx {
 		op.push(rows[i])
+		// The barrier is over once the order is final: drop each
+		// tuple's buffered reference as it streams out, so a slow
+		// consumer doesn't pin the whole input twice (queue + buffer).
+		rows[i] = relation.Tuple{}
+		keys[i] = nil
 	}
 }
 

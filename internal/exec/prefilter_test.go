@@ -306,7 +306,10 @@ func TestOrderByErrorPathEmitsRows(t *testing.T) {
 		[]relation.Value{relation.NewInt(2), relation.NewImage("b.png")},
 		[]relation.Value{relation.NewInt(3), relation.NewImage("c.png")},
 	)
-	stmt, err := qlang.ParseQuery(`SELECT * FROM photos ORDER BY squareScore(img) DESC`)
+	// The trailing local key keeps this a generic OrderBy plan (a bare
+	// single ranking key would build plan.Rank, which fails fast at
+	// Start without a task manager — see TestRankNeedsManager).
+	stmt, err := qlang.ParseQuery(`SELECT * FROM photos ORDER BY squareScore(img) DESC, id`)
 	if err != nil {
 		t.Fatal(err)
 	}

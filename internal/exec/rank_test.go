@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// TestRankNeedsManager: a Rank plan is a human operator; Start must
+// fail fast without a task manager instead of erroring per tuple.
+func TestRankNeedsManager(t *testing.T) {
+	r := newExecRig(t, 0.97)
+	r.addTable(t, "photos",
+		[]relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("a.png")},
+	)
+	stmt, err := qlang.ParseQuery(`SELECT img FROM photos ORDER BY squareScore(img)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := node.(*plan.Rank); !ok {
+		t.Fatalf("plan = %T, want Rank", node)
+	}
+	if _, err := Start(node, Config{Script: r.script}); err == nil {
+		t.Fatal("Start accepted a Rank plan without a task manager")
+	}
+}
+
+// TestRunRankDescFailedTuplesLast: a tuple whose sort-key arguments
+// fail to evaluate lands where a NULL key would — last under DESC,
+// first ascending — instead of displacing real top results past a
+// LIMIT.
+func TestRunRankDescFailedTuplesLast(t *testing.T) {
+	r := newExecRig(t, 0.9999)
+	r.addTable(t, "photos",
+		[]relation.Column{
+			{Name: "id", Kind: relation.KindInt},
+			{Name: "img", Kind: relation.KindImage},
+		},
+		[]relation.Value{relation.NewInt(1), relation.NewImage("ccccc.png")}, // score 9
+		[]relation.Value{relation.NewInt(0), relation.NewImage("x.png")},     // 1/id errors
+		[]relation.Value{relation.NewInt(2), relation.NewImage("c.png")},     // score 5
+	)
+	build := func(desc bool) *plan.Rank {
+		sql := `SELECT id, img FROM photos ORDER BY squareScore(img)`
+		if desc {
+			sql += ` DESC`
+		}
+		stmt, err := qlang.ParseQuery(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := plan.Build(stmt, r.script, r.catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk := node.(*plan.Rank)
+		// An extra sort-key argument that divides by zero for the id=0
+		// row makes exactly one tuple's key evaluation fail.
+		rk.Args = append(rk.Args, &qlang.Binary{Op: "/",
+			L: &qlang.Literal{Value: relation.NewInt(1)}, R: &qlang.ColumnRef{Name: "id"}})
+		return rk
+	}
+	order := func(rk *plan.Rank) []string {
+		q, err := Start(rk, Config{Script: r.script, Mgr: r.mgr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := q.Wait()
+		if len(rows) != 3 {
+			t.Fatalf("rows = %d, want all 3 despite a key error", len(rows))
+		}
+		if q.ErrorCount() != 1 {
+			t.Fatalf("errors = %d, want 1", q.ErrorCount())
+		}
+		out := make([]string, len(rows))
+		for i, row := range rows {
+			out[i] = row.Get("img").Str()
+		}
+		return out
+	}
+	if got := order(build(false)); got[0] != "x.png" {
+		t.Fatalf("ascending: failed tuple must come first (NULL-key position), got %v", got)
+	}
+	if got := order(build(true)); got[2] != "x.png" || got[0] != "ccccc.png" {
+		t.Fatalf("descending: failed tuple must come last, got %v", got)
+	}
+}
+
+// TestRunRankRateStrategy drives the Rank operator end to end through
+// the default (rate) strategy and checks order, stats, and the eval-
+// error path (a failed tuple is reported and emitted first).
+func TestRunRankRateStrategy(t *testing.T) {
+	r := newExecRig(t, 0.9999)
+	r.addTable(t, "photos",
+		[]relation.Column{{Name: "img", Kind: relation.KindImage}},
+		[]relation.Value{relation.NewImage("ccccc.png")}, // score 9
+		[]relation.Value{relation.NewImage("c.png")},     // score 5
+		[]relation.Value{relation.NewImage("ccc.png")},   // score 7
+	)
+	stmt, err := qlang.ParseQuery(`SELECT img FROM photos ORDER BY squareScore(img)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Start(node, Config{Script: r.script, Mgr: r.mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := q.Wait()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := []string{"c.png", "ccc.png", "ccccc.png"}
+	for i, row := range rows {
+		if got := row.Get("img").Str(); got != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, got, want[i])
+		}
+	}
+	stats := q.RankStats()
+	if len(stats) != 1 || stats[0].Strategy != "rate" || stats[0].RateAsks != 3 {
+		t.Fatalf("RankStats = %+v", stats)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mturk"
 	"repro/internal/optimizer"
 	"repro/internal/qlang"
+	"repro/internal/rank"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/taskmgr"
@@ -52,6 +53,14 @@ const (
 	// WorkloadOrderBy rates every item on a 1–7 scale and sorts by the
 	// mean rating (the paper's rating-based ORDER BY).
 	WorkloadOrderBy Workload = "orderby"
+	// WorkloadSort drives the human-powered ranking subsystem
+	// (internal/rank) four ways over one dataset — rating sort,
+	// all-pairs S-way comparison sort, comparison with top-k pushdown,
+	// and the rate-then-refine hybrid — each in an isolated
+	// deterministic phase, reporting per-strategy HIT counts and order
+	// fingerprints. Defaults to a near-perfect crowd so strategy
+	// economics, not answer noise, dominate the comparison.
+	WorkloadSort Workload = "sort"
 	// WorkloadStreaming drives the context-first query API end to end:
 	// a filter query consumed through a streaming Rows cursor against a
 	// single saturated worker, so the first tuple provably arrives while
@@ -102,6 +111,11 @@ type Config struct {
 	// everything learned streams back. Required by WorkloadWarmstart,
 	// optional for the others.
 	StorePath string
+	// TopK (sort workload) is the LIMIT pushed into the top-k
+	// comparison phase (default 3, clamped below the comparison group
+	// size — the tournament cannot shrink groups otherwise — and to
+	// the input size).
+	TopK int
 	// CancelAfter (streaming workload) cancels the query's context once
 	// that many rows have streamed out; 0 runs to completion.
 	CancelAfter int
@@ -114,6 +128,14 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workload == "" {
 		c.Workload = WorkloadFilter
+	}
+	if c.Workload == WorkloadSort && c.Assignments <= 0 {
+		// The sort workload asserts hybrid reproduces compare's exact
+		// order across independently-noised phases; 5-way redundancy
+		// (instead of the generic 3) makes a flipped pair majority
+		// cubically unlikely at the crowd's 0.99 skill ceiling while
+		// leaving HIT counts — what the phases compare — untouched.
+		c.Assignments = 5
 	}
 	if c.Tuples <= 0 {
 		c.Tuples = 1000
@@ -138,6 +160,45 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamWindow <= 0 {
 		c.StreamWindow = 8
+	}
+	if c.Workload == WorkloadSort {
+		// Top-k must sit below the comparison group size or the
+		// selection tournament cannot shrink its groups and top-k
+		// degenerates to full ordering — which would also fail the
+		// workload's topk<compare acceptance check, so oversized
+		// requests are clamped rather than honored.
+		sortGroupSize := rank.GroupSizeFor(sortTasks())
+		if c.TopK <= 0 {
+			c.TopK = 3
+		}
+		if c.TopK >= sortGroupSize {
+			c.TopK = sortGroupSize - 1
+		}
+		if c.TopK > c.Tuples {
+			c.TopK = c.Tuples
+		}
+		// The sort workload compares strategy economics and asserts
+		// hybrid reproduces compare's exact order, so its default crowd
+		// is near-perfect (explicit knobs still win) — the same posture
+		// the joinprefilter-vs-join comparison documents.
+		if c.Skill == 0 {
+			c.Skill = 0.9999
+		}
+		if c.SkillStd == 0 {
+			// The crowd draws worker skill from N(Skill, SkillStd); the
+			// default 0.08 spread would reintroduce exactly the noise
+			// this workload pins down.
+			c.SkillStd = 1e-9
+		}
+		if c.Spam == 0 {
+			c.Spam = 1e-12
+		}
+		if c.Abandon == 0 {
+			c.Abandon = 1e-12
+		}
+		if c.BatchPenalty == 0 {
+			c.BatchPenalty = 1e-9
+		}
 	}
 	return c
 }
@@ -193,6 +254,22 @@ type Report struct {
 	// DollarsPerQuery is total spend for the whole run in dollars.
 	DollarsPerQuery float64
 
+	// Sort-workload metrics: per-strategy HIT counts and order
+	// fingerprints (each phase runs isolated on identical seeds).
+	// SortOrderFNV fingerprints the compare phase's full order,
+	// SortHybridFNV the hybrid's (equal when refinement converges to
+	// the same order), SortTopKFNV the top-k phase's first K keys and
+	// SortTopKBaseFNV the compare phase's first K (equal when the
+	// tournament found the true top window).
+	SortRateHITs    int64
+	SortCompareHITs int64
+	SortTopKHITs    int64
+	SortHybridHITs  int64
+	SortOrderFNV    uint64
+	SortHybridFNV   uint64
+	SortTopKFNV     uint64
+	SortTopKBaseFNV uint64
+
 	// Streaming-workload metrics: FirstRow is the virtual time the first
 	// result tuple streamed out of the cursor (strictly before Makespan
 	// on a streaming run); Delivered counts the rows of the canceled
@@ -223,6 +300,12 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  warm start    %d answers, %d observations replayed in %v; %d questions served from store\n",
 			r.ReplayedAnswers, r.ReplayedObservations, r.Replay.Round(time.Millisecond), r.CacheServed)
 	}
+	if r.Config.Workload == WorkloadSort {
+		fmt.Fprintf(&b, "  sort          rate=%d HITs  compare=%d  topk(%d)=%d  hybrid=%d\n",
+			r.SortRateHITs, r.SortCompareHITs, r.Config.TopK, r.SortTopKHITs, r.SortHybridHITs)
+		fmt.Fprintf(&b, "  sort orders   compare=%016x hybrid=%016x topk=%016x (want %016x)\n",
+			r.SortOrderFNV, r.SortHybridFNV, r.SortTopKFNV, r.SortTopKBaseFNV)
+	}
 	if r.Config.Workload == WorkloadStreaming {
 		fmt.Fprintf(&b, "  streaming     first row at %.1f vmin (makespan %.1f); %d rows delivered (fingerprint %016x)\n",
 			r.FirstRow.Minutes(), r.Makespan.Minutes(), r.Delivered, r.PassedKeysFNV)
@@ -250,6 +333,11 @@ func Run(cfg Config) (Report, error) {
 		// API, Rows cursor, cancellation) rather than the bare
 		// marketplace + task-manager stack.
 		return runStreaming(cfg)
+	}
+	if cfg.Workload == WorkloadSort {
+		// The sort scenario runs four isolated strategy phases; it has
+		// its own driver (sort.go).
+		return runSort(cfg)
 	}
 	rep := Report{Config: cfg}
 

@@ -1,0 +1,77 @@
+package load
+
+import "testing"
+
+// sortCfg is the acceptance shape CI runs (smaller here for speed).
+func sortCfg() Config {
+	return Config{Workload: WorkloadSort, Tuples: 80, Workers: 200}
+}
+
+// TestSortWorkloadEconomics asserts the issue's acceptance criteria on
+// the seed-pinned harness: LIMIT-k pays measurably fewer comparison
+// HITs than full ordering, hybrid pays fewer HITs than compare-only at
+// an identical final-order fingerprint, and the tournament's top k
+// matches the full ordering's first k.
+func TestSortWorkloadEconomics(t *testing.T) {
+	rep, err := Run(sortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SortCompareHITs == 0 || rep.SortRateHITs == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.SortTopKHITs >= rep.SortCompareHITs {
+		t.Fatalf("top-k paid %d comparison HITs, full ordering paid %d", rep.SortTopKHITs, rep.SortCompareHITs)
+	}
+	if rep.SortHybridHITs >= rep.SortCompareHITs {
+		t.Fatalf("hybrid paid %d HITs, compare paid %d", rep.SortHybridHITs, rep.SortCompareHITs)
+	}
+	if rep.SortHybridFNV != rep.SortOrderFNV {
+		t.Fatalf("hybrid order %016x != compare order %016x", rep.SortHybridFNV, rep.SortOrderFNV)
+	}
+	if rep.SortTopKFNV != rep.SortTopKBaseFNV {
+		t.Fatalf("top-k order %016x != compare's first k %016x", rep.SortTopKFNV, rep.SortTopKBaseFNV)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+}
+
+// TestSortTopKClampedBelowGroupSize: a top-k at or above the
+// comparison group size cannot engage the tournament, so oversized
+// requests clamp to groupSize-1 instead of degenerating to full
+// ordering (which would also fail the topk<compare acceptance check).
+func TestSortTopKClampedBelowGroupSize(t *testing.T) {
+	cfg := sortCfg()
+	cfg.TopK = 50
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.TopK != 4 { // the sort tasks pin GroupSize 5
+		t.Fatalf("TopK = %d, want clamp to group size − 1", rep.Config.TopK)
+	}
+	if rep.SortTopKHITs >= rep.SortCompareHITs {
+		t.Fatalf("clamped top-k paid %d HITs, compare paid %d", rep.SortTopKHITs, rep.SortCompareHITs)
+	}
+}
+
+// TestSortWorkloadDeterministic: identical configs give byte-identical
+// virtual-time metrics and fingerprints across reruns.
+func TestSortWorkloadDeterministic(t *testing.T) {
+	first, err := Run(sortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(sortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.HITs != second.HITs || first.Spent != second.Spent || first.Makespan != second.Makespan ||
+		first.SortRateHITs != second.SortRateHITs || first.SortCompareHITs != second.SortCompareHITs ||
+		first.SortTopKHITs != second.SortTopKHITs || first.SortHybridHITs != second.SortHybridHITs ||
+		first.SortOrderFNV != second.SortOrderFNV || first.SortHybridFNV != second.SortHybridFNV ||
+		first.SortTopKFNV != second.SortTopKFNV {
+		t.Fatalf("nondeterministic sort workload:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

@@ -1,0 +1,145 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/budget"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/rank"
+	"repro/internal/taskmgr"
+)
+
+// RankPlan is the priced three-way sort decision: what each strategy
+// would cost for n items, which strategies are predicted to meet the
+// quality target, and the pick.
+type RankPlan struct {
+	Strategy  rank.Strategy
+	GroupSize int
+	// CostRate / CostCompare / CostHybrid are the predicted spends; a
+	// strategy the task definitions make impossible (no rating surface,
+	// no comparison companion) carries 0 and Eligible* false.
+	CostRate, CostCompare, CostHybrid budget.Cents
+	EligibleRate, EligibleCompare     bool
+	// RateMeetsTarget predicts whether rating agreement alone resolves
+	// the order to the optimizer's TargetConfidence; when false the
+	// rating sort is only chosen for lack of a comparison companion.
+	RateMeetsTarget bool
+}
+
+// ChooseRankStrategy prices the three ORDER BY strategies from the
+// task policies and live statistics and picks the cheapest one that is
+// predicted to meet the quality policy (paper §2's optimization
+// function, extended to the sort operator):
+//
+//   - Rate costs ⌈n/batch⌉ rating HITs but only meets the target when
+//     the task's observed answer agreement reaches TargetConfidence —
+//     noisy ratings leave adjacent items unresolved.
+//   - Compare costs CompareHITCount(n, S, topK) comparison HITs
+//     (all-pairs coverage, or the top-k tournament under LIMIT
+//     pushdown) and always meets the target: it measures exactly the
+//     pairwise relation the sort needs.
+//   - Hybrid pays the rating pass plus comparison refinement over the
+//     fraction of items the ratings are predicted to leave ambiguous,
+//     estimated from the comparison task's pairwise-agreement history
+//     (live or replayed from the knowledge store via KindRankPair
+//     records) with WorkerAccuracy as the prior.
+//
+// rateDef may be nil (pure Rank task: compare only) and cmpDef may be
+// nil (no comparison companion: rate only); with both nil the zero
+// plan defaults to rating.
+func (o *Optimizer) ChooseRankStrategy(rateDef, cmpDef *qlang.TaskDef, n, topK int) RankPlan {
+	p := RankPlan{
+		Strategy:        rank.StrategyRate,
+		GroupSize:       rank.GroupSizeFor(rateDef, cmpDef),
+		EligibleRate:    rateDef != nil && rateDef.Type == qlang.TaskRating,
+		EligibleCompare: cmpDef != nil,
+	}
+	if p.EligibleRate {
+		pol := o.Mgr.PolicyFor(rateDef).Clamped()
+		p.CostRate = perHITCost(pol) * budget.Cents(rank.RateHITCount(n, pol.BatchSize))
+		agr := o.Mgr.StatsFor(rateDef.Name).MeanAgreement
+		p.RateMeetsTarget = agr >= o.TargetConfidence
+	}
+	if p.EligibleCompare {
+		cmpPol := o.Mgr.PolicyFor(cmpDef).Clamped()
+		p.CostCompare = perHITCost(cmpPol) * budget.Cents(rank.CompareHITCount(n, p.GroupSize, topK))
+		if p.EligibleRate {
+			refine := o.refineHITEstimate(cmpDef, n, topK, p.GroupSize)
+			p.CostHybrid = p.CostRate + perHITCost(cmpPol)*budget.Cents(refine)
+		}
+	}
+
+	// Pick the cheapest strategy that meets the target; if none does
+	// (rate-only plans under a noisy crowd), the cheapest eligible one.
+	best := budget.Cents(math.MaxInt64)
+	consider := func(s rank.Strategy, cost budget.Cents, eligible, meets bool) {
+		if eligible && meets && cost < best {
+			p.Strategy, best = s, cost
+		}
+	}
+	consider(rank.StrategyRate, p.CostRate, p.EligibleRate, p.RateMeetsTarget)
+	consider(rank.StrategyCompare, p.CostCompare, p.EligibleCompare, true)
+	consider(rank.StrategyHybrid, p.CostHybrid, p.EligibleRate && p.EligibleCompare, true)
+	if best == math.MaxInt64 {
+		consider(rank.StrategyRate, p.CostRate, p.EligibleRate, true)
+	}
+	return p
+}
+
+// refineHITEstimate is the hybrid's comparison-refinement price: the
+// fraction of items ratings are predicted to leave ambiguous, packed
+// into half-group comparison HITs. The uncertainty comes from the
+// comparison task's observed pairwise agreement a (majority share,
+// 0.5 = coin flip): u = 2·(1−a), the classic inversion-rate reading,
+// floored at 5% so a perfect history still budgets for exact ties.
+func (o *Optimizer) refineHITEstimate(cmpDef *qlang.TaskDef, n, topK, groupSize int) int {
+	a, trials := o.Mgr.RankAgreement(cmpDef.Name)
+	if trials == 0 {
+		a = o.WorkerAccuracy
+	}
+	u := 2 * (1 - a)
+	if u < 0.05 {
+		u = 0.05
+	}
+	if u > 1 {
+		u = 1
+	}
+	uncertain := int(math.Ceil(u * float64(n)))
+	if topK > 0 && uncertain > 2*topK {
+		// Only windows intersecting the top k are refined.
+		uncertain = 2 * topK
+	}
+	half := groupSize / 2
+	if half < 1 {
+		half = 1
+	}
+	return (uncertain + half - 1) / half
+}
+
+func perHITCost(pol taskmgr.Policy) budget.Cents {
+	return budget.Cents(pol.PriceCents * int64(pol.Assignments))
+}
+
+// RankChooser returns the executor hook (exec.Config.RankStrategy)
+// that resolves every Rank node's strategy at runtime cardinality
+// through ChooseRankStrategy.
+func (o *Optimizer) RankChooser() func(v *plan.Rank, n int) rank.Decision {
+	return func(v *plan.Rank, n int) rank.Decision {
+		rateDef := v.Task
+		if rateDef != nil && rateDef.Type != qlang.TaskRating {
+			rateDef = nil
+		}
+		p := o.ChooseRankStrategy(rateDef, v.Compare, n, v.TopK)
+		return rank.Decision{
+			Strategy:  p.Strategy,
+			GroupSize: p.GroupSize,
+			TopK:      v.TopK,
+			Desc:      v.Desc,
+		}
+	}
+}
+
+// compile-time check that the hook type matches the executor's.
+var _ func(*plan.Rank, int) rank.Decision = exec.Config{}.RankStrategy

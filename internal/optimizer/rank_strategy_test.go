@@ -1,0 +1,108 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/crowd"
+	"repro/internal/model"
+	"repro/internal/mturk"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/rank"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+func rankDefs(t *testing.T) (rate, cmp *qlang.TaskDef) {
+	t.Helper()
+	script, err := qlang.Parse(`
+TASK rateIt(Image img)
+RETURNS Int:
+  TaskType: Rating
+  Text: "Rate. %s", img
+  Response: Rating(1, 9)
+  Compare: orderIt
+
+TASK orderIt(Image img)
+RETURNS Int:
+  TaskType: Rank
+  Text: "Order."
+  Response: Order
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, _ = script.Task("rateIt")
+	cmp, _ = script.Task("orderIt")
+	return rate, cmp
+}
+
+func newRankOpt(t *testing.T) *Optimizer {
+	t.Helper()
+	clock := mturk.NewClock()
+	t.Cleanup(clock.Close)
+	pool := crowd.NewPool(crowd.Config{Seed: 1}, crowd.OracleFunc(
+		func(task string, args []relation.Value) relation.Value { return relation.Null }))
+	market := mturk.NewMarketplace(clock, pool)
+	return New(taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(0)))
+}
+
+func TestChooseRankStrategyRateOnly(t *testing.T) {
+	o := newRankOpt(t)
+	rate, _ := rankDefs(t)
+	p := o.ChooseRankStrategy(rate, nil, 100, 0)
+	if p.Strategy != rank.StrategyRate {
+		t.Fatalf("strategy = %s, want rate when no comparison companion exists", p.Strategy)
+	}
+	if p.EligibleCompare || p.CostCompare != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestChooseRankStrategyCompareOnly(t *testing.T) {
+	o := newRankOpt(t)
+	_, cmp := rankDefs(t)
+	p := o.ChooseRankStrategy(nil, cmp, 100, 0)
+	if p.Strategy != rank.StrategyCompare {
+		t.Fatalf("strategy = %s, want compare for a pure Rank task", p.Strategy)
+	}
+}
+
+func TestChooseRankStrategyHybridUndercutsCompare(t *testing.T) {
+	o := newRankOpt(t)
+	rate, cmp := rankDefs(t)
+	p := o.ChooseRankStrategy(rate, cmp, 200, 0)
+	if p.Strategy != rank.StrategyHybrid {
+		t.Fatalf("strategy = %s (costs rate=%v compare=%v hybrid=%v)",
+			p.Strategy, p.CostRate, p.CostCompare, p.CostHybrid)
+	}
+	if p.CostHybrid >= p.CostCompare {
+		t.Fatalf("hybrid %v should undercut compare %v at n=200", p.CostHybrid, p.CostCompare)
+	}
+	if p.RateMeetsTarget {
+		t.Fatal("fresh engine cannot certify rating agreement")
+	}
+}
+
+func TestChooseRankStrategyTopKShrinksCompare(t *testing.T) {
+	o := newRankOpt(t)
+	rate, cmp := rankDefs(t)
+	full := o.ChooseRankStrategy(rate, cmp, 200, 0)
+	topk := o.ChooseRankStrategy(rate, cmp, 200, 3)
+	if topk.CostCompare >= full.CostCompare {
+		t.Fatalf("top-3 compare %v should undercut full compare %v", topk.CostCompare, full.CostCompare)
+	}
+}
+
+func TestRankChooserUsesNodeShape(t *testing.T) {
+	o := newRankOpt(t)
+	rate, cmp := rankDefs(t)
+	cmp.GroupSize = 7
+	choose := o.RankChooser()
+	d := choose(&plan.Rank{Task: rate, Compare: cmp, TopK: 4, Desc: true}, 120)
+	if d.GroupSize != 7 || d.TopK != 4 || !d.Desc {
+		t.Fatalf("decision = %+v", d)
+	}
+}

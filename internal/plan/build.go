@@ -132,12 +132,56 @@ func (b *builder) build(stmt *qlang.SelectStmt) (Node, error) {
 				return nil, err
 			}
 		}
-		root = &OrderBy{Input: root, Keys: stmt.OrderBy}
+		if rk, ok := b.rankNode(stmt, root); ok {
+			root = rk
+		} else {
+			root = &OrderBy{Input: root, Keys: stmt.OrderBy}
+		}
 	}
 	if stmt.Limit >= 0 {
 		root = &Limit{Input: root, N: stmt.Limit}
 	}
 	return root, nil
+}
+
+// rankNode recognizes the human-powered sort shape: a single ORDER BY
+// key that is a bare call to a Rating or Rank task. It builds the
+// plan.Rank node — resolving the comparison companion (`Compare:` on a
+// Rating task, the task itself for Rank) and pushing LIMIT down as
+// TopK. Anything else (multiple keys, mixed expressions, field
+// projections) keeps the generic OrderBy.
+func (b *builder) rankNode(stmt *qlang.SelectStmt, input Node) (*Rank, bool) {
+	if len(stmt.OrderBy) != 1 {
+		return nil, false
+	}
+	key := stmt.OrderBy[0]
+	call, ok := key.Expr.(*qlang.Call)
+	if !ok || call.Field != "" {
+		return nil, false
+	}
+	def, ok := b.script.Task(call.Name)
+	if !ok {
+		return nil, false
+	}
+	rk := &Rank{Input: input, Args: call.Args, Desc: key.Desc}
+	if stmt.Limit > 0 {
+		rk.TopK = stmt.Limit
+	}
+	switch def.Type {
+	case qlang.TaskRating:
+		rk.Task = def
+		if def.CompareTask != "" {
+			if cmp, ok := b.script.Task(def.CompareTask); ok && cmp.Type == qlang.TaskRank {
+				rk.Compare = cmp
+			}
+		}
+	case qlang.TaskRank:
+		rk.Task = def
+		rk.Compare = def
+	default:
+		return nil, false
+	}
+	return rk, true
 }
 
 // makeJoin combines left and right, pulling the applicable join

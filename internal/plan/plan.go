@@ -169,6 +169,50 @@ func (o *OrderBy) Label() string {
 	return "OrderBy(" + strings.Join(parts, ", ") + ")"
 }
 
+// Rank orders its input by a single human ranking task — the
+// human-powered sort. The executor hands the buffered input to the
+// rank subsystem (internal/rank), which picks between batched S-way
+// comparison HITs, per-item rating HITs, or the rate-then-refine
+// hybrid, as priced by optimizer.ChooseRankStrategy.
+type Rank struct {
+	Input Node
+	// Task is the ORDER BY key task (Rating or Rank type).
+	Task *qlang.TaskDef
+	// Compare is the comparison task used for Order HITs: Task itself
+	// for Rank-type tasks, the task named by `Compare:` for Rating
+	// tasks, nil when comparisons are unavailable (rate-only).
+	Compare *qlang.TaskDef
+	// Args are the call's argument expressions, evaluated per tuple.
+	Args []qlang.Expr
+	Desc bool
+	// TopK > 0 is the LIMIT pushed down into the sort: only the first
+	// TopK output positions must be exactly ordered, letting the
+	// comparison strategies skip the full O(n²/S) pair coverage.
+	TopK int
+}
+
+// Schema implements Node.
+func (r *Rank) Schema() *relation.Schema { return r.Input.Schema() }
+
+// Children implements Node.
+func (r *Rank) Children() []Node { return []Node{r.Input} }
+
+// Label implements Node.
+func (r *Rank) Label() string {
+	args := make([]string, len(r.Args))
+	for i, a := range r.Args {
+		args[i] = a.String()
+	}
+	s := fmt.Sprintf("Rank(%s(%s)", r.Task.Name, strings.Join(args, ", "))
+	if r.Desc {
+		s += " DESC"
+	}
+	if r.TopK > 0 {
+		s += fmt.Sprintf(", top %d", r.TopK)
+	}
+	return s + ")"
+}
+
 // Distinct removes duplicate rows.
 type Distinct struct{ Input Node }
 

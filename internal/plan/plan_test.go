@@ -151,17 +151,37 @@ func TestMultipleConjunctsStaySeparate(t *testing.T) {
 }
 
 func TestOrderLimitDistinct(t *testing.T) {
+	// A single bare ranking-task key builds the human-powered sort
+	// node, with the LIMIT pushed down as TopK (the Limit node above
+	// still enforces the row count).
 	n := mustBuild(t, `SELECT DISTINCT img FROM photos ORDER BY squareScore(img) DESC LIMIT 5`)
 	lim, ok := n.(*Limit)
 	if !ok || lim.N != 5 {
 		t.Fatalf("root = %T", n)
 	}
-	ob, ok := lim.Input.(*OrderBy)
-	if !ok || !ob.Keys[0].Desc {
+	rk, ok := lim.Input.(*Rank)
+	if !ok || !rk.Desc {
 		t.Fatalf("under limit = %T", lim.Input)
 	}
-	if _, ok := ob.Input.(*Distinct); !ok {
-		t.Fatalf("under orderby = %T", ob.Input)
+	if rk.TopK != 5 {
+		t.Fatalf("TopK = %d, want the LIMIT pushed down", rk.TopK)
+	}
+	if rk.Task == nil || rk.Task.Name != "squareScore" {
+		t.Fatalf("rank task = %v", rk.Task)
+	}
+	if rk.Compare != nil {
+		t.Fatalf("squareScore declares no Compare companion, got %v", rk.Compare)
+	}
+	if _, ok := rk.Input.(*Distinct); !ok {
+		t.Fatalf("under rank = %T", rk.Input)
+	}
+}
+
+func TestOrderByMultiKeyKeepsGenericSort(t *testing.T) {
+	n := mustBuild(t, `SELECT img FROM photos ORDER BY squareScore(img), img`)
+	ob, ok := n.(*OrderBy)
+	if !ok || len(ob.Keys) != 2 {
+		t.Fatalf("root = %T; multi-key ORDER BY must stay generic", n)
 	}
 }
 

@@ -63,6 +63,8 @@ func ApplyPreFilters(n Node, script *qlang.Script, decide PreFilterDecider) Node
 		v.Input = ApplyPreFilters(v.Input, script, decide)
 	case *OrderBy:
 		v.Input = ApplyPreFilters(v.Input, script, decide)
+	case *Rank:
+		v.Input = ApplyPreFilters(v.Input, script, decide)
 	case *Distinct:
 		v.Input = ApplyPreFilters(v.Input, script, decide)
 	case *Limit:

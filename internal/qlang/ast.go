@@ -357,6 +357,17 @@ type TaskDef struct {
 	// shrink the human-evaluated cross product ("PreFilter: isPerson").
 	// Empty means no pre-filter is available for this join.
 	PreFilterTask string
+
+	// CompareTask names a companion Rank task (Order response) the sort
+	// subsystem may use to comparison-sort items rated by this task
+	// ("Compare: orderItems"). Only meaningful on Rating tasks; empty
+	// means ORDER BY over this task can only rate.
+	CompareTask string
+	// GroupSize is the number of items shown together in one S-way
+	// comparison (Order) HIT ("GroupSize: 5"). Zero lets the sort
+	// subsystem use its default. Meaningful on Rank tasks (their own
+	// batches) and Rating tasks (the companion's batches).
+	GroupSize int
 }
 
 // ReturnsTuple reports whether the task returns a multi-field tuple.

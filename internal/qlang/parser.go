@@ -667,6 +667,22 @@ func (p *Parser) parseTask() (*TaskDef, error) {
 				return nil, err
 			}
 			task.PreFilterTask = name
+		case "compare":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			task.CompareTask = name
+		case "groupsize":
+			numText, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(numText)
+			if err != nil || n < 2 {
+				return nil, p.errf("bad GroupSize %q (need ≥ 2)", numText)
+			}
+			task.GroupSize = n
 		default:
 			return nil, p.errf("unknown task field %q", field)
 		}
@@ -709,6 +725,11 @@ func (p *Parser) parseParam() (Param, error) {
 }
 
 func (p *Parser) parseResponse(task *TaskDef) (Response, error) {
+	// "Order" lexes as the ORDER keyword (of ORDER BY); accept it here
+	// as the response kind name it also is.
+	if p.acceptKeyword("ORDER") {
+		return Response{Kind: ResponseOrder}, nil
+	}
 	name, err := p.expectIdent()
 	if err != nil {
 		return Response{}, err
@@ -849,6 +870,12 @@ func validateTask(t *TaskDef) error {
 	if t.PreFilterTask != "" && t.Type != TaskJoinPredicate {
 		return fmt.Errorf("task %s: PreFilter only applies to JoinPredicate tasks", t.Name)
 	}
+	if t.CompareTask != "" && t.Type != TaskRating {
+		return fmt.Errorf("task %s: Compare only applies to Rating tasks", t.Name)
+	}
+	if t.GroupSize != 0 && t.Type != TaskRank && t.Type != TaskRating {
+		return fmt.Errorf("task %s: GroupSize only applies to Rank and Rating tasks", t.Name)
+	}
 	switch t.Type {
 	case TaskJoinPredicate:
 		if t.Response.Kind != ResponseJoinColumns && t.Response.Kind != ResponseYesNo {
@@ -864,6 +891,13 @@ func validateTask(t *TaskDef) error {
 	case TaskRating:
 		if t.Response.Kind != ResponseRating {
 			return fmt.Errorf("task %s: Rating task requires a Rating response", t.Name)
+		}
+	case TaskRank:
+		if t.Response.Kind != ResponseOrder {
+			return fmt.Errorf("task %s: Rank task requires an Order response", t.Name)
+		}
+		if len(t.Returns) != 1 || t.Returns[0].Kind != relation.KindInt {
+			return fmt.Errorf("task %s: Rank must RETURN Int (the position)", t.Name)
 		}
 	case TaskQuestion, TaskGenerative:
 		if t.ReturnsTuple() && t.Response.Kind == ResponseForm {

@@ -297,6 +297,99 @@ RETURNS Bool:
 	}
 }
 
+func TestTaskCompareGroupSizeFields(t *testing.T) {
+	task, err := ParseTaskDef(`
+TASK rateIt(Image img)
+RETURNS Int:
+  TaskType: Rating
+  Text: "Rate. %s", img
+  Response: Rating(1, 9)
+  Compare: orderIt
+  GroupSize: 6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.CompareTask != "orderIt" {
+		t.Errorf("CompareTask = %q", task.CompareTask)
+	}
+	if task.GroupSize != 6 {
+		t.Errorf("GroupSize = %d", task.GroupSize)
+	}
+
+	// A Rank task with the Order response (note: ORDER lexes as a
+	// keyword and must still parse as a response kind).
+	task, err = ParseTaskDef(`
+TASK orderIt(Image img)
+RETURNS Int:
+  TaskType: Rank
+  Text: "Order the items."
+  Response: Order
+  GroupSize: 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Response.Kind != ResponseOrder || task.GroupSize != 5 {
+		t.Errorf("task = %+v", task)
+	}
+
+	// Compare is rating-only.
+	if _, err := ParseTaskDef(`
+TASK isCat(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Cat? %s", img
+  Response: YesNo
+  Compare: orderIt
+`); err == nil {
+		t.Error("Compare on a Filter task should be rejected")
+	}
+
+	// GroupSize needs a ranking surface and at least two items.
+	if _, err := ParseTaskDef(`
+TASK isCat(Image img)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Cat? %s", img
+  Response: YesNo
+  GroupSize: 5
+`); err == nil {
+		t.Error("GroupSize on a Filter task should be rejected")
+	}
+	if _, err := ParseTaskDef(`
+TASK orderIt(Image img)
+RETURNS Int:
+  TaskType: Rank
+  Text: "Order."
+  Response: Order
+  GroupSize: 1
+`); err == nil {
+		t.Error("GroupSize 1 should be rejected")
+	}
+
+	// Rank tasks must collect through the Order response and return
+	// the Int position.
+	if _, err := ParseTaskDef(`
+TASK orderIt(Image img)
+RETURNS Int:
+  TaskType: Rank
+  Text: "Order."
+  Response: YesNo
+`); err == nil {
+		t.Error("Rank task without an Order response should be rejected")
+	}
+	if _, err := ParseTaskDef(`
+TASK orderIt(Image img)
+RETURNS Bool:
+  TaskType: Rank
+  Text: "Order."
+  Response: Order
+`); err == nil {
+		t.Error("Rank task returning Bool should be rejected")
+	}
+}
+
 func TestTaskPreFilterField(t *testing.T) {
 	src := `
 TASK samePerson(Image[] celebs, Image[] spotted)

@@ -1,0 +1,25 @@
+package rank
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHybridDescTopK(t *testing.T) {
+	items, mgr, want := makeItems(20)
+	rate, cmp := testDefs(t)
+	mgr.rateAnswers = make(map[string][]float64)
+	for key, s := range mgr.scores {
+		b := float64(int(s / 25))
+		mgr.rateAnswers[key] = []float64{b, b, b}
+	}
+	perm, st := runSync(t, items, rate, cmp,
+		Decision{Strategy: StrategyHybrid, GroupSize: 5, Desc: true, TopK: 3}, mgr)
+	rev := make([]int, len(want))
+	for i, v := range want {
+		rev[len(want)-1-i] = v
+	}
+	if !reflect.DeepEqual(perm[:3], rev[:3]) {
+		t.Fatalf("desc top-3 = %v, want %v (windows=%d refined=%d)", perm[:3], rev[:3], st.Windows, st.Refined)
+	}
+}

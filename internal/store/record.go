@@ -56,6 +56,15 @@ const (
 	KindAgreementSum Kind = 9
 	// KindReputationSum is a worker's totals: N votes, M agreed.
 	KindReputationSum Kind = 10
+
+	// KindRankPair is one finalized comparison (Order) HIT's pairwise
+	// agreement: Task, X = mean majority share across its item pairs
+	// (1 − X is the inversion rate), N = pairs observed. Replay seeds
+	// ChooseRankStrategy's hybrid window model with real evidence.
+	KindRankPair Kind = 11
+	// KindRankPairSum is a task's comparison-agreement EWMA state in
+	// snapshots: value X over N observations.
+	KindRankPairSum Kind = 12
 )
 
 // Record is the store's unit of appending and replay: a tagged union
@@ -111,7 +120,7 @@ func decodeRecord(data []byte) (Record, error) {
 		return r, fmt.Errorf("store: empty record")
 	}
 	r.Kind = Kind(data[0])
-	if r.Kind < KindCacheEntry || r.Kind > KindReputationSum {
+	if r.Kind < KindCacheEntry || r.Kind > KindRankPairSum {
 		return r, fmt.Errorf("store: unknown record kind %d", data[0])
 	}
 	rest := data[1:]
@@ -213,6 +222,7 @@ type State struct {
 	sel        map[string]map[string]stats.SelectivityState // task → side
 	lat        map[string]*stats.EWMA
 	agr        map[string]*stats.EWMA
+	rank       map[string]*stats.EWMA
 	examples   map[string][]model.Example
 	reput      map[string]RepCounts
 	records    int64
@@ -225,6 +235,7 @@ func NewState() *State {
 		sel:      make(map[string]map[string]stats.SelectivityState),
 		lat:      make(map[string]*stats.EWMA),
 		agr:      make(map[string]*stats.EWMA),
+		rank:     make(map[string]*stats.EWMA),
 		examples: make(map[string][]model.Example),
 		reput:    make(map[string]RepCounts),
 	}
@@ -261,6 +272,10 @@ func (s *State) apply(r Record) {
 		s.ewma(s.agr, r.Task).Observe(r.X)
 	case KindAgreementSum:
 		s.ewma(s.agr, r.Task).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
+	case KindRankPair:
+		s.ewma(s.rank, r.Task).Observe(r.X)
+	case KindRankPairSum:
+		s.ewma(s.rank, r.Task).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
 	case KindModelExample:
 		args, err := DecodeArgs(r.Args)
 		if err != nil {
@@ -328,6 +343,10 @@ func (s *State) snapshotRecords() []Record {
 		st := s.agr[task].State()
 		out = append(out, Record{Kind: KindAgreementSum, Task: task, X: st.Value, N: int64(st.N)})
 	}
+	for _, task := range sortedKeys(s.rank) {
+		st := s.rank[task].State()
+		out = append(out, Record{Kind: KindRankPairSum, Task: task, X: st.Value, N: int64(st.N)})
+	}
 	for _, task := range sortedKeys(s.examples) {
 		exs := s.examples[task]
 		if len(exs) > modelExampleCap {
@@ -384,6 +403,9 @@ func (s *State) StatTasks() []string {
 	for t := range s.agr {
 		set[t] = true
 	}
+	for t := range s.rank {
+		set[t] = true
+	}
 	return sortedKeys(set)
 }
 
@@ -408,6 +430,15 @@ func (s *State) Latency(task string) stats.EWMAState {
 // Agreement returns one task's replayed agreement EWMA state.
 func (s *State) Agreement(task string) stats.EWMAState {
 	if e := s.agr[task]; e != nil {
+		return e.State()
+	}
+	return stats.EWMAState{}
+}
+
+// RankAgreement returns one task's replayed comparison-agreement EWMA
+// state (pairwise majority share across its Order HITs).
+func (s *State) RankAgreement(task string) stats.EWMAState {
+	if e := s.rank[task]; e != nil {
 		return e.State()
 	}
 	return stats.EWMAState{}

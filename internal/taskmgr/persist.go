@@ -63,6 +63,10 @@ func (m *Manager) Restore(s *store.State) RestoreSummary {
 			st.agreement.SetState(agr)
 			sum.Observations += int64(agr.N)
 		}
+		if ra := s.RankAgreement(task); ra.N > 0 {
+			st.rankAgreementEstimator().SetState(ra)
+			sum.Observations += int64(ra.N)
+		}
 	}
 
 	for task, examples := range s.ModelExamples() {

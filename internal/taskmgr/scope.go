@@ -99,6 +99,21 @@ func (s *Scope) Err() error {
 	return s.err
 }
 
+// RemainingBudget reports the scope's unspent budget headroom. ok is
+// false when the scope is nil or uncapped (unlimited headroom); the
+// sort subsystem uses it to size hybrid comparison refinement.
+func (s *Scope) RemainingBudget() (budget.Cents, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget == nil {
+		return 0, false
+	}
+	return s.budget.Remaining(), true
+}
+
 // Spent reports the scope's sunk cost: money charged for its HITs minus
 // refunds for assignments expired by cancellation.
 func (s *Scope) Spent() budget.Cents {
@@ -258,6 +273,13 @@ func (m *Manager) cancelInflightHIT(hitID string, cause error) {
 				fl.done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %w", fl.def.Name, cause)})
 			}
 		}
+		return
+	}
+	if fl, ok := str.ranks[hitID]; ok {
+		delete(str.ranks, hitID)
+		str.mu.Unlock()
+		m.expireHIT(hitID, fl.scope, fl.cost)
+		fl.done(nil, fmt.Errorf("taskmgr: %s: %w", fl.def.Name, cause))
 		return
 	}
 	str.mu.Unlock()

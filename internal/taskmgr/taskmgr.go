@@ -199,6 +199,20 @@ type taskState struct {
 	sideSel   map[string]*stats.Selectivity
 	latency   *stats.EWMA
 	agreement *stats.EWMA
+	// rankAgr tracks mean pairwise agreement across this task's
+	// comparison (Order) HITs; created lazily, guarded by mu like
+	// sideSel (the estimator itself is internally synchronized).
+	rankAgr *stats.EWMA
+}
+
+// rankAgreementEstimator lazily creates the comparison-agreement EWMA.
+func (st *taskState) rankAgreementEstimator() *stats.EWMA {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.rankAgr == nil {
+		st.rankAgr = stats.NewEWMA(stats.TaskEWMAAlpha)
+	}
+	return st.rankAgr
 }
 
 // observeSelectivity records one boolean outcome into the task's
@@ -246,6 +260,7 @@ type flightStripe struct {
 	mu    sync.Mutex
 	hits  map[string]*inflightHIT
 	joins map[string]*joinInflight
+	ranks map[string]*rankInflight
 }
 
 // flightTable stripes in-flight collection state by HIT ID, mirroring
@@ -398,6 +413,22 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 			return
 		}
 		m.finalizeJoin(fl)
+		return
+	}
+	if fl, ok := s.ranks[hitID]; ok {
+		fl.needed--
+		if fl.received < fl.needed {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.ranks, hitID)
+		s.mu.Unlock()
+		fl.scope.unregisterHIT(hitID)
+		if fl.received == 0 {
+			fl.done(nil, fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err))
+			return
+		}
+		m.finalizeRank(fl)
 		return
 	}
 	s.mu.Unlock()

@@ -190,6 +190,26 @@ func RankItems(n, scale int, task string, seed int64) Dataset {
 	return Dataset{Tables: []*relation.Table{tab}, Oracle: oracle}
 }
 
+// OrderOracle answers an S-way comparison (Order response) task from
+// the latent scores of a RankItems table: each shown item's truth is
+// its exact latent score, so a perfect worker's ranking is the true
+// ascending order — the crowd layer converts noisy scores to ranks.
+func OrderOracle(items *relation.Table, task string) crowd.Oracle {
+	scores := make(map[string]float64, items.Len())
+	for _, row := range items.Snapshot() {
+		scores[row.Get("img").Str()] = row.Get("truth").Float()
+	}
+	return crowd.OracleFunc(func(gotTask string, args []relation.Value) relation.Value {
+		if !strings.EqualFold(gotTask, task) || len(args) == 0 {
+			return relation.Null
+		}
+		if s, ok := scores[args[0].Str()]; ok {
+			return relation.NewFloat(s)
+		}
+		return relation.Null
+	})
+}
+
 // CompareOracle answers a pairwise comparison task ("is A ranked above
 // B?") from the same latent scores as RankItems, for comparison-sort
 // experiments. truthCol must be the RankItems table.
