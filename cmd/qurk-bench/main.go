@@ -8,6 +8,7 @@
 //	qurk-bench -scale 3         # 3× larger workloads
 //	qurk-bench -only STORE      # cold vs warm run, writes BENCH_store.json
 //	qurk-bench -only SORT       # ranking-strategy economics, writes BENCH_sort.json
+//	qurk-bench -only MT         # multi-tenant sharing economics, writes BENCH_mt.json
 package main
 
 import (
@@ -144,9 +145,76 @@ func runSortBench(seed int64, scale int) error {
 	return nil
 }
 
+// mtBench is the BENCH_mt.json schema: the same concurrent-query fleet
+// run with cross-query HIT sharing on and off, on identical config.
+type mtBench struct {
+	Workload           string  `json:"workload"`
+	Queries            int     `json:"queries"`
+	Tuples             int     `json:"tuples"`
+	Seed               int64   `json:"seed"`
+	MaxInflight        int     `json:"max_inflight"`
+	SharedHITs         int64   `json:"shared_hits"`
+	UnsharedHITs       int64   `json:"unshared_hits"`
+	HITsSaved          int64   `json:"hits_saved"`
+	SharedSpentCents   int64   `json:"shared_spent_cents"`
+	UnsharedSpentCents int64   `json:"unshared_spent_cents"`
+	SharedWallMs       float64 `json:"shared_wall_ms"`
+	UnsharedWallMs     float64 `json:"unshared_wall_ms"`
+	FairSpreadCents    int64   `json:"fairness_spread_cents"`
+	SameFinger         bool    `json:"fingerprints_match"`
+}
+
+// runMTBench measures the multi-tenant serving payoff — HITs and cents
+// saved by cross-query co-batching at identical per-query results —
+// and writes BENCH_mt.json next to the other BENCH artifacts.
+func runMTBench(seed int64, scale int) error {
+	cfg := load.Config{Workload: load.WorkloadMultiTenant,
+		Queries: 100 * scale, Tuples: 600 * scale, Workers: 300, Seed: seed}
+	shared, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	base := cfg
+	base.NoShare = true
+	unshared, err := load.Run(base)
+	if err != nil {
+		return err
+	}
+	same := shared.PassedKeysFNV == unshared.PassedKeysFNV && shared.Passed == unshared.Passed
+	out := mtBench{
+		Workload:           string(cfg.Workload),
+		Queries:            shared.Config.Queries,
+		Tuples:             shared.Config.Tuples,
+		Seed:               seed,
+		MaxInflight:        shared.Config.MaxInflight,
+		SharedHITs:         shared.HITs,
+		UnsharedHITs:       unshared.HITs,
+		HITsSaved:          unshared.HITs - shared.HITs,
+		SharedSpentCents:   int64(shared.Spent),
+		UnsharedSpentCents: int64(unshared.Spent),
+		SharedWallMs:       float64(shared.Wall) / float64(time.Millisecond),
+		UnsharedWallMs:     float64(unshared.Wall) / float64(time.Millisecond),
+		FairSpreadCents:    int64(shared.FairSpreadCents),
+		SameFinger:         same,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_mt.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("MT: %d queries — shared %d HITs (%d¢, %.0f ms) vs unshared %d HITs (%d¢, %.0f ms): %d HITs saved, fairness spread %d¢; fingerprints match: %v\n",
+		out.Queries, out.SharedHITs, out.SharedSpentCents, out.SharedWallMs,
+		out.UnsharedHITs, out.UnsharedSpentCents, out.UnsharedWallMs,
+		out.HITsSaved, out.FairSpreadCents, out.SameFinger)
+	fmt.Println("wrote BENCH_mt.json")
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -193,8 +261,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "MT") {
+		matched = true
+		if err := runMTBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: MT:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -17,6 +17,13 @@
 //	    # posting stopped dead at ctx cancellation (0 HITs in practice;
 //	    # at most 2 already-in-flight posts tolerated, expired + refunded),
 //	    # and that the completed prefix's fingerprint is rerun-identical
+//	qurk-load -workload multitenant -queries 150 -verify
+//	    # hundreds of concurrent streaming queries through ONE engine with
+//	    # cross-query HIT sharing and a posting admission gate: asserts
+//	    # per-query result fingerprints are rerun-identical, that a
+//	    # sharing-off baseline reproduces the same fingerprints with
+//	    # strictly MORE HITs, and that per-query sunk costs sum exactly
+//	    # to the account's spend (audited inside every run)
 package main
 
 import (
@@ -28,7 +35,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming")
+	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming | multitenant")
 	tuples := flag.Int("tuples", 1000, "input cardinality")
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
@@ -45,6 +52,9 @@ func main() {
 	topk := flag.Int("topk", 0, "sort: LIMIT pushed into the top-k comparison phase (0 = default 3; clamped below the group size of 5)")
 	cancelAfter := flag.Int("cancelafter", 0, "streaming: cancel the query context after N delivered rows (0 = run to completion)")
 	streamWindow := flag.Int("streamwindow", 0, "streaming: concurrent in-flight filter cascades (0 = default 8)")
+	queries := flag.Int("queries", 0, "multitenant: concurrent streaming queries (0 = default 150)")
+	noShare := flag.Bool("noshare", false, "multitenant: turn cross-query HIT sharing off (baseline)")
+	maxInflight := flag.Int("maxinflight", 0, "multitenant: admission gate on concurrently posted HITs (0 = default 32)")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
 	flag.Parse()
 
@@ -66,6 +76,9 @@ func main() {
 		TopK:         *topk,
 		CancelAfter:  *cancelAfter,
 		StreamWindow: *streamWindow,
+		Queries:      *queries,
+		NoShare:      *noShare,
+		MaxInflight:  *maxInflight,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -158,6 +171,39 @@ func main() {
 				rep.Delivered, rep.PassedKeysFNV)
 			return
 		}
+		if cfg.Workload == load.WorkloadMultiTenant {
+			// Packing (HIT counts, latencies) depends on how the racy
+			// interleaving pooled partial batches; the results and the
+			// money must not. The rerun pins the fingerprints; a
+			// sharing-off baseline then pins the saving. (Each run also
+			// self-audits that per-query sunk costs sum to the account.)
+			if err := sameTenantResults(rep, again); err != nil {
+				fmt.Fprintf(os.Stderr, "qurk-load: RERUN DRIFT: %v\nfirst:\n%s\nsecond:\n%s", err, rep, again)
+				os.Exit(1)
+			}
+			if !cfg.NoShare {
+				base := cfg
+				base.NoShare = true
+				baseline, err := load.Run(base)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "qurk-load: baseline:", err)
+					os.Exit(1)
+				}
+				if err := sameTenantResults(rep, baseline); err != nil {
+					fmt.Fprintf(os.Stderr, "qurk-load: SHARING CHANGED RESULTS: %v\nshared:\n%s\nbaseline:\n%s", err, rep, baseline)
+					os.Exit(1)
+				}
+				if rep.HITs >= baseline.HITs {
+					fmt.Fprintf(os.Stderr, "qurk-load: sharing saved nothing: %d HITs vs baseline %d\n", rep.HITs, baseline.HITs)
+					os.Exit(1)
+				}
+				fmt.Printf("verify: %d queries rerun-identical; sharing posted %d HITs vs %d unshared (%d saved, %v cheaper)\n",
+					rep.Config.Queries, rep.HITs, baseline.HITs, baseline.HITs-rep.HITs, baseline.Spent-rep.Spent)
+				return
+			}
+			fmt.Printf("verify: %d queries rerun-identical (combined fingerprint %016x)\n", rep.Config.Queries, rep.PassedKeysFNV)
+			return
+		}
 		if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
 			rep.P50 != again.P50 || rep.P99 != again.P99 || rep.Passed != again.Passed ||
 			rep.JoinPairs != again.JoinPairs || rep.PassedKeysFNV != again.PassedKeysFNV {
@@ -166,6 +212,25 @@ func main() {
 		}
 		fmt.Println("verify: identical virtual-time metrics across reruns")
 	}
+}
+
+// sameTenantResults asserts two multitenant runs produced the same
+// results: every query's passed-keys fingerprint and the combined
+// fingerprint must match (HIT packing may differ — results may not).
+func sameTenantResults(a, b load.Report) error {
+	if len(a.PerQueryFNV) != len(b.PerQueryFNV) {
+		return fmt.Errorf("query counts differ: %d vs %d", len(a.PerQueryFNV), len(b.PerQueryFNV))
+	}
+	for i := range a.PerQueryFNV {
+		if a.PerQueryFNV[i] != b.PerQueryFNV[i] {
+			return fmt.Errorf("query %d fingerprint %016x vs %016x", i, a.PerQueryFNV[i], b.PerQueryFNV[i])
+		}
+	}
+	if a.PassedKeysFNV != b.PassedKeysFNV || a.Passed != b.Passed {
+		return fmt.Errorf("combined fingerprint %016x (%d passed) vs %016x (%d passed)",
+			a.PassedKeysFNV, a.Passed, b.PassedKeysFNV, b.Passed)
+	}
+	return nil
 }
 
 // checkSort asserts the sort workload's contracts on its seed-pinned

@@ -67,6 +67,12 @@ type Config struct {
 	// informed estimators, trained models and already-blocked spammers.
 	// Empty means no persistence (seed behavior).
 	StorePath string
+	// MaxInflightHITs gates batch posting: at most this many
+	// scheduler-admitted HITs are in flight at once; further batches
+	// queue in priority / weighted-fair-share order (see WithPriority
+	// and WithWeight) so a burst of concurrent queries degrades
+	// gracefully instead of flooding the marketplace. 0 = unlimited.
+	MaxInflightHITs int
 }
 
 // QueryHandle tracks one submitted query.
@@ -145,6 +151,9 @@ func New(cfg Config) (*Engine, error) {
 	clock := mturk.NewClock()
 	market := mturk.NewMarketplace(clock, pool)
 	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(cfg.BudgetCents))
+	if cfg.MaxInflightHITs > 0 {
+		mgr.SetAdmission(cfg.MaxInflightHITs)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		catalog: relation.NewCatalog(),
@@ -360,6 +369,12 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	if o.priority != 0 {
 		scope.SetPriority(o.priority)
 	}
+	if o.shared {
+		scope.SetShared(true)
+	}
+	if o.weight > 0 {
+		scope.SetWeight(o.weight)
+	}
 	cfg.Scope = scope
 
 	if e.cfg.AdaptiveFilters && cfg.FilterOrder == nil {
@@ -561,6 +576,11 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 	snap.Savings = dashboard.ComputeSavings(tasks, policyFor)
 	e.addJoinSavings(&snap.Savings, policyFor)
 	e.addRankSavings(&snap.Savings, policyFor)
+	if sh := e.mgr.Sharing(); sh.SharedHITs > 0 {
+		snap.Savings.SharedHITs = sh.SharedHITs
+		snap.Savings.SharedItems = sh.CoBatchedItems
+		snap.Savings.SharedSavedCents = sh.SavedCents
+	}
 	if e.store != nil {
 		snap.Warmstart = dashboard.WarmstartInfo{
 			Answers:      e.warm.CacheAnswers,

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+// TestConcurrentSharedQueriesRace drives 110 concurrent streaming
+// queries — all opted into cross-query HIT sharing behind an admission
+// gate — through one engine, under -race in CI. It asserts that every
+// query's result set equals its own table's ground truth (sharing
+// must never leak another tenant's rows or flip an answer), that
+// per-query sunk costs sum exactly to the account's spend (no
+// cross-scope budget leakage), and that Close leaks no goroutines.
+func TestConcurrentSharedQueriesRace(t *testing.T) {
+	const (
+		queries  = 110
+		perQuery = 4
+	)
+	before := runtime.NumGoroutine()
+	func() {
+		schema := relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindImage})
+		want := make([][]string, queries) // per-query ground truth
+		oracle := crowd.OracleFunc(func(task string, args []relation.Value) relation.Value {
+			if len(args) == 0 {
+				return relation.Null
+			}
+			return relation.NewBool(strings.Contains(args[0].Str(), "feline"))
+		})
+		e, err := New(Config{
+			Oracle: oracle,
+			Crowd: crowd.Config{
+				// Exactly-perfect crowd: answers equal ground truth no
+				// matter which worker drew which question in what order,
+				// so the per-query assertions hold under any race.
+				Seed: 9, Workers: 50, MeanSkill: 1.0, SkillStd: 1e-12,
+				SpamFraction: 1e-12, AbandonRate: 1e-12, BatchPenalty: 1e-12,
+			},
+			MaxInflightHITs: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for q := 0; q < queries; q++ {
+			tab := relation.NewTable(fmt.Sprintf("mtq%03d", q), schema)
+			for j := 0; j < perQuery; j++ {
+				subject := "toaster"
+				if (q+j)%2 == 0 {
+					subject = "feline"
+				}
+				key := fmt.Sprintf("q%03d-%d-%s", q, j, subject)
+				if subject == "feline" {
+					want[q] = append(want[q], key)
+				}
+				if err := tab.InsertValues(relation.NewImage(key)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Register(tab); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Define(`
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a photo of a cat? %s", photo
+  Response: YesNo
+`); err != nil {
+			t.Fatal(err)
+		}
+		e.Manager().SetBasePolicy(taskmgr.Policy{
+			Assignments: 1, BatchSize: 5, PriceCents: 1,
+			Linger: time.Minute, UseCache: false,
+		})
+		// Mild pacing so the tenants overlap in virtual time and the
+		// shared-batch path is actually exercised, not just available.
+		e.Clock().SetPace(1e-5)
+		defer e.Clock().SetPace(0)
+
+		got := make([][]string, queries)
+		spent := make([]budget.Cents, queries)
+		errs := make([]error, queries)
+		var wg sync.WaitGroup
+		for q := 0; q < queries; q++ {
+			q := q
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows, err := e.Query(context.Background(),
+					fmt.Sprintf("SELECT img FROM mtq%03d WHERE isCat(img)", q),
+					WithSharedBatching(true))
+				if err != nil {
+					errs[q] = err
+					return
+				}
+				defer rows.Close()
+				for rows.Next() {
+					got[q] = append(got[q], rows.Tuple().Values[0].Str())
+				}
+				errs[q] = rows.Err()
+				spent[q] = rows.Handle().SunkCents()
+			}()
+		}
+		wg.Wait()
+		e.Clock().SetPace(0)
+		waitQuiesce(t, e)
+
+		var sum budget.Cents
+		for q := 0; q < queries; q++ {
+			if errs[q] != nil {
+				t.Fatalf("query %d: %v", q, errs[q])
+			}
+			sort.Strings(got[q])
+			sort.Strings(want[q])
+			if strings.Join(got[q], ",") != strings.Join(want[q], ",") {
+				t.Fatalf("query %d results drifted under sharing:\n got %v\nwant %v", q, got[q], want[q])
+			}
+			sum += spent[q]
+		}
+		if acct := e.Manager().Account().Spent(); sum != acct {
+			t.Fatalf("budget leaked across scopes: per-query sunk costs sum to %v, account spent %v", sum, acct)
+		}
+		if sh := e.Manager().Sharing(); sh.SharedHITs == 0 {
+			t.Fatalf("no HIT was ever co-batched across %d paced concurrent queries", queries)
+		}
+		e.Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -35,6 +35,8 @@ type queryOptions struct {
 	deadline    time.Duration
 	policies    map[string]taskmgr.Policy
 	priority    int
+	weight      int
+	shared      bool
 	adaptive    *bool
 }
 
@@ -77,6 +79,27 @@ func WithAdaptiveJoins(on bool) QueryOption {
 // behind (negative) other queries when HIT batches are cut. Default 0.
 func WithPriority(p int) QueryOption {
 	return func(o *queryOptions) { o.priority = p }
+}
+
+// WithSharedBatching opts this query into cross-query HIT sharing: its
+// task applications may fill one HIT together with those of other
+// sharing queries whose effective posting policy matches, with the HIT
+// cost split across the queries by item count (integer cents,
+// deterministic rounding) so per-query budgets and the dashboard's
+// per-query spend stay exact. Canceling a sharing query detaches its
+// items from shared HITs — refunding its share of the unconsumed cost
+// — rather than expiring the HIT under the other participants. Tasks
+// defined with "Share: Yes" co-batch regardless of this option.
+func WithSharedBatching(on bool) QueryOption {
+	return func(o *queryOptions) { o.shared = on }
+}
+
+// WithWeight sets this query's fair-share weight (default 1) for the
+// admission scheduler: at equal priority, a weight-2 query is granted
+// HIT slots twice as often as a weight-1 query while both have batches
+// queued. Only meaningful with Config.MaxInflightHITs set.
+func WithWeight(w int) QueryOption {
+	return func(o *queryOptions) { o.weight = w }
 }
 
 // Rows is a streaming cursor over one query's results, in the style of

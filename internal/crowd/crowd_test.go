@@ -53,7 +53,7 @@ func TestPoolDefaults(t *testing.T) {
 	stats := p.Stats()
 	spammers := 0
 	for _, s := range stats {
-		if s.Skill < 0.55 || s.Skill > 0.99 {
+		if s.Skill < 0.55 || s.Skill > 1.0 {
 			t.Errorf("skill out of range: %v", s.Skill)
 		}
 		if s.Spammer {

@@ -65,6 +65,13 @@ type Savings struct {
 	SortCompareHITs int64
 	SortRateHITs    int64
 	SortSavedCents  budget.Cents
+	// SharedHITs counts HITs co-batched across query scopes
+	// (multi-tenant sharing), SharedItems the items inside them, and
+	// SharedSavedCents prices the per-query partial-batch HITs sharing
+	// avoided.
+	SharedHITs       int64
+	SharedItems      int64
+	SharedSavedCents budget.Cents
 }
 
 // WarmstartInfo reports what the durable knowledge store replayed at
@@ -144,6 +151,10 @@ func Render(s Snapshot) string {
 	if s.Savings.SortCompareHITs > 0 || s.Savings.SortRateHITs > 0 {
 		fmt.Fprintf(&b, "Sort: %d comparison HITs vs %d rating HITs, ~%v saved\n",
 			s.Savings.SortCompareHITs, s.Savings.SortRateHITs, s.Savings.SortSavedCents)
+	}
+	if s.Savings.SharedHITs > 0 {
+		fmt.Fprintf(&b, "Multi-tenant sharing: %d HITs co-batched %d cross-query items (~%v saved)\n",
+			s.Savings.SharedHITs, s.Savings.SharedItems, s.Savings.SharedSavedCents)
 	}
 	if s.Warmstart.Answers > 0 || s.Warmstart.Observations > 0 {
 		fmt.Fprintf(&b, "Warm start: %d answers, %d observations replayed (~%v saved)\n",

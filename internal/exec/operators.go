@@ -460,7 +460,7 @@ func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
 			})
 		}
 	}
-	q.cfg.Mgr.Flush(v.HumanTask.Name)
+	q.cfg.Mgr.FlushScope(v.HumanTask.Name, q.cfg.Scope)
 	wg.Wait()
 }
 
@@ -577,7 +577,7 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 			},
 		})
 	}
-	q.cfg.Mgr.Flush(v.Task.Name)
+	q.cfg.Mgr.FlushScope(v.Task.Name, q.cfg.Scope)
 	wg.Wait()
 	for i, t := range rows {
 		if keep[i] {
@@ -971,6 +971,6 @@ func (q *Query) flushTasks(names map[string]bool) {
 		return
 	}
 	for name := range names {
-		q.cfg.Mgr.Flush(name)
+		q.cfg.Mgr.FlushScope(name, q.cfg.Scope)
 	}
 }

@@ -68,6 +68,15 @@ const (
 	// cancellation mid-stream provably stops HIT posting with a
 	// deterministic completed-prefix fingerprint.
 	WorkloadStreaming Workload = "streaming"
+	// WorkloadMultiTenant drives Config.Queries concurrent streaming
+	// queries through one engine — each filtering its own disjoint
+	// table with the same task — with cross-query HIT sharing on
+	// (unless NoShare) behind a MaxInflight admission gate. The default
+	// crowd is exactly perfect, so per-query result fingerprints are
+	// rerun-identical with sharing on or off; compare two runs at the
+	// same Tuples/Queries/Seed with NoShare flipped: same fingerprints,
+	// strictly fewer HITs with sharing.
+	WorkloadMultiTenant Workload = "multitenant"
 	// WorkloadWarmstart is the filter cascade with the Task Cache armed
 	// and backed by the durable knowledge store (Config.StorePath
 	// required): the first run over a given store pays for every
@@ -123,6 +132,16 @@ type Config struct {
 	// filter cascades (exec.Config.FilterWindow; default 8), throttling
 	// HIT posting so cancellation has unposted work to save.
 	StreamWindow int
+	// Queries (multitenant workload) is how many concurrent streaming
+	// queries share the engine (default 150); each gets Tuples/Queries
+	// input rows (min 1).
+	Queries int
+	// NoShare (multitenant workload) turns cross-query HIT sharing off,
+	// for the baseline side of the comparison.
+	NoShare bool
+	// MaxInflight (multitenant workload) is the admission gate on
+	// concurrently posted HITs (core.Config.MaxInflightHITs; default 32).
+	MaxInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +155,12 @@ func (c Config) withDefaults() Config {
 		// cubically unlikely at the crowd's 0.99 skill ceiling while
 		// leaving HIT counts — what the phases compare — untouched.
 		c.Assignments = 5
+	}
+	if c.Workload == WorkloadMultiTenant && c.Assignments <= 0 {
+		// Single-assignment HITs: with the workload's exactly-perfect
+		// default crowd, redundancy buys nothing and would only scale
+		// the HIT volume the sharing comparison counts.
+		c.Assignments = 1
 	}
 	if c.Tuples <= 0 {
 		c.Tuples = 1000
@@ -160,6 +185,34 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamWindow <= 0 {
 		c.StreamWindow = 8
+	}
+	if c.Workload == WorkloadMultiTenant {
+		if c.Queries <= 0 {
+			c.Queries = 150
+		}
+		if c.MaxInflight <= 0 {
+			c.MaxInflight = 32
+		}
+		// The -verify harness asserts rerun-identical per-query result
+		// fingerprints however the scheduler interleaves hundreds of
+		// concurrent queries, so the default crowd is exactly perfect:
+		// Skill 1.0 makes every answer equal ground truth regardless of
+		// which worker drew it in what order. Explicit knobs still win.
+		if c.Skill == 0 {
+			c.Skill = 1.0
+		}
+		if c.SkillStd == 0 {
+			c.SkillStd = 1e-12
+		}
+		if c.Spam == 0 {
+			c.Spam = 1e-12
+		}
+		if c.Abandon == 0 {
+			c.Abandon = 1e-12
+		}
+		if c.BatchPenalty == 0 {
+			c.BatchPenalty = 1e-12
+		}
 	}
 	if c.Workload == WorkloadSort {
 		// Top-k must sit below the comparison group size or the
@@ -280,6 +333,17 @@ type Report struct {
 	FirstRow        mturk.VirtualTime
 	Delivered       int64
 	HITsAfterCancel int64
+
+	// Multitenant-workload metrics: PerQueryFNV fingerprints each
+	// query's passed keys (index = query number; rerun-identical);
+	// FairSpreadCents is max−min per-query sunk cost; the sharing
+	// counters mirror taskmgr.SharingStats for this run.
+	PerQueryFNV      []uint64
+	FairSpreadCents  budget.Cents
+	SharedHITs       int64
+	CoBatchedItems   int64
+	HITsSaved        int64
+	SharedSavedCents budget.Cents
 }
 
 // String renders the report the way qurk-load prints it.
@@ -305,6 +369,16 @@ func (r Report) String() string {
 			r.SortRateHITs, r.SortCompareHITs, r.Config.TopK, r.SortTopKHITs, r.SortHybridHITs)
 		fmt.Fprintf(&b, "  sort orders   compare=%016x hybrid=%016x topk=%016x (want %016x)\n",
 			r.SortOrderFNV, r.SortHybridFNV, r.SortTopKFNV, r.SortTopKBaseFNV)
+	}
+	if r.Config.Workload == WorkloadMultiTenant {
+		sharing := "on"
+		if r.Config.NoShare {
+			sharing = "off"
+		}
+		fmt.Fprintf(&b, "  multitenant   %d queries (sharing %s, gate %d): %d shared HITs co-batched %d items, %d HITs saved (~%v)\n",
+			r.Config.Queries, sharing, r.Config.MaxInflight, r.SharedHITs, r.CoBatchedItems, r.HITsSaved, r.SharedSavedCents)
+		fmt.Fprintf(&b, "  fairness      per-query spend spread %v; combined fingerprint %016x\n",
+			r.FairSpreadCents, r.PassedKeysFNV)
 	}
 	if r.Config.Workload == WorkloadStreaming {
 		fmt.Fprintf(&b, "  streaming     first row at %.1f vmin (makespan %.1f); %d rows delivered (fingerprint %016x)\n",
@@ -338,6 +412,11 @@ func Run(cfg Config) (Report, error) {
 		// The sort scenario runs four isolated strategy phases; it has
 		// its own driver (sort.go).
 		return runSort(cfg)
+	}
+	if cfg.Workload == WorkloadMultiTenant {
+		// The multitenant scenario runs concurrent queries through one
+		// engine; it has its own driver (multitenant.go).
+		return runMultiTenant(cfg)
 	}
 	rep := Report{Config: cfg}
 

@@ -368,6 +368,12 @@ type TaskDef struct {
 	// subsystem use its default. Meaningful on Rank tasks (their own
 	// batches) and Rating tasks (the companion's batches).
 	GroupSize int
+
+	// Share opts every application of this task into cross-query HIT
+	// co-batching ("Share: Yes"), regardless of the submitting query's
+	// own WithSharedBatching choice: queries whose effective posting
+	// policy for the task matches may fill one HIT together.
+	Share bool
 }
 
 // ReturnsTuple reports whether the task returns a multi-field tuple.

@@ -683,6 +683,28 @@ func (p *Parser) parseTask() (*TaskDef, error) {
 				return nil, p.errf("bad GroupSize %q (need ≥ 2)", numText)
 			}
 			task.GroupSize = n
+		case "share":
+			// Yes/No read as identifiers, but true/false/on are SQL
+			// keywords to the lexer — accept either token kind here.
+			var name string
+			if t := p.peek(); t.Kind == TokKeyword {
+				p.next()
+				name = t.Text
+			} else {
+				var err error
+				name, err = p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+			}
+			switch strings.ToLower(name) {
+			case "yes", "true", "on":
+				task.Share = true
+			case "no", "false", "off":
+				task.Share = false
+			default:
+				return nil, p.errf("bad Share %q (want Yes or No)", name)
+			}
 		default:
 			return nil, p.errf("unknown task field %q", field)
 		}

@@ -297,6 +297,31 @@ RETURNS Bool:
 	}
 }
 
+func TestTaskShareField(t *testing.T) {
+	mk := func(val string) (*TaskDef, error) {
+		return ParseTaskDef(`
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+  Share: ` + val + `
+`)
+	}
+	for val, want := range map[string]bool{"Yes": true, "true": true, "On": true, "No": false, "false": false, "Off": false} {
+		task, err := mk(val)
+		if err != nil {
+			t.Fatalf("Share: %s: %v", val, err)
+		}
+		if task.Share != want {
+			t.Errorf("Share: %s parsed as %v", val, task.Share)
+		}
+	}
+	if _, err := mk("Sometimes"); err == nil {
+		t.Error("bad Share value accepted")
+	}
+}
+
 func TestTaskCompareGroupSizeFields(t *testing.T) {
 	task, err := ParseTaskDef(`
 TASK rateIt(Image img)

@@ -104,6 +104,7 @@ func GroupSizeFor(rateDef, cmpDef *qlang.TaskDef) int {
 type Manager interface {
 	Submit(req taskmgr.Request)
 	Flush(task string)
+	FlushScope(task string, scope *taskmgr.Scope)
 	RankBlockIn(scope *taskmgr.Scope, def *qlang.TaskDef, items []taskmgr.RankItem, done func(rankings []taskmgr.Ranking, err error))
 	PolicyFor(def *qlang.TaskDef) taskmgr.Policy
 }
@@ -258,7 +259,7 @@ func (r *runner) runRate(then func(scores []float64, errored []bool, answers [][
 			},
 		})
 	}
-	r.cfg.Mgr.Flush(r.rateDef.Name)
+	r.cfg.Mgr.FlushScope(r.rateDef.Name, r.cfg.Scope)
 	settle()
 }
 

@@ -51,6 +51,8 @@ func (f *fakeMgr) Submit(req taskmgr.Request) {
 
 func (f *fakeMgr) Flush(string) {}
 
+func (f *fakeMgr) FlushScope(string, *taskmgr.Scope) {}
+
 func (f *fakeMgr) RankBlockIn(_ *taskmgr.Scope, def *qlang.TaskDef, items []taskmgr.RankItem, done func([]taskmgr.Ranking, error)) {
 	f.compareHITs++
 	if f.failCompare {

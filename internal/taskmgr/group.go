@@ -103,6 +103,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		Assignments: pol.Assignments,
 	}
 	byKey := make(map[string]pendingItem, len(remaining))
+	keys := make([]string, 0, len(remaining))
 	for _, r := range remaining {
 		key := m.newKey()
 		prompt := r.Prompt
@@ -112,6 +113,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		h.Items = append(h.Items, hit.Item{Key: key, Args: r.Args, Task: r.Def.Name, Prompt: prompt})
 		h.GroupKeys = append(h.GroupKeys, r.Def.Name)
 		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, side: r.StatSide, done: r.Done}
+		keys = append(keys, key)
 	}
 
 	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
@@ -152,11 +154,12 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 	fl := &inflightHIT{
 		hit:      h,
 		state:    lead,
-		scope:    scope,
+		shares:   []hitShare{{scope: scope, keys: keys, cost: cost}},
 		cost:     cost,
 		byKey:    byKey,
 		answers:  make(map[string][]relation.Value, len(remaining)),
 		needed:   pol.Assignments,
+		assign:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
 		group:    true,
 	}
@@ -182,7 +185,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		return nil
 	}
 	if cause := scope.registerHIT(h.ID); cause != nil {
-		m.cancelInflightHIT(h.ID, cause)
+		m.cancelScopeHIT(h.ID, scope, cause)
 	}
 	for _, r := range resolved {
 		r.done(r.out)

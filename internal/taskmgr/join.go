@@ -209,7 +209,7 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		return
 	}
 	if cause := scope.registerHIT(h.ID); cause != nil {
-		m.cancelInflightHIT(h.ID, cause)
+		m.cancelScopeHIT(h.ID, scope, cause)
 	}
 	for _, r := range resolved {
 		done(r.key, r.out)

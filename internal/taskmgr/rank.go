@@ -112,7 +112,7 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		return
 	}
 	if cause := scope.registerHIT(h.ID); cause != nil {
-		m.cancelInflightHIT(h.ID, cause)
+		m.cancelScopeHIT(h.ID, scope, cause)
 	}
 }
 

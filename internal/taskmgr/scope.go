@@ -19,8 +19,13 @@ import (
 // HITs had charged for assignments that never completed, so only the
 // query's true sunk cost stays spent.
 //
-// Items of different scopes never share a HIT: a HIT belongs to exactly
-// one scope (or none), which is what makes whole-HIT expiry sound.
+// By default items of different scopes never share a HIT: a HIT
+// belongs to exactly one scope (or none), which is what makes whole-HIT
+// expiry sound. Scopes that opt in via SetShared (or a task's Share:
+// property) may instead co-batch with other sharing scopes whose
+// effective posting policy matches; each participant then holds a
+// hitShare — its slice of the HIT cost, split by item count — and
+// cancellation detaches just that share rather than expiring the HIT.
 type Scope struct {
 	mgr *Manager
 
@@ -29,7 +34,10 @@ type Scope struct {
 	budget   *budget.Account
 	policies map[string]Policy
 	priority int
+	shared   bool
+	weight   int // fair-share weight; <1 reads as 1
 	spent    budget.Cents
+	queued   budget.Cents // provisional cost of admission-queued batches
 	hits     map[string]bool // open HIT IDs posted for this scope
 }
 
@@ -89,6 +97,65 @@ func (s *Scope) priorityNow() int {
 	return s.priority
 }
 
+// SetShared opts this scope's submissions into cross-query HIT
+// sharing: its items may fill one HIT together with items from other
+// sharing scopes whose effective posting policy for the task matches.
+// Canceling the scope then detaches its items from shared HITs —
+// refunding its share of the unconsumed cost — instead of expiring the
+// whole HIT under the other participants.
+func (s *Scope) SetShared(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shared = on
+}
+
+func (s *Scope) sharedNow() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shared
+}
+
+// SetWeight sets this scope's fair-share weight (default 1): under an
+// admission gate, a weight-2 scope is offered batch slots twice as
+// often as a weight-1 scope at equal priority. Values below 1 read
+// as 1.
+func (s *Scope) SetWeight(w int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.weight = w
+}
+
+func (s *Scope) weightNow() int {
+	if s == nil {
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.weight < 1 {
+		return 1
+	}
+	return s.weight
+}
+
+// addQueuedCost tracks the provisional cost of this scope's batches
+// sitting in the admission queue (positive at enqueue, negative at
+// admission or sweep), so RemainingBudget does not over-report
+// headroom while work is queued but not yet charged.
+func (s *Scope) addQueuedCost(c budget.Cents) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queued += c
+	if s.queued < 0 {
+		s.queued = 0
+	}
+}
+
 // Err returns the cancellation cause, or nil while the scope is live.
 func (s *Scope) Err() error {
 	if s == nil {
@@ -101,7 +168,11 @@ func (s *Scope) Err() error {
 
 // RemainingBudget reports the scope's unspent budget headroom. ok is
 // false when the scope is nil or uncapped (unlimited headroom); the
-// sort subsystem uses it to size hybrid comparison refinement.
+// sort subsystem uses it to size hybrid comparison refinement. The
+// headroom is net of batches sitting in the admission queue — they
+// have not been charged yet, but they will be, so planners sizing
+// future work against a concurrently-charged scope see a conservative
+// snapshot rather than a stale one.
 func (s *Scope) RemainingBudget() (budget.Cents, bool) {
 	if s == nil {
 		return 0, false
@@ -111,7 +182,11 @@ func (s *Scope) RemainingBudget() (budget.Cents, bool) {
 	if s.budget == nil {
 		return 0, false
 	}
-	return s.budget.Remaining(), true
+	rem := s.budget.Remaining() - s.queued
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
 }
 
 // Spent reports the scope's sunk cost: money charged for its HITs minus
@@ -212,8 +287,9 @@ func (s *Scope) Cancel(cause error) {
 	s.hits = nil
 	s.mu.Unlock()
 	s.mgr.sweepCanceledPending(s, cause)
+	s.mgr.sweepScheduler(s, cause)
 	for _, id := range open {
-		s.mgr.cancelInflightHIT(id, cause)
+		s.mgr.cancelScopeHIT(id, s, cause)
 	}
 }
 
@@ -245,23 +321,79 @@ func (m *Manager) sweepCanceledPending(s *Scope, cause error) {
 	}
 }
 
-// cancelInflightHIT expires one posted HIT: it is removed from the
-// in-flight table (so a racing completion finalizes nothing), disposed
-// at the marketplace, its uncompleted assignments refunded, and every
-// outstanding item resolved with the cause. The stripe lock arbitrates
-// against finalization, so each item still resolves exactly once.
-func (m *Manager) cancelInflightHIT(hitID string, cause error) {
+// cancelScopeHIT withdraws one scope's stake from a posted HIT. For a
+// HIT the scope holds alone — the default, and every join/rank HIT —
+// that is full expiry: the HIT is removed from the in-flight table (so
+// a racing completion finalizes nothing), disposed at the marketplace,
+// its uncompleted assignments refunded, and every outstanding item
+// resolved with the cause. For a HIT shared with other live scopes the
+// stake merely detaches: the scope's items resolve with the cause, its
+// share of the cost covering assignments not yet completed refunds,
+// and the HIT keeps running for the remaining participants. The stripe
+// lock arbitrates against finalization, so each item still resolves
+// exactly once.
+func (m *Manager) cancelScopeHIT(hitID string, sc *Scope, cause error) {
 	str := m.flights.stripeFor(hitID)
 	str.mu.Lock()
 	if fl, ok := str.hits[hitID]; ok {
+		idx, live := -1, 0
+		for i := range fl.shares {
+			if fl.shares[i].detached {
+				continue
+			}
+			live++
+			if fl.shares[i].scope == sc {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			// The scope's share already detached (or was never here);
+			// nothing left to withdraw.
+			str.mu.Unlock()
+			return
+		}
+		sh := &fl.shares[idx]
+		if live > 1 {
+			// Detach: the HIT survives for the other participants. The
+			// scope's items leave byKey so finalization skips them, and
+			// its share of the not-yet-completed assignments refunds;
+			// the consumed remainder stays on sh.cost so a later full
+			// expiry cannot refund it again.
+			sh.detached = true
+			items := make([]pendingItem, 0, len(sh.keys))
+			for _, key := range sh.keys {
+				if it, ok := fl.byKey[key]; ok {
+					items = append(items, it)
+					delete(fl.byKey, key)
+				}
+			}
+			refund := unconsumed(sh.cost, fl.assign, fl.received)
+			sh.cost -= refund
+			str.mu.Unlock()
+			if refund > 0 {
+				m.account.Refund(refund)
+				sc.refund(refund)
+			}
+			for _, it := range items {
+				it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", it.def.Name, cause)})
+			}
+			return
+		}
+		// Sole live participant: full expiry.
 		delete(str.hits, hitID)
+		received := fl.received
 		str.mu.Unlock()
-		m.expireHIT(hitID, fl.scope, fl.cost)
+		m.market.Dispose(hitID)
+		if refund := unconsumed(sh.cost, fl.assign, received); refund > 0 {
+			m.account.Refund(refund)
+			sc.refund(refund)
+		}
 		for _, hi := range fl.hit.Items {
 			if item, ok := fl.byKey[hi.Key]; ok {
 				item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", item.def.Name, cause)})
 			}
 		}
+		m.hitRetired(fl)
 		return
 	}
 	if fl, ok := str.joins[hitID]; ok {
@@ -298,4 +430,19 @@ func (m *Manager) expireHIT(hitID string, s *Scope, cost budget.Cents) {
 	}
 	m.account.Refund(refund)
 	s.refund(refund)
+}
+
+// unconsumed is the slice of a share's cost covering assignments that
+// have not completed: cost × (assignments − received) ∕ assignments,
+// floored. Account and scope both refund exactly this, so the two
+// ledgers move in lockstep and a share can never refund more than it
+// was charged.
+func unconsumed(cost budget.Cents, assignments, received int) budget.Cents {
+	if assignments <= 0 || received >= assignments {
+		return 0
+	}
+	if received <= 0 {
+		return cost
+	}
+	return cost * budget.Cents(assignments-received) / budget.Cents(assignments)
 }

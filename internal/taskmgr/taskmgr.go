@@ -248,6 +248,7 @@ type pendingItem struct {
 	side        string // join-side tag for selectivity observations
 	scope       *Scope // owning query scope (nil = unscoped)
 	priority    int    // scope priority at submission time
+	shared      bool   // may co-batch with other sharing scopes
 	done        func(Outcome)
 	addedAt     mturk.VirtualTime
 }
@@ -291,6 +292,20 @@ type Manager struct {
 	nextKey atomic.Int64
 	flights flightTable
 
+	// sched orders batch posting across scopes (priority, then weighted
+	// fair share) behind an optional max-in-flight admission gate.
+	sched scheduler
+
+	// postHook, when set (by tests), can fail a post before it reaches
+	// the marketplace, exercising the refund paths deterministically.
+	postHook atomic.Pointer[func(h *hit.HIT) error]
+
+	// Cross-query sharing counters (see Sharing).
+	sharedHITs  atomic.Int64
+	sharedItems atomic.Int64
+	sharedSaved atomic.Int64 // HITs avoided (scopes−1 per shared HIT)
+	savedCents  atomic.Int64 // those HITs priced at their actual cost
+
 	// journal, when set, receives a durable record for every learned
 	// artifact produced on the paid (human) paths: cache entries,
 	// selectivity/latency/agreement observations, model training
@@ -328,18 +343,39 @@ func (m *Manager) getJournal() Journal {
 	return nil
 }
 
+// hitShare is one scope's stake in a (possibly shared) HIT: the item
+// keys it contributed and the slice of the HIT cost it was charged.
+// cost is maintained as charged-and-not-yet-refunded, so detach and
+// expiry refunds can never double-pay; mutations after posting happen
+// under the HIT's stripe lock.
+type hitShare struct {
+	scope    *Scope
+	keys     []string
+	cost     budget.Cents
+	detached bool
+}
+
 type inflightHIT struct {
 	hit      *hit.HIT
 	state    *taskState
-	scope    *Scope       // owning query scope (nil = unscoped)
-	cost     budget.Cents // charged at post time; basis for expiry refunds
+	shares   []hitShare   // per-scope stakes; one entry for unshared HITs
+	cost     budget.Cents // total charged at post time (sum of shares)
 	byKey    map[string]pendingItem
 	answers  map[string][]relation.Value
 	byWorker []hit.Answers
 	received int
 	needed   int
+	assign   int // assignments at post time; basis for pro-rata refunds
+	admitted bool // holds an admission-scheduler slot until retired
 	postedAt mturk.VirtualTime
 	group    bool // finalize with per-item task attribution
+}
+
+// unregister forgets the HIT at every participating scope.
+func (fl *inflightHIT) unregister(hitID string) {
+	for i := range fl.shares {
+		fl.shares[i].scope.unregisterHIT(hitID)
+	}
 }
 
 // New wires a manager to its collaborators. models may be nil (no
@@ -383,7 +419,8 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		}
 		delete(s.hits, hitID)
 		s.mu.Unlock()
-		fl.scope.unregisterHIT(hitID)
+		fl.unregister(hitID)
+		m.hitRetired(fl)
 		if fl.received == 0 {
 			for _, it := range fl.hit.Items {
 				if item, ok := fl.byKey[it.Key]; ok {
@@ -584,6 +621,7 @@ func (m *Manager) Submit(req Request) {
 		side:        req.StatSide,
 		scope:       req.Scope,
 		priority:    req.Scope.priorityNow(),
+		shared:      req.Scope.sharedNow() || req.Def.Share,
 		done:        req.Done,
 		addedAt:     m.market.Clock().Now(),
 	}
@@ -601,13 +639,20 @@ func (m *Manager) Submit(req Request) {
 	if len(st.pending) >= pol.BatchSize {
 		batches = st.cutBatchesLocked(base, false)
 		if len(batches) == 0 && !st.lingerArmed && len(st.pending) >= pol.BatchSize {
-			// Threshold reached but every (assignments, scope) group is
-			// still partial — mixed groups sharing one task — and no
-			// linger timer is armed to flush them later. Cut the partials
-			// rather than strand them: their Done callbacks must make
-			// progress. (With a linger armed the timer will flush, giving
-			// the groups a chance to fill first.)
+			// Threshold reached but every batch group is still partial —
+			// mixed groups sharing one task — and no linger timer is
+			// armed to flush them later. Cut the partials rather than
+			// strand them: their Done callbacks must make progress. (With
+			// a linger armed the timer will flush, giving the groups a
+			// chance to fill first.)
 			batches = st.cutBatchesLocked(base, true)
+		} else if len(batches) > 0 && !st.armLingerLocked(m, base) {
+			// A cut fired but left other groups' partials behind with no
+			// timer to flush them (lingerArmed is cleared by flushes, not
+			// re-armed): without this, a leftover whose group never fills
+			// again would starve. Arm a linger when any leftover's policy
+			// provides one; force-cut them otherwise.
+			batches = append(batches, st.cutBatchesLocked(base, true)...)
 		}
 	} else if !st.lingerArmed && pol.Linger > 0 {
 		// Arm a linger timer so partial batches cannot starve.
@@ -617,6 +662,30 @@ func (m *Manager) Submit(req Request) {
 	}
 	st.mu.Unlock()
 	m.postBatches(st, batches)
+}
+
+// armLingerLocked arms a linger timer covering the current pending
+// leftovers, using the smallest positive Linger among their scopes'
+// effective policies. It reports false when items are pending but no
+// policy provides a timer (Linger ≤ 0 everywhere) — the caller must
+// then flush the leftovers itself or they starve. st.mu held.
+func (st *taskState) armLingerLocked(m *Manager, base Policy) bool {
+	if st.lingerArmed || len(st.pending) == 0 {
+		return true
+	}
+	linger := time.Duration(0)
+	for _, it := range st.pending {
+		if l := st.scopedPolicyLocked(base, it.scope).Linger; l > 0 && (linger == 0 || l < linger) {
+			linger = l
+		}
+	}
+	if linger <= 0 {
+		return false
+	}
+	st.lingerArmed = true
+	task := st.name
+	m.market.Clock().Schedule(linger, func() { m.lingerFlush(task) })
+	return true
 }
 
 // lingerFlush flushes whatever is pending for a task when its linger
@@ -634,6 +703,41 @@ func (m *Manager) lingerFlush(task string) {
 // Flush posts any partial batch for the named task immediately.
 func (m *Manager) Flush(task string) {
 	m.flushState(m.state(task, nil))
+}
+
+// FlushScope posts the named task's partial batches on behalf of one
+// query scope. The scope's own non-shared partials force-cut exactly
+// like Flush — they have no other query to wait for. Sharing-opted
+// partials (the scope's included) stay pooled so other queries can
+// still fill them; only full batches cut, with a linger timer armed —
+// or an immediate force-cut when no pending policy provides one — so
+// the pool cannot starve. A nil scope behaves like Flush.
+func (m *Manager) FlushScope(task string, sc *Scope) {
+	if sc == nil {
+		m.Flush(task)
+		return
+	}
+	st := m.state(task, nil)
+	base := m.basePolicy()
+	st.mu.Lock()
+	batches := st.cutBatchesLocked(base, false)
+	var mine []pendingItem
+	kept := st.pending[:0]
+	for _, it := range st.pending {
+		if it.scope == sc && !it.shared {
+			mine = append(mine, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	st.pending = mine
+	batches = append(batches, st.cutBatchesLocked(base, true)...)
+	st.pending = append(st.pending, kept...)
+	if !st.armLingerLocked(m, base) {
+		batches = append(batches, st.cutBatchesLocked(base, true)...)
+	}
+	st.mu.Unlock()
+	m.postBatches(st, batches)
 }
 
 // FlushAll posts every partial batch, in task-name order so the posting
@@ -661,20 +765,25 @@ func (m *Manager) flushState(st *taskState) {
 
 // batchGroup keys one batchable family of pending items: items with
 // different assignment overrides never share a HIT (their redundancy
-// differs) and items of different query scopes never share a HIT (so a
-// canceled query can expire whole HITs and per-scope budgets/policies
-// apply cleanly).
+// differs), and by default items of different query scopes never share
+// a HIT (so a canceled query can expire whole HITs and per-scope
+// budgets/policies apply cleanly). Sharing-opted items group by their
+// effective posting policy instead of their scope: any two scopes
+// whose clamped policies agree may fill one HIT together (same task is
+// implicit — pending is per task).
 type batchGroup struct {
 	assignments int
-	scope       *Scope
+	scope       *Scope // nil for shared groups (items may span scopes)
+	shared      bool
+	pol         Policy // shared groups: the common effective policy
 }
 
 // cutBatchesLocked partitions the pending items into HIT-sized batches
-// per (assignments, scope) group, each under its scope's effective
-// policy. force cuts everything (flush/linger); otherwise only full
-// batches are cut and remainders stay pending for the linger timer.
-// Higher-priority scopes cut first (stable, so FIFO order is preserved
-// within a priority level). st.mu held; posting happens after release.
+// per batch group, each under its group's effective policy. force cuts
+// everything (flush/linger); otherwise only full batches are cut and
+// remainders stay pending for the linger timer. Higher-priority scopes
+// cut first (stable, so FIFO order is preserved within a priority
+// level). st.mu held; posting happens after release.
 func (st *taskState) cutBatchesLocked(base Policy, force bool) [][]pendingItem {
 	if len(st.pending) == 0 {
 		return nil
@@ -695,6 +804,10 @@ func (st *taskState) cutBatchesLocked(base Policy, force bool) [][]pendingItem {
 	var order []batchGroup
 	for _, it := range st.pending {
 		g := batchGroup{assignments: it.assignments, scope: it.scope}
+		if it.shared {
+			g = batchGroup{assignments: it.assignments, shared: true,
+				pol: st.scopedPolicyLocked(base, it.scope)}
+		}
 		if _, seen := byGroup[g]; !seen {
 			order = append(order, g)
 		}
@@ -704,7 +817,10 @@ func (st *taskState) cutBatchesLocked(base Policy, force bool) [][]pendingItem {
 	var batches [][]pendingItem
 	for _, g := range order {
 		items := byGroup[g]
-		size := st.scopedPolicyLocked(base, g.scope).BatchSize
+		size := g.pol.BatchSize
+		if !g.shared {
+			size = st.scopedPolicyLocked(base, g.scope).BatchSize
+		}
 		for len(items) >= size || (force && len(items) > 0) {
 			n := size
 			if n > len(items) {
@@ -718,80 +834,218 @@ func (st *taskState) cutBatchesLocked(base Policy, force bool) [][]pendingItem {
 	return batches
 }
 
+// postBatches hands cut batches to the admission scheduler, which
+// posts them immediately when the gate has room and queues them in
+// priority / weighted-fair-share order otherwise.
 func (m *Manager) postBatches(st *taskState, batches [][]pendingItem) {
-	for _, batch := range batches {
-		m.postBatch(st, batch)
+	if len(batches) == 0 {
+		return
 	}
+	for _, batch := range batches {
+		m.enqueueBatch(st, batch)
+	}
+	m.dispatch()
 }
 
-// postBatch compiles one batch into a HIT and posts it. All items in a
-// batch share the same assignments override and scope (see
-// cutBatchesLocked). No locks are held: posting calls into the
-// marketplace and, on synchronous failure, back into user callbacks.
-func (m *Manager) postBatch(st *taskState, batch []pendingItem) {
-	scope := batch[0].scope
+// splitCost divides a HIT's cost across scopes proportionally to their
+// item counts, in integer cents, with largest-remainder rounding so
+// the parts always sum exactly to the total. Ties break toward earlier
+// shares (batch first-appearance order), keeping the split
+// deterministic.
+func splitCost(total budget.Cents, counts []int) []budget.Cents {
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	out := make([]budget.Cents, len(counts))
+	if sum == 0 {
+		return out
+	}
+	assigned := budget.Cents(0)
+	rems := make([]int64, len(counts))
+	for i, c := range counts {
+		num := int64(total) * int64(c)
+		out[i] = budget.Cents(num / int64(sum))
+		rems[i] = num % int64(sum)
+		assigned += out[i]
+	}
+	for extra := total - assigned; extra > 0; extra-- {
+		best := 0
+		for i, r := range rems {
+			if r > rems[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rems[best] = -1
+	}
+	return out
+}
+
+// shareOut groups a batch's items by scope in first-appearance order
+// and splits the HIT cost across the groups by item count.
+func shareOut(items []pendingItem, cost budget.Cents) []hitShare {
+	var shares []hitShare
+	idx := make(map[*Scope]int)
+	for _, it := range items {
+		i, ok := idx[it.scope]
+		if !ok {
+			i = len(shares)
+			idx[it.scope] = i
+			shares = append(shares, hitShare{scope: it.scope})
+		}
+		shares[i].keys = append(shares[i].keys, it.key)
+	}
+	counts := make([]int, len(shares))
+	for i := range shares {
+		counts[i] = len(shares[i].keys)
+	}
+	for i, c := range splitCost(cost, counts) {
+		shares[i].cost = c
+	}
+	return shares
+}
+
+// post sends a HIT to the marketplace, via the test hook when one is
+// installed.
+func (m *Manager) post(h *hit.HIT) error {
+	if hook := m.postHook.Load(); hook != nil {
+		if err := (*hook)(h); err != nil {
+			return err
+		}
+	}
+	return m.market.Post(h, m.onAssignment)
+}
+
+// batchPolicy resolves the posting policy for one batch: the first
+// item's scoped policy (identical across the batch by group
+// construction) with the batch's assignments override applied.
+func (m *Manager) batchPolicy(st *taskState, batch []pendingItem) Policy {
 	base := m.basePolicy()
 	st.mu.Lock()
-	pol := st.scopedPolicyLocked(base, scope)
+	pol := st.scopedPolicyLocked(base, batch[0].scope)
 	st.mu.Unlock()
 	if batch[0].assignments > 0 {
 		pol.Assignments = batch[0].assignments
 	}
-	if cause := scope.Err(); cause != nil {
-		for _, it := range batch {
-			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", it.def.Name, cause)})
-		}
-		return
-	}
+	return pol
+}
+
+// postBatch compiles one batch into a HIT and posts it, reporting
+// whether a HIT actually reached the marketplace (the admission
+// scheduler releases the slot otherwise). Items in a batch share one
+// assignments override and either one scope or — for sharing-opted
+// items — one effective posting policy across several scopes; the HIT
+// cost is split across the participating scopes by item count (integer
+// cents, largest-remainder rounding) so per-scope budgets and refunds
+// stay exact. No locks are held: posting calls into the marketplace
+// and, on synchronous failure, back into user callbacks.
+func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
+	pol := m.batchPolicy(st, batch)
 	def := st.defOf()
+
+	// Drop items whose scope was canceled between cut and post: a
+	// linger flush or the admission queue may still carry them, and in
+	// a shared batch the other scopes' items must run regardless —
+	// without paying for the canceled ones.
+	live := make([]pendingItem, 0, len(batch))
+	for _, it := range batch {
+		if cause := it.scope.Err(); cause != nil {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", it.def.Name, cause)})
+			continue
+		}
+		live = append(live, it)
+	}
+
+	// Charge each participating scope its share. When one scope's
+	// budget cannot cover its slice, refund the scopes already charged,
+	// fail that scope's items, and retry with the rest — the HIT price
+	// does not depend on how many scopes fill it, so the loop strictly
+	// shrinks the scope set and terminates.
+	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	var shares []hitShare
+	for len(live) > 0 {
+		shares = shareOut(live, cost)
+		failed := -1
+		var ferr error
+		for i := range shares {
+			if err := shares[i].scope.spend(shares[i].cost); err != nil {
+				failed, ferr = i, err
+				break
+			}
+		}
+		if failed < 0 {
+			break
+		}
+		for i := 0; i < failed; i++ {
+			shares[i].scope.refund(shares[i].cost)
+		}
+		bad := shares[failed].scope
+		kept := live[:0]
+		for _, it := range live {
+			if it.scope == bad {
+				it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, ferr)})
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		live = kept
+	}
+	if len(live) == 0 {
+		return false
+	}
+	if err := m.account.Spend(cost); err != nil {
+		for i := range shares {
+			shares[i].scope.refund(shares[i].cost)
+		}
+		for _, it := range live {
+			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
+		}
+		return false
+	}
+
 	h := &hit.HIT{
 		ID:          m.market.NewHITID(),
 		Task:        def.Name,
 		Type:        def.Type,
 		Title:       def.Name,
-		Question:    batchQuestion(def, batch),
+		Question:    batchQuestion(def, live),
 		Response:    responseFor(def),
 		RewardCents: pol.PriceCents,
 		Assignments: pol.Assignments,
 	}
-	byKey := make(map[string]pendingItem, len(batch))
-	for _, it := range batch {
+	byKey := make(map[string]pendingItem, len(live))
+	for _, it := range live {
 		prompt := it.prompt
-		if prompt == "" && len(batch) > 1 {
+		if prompt == "" && len(live) > 1 {
 			prompt = hit.RenderText(it.def.Text, it.def.TextArgs, it.def.Params, it.args)
 		}
 		h.Items = append(h.Items, hit.Item{Key: it.key, Args: it.args, Prompt: prompt})
 		byKey[it.key] = it
 	}
 
-	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
-	if err := scope.spend(cost); err != nil {
-		for _, it := range batch {
-			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
-		}
-		return
-	}
-	if err := m.account.Spend(cost); err != nil {
-		scope.refund(cost)
-		for _, it := range batch {
-			it.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %w", def.Name, err)})
-		}
-		return
-	}
 	st.mu.Lock()
 	st.spent += cost
 	st.hitsPosted++
-	st.questionsAsked += int64(len(batch))
+	st.questionsAsked += int64(len(live))
 	st.mu.Unlock()
+	if len(shares) > 1 {
+		m.sharedHITs.Add(1)
+		m.sharedItems.Add(int64(len(live)))
+		m.sharedSaved.Add(int64(len(shares) - 1))
+		m.savedCents.Add(int64(cost) * int64(len(shares)-1))
+	}
 
 	fl := &inflightHIT{
 		hit:      h,
 		state:    st,
-		scope:    scope,
+		shares:   shares,
 		cost:     cost,
 		byKey:    byKey,
-		answers:  make(map[string][]relation.Value, len(batch)),
+		answers:  make(map[string][]relation.Value, len(live)),
 		needed:   pol.Assignments,
+		assign:   pol.Assignments,
+		admitted: true,
 		postedAt: m.market.Clock().Now(),
 	}
 	s := m.flights.stripeFor(h.ID)
@@ -801,22 +1055,30 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) {
 	}
 	s.hits[h.ID] = fl
 	s.mu.Unlock()
-	if err := m.market.Post(h, m.onAssignment); err != nil {
+	if err := m.post(h); err != nil {
 		s.mu.Lock()
 		delete(s.hits, h.ID)
 		s.mu.Unlock()
-		m.account.Refund(cost)
-		scope.refund(cost)
-		for _, it := range batch {
+		// Refund with the same split attribution as the charge: each
+		// scope gets back exactly its share, once, and the account the
+		// exact total — a batch spanning scopes cannot double-refund.
+		for i := range shares {
+			m.account.Refund(shares[i].cost)
+			shares[i].scope.refund(shares[i].cost)
+		}
+		for _, it := range live {
 			it.done(Outcome{Err: fmt.Errorf("taskmgr: post %s: %v", def.Name, err)})
 		}
-		return
+		return false
 	}
-	if cause := scope.registerHIT(h.ID); cause != nil {
-		// The scope was canceled while the HIT was being posted; expire
-		// it ourselves — cancellation's sweep never saw it.
-		m.cancelInflightHIT(h.ID, cause)
+	for i := range shares {
+		if cause := shares[i].scope.registerHIT(h.ID); cause != nil {
+			// The scope was canceled while the HIT was being posted;
+			// withdraw its stake ourselves — cancellation never saw it.
+			m.cancelScopeHIT(h.ID, shares[i].scope, cause)
+		}
 	}
+	return true
 }
 
 // onAssignment collects one completed assignment; when the HIT has all
@@ -842,7 +1104,8 @@ func (m *Manager) onAssignment(res mturk.AssignmentResult) {
 	}
 	delete(s.hits, res.HITID)
 	s.mu.Unlock()
-	fl.scope.unregisterHIT(res.HITID)
+	fl.unregister(res.HITID)
+	m.hitRetired(fl)
 	m.finalizeInflight(fl)
 }
 
@@ -1078,7 +1341,9 @@ func sortTaskStats(ss []TaskStats) {
 	sort.Slice(ss, func(i, j int) bool { return ss[i].Task < ss[j].Task })
 }
 
-// Pending reports queued-but-unposted items across all tasks.
+// Pending reports queued-but-unposted items across all tasks,
+// including items cut into batches still waiting in the admission
+// queue.
 func (m *Manager) Pending() int {
 	m.mu.Lock()
 	states := make([]*taskState, 0, len(m.tasks))
@@ -1092,7 +1357,30 @@ func (m *Manager) Pending() int {
 		n += len(st.pending)
 		st.mu.Unlock()
 	}
-	return n
+	return n + m.sched.queuedItems()
+}
+
+// SharingStats aggregates cross-query co-batching activity.
+type SharingStats struct {
+	// SharedHITs counts posted HITs whose items came from two or more
+	// scopes; CoBatchedItems counts the items inside them.
+	SharedHITs     int64
+	CoBatchedItems int64
+	// HITsSaved estimates the HITs sharing avoided — each shared HIT
+	// replaced one partial batch per extra participating scope — and
+	// SavedCents prices those HITs at their actual posted cost.
+	HITsSaved  int64
+	SavedCents budget.Cents
+}
+
+// Sharing reports cross-query co-batching counters.
+func (m *Manager) Sharing() SharingStats {
+	return SharingStats{
+		SharedHITs:     m.sharedHITs.Load(),
+		CoBatchedItems: m.sharedItems.Load(),
+		HITsSaved:      m.sharedSaved.Load(),
+		SavedCents:     budget.Cents(m.savedCents.Load()),
+	}
 }
 
 // Inflight reports posted HITs that have not collected all assignments.

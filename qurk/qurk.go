@@ -37,6 +37,21 @@
 // (WithBudget, WithPolicy, WithPriority, WithAdaptiveJoins) override
 // the engine defaults for one query.
 //
+// # Multi-tenant serving
+//
+// Concurrent queries over the same tasks can opt into cross-query HIT
+// sharing with WithSharedBatching (or a task-level "Share: Yes"
+// property): partial batches from different queries with matching
+// effective posting policies fill one HIT together, and the HIT cost
+// is split across the queries by item count — integer cents with
+// deterministic largest-remainder rounding, so per-query budgets,
+// refunds and dashboard spend stay exact. Canceling one participant
+// detaches its items and refunds its share of the unconsumed cost; the
+// HIT keeps running for the others. Config.MaxInflightHITs adds an
+// admission gate: excess batches queue and post in priority order
+// (WithPriority), then by weighted fair share of admitted HITs
+// (WithWeight), so a burst of queries degrades gracefully.
+//
 // The engine runs HITs against a configurable synthetic crowd under a
 // virtual clock, so latency is reported in simulated minutes while
 // programs finish in milliseconds. See DESIGN.md for the architecture
@@ -78,7 +93,8 @@ type (
 	// Rows is the streaming result cursor returned by Engine.Query.
 	Rows = core.Rows
 	// QueryOption customizes one Query call (WithBudget, WithDeadline,
-	// WithPolicy, WithAdaptiveJoins, WithPriority).
+	// WithPolicy, WithAdaptiveJoins, WithPriority, WithSharedBatching,
+	// WithWeight).
 	QueryOption = core.QueryOption
 	// ParseError is a query-text error with line/column position.
 	ParseError = core.ParseError
@@ -132,6 +148,12 @@ var (
 	WithAdaptiveJoins = core.WithAdaptiveJoins
 	// WithPriority orders this query's HIT batches relative to others.
 	WithPriority = core.WithPriority
+	// WithSharedBatching lets this query's items co-fill HITs with
+	// other sharing queries, cost split by item count.
+	WithSharedBatching = core.WithSharedBatching
+	// WithWeight sets the query's fair-share weight under an admission
+	// gate (Config.MaxInflightHITs).
+	WithWeight = core.WithWeight
 )
 
 // New starts an engine. Callers must Close it.
