@@ -214,7 +214,7 @@ func runMTBench(seed int64, scale int) error {
 
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, EXEC)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -268,8 +268,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "EXEC") {
+		matched = true
+		if err := runExecBench(); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: EXEC:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, EXEC)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -55,6 +55,7 @@ func main() {
 	queries := flag.Int("queries", 0, "multitenant: concurrent streaming queries (0 = default 150)")
 	noShare := flag.Bool("noshare", false, "multitenant: turn cross-query HIT sharing off (baseline)")
 	maxInflight := flag.Int("maxinflight", 0, "multitenant: admission gate on concurrently posted HITs (0 = default 32)")
+	noPlanCache := flag.Bool("noplancache", false, "disable the normalized-SQL plan cache (A/B baseline; -verify fingerprints must match either way)")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		Queries:      *queries,
 		NoShare:      *noShare,
 		MaxInflight:  *maxInflight,
+		NoPlanCache:  *noPlanCache,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {

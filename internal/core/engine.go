@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/budget"
 	"repro/internal/cache"
@@ -73,6 +74,10 @@ type Config struct {
 	// and WithWeight) so a burst of concurrent queries degrades
 	// gracefully instead of flooding the marketplace. 0 = unlimited.
 	MaxInflightHITs int
+	// PlanCacheSize bounds the normalized-SQL plan cache (LRU entries).
+	// 0 means the default (256); negative disables plan caching
+	// entirely. Individual queries can opt out with WithPlanCache.
+	PlanCacheSize int
 }
 
 // QueryHandle tracks one submitted query.
@@ -127,6 +132,10 @@ type Engine struct {
 	opt     *optimizer.Optimizer
 	store   *store.Store // nil unless Config.StorePath was set
 	warm    taskmgr.RestoreSummary
+	plans   *planCache // nil when Config.PlanCacheSize < 0
+	// planEpoch versions the planning environment (tasks, tables);
+	// bumping it orphans every cached plan keyed under the old epoch.
+	planEpoch int64
 
 	mu      sync.Mutex
 	script  *qlang.Script
@@ -163,6 +172,9 @@ func New(cfg Config) (*Engine, error) {
 		mgr:     mgr,
 		opt:     optimizer.New(mgr),
 		script:  &qlang.Script{},
+	}
+	if cfg.PlanCacheSize >= 0 {
+		e.plans = newPlanCache(cfg.PlanCacheSize)
 	}
 	if cfg.StorePath != "" {
 		st, err := store.Open(cfg.StorePath)
@@ -230,8 +242,17 @@ func (e *Engine) Clock() *mturk.Clock { return e.clock }
 // Pool returns the simulated crowd, or nil when a custom pool is used.
 func (e *Engine) Pool() *crowd.Pool { return e.pool }
 
-// Register adds a table to the catalog.
-func (e *Engine) Register(t *relation.Table) error { return e.catalog.Register(t) }
+// Register adds a table to the catalog. Registering bumps the plan-cache
+// epoch: cached Scan nodes pin table identities, so a new table under a
+// previously missing (or differently shaped) name must not resolve
+// through a stale plan.
+func (e *Engine) Register(t *relation.Table) error {
+	if err := e.catalog.Register(t); err != nil {
+		return err
+	}
+	atomic.AddInt64(&e.planEpoch, 1)
+	return nil
+}
 
 // LoadCSV registers a table parsed from CSV.
 func (e *Engine) LoadCSV(name string, r io.Reader) (*relation.Table, error) {
@@ -239,7 +260,7 @@ func (e *Engine) LoadCSV(name string, r io.Reader) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.catalog.Register(t); err != nil {
+	if err := e.Register(t); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -258,6 +279,11 @@ func (e *Engine) Define(src string) error {
 func (e *Engine) defineTasks(defs []*qlang.TaskDef) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if len(defs) > 0 {
+		// New tasks change what the planner can resolve; orphan every
+		// cached plan keyed under the old environment.
+		atomic.AddInt64(&e.planEpoch, 1)
+	}
 	for _, def := range defs {
 		if _, dup := e.script.Task(def.Name); dup {
 			return fmt.Errorf("core: task %q already defined", def.Name)
@@ -342,10 +368,6 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	script := e.script
 	e.mu.Unlock()
 
-	node, err := plan.Build(stmt, script, e.catalog)
-	if err != nil {
-		return nil, err
-	}
 	cfg := e.cfg.Exec
 	cfg.Mgr = e.mgr
 	cfg.Script = script
@@ -384,11 +406,16 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	if o.adaptive != nil {
 		adaptive = *o.adaptive
 	}
+	var decide plan.PreFilterDecider
 	if adaptive {
-		node = plan.ApplyPreFilters(node, script, e.opt.PreFilterDeciderFor(cfg))
+		decide = e.opt.PreFilterDeciderFor(cfg)
 		if cfg.PreFilterKeep == nil {
 			cfg.PreFilterKeep = e.opt.PreFilterKeepFor(cfg)
 		}
+	}
+	node, err := e.buildPlan(sql, stmt, script, adaptive, decide, !o.noPlanCache)
+	if err != nil {
+		return nil, err
 	}
 	q, err := exec.StartContext(ctx, node, cfg)
 	if err != nil {
@@ -533,6 +560,15 @@ func (e *Engine) LoadCache(path string) error {
 	return nil
 }
 
+// PlanCacheStats reports the normalized-SQL plan cache's counters.
+// All-zero when the cache is disabled.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return e.plans.stats()
+}
+
 // Store returns the durable knowledge store, or nil when none is
 // configured.
 func (e *Engine) Store() *store.Store { return e.store }
@@ -554,6 +590,15 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 		Market: e.market.Stats(),
 		Tasks:  tasks,
 		Cache:  e.mgr.Cache().Stats(),
+	}
+	if e.plans != nil {
+		pc := e.plans.stats()
+		snap.PlanCache = dashboard.PlanCacheInfo{
+			Hits:          pc.Hits,
+			Misses:        pc.Misses,
+			Invalidations: pc.Invalidations,
+			SavedMs:       pc.SavedMs,
+		}
 	}
 	for _, m := range e.mgr.Models().All() {
 		snap.Models = append(snap.Models, m.Stats())

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/qlang"
+)
+
+// planCache memoizes logical plans keyed by their normalized SQL
+// fingerprint (qlang.NormalizeQuery — literals stripped), so repeated
+// query shapes skip parsing-independent planning work: plan construction,
+// pushdown and the pre-filter cost walk.
+//
+// Correctness invariants:
+//
+//   - Literals are re-bound on every hit. The cached template records
+//     where each stripped literal lives in the plan; a hit deep-clones
+//     the template with the fresh statement's constants substituted, so
+//     two queries differing only in literals share a template yet each
+//     executes with its own values.
+//
+//   - The key embeds a config epoch, bumped whenever the engine's
+//     environment changes in ways planning observes — new task
+//     definitions, new tables. Old entries die wholesale.
+//
+//   - Adaptive pre-filter decisions are never trusted across queries.
+//     A hit re-runs plan.ApplyPreFilters over the fresh clone with the
+//     live cost decider (fed by the Statistics Manager); if the decision
+//     vector differs from the one recorded at miss time, the Statistics
+//     Manager's evidence has crossed an optimizer threshold and the
+//     entry is counted as invalidated (and refreshed), not hit.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element // key → element whose Value is *planEntry
+	lru     list.List                // front = most recently used
+
+	hits          int64
+	misses        int64
+	invalidations int64
+	savedNs       int64
+}
+
+type planEntry struct {
+	key string
+	// template is the pre-ApplyPreFilters plan clone; hits clone it
+	// again (with substitution), so the cached tree is never executed
+	// or mutated directly.
+	template plan.Node
+	// stmt is the statement the template was planned from; its literal
+	// list (qlang.CollectStmtLiterals order) aligns index-for-index
+	// with slots.
+	stmt *qlang.SelectStmt
+	// slots are the template plan's literal nodes, one per statement
+	// literal, targeted by substitution on a hit.
+	slots []*qlang.Literal
+	// decisions is the pre-filter decision vector recorded when the
+	// entry was (re)planned, in ApplyPreFilters walk order.
+	decisions []plan.PreFilterDecision
+	// planNs is the measured planning cost this entry saves per hit.
+	planNs int64
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &planCache{max: max, entries: make(map[string]*list.Element)}
+}
+
+// planCacheKey builds the cache key for a query under the given epoch
+// and adaptive-join setting. ok is false when the text cannot be
+// fingerprinted (never for a statement that already parsed).
+func planCacheKey(sql string, epoch int64, adaptive bool) (string, bool) {
+	norm, err := qlang.NormalizeQuery(sql)
+	if err != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%d|%t|%s", epoch, adaptive, norm), true
+}
+
+// lookup returns the entry for key, refreshing its LRU position.
+func (c *planCache) lookup(key string) *planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry)
+}
+
+// store inserts or replaces the entry, evicting the least recently used
+// entry past capacity.
+func (c *planCache) store(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		delete(c.entries, oldest.Value.(*planEntry).key)
+		c.lru.Remove(oldest)
+	}
+}
+
+func (c *planCache) noteHit(savedNs int64) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.savedNs, savedNs)
+}
+func (c *planCache) noteMiss()       { atomic.AddInt64(&c.misses, 1) }
+func (c *planCache) noteInvalidate() { atomic.AddInt64(&c.invalidations, 1) }
+
+// PlanCacheStats is the observable counter set (dashboard, tests).
+type PlanCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	SavedMs       float64
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          atomic.LoadInt64(&c.hits),
+		Misses:        atomic.LoadInt64(&c.misses),
+		Invalidations: atomic.LoadInt64(&c.invalidations),
+		SavedMs:       float64(atomic.LoadInt64(&c.savedNs)) / 1e6,
+	}
+}
+
+// buildPlan produces the executable plan for one query, through the
+// cache when it is enabled and the caller did not opt out. The decider
+// (nil when adaptive joins are off) is invoked live on both misses and
+// hits; on a hit its decision vector is compared against the entry's.
+func (e *Engine) buildPlan(sql string, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, decide plan.PreFilterDecider, useCache bool) (plan.Node, error) {
+	var recorded []plan.PreFilterDecision
+	var recording plan.PreFilterDecider
+	if decide != nil {
+		recording = func(join, filter *qlang.TaskDef, l, r int) plan.PreFilterDecision {
+			d := decide(join, filter, l, r)
+			recorded = append(recorded, d)
+			return d
+		}
+	}
+
+	cache := e.plans
+	key, keyOK := "", false
+	if cache != nil && useCache {
+		key, keyOK = planCacheKey(sql, atomic.LoadInt64(&e.planEpoch), adaptive)
+	}
+
+	if keyOK {
+		if entry := cache.lookup(key); entry != nil {
+			if node, ok := e.replanFromEntry(entry, stmt, script, adaptive, recording, &recorded); ok {
+				return node, nil
+			}
+		}
+	}
+
+	// Miss (or cache bypassed): full planning pass.
+	start := time.Now()
+	node, err := plan.Build(stmt, script, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Pushdown(node)
+
+	var entry *planEntry
+	if keyOK {
+		// Snapshot the template before ApplyPreFilters mutates the tree.
+		entry = newPlanEntry(key, node, stmt)
+	}
+	if adaptive {
+		node = plan.ApplyPreFilters(node, script, recording)
+	}
+	planNs := time.Since(start).Nanoseconds()
+	if entry != nil {
+		entry.decisions = recorded
+		entry.planNs = planNs
+		cache.noteMiss()
+		cache.store(entry)
+	}
+	return node, nil
+}
+
+// newPlanEntry clones the pre-ApplyPreFilters plan into a cache template
+// and maps the statement's literal order onto the clone's literal nodes.
+// It returns nil when the plan's literals cannot be tracked back to the
+// statement (planning rewrote them), making the query uncacheable.
+func newPlanEntry(key string, node plan.Node, stmt *qlang.SelectStmt) *planEntry {
+	template, rec := plan.Clone(node, nil)
+	lits := qlang.CollectStmtLiterals(stmt)
+	slots := make([]*qlang.Literal, len(lits))
+	for i, l := range lits {
+		cl, ok := rec[l]
+		if !ok {
+			return nil
+		}
+		slots[i] = cl
+	}
+	return &planEntry{key: key, template: template, stmt: stmt, slots: slots}
+}
+
+// replanFromEntry instantiates a cached template for a fresh statement:
+// substitute the fresh literals into a deep clone, then re-run the live
+// pre-filter decider over it. A decision vector differing from the
+// recorded one means the Statistics Manager's evidence moved an
+// optimizer decision across its threshold — the entry is refreshed and
+// counted as an invalidation rather than a hit.
+func (e *Engine) replanFromEntry(entry *planEntry, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, recording plan.PreFilterDecider, recorded *[]plan.PreFilterDecision) (plan.Node, bool) {
+	fresh := qlang.CollectStmtLiterals(stmt)
+	if len(fresh) != len(entry.slots) {
+		// Same fingerprint must mean isomorphic literal lists; a mismatch
+		// means the normalizer and the collector disagree — fall back to
+		// full planning rather than risk binding the wrong constant.
+		return nil, false
+	}
+	sub := make(map[*qlang.Literal]qlang.Expr, len(fresh))
+	for i, slot := range entry.slots {
+		sub[slot] = &qlang.Literal{Value: fresh[i].Value}
+	}
+	node, _ := plan.Clone(entry.template, sub)
+	if adaptive {
+		node = plan.ApplyPreFilters(node, script, recording)
+		if !decisionsEqual(*recorded, entry.decisions) {
+			e.plans.noteInvalidate()
+			// Refresh the recorded vector so the next identical query hits
+			// under the new stats regime.
+			c := e.plans
+			c.mu.Lock()
+			entry.decisions = append([]plan.PreFilterDecision(nil), *recorded...)
+			c.mu.Unlock()
+			return node, true
+		}
+	}
+	e.plans.noteHit(entry.planNs)
+	return node, true
+}
+
+func decisionsEqual(a, b []plan.PreFilterDecision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

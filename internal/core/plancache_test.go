@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dashboard"
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// localTable builds a plain int table the crowd never touches, so plan
+// cache tests run without HIT nondeterminism.
+func localTable(t *testing.T, e *Engine) {
+	t.Helper()
+	tab := relation.NewTable("nums", relation.MustSchema(
+		relation.Column{Name: "v", Kind: relation.KindInt}))
+	for i := int64(0); i < 20; i++ {
+		if err := tab.InsertValues(relation.NewInt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(t *testing.T, e *Engine, sql string, opts ...QueryOption) []relation.Tuple {
+	t.Helper()
+	rows, err := e.Query(context.Background(), sql, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var out []relation.Tuple
+	for rows.Next() {
+		out = append(out, rows.Tuple())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPlanCacheHitWithDifferentLiterals is the core correctness claim:
+// queries that differ only in constants share a cached template, and
+// each still runs with its own constants.
+func TestPlanCacheHitWithDifferentLiterals(t *testing.T) {
+	e := newEngine(t, Config{}, workload.Companies(4, 3))
+	localTable(t, e)
+
+	a := collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	b := collect(t, e, `SELECT v FROM nums WHERE v < 11`)
+	c := collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	if len(a) != 5 || len(c) != 5 {
+		t.Fatalf("v<5 rows = %d then %d, want 5 and 5", len(a), len(c))
+	}
+	if len(b) != 11 {
+		t.Fatalf("v<11 rows = %d, want 11 (cached template must re-bind the literal)", len(b))
+	}
+	st := e.PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss then 2 hits", st)
+	}
+	if st.Invalidations != 0 {
+		t.Fatalf("unexpected invalidations: %+v", st)
+	}
+}
+
+// TestPlanCacheKeySeparatesShapes: different LIMITs and different
+// operators must not share entries.
+func TestPlanCacheKeySeparatesShapes(t *testing.T) {
+	e := newEngine(t, Config{}, workload.Companies(4, 3))
+	localTable(t, e)
+
+	if got := collect(t, e, `SELECT v FROM nums LIMIT 3`); len(got) != 3 {
+		t.Fatalf("limit 3 rows = %d", len(got))
+	}
+	if got := collect(t, e, `SELECT v FROM nums LIMIT 7`); len(got) != 7 {
+		t.Fatalf("limit 7 rows = %d", len(got))
+	}
+	st := e.PlanCacheStats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want two misses (LIMIT operand is part of the key)", st)
+	}
+}
+
+// TestPlanCacheOptOut: WithPlanCache(false) plans from scratch and
+// leaves the counters untouched.
+func TestPlanCacheOptOut(t *testing.T) {
+	e := newEngine(t, Config{}, workload.Companies(4, 3))
+	localTable(t, e)
+
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`, WithPlanCache(false))
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`, WithPlanCache(false))
+	st := e.PlanCacheStats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want untouched cache under WithPlanCache(false)", st)
+	}
+}
+
+// TestPlanCacheDisabledByConfig: PlanCacheSize < 0 turns the cache off
+// engine-wide.
+func TestPlanCacheDisabledByConfig(t *testing.T) {
+	e := newEngine(t, Config{PlanCacheSize: -1}, workload.Companies(4, 3))
+	localTable(t, e)
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	if st := e.PlanCacheStats(); st != (PlanCacheStats{}) {
+		t.Fatalf("stats = %+v, want all-zero with the cache disabled", st)
+	}
+}
+
+// TestPlanCacheEpochInvalidation: registering a table orphans old
+// entries — the same SQL replans under the new epoch.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	e := newEngine(t, Config{}, workload.Companies(4, 3))
+	localTable(t, e)
+
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	extra := relation.NewTable("extra", relation.MustSchema(
+		relation.Column{Name: "x", Kind: relation.KindInt}))
+	if err := e.Register(extra); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	st := e.PlanCacheStats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 2 misses across an epoch bump", st)
+	}
+}
+
+// TestPlanCacheDecisionFlipInvalidates drives buildPlan directly with a
+// controllable pre-filter decider standing in for the optimizer: when
+// live statistics flip the decision vector a cached plan baked in, the
+// hit becomes an invalidation and the fresh plan follows the new
+// decisions.
+func TestPlanCacheDecisionFlipInvalidates(t *testing.T) {
+	ds := workload.Celebrities(6, 6, 0.5, 3)
+	e := newEngine(t, Config{}, ds)
+
+	const sql = `SELECT celebrities.name, spottedstars.id
+FROM celebrities, spottedstars
+WHERE samePerson(celebrities.image, spottedstars.image)`
+	stmt, err := qlang.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	script := e.script
+	e.mu.Unlock()
+
+	wrap := true
+	decide := func(_, _ *qlang.TaskDef, _, _ int) plan.PreFilterDecision {
+		return plan.PreFilterDecision{Left: wrap, Right: wrap}
+	}
+
+	countPreFilters := func(n plan.Node) int {
+		count := 0
+		plan.Walk(n, func(m plan.Node) {
+			if _, ok := m.(*plan.PreFilter); ok {
+				count++
+			}
+		})
+		return count
+	}
+
+	first, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countPreFilters(first); got != 2 {
+		t.Fatalf("miss-path pre-filters = %d, want 2:\n%s", got, plan.Explain(first))
+	}
+
+	// Same stats regime: a clean hit with the same decisions.
+	second, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countPreFilters(second); got != 2 {
+		t.Fatalf("hit-path pre-filters = %d, want 2", got)
+	}
+
+	// Statistics crossed the optimizer threshold: decisions flip, the
+	// entry invalidates, and the plan follows the live decider.
+	wrap = false
+	third, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countPreFilters(third); got != 0 {
+		t.Fatalf("post-flip pre-filters = %d, want 0:\n%s", got, plan.Explain(third))
+	}
+	st := e.PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 1 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 invalidation", st)
+	}
+
+	// The refreshed decision vector makes the next query a hit again.
+	if _, err := e.buildPlan(sql, stmt, script, true, decide, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.PlanCacheStats(); st.Hits != 2 || st.Invalidations != 1 {
+		t.Fatalf("stats after refresh = %+v, want 2 hits, 1 invalidation", st)
+	}
+}
+
+// TestPlanCacheDashboardLine: the snapshot carries the counters and the
+// rendered dashboard reports them.
+func TestPlanCacheDashboardLine(t *testing.T) {
+	e := newEngine(t, Config{}, workload.Companies(4, 3))
+	localTable(t, e)
+	collect(t, e, `SELECT v FROM nums WHERE v < 5`)
+	collect(t, e, `SELECT v FROM nums WHERE v < 9`)
+
+	snap := e.Snapshot()
+	if snap.PlanCache.Hits != 1 || snap.PlanCache.Misses != 1 {
+		t.Fatalf("snapshot plan cache = %+v, want 1 hit, 1 miss", snap.PlanCache)
+	}
+	rendered := dashboard.Render(snap)
+	if !strings.Contains(rendered, "Plan cache: 1 hits, 0 invalidations") {
+		t.Fatalf("dashboard missing plan-cache line:\n%s", rendered)
+	}
+}

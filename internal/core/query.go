@@ -38,6 +38,7 @@ type queryOptions struct {
 	weight      int
 	shared      bool
 	adaptive    *bool
+	noPlanCache bool
 }
 
 // QueryOption customizes a single Query call, overriding the engine's
@@ -73,6 +74,14 @@ func WithPolicy(task string, p taskmgr.Policy) QueryOption {
 // for this query, overriding Config.AdaptiveJoins.
 func WithAdaptiveJoins(on bool) QueryOption {
 	return func(o *queryOptions) { o.adaptive = &on }
+}
+
+// WithPlanCache enables or disables the normalized-SQL plan cache for
+// this query only (default on when the engine's cache is enabled).
+// Bypassing the cache plans from scratch and leaves the cache untouched
+// — useful for A/B-verifying that cached and uncached plans agree.
+func WithPlanCache(on bool) QueryOption {
+	return func(o *queryOptions) { o.noPlanCache = !on }
 }
 
 // WithPriority orders this query's pending work ahead of (positive) or

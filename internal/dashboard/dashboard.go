@@ -88,6 +88,18 @@ type WarmstartInfo struct {
 	SavedCents budget.Cents
 }
 
+// PlanCacheInfo reports the engine's normalized-SQL plan cache: queries
+// whose shape (literals stripped) matched a cached template skip
+// planning; entries invalidate when live statistics flip an optimizer
+// decision the cached plan baked in.
+type PlanCacheInfo struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	// SavedMs totals the measured planning time hits skipped.
+	SavedMs float64
+}
+
 // Snapshot is a point-in-time view of the whole system.
 type Snapshot struct {
 	NowMinutes float64
@@ -107,6 +119,8 @@ type Snapshot struct {
 	// Warmstart is what the knowledge store replayed at engine start
 	// (zero when no store is configured).
 	Warmstart WarmstartInfo
+	// PlanCache reports plan-cache activity (zero when disabled).
+	PlanCache PlanCacheInfo
 }
 
 // ComputeSavings derives the optimization-benefit panel from task stats:
@@ -155,6 +169,10 @@ func Render(s Snapshot) string {
 	if s.Savings.SharedHITs > 0 {
 		fmt.Fprintf(&b, "Multi-tenant sharing: %d HITs co-batched %d cross-query items (~%v saved)\n",
 			s.Savings.SharedHITs, s.Savings.SharedItems, s.Savings.SharedSavedCents)
+	}
+	if s.PlanCache.Hits > 0 || s.PlanCache.Invalidations > 0 {
+		fmt.Fprintf(&b, "Plan cache: %d hits, %d invalidations (~%.1f ms planning saved)\n",
+			s.PlanCache.Hits, s.PlanCache.Invalidations, s.PlanCache.SavedMs)
 	}
 	if s.Warmstart.Answers > 0 || s.Warmstart.Observations > 0 {
 		fmt.Fprintf(&b, "Warm start: %d answers, %d observations replayed (~%v saved)\n",

@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestAllocRegressionGate is the CI bench-smoke gate: it measures
+// allocs/op for every suite pipeline and fails if any exceeds 2× the
+// committed baseline in testdata/alloc_baseline.json. The baseline was
+// captured from the iterator executor on the reference container; the 2×
+// headroom absorbs runtime and platform jitter while still catching a
+// reintroduced per-tuple allocation (which shows up as 5–30×).
+func TestAllocRegressionGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates alloc counts; gate runs in the non-race CI step")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state measurements; skipped in -short")
+	}
+	raw, err := os.ReadFile("testdata/alloc_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range BenchSuite() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			base, ok := baseline[c.Name]
+			if !ok {
+				t.Fatalf("no committed baseline for %s; add it to testdata/alloc_baseline.json", c.Name)
+			}
+			node, err := c.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the tuple pool and the scheduler before measuring.
+			if _, err := c.Run(node); err != nil {
+				t.Fatal(err)
+			}
+			got := testing.AllocsPerRun(5, func() {
+				if _, err := c.Run(node); err != nil {
+					t.Fatal(err)
+				}
+			})
+			limit := 2 * base
+			if got > limit {
+				t.Errorf("%s allocs/op = %.0f, over the 2x gate (baseline %.0f, limit %.0f); if the growth is intentional, refresh testdata/alloc_baseline.json", c.Name, got, base, limit)
+			}
+			t.Logf("%s: %.0f allocs/op (baseline %.0f)", c.Name, got, base)
+		})
+	}
+}

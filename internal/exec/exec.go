@@ -52,10 +52,16 @@ type Config struct {
 	// of its input through unfiltered — the mid-query re-plan of the
 	// adaptive join optimization. Nil keeps filtering to the end.
 	PreFilterKeep func(pf *plan.PreFilter, remaining int) bool
-	// PreFilterBlock is how many tuples one pre-filter round submits
-	// before waiting for outcomes and re-checking the decision
+	// PreFilterBlock is how many tuples the first pre-filter round
+	// submits before waiting for outcomes and re-checking the decision
 	// (default 25). Smaller blocks adapt faster at a latency cost.
 	PreFilterBlock int
+	// PreFilterMaxBlock caps the cost-aware re-plan schedule: after each
+	// block that bought new evidence the stage doubles its block size —
+	// selectivity confidence rises with evidence, so re-checks get
+	// cheaper-per-tuple as the stage proceeds — up to this bound.
+	// 0 means 8× PreFilterBlock.
+	PreFilterMaxBlock int
 	// RankStrategy decides, per Rank node and runtime cardinality, how
 	// the human-powered sort runs (compare / rate / hybrid, batch size,
 	// top-k). The optimizer's RankChooser plugs in here; nil falls back
@@ -101,16 +107,19 @@ type OpStats struct {
 	Done    bool
 }
 
-// operator is one running plan node.
+// operator is one plan node's progress record. Async (human-powered)
+// operators run a producer goroutine and own an output queue; local
+// operators fuse into their consumer's pull chain and leave out nil.
 type operator struct {
 	label string
-	out   *queue.Queue
-	in    int64 // atomic
-	emit  int64 // atomic
-	done  int32 // atomic
+	out   *queue.Queue // nil for fused local operators
+	in    int64        // atomic
+	emit  int64        // atomic
+	done  int32        // atomic
 	// decided counts input tuples whose fate is settled; only
-	// pre-filter stages maintain it (they buffer their whole input up
-	// front, so `in` alone would make undecided tuples look processed).
+	// pre-filter stages maintain it (block submission lags input
+	// arrival, so `in` alone would make undecided tuples look
+	// processed).
 	decided int64 // atomic
 }
 
@@ -129,8 +138,10 @@ func (o *operator) push(t relation.Tuple) {
 	}
 }
 
+func (o *operator) markDone() { atomic.StoreInt32(&o.done, 1) }
+
 func (o *operator) finish() {
-	atomic.StoreInt32(&o.done, 1)
+	o.markDone()
 	o.out.Close()
 }
 
@@ -142,8 +153,14 @@ type Query struct {
 	cfg  Config
 	ops  []*operator
 	done chan struct{} // closed when the result stream has fully drained
+	stop int32         // atomic; set by Cancel so fused iterators bail out
 
 	trackers []*joinTracker
+
+	// residentSum accumulates the buffer sizes of barrier operators
+	// (sorts, joins, aggregates); with queue high-water marks it bounds
+	// how many tuples the query ever held at once (PeakTuplesResident).
+	residentSum int64 // atomic
 
 	mu          sync.Mutex
 	errors      []error
@@ -328,15 +345,41 @@ func (q *Query) Cancel(cause error) {
 	}
 	q.cause = cause
 	q.mu.Unlock()
+	atomic.StoreInt32(&q.stop, 1)
 	// Resolve blocked operator waits first (outcome callbacks fire with
 	// the cause), then close the queues so blocked Pops observe
-	// end-of-stream.
+	// end-of-stream; fused local operators have no queue and observe the
+	// stop flag instead.
 	if q.cfg.Scope != nil {
 		q.cfg.Scope.Cancel(cause)
 	}
 	for _, op := range q.ops {
-		op.out.Close()
+		if op.out != nil {
+			op.out.Close()
+		}
 	}
+}
+
+// stopped reports whether Cancel has run; fused iterators poll it once
+// per tuple so cancellation does not wait on queue closure.
+func (q *Query) stopped() bool { return atomic.LoadInt32(&q.stop) == 1 }
+
+func (q *Query) noteResident(n int64) { atomic.AddInt64(&q.residentSum, n) }
+
+// PeakTuplesResident upper-bounds how many tuples the query ever held
+// buffered at once: the summed high-water marks of the async operator
+// queues plus every barrier buffer (sort, rank, aggregate, join build)
+// at its fullest. Pipelined tuples in flight between fused operators
+// are O(pipeline depth) and not counted.
+func (q *Query) PeakTuplesResident() int64 {
+	total := atomic.LoadInt64(&q.residentSum)
+	for _, op := range q.ops {
+		if op.out != nil {
+			_, _, hwm := op.out.Stats()
+			total += int64(hwm)
+		}
+	}
+	return total
 }
 
 func (q *Query) noteFirstRow() {
@@ -377,8 +420,10 @@ func (q *Query) reportError(err error) {
 	q.errors = append(q.errors, err)
 }
 
-// Start launches the plan: one goroutine per operator plus a result
-// sink. It returns immediately; results stream into Query.Result().
+// Start launches the plan as a composed pull-iterator chain: local
+// (call-free) operators fuse into the sink's pull loop, human-powered
+// operators get a producer goroutine bridged through a queue. It
+// returns immediately; results stream into Query.Result().
 func Start(root plan.Node, cfg Config) (*Query, error) {
 	cfg = cfg.withDefaults()
 	if needsHumans(root) && cfg.Mgr == nil {
@@ -386,24 +431,31 @@ func Start(root plan.Node, cfg Config) (*Query, error) {
 	}
 	q := &Query{Root: root, cfg: cfg, done: make(chan struct{})}
 	q.result = relation.NewTable("result", root.Schema())
-	top, err := q.launch(root)
+	top, _, err := q.build(root)
 	if err != nil {
 		close(q.done)
 		return nil, err
 	}
 	go func() {
+		stable := top.Stable()
 		for {
-			t, ok := top.out.Pop()
+			t, ok := top.Next()
 			if !ok {
 				break
 			}
 			if q.cfg.Now != nil {
 				q.noteFirstRow()
 			}
+			if !stable {
+				// The result table retains inserted tuples; transient
+				// roots reuse their buffers, so copy out.
+				t = cloneTuple(t)
+			}
 			if err := q.result.Insert(t); err != nil {
 				q.reportError(err)
 			}
 		}
+		top.Close()
 		q.result.Close()
 		close(q.done)
 	}()
@@ -466,39 +518,78 @@ func needsHumans(n plan.Node) bool {
 	return found
 }
 
-// launch builds and starts the operator for a node, returning it.
-func (q *Query) launch(n plan.Node) (*operator, error) {
-	op := &operator{label: n.Label(), out: queue.New(q.cfg.QueueSize)}
+// exprsHaveCalls reports whether any expression invokes a human task.
+func (q *Query) exprsHaveCalls(exprs ...qlang.Expr) bool {
+	for _, e := range exprs {
+		if HasCalls(e, q.cfg.Script) {
+			return true
+		}
+	}
+	return false
+}
+
+// async sets up the queue bridge for a human-powered operator: the
+// caller launches a producer goroutine that pushes into op.out, and
+// downstream pulls through the returned queueIter.
+func (q *Query) async(op *operator) *queueIter {
+	op.out = queue.New(q.cfg.QueueSize)
+	return &queueIter{op: op}
+}
+
+// build composes the iterator chain for a node, appending one operator
+// record per plan node pre-order (top-down) so OpStats keeps plan
+// order. Call-free operators fuse into the consumer's pull chain;
+// human-powered ones keep a producer goroutine. Async operators wrap
+// their inputs in ensureStable: HIT callbacks retain tuples
+// indefinitely, which transient iterators do not allow.
+func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
+	op := &operator{label: n.Label()}
 	q.ops = append(q.ops, op)
 	switch v := n.(type) {
 	case *plan.Scan:
-		go q.runScan(op, v)
+		return &scanIter{q: q, op: op, v: v}, op, nil
 	case *plan.Filter:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runFilter(op, v, in)
+		if !q.exprsHaveCalls(v.Conjuncts...) {
+			return &filterIter{q: q, op: op, child: in, conjuncts: v.Conjuncts}, op, nil
+		}
+		it := q.async(op)
+		go q.runFilter(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.Project:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runProject(op, v, in)
+		exprs := make([]qlang.Expr, len(v.Items))
+		for i, item := range v.Items {
+			exprs[i] = item.Expr
+		}
+		if !q.exprsHaveCalls(exprs...) {
+			return &projectIter{q: q, op: op, v: v, child: in}, op, nil
+		}
+		it := q.async(op)
+		go q.runProject(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.PreFilter:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runPreFilter(op, v, in)
+		it := q.async(op)
+		go q.runPreFilter(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.Join:
-		left, err := q.launch(v.Left)
+		left, lop, err := q.build(v.Left)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		right, err := q.launch(v.Right)
+		right, rop, err := q.build(v.Right)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		_, lpre := v.Left.(*plan.PreFilter)
 		_, rpre := v.Right.(*plan.PreFilter)
@@ -509,44 +600,71 @@ func (q *Query) launch(n plan.Node) (*operator, error) {
 			}
 			q.trackers = append(q.trackers, &joinTracker{
 				label: v.Label(), task: task,
-				left: left, right: right, leftPre: lpre, rightPre: rpre,
+				left: lop, right: rop, leftPre: lpre, rightPre: rpre,
 			})
 		}
-		go q.runJoin(op, v, left, right)
+		if v.HumanTask == nil {
+			return &localJoinIter{q: q, op: op, v: v, left: left, right: ensureStable(right)}, op, nil
+		}
+		it := q.async(op)
+		go q.runJoin(op, v, ensureStable(left), ensureStable(right))
+		return it, op, nil
 	case *plan.OrderBy:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runOrderBy(op, v, in)
+		exprs := make([]qlang.Expr, len(v.Keys))
+		for i, k := range v.Keys {
+			exprs[i] = k.Expr
+		}
+		if !q.exprsHaveCalls(exprs...) {
+			return &orderByIter{q: q, op: op, v: v, child: in}, op, nil
+		}
+		it := q.async(op)
+		go q.runOrderBy(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.Rank:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runRank(op, v, in)
+		it := q.async(op)
+		go q.runRank(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.Aggregate:
-		in, err := q.launch(v.Input)
-		if err != nil {
-			return nil, err
+		exprs := append([]qlang.Expr(nil), v.Keys...)
+		for _, item := range v.Items {
+			exprs = append(exprs, item.Expr)
+			if call, isAgg := aggCall(item.Expr); isAgg {
+				exprs = append(exprs, call.Args...)
+			}
 		}
-		go q.runAggregate(op, v, in)
+		in, _, err := q.build(v.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !q.exprsHaveCalls(exprs...) {
+			return &aggregateIter{q: q, op: op, v: v, child: in}, op, nil
+		}
+		it := q.async(op)
+		go q.runAggregate(op, v, ensureStable(in))
+		return it, op, nil
 	case *plan.Distinct:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runDistinct(op, v, in)
+		return &distinctIter{q: q, op: op, child: in, seen: make(map[string]struct{})}, op, nil
 	case *plan.Limit:
-		in, err := q.launch(v.Input)
+		in, _, err := q.build(v.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		go q.runLimit(op, v, in)
+		return &limitIter{q: q, op: op, child: in, n: v.N}, op, nil
 	default:
-		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+		return nil, nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
-	return op, nil
 }
 
 // resolveCalls submits every human call of exprs for tuple t and invokes

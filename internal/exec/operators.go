@@ -16,20 +16,10 @@ import (
 	"repro/internal/taskmgr"
 )
 
-// runScan streams the table snapshot, re-labelling tuples with the
-// alias-qualified schema.
-func (q *Query) runScan(op *operator, v *plan.Scan) {
-	defer op.finish()
-	for _, row := range v.Table.Snapshot() {
-		atomic.AddInt64(&op.in, 1)
-		op.push(relation.Tuple{Schema: v.Schema(), Values: row.Values})
-	}
-}
-
 // runFilter evaluates local conjuncts immediately and human conjuncts as
 // a short-circuiting cascade (or one grouped HIT when GroupFilters is
 // set). Tuples flow out as soon as their last predicate passes.
-func (q *Query) runFilter(op *operator, v *plan.Filter, in *operator) {
+func (q *Query) runFilter(op *operator, v *plan.Filter, in Iterator) {
 	defer op.finish()
 	var local, human []qlang.Expr
 	taskNames := map[string]bool{}
@@ -120,7 +110,7 @@ func (q *Query) runFilter(op *operator, v *plan.Filter, in *operator) {
 	}
 
 	for {
-		t, ok := in.out.Pop()
+		t, ok := in.Next()
 		if !ok {
 			break
 		}
@@ -230,7 +220,7 @@ func (q *Query) groupFilter(op *operator, t relation.Tuple, human []qlang.Expr, 
 }
 
 // runProject resolves each tuple's human calls, then computes outputs.
-func (q *Query) runProject(op *operator, v *plan.Project, in *operator) {
+func (q *Query) runProject(op *operator, v *plan.Project, in Iterator) {
 	defer op.finish()
 	exprs := make([]qlang.Expr, 0, len(v.Items))
 	taskNames := map[string]bool{}
@@ -242,7 +232,7 @@ func (q *Query) runProject(op *operator, v *plan.Project, in *operator) {
 	}
 	var wg sync.WaitGroup
 	for {
-		t, ok := in.out.Pop()
+		t, ok := in.Next()
 		if !ok {
 			break
 		}
@@ -280,9 +270,12 @@ type joinSide struct {
 	arg   relation.Value
 }
 
-// runJoin buffers both inputs, then either nested-loops locally or walks
-// block pairs through the human join interface.
-func (q *Query) runJoin(op *operator, v *plan.Join, left, right *operator) {
+// runJoin drives the human join interface: both inputs drain
+// concurrently (each side's iterator chain runs in its drain
+// goroutine), then block pairs walk through the join HITs. Call-free
+// joins never reach here — they fuse into localJoinIter, which streams
+// the probe side.
+func (q *Query) runJoin(op *operator, v *plan.Join, left, right Iterator) {
 	defer op.finish()
 	var lbuf, rbuf []relation.Tuple
 	var dw sync.WaitGroup
@@ -290,7 +283,7 @@ func (q *Query) runJoin(op *operator, v *plan.Join, left, right *operator) {
 	go func() {
 		defer dw.Done()
 		for {
-			t, ok := left.out.Pop()
+			t, ok := left.Next()
 			if !ok {
 				return
 			}
@@ -301,7 +294,7 @@ func (q *Query) runJoin(op *operator, v *plan.Join, left, right *operator) {
 	go func() {
 		defer dw.Done()
 		for {
-			t, ok := right.out.Pop()
+			t, ok := right.Next()
 			if !ok {
 				return
 			}
@@ -310,18 +303,7 @@ func (q *Query) runJoin(op *operator, v *plan.Join, left, right *operator) {
 		}
 	}()
 	dw.Wait()
-
-	if v.HumanTask == nil {
-		for _, lt := range lbuf {
-			for _, rt := range rbuf {
-				joined := relation.Tuple{Schema: v.Schema(), Values: concatValues(lt, rt)}
-				if q.passesAll(v.Residual, joined) {
-					op.push(joined)
-				}
-			}
-		}
-		return
-	}
+	q.noteResident(int64(len(lbuf) + len(rbuf)))
 
 	ls := q.evalSide(lbuf, v.LeftArg)
 	rs := q.evalSide(rbuf, v.RightArg)
@@ -468,74 +450,107 @@ func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
 // single-assignment POSSIBLY-style semantics: each tuple's filter task
 // is submitted with redundancy 1 (the join predicate re-checks the
 // surviving pairs anyway), survivors flow to the join, rejects are
-// dropped. The input is processed in blocks; between blocks the stage
+// dropped. The input is pulled in blocks; between blocks the stage
 // waits for outcomes — so live selectivity accumulates in the
 // Statistics Manager — and re-asks Config.PreFilterKeep whether
-// filtering the remaining (uncached, counted via counter-free cache probes) tuples is
-// still predicted to pay. A "no" re-plans the rest of the input as an
-// unfiltered pass-through.
+// filtering the remaining (uncached, counted via counter-free cache
+// probes) tuples is still predicted to pay. A "no" re-plans the rest of
+// the input as an unfiltered pass-through that streams tuple-by-tuple,
+// never buffering. While filtering, the block size starts at
+// Config.PreFilterBlock and doubles after every block that submitted
+// fresh (uncached) work, up to Config.PreFilterMaxBlock: early blocks
+// probe cheaply while the selectivity estimate is noisy, later blocks
+// amortize the per-block outcome barrier once confidence has grown.
 //
 // A tuple whose filter errors passes through unfiltered: the pre-filter
 // is an optimization, and correctness stays with the join predicate.
-func (q *Query) runPreFilter(op *operator, v *plan.PreFilter, in *operator) {
+func (q *Query) runPreFilter(op *operator, v *plan.PreFilter, in Iterator) {
 	defer op.finish()
-	var rows []relation.Tuple
-	for {
-		t, ok := in.out.Pop()
-		if !ok {
-			break
-		}
-		atomic.AddInt64(&op.in, 1)
-		rows = append(rows, t)
-	}
-
-	// Evaluate each tuple's filter argument once and snapshot which
-	// answers the task cache already holds (a cheap Contains probe, no
-	// counters, no copies). uncachedAfter[i] counts uncached work in
-	// rows[i:], so each re-check is O(1); answers cached after the
-	// stage started are at worst ignored, which only makes the re-check
-	// conservative about abandoning the filter.
-	args := make([]relation.Value, len(rows))
-	argErr := make([]error, len(rows))
-	uncachedAfter := make([]int, len(rows)+1)
 	c := q.cfg.Mgr.Cache()
-	for i, t := range rows {
-		args[i], argErr[i] = Eval(v.Arg, t, nil)
-	}
-	for i := len(rows) - 1; i >= 0; i-- {
-		uncachedAfter[i] = uncachedAfter[i+1]
-		if argErr[i] == nil && !c.Contains(cache.NewKey(v.Task.Name, []relation.Value{args[i]})) {
-			uncachedAfter[i]++
-		}
-	}
-
 	block := q.cfg.PreFilterBlock
-	filtering := true
-	for start := 0; start < len(rows); start += block {
+	maxBlock := q.cfg.PreFilterMaxBlock
+	if maxBlock <= 0 {
+		maxBlock = 8 * q.cfg.PreFilterBlock
+	}
+	estimate := plan.EstimateRows(v.Input)
+	pulled := 0
+	first := true
+	rows := make([]relation.Tuple, 0, block)
+	args := make([]relation.Value, 0, block)
+	argErr := make([]error, 0, block)
+	for {
 		if q.Canceled() {
 			// The rest of the input is moot: the join downstream is dead
 			// too, so neither fail-open pass-through nor more filter HITs
 			// would buy anything.
 			return
 		}
-		if filtering && start > 0 && q.cfg.PreFilterKeep != nil {
-			if !q.cfg.PreFilterKeep(v, uncachedAfter[start]) {
-				filtering = false
+		// Pull one block, evaluating each tuple's filter argument once
+		// and probing the task cache (a cheap Contains probe, no
+		// counters, no copies) to count the uncached work it holds.
+		rows, args, argErr = rows[:0], args[:0], argErr[:0]
+		uncached := 0
+		for len(rows) < block {
+			t, ok := in.Next()
+			if !ok {
+				break
+			}
+			atomic.AddInt64(&op.in, 1)
+			rows = append(rows, t)
+			a, err := Eval(v.Arg, t, nil)
+			args, argErr = append(args, a), append(argErr, err)
+			if err == nil && !c.Contains(cache.NewKey(v.Task.Name, []relation.Value{a})) {
+				uncached++
 			}
 		}
-		end := start + block
-		if end > len(rows) {
-			end = len(rows)
+		if len(rows) == 0 {
+			return
 		}
-		if !filtering {
-			for _, t := range rows[start:end] {
-				op.push(t)
+		pulled += len(rows)
+		// Between blocks, re-ask whether filtering the remaining work is
+		// still predicted to pay: this block's uncached tuples plus the
+		// not-yet-pulled remainder of the input (estimated, and
+		// conservatively assumed uncached — cached answers are free, so
+		// overestimating remaining work only keeps a profitable filter
+		// running).
+		if !first && q.cfg.PreFilterKeep != nil {
+			remaining := uncached
+			if rest := estimate - pulled; rest > 0 {
+				remaining += rest
 			}
-			atomic.AddInt64(&op.decided, int64(end-start))
-			continue
+			if !q.cfg.PreFilterKeep(v, remaining) {
+				// Re-plan: pass this block and the rest of the input
+				// through unfiltered, tuple by tuple — the declined path
+				// streams, it does not buffer.
+				for _, t := range rows {
+					op.push(t)
+				}
+				atomic.AddInt64(&op.decided, int64(len(rows)))
+				for {
+					t, ok := in.Next()
+					if !ok {
+						return
+					}
+					atomic.AddInt64(&op.in, 1)
+					op.push(t)
+					atomic.AddInt64(&op.decided, 1)
+				}
+			}
 		}
-		q.preFilterBlock(op, v, rows[start:end], args[start:end], argErr[start:end])
-		atomic.AddInt64(&op.decided, int64(end-start))
+		first = false
+		q.preFilterBlock(op, v, rows, args, argErr)
+		atomic.AddInt64(&op.decided, int64(len(rows)))
+		// Cost-aware schedule: each filtered block that bought fresh
+		// evidence sharpens the selectivity estimate, so later re-checks
+		// need less frequent confirmation — grow the block geometrically
+		// up to the cap. All-cached blocks buy no evidence and keep the
+		// current cadence.
+		if uncached > 0 && block < maxBlock {
+			block *= 2
+			if block > maxBlock {
+				block = maxBlock
+			}
+		}
 	}
 }
 
@@ -597,17 +612,18 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 // Tuples whose arguments fail to evaluate are reported, excluded from
 // ranking, and emitted where a NULL sort key would land — before the
 // ranked rows ascending, after them descending — in input order.
-func (q *Query) runRank(op *operator, v *plan.Rank, in *operator) {
+func (q *Query) runRank(op *operator, v *plan.Rank, in Iterator) {
 	defer op.finish()
 	var rows []relation.Tuple
 	for {
-		t, ok := in.out.Pop()
+		t, ok := in.Next()
 		if !ok {
 			break
 		}
 		atomic.AddInt64(&op.in, 1)
 		rows = append(rows, t)
 	}
+	q.noteResident(int64(len(rows)))
 	if q.cfg.Mgr == nil {
 		q.reportError(fmt.Errorf("exec: human sort without task manager"))
 		for i := range rows {
@@ -715,17 +731,18 @@ func defaultRankStrategy(v *plan.Rank, n int) rank.Decision {
 // ORDER BY clauses: it buffers the input (a barrier, like runRank),
 // resolves human sort keys (e.g. rating tasks) per tuple, sorts, and
 // emits in order — releasing each buffered tuple as it streams out.
-func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
+func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in Iterator) {
 	defer op.finish()
 	var rows []relation.Tuple
 	for {
-		t, ok := in.out.Pop()
+		t, ok := in.Next()
 		if !ok {
 			break
 		}
 		atomic.AddInt64(&op.in, 1)
 		rows = append(rows, t)
 	}
+	q.noteResident(int64(len(rows)))
 	keyExprs := make([]qlang.Expr, len(v.Keys))
 	taskNames := map[string]bool{}
 	for i, k := range v.Keys {
@@ -794,8 +811,9 @@ func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in *operator) {
 	}
 }
 
-// runAggregate groups rows and computes aggregates.
-func (q *Query) runAggregate(op *operator, v *plan.Aggregate, in *operator) {
+// runAggregate groups rows and computes aggregates, resolving human
+// calls per tuple; the call-free case fuses into aggregateIter instead.
+func (q *Query) runAggregate(op *operator, v *plan.Aggregate, in Iterator) {
 	defer op.finish()
 	type group struct {
 		first      relation.Tuple
@@ -832,7 +850,7 @@ func (q *Query) runAggregate(op *operator, v *plan.Aggregate, in *operator) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for {
-		t, ok := in.out.Pop()
+		t, ok := in.Next()
 		if !ok {
 			break
 		}
@@ -926,44 +944,6 @@ func aggCall(e qlang.Expr) (*qlang.Call, bool) {
 		return call, true
 	}
 	return nil, false
-}
-
-// runDistinct streams unique tuples by canonical encoding.
-func (q *Query) runDistinct(op *operator, v *plan.Distinct, in *operator) {
-	defer op.finish()
-	seen := make(map[string]bool)
-	for {
-		t, ok := in.out.Pop()
-		if !ok {
-			return
-		}
-		atomic.AddInt64(&op.in, 1)
-		key := t.EncodeKey()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		op.push(t)
-	}
-}
-
-// runLimit forwards the first N tuples and drains the rest.
-func (q *Query) runLimit(op *operator, v *plan.Limit, in *operator) {
-	defer op.finish()
-	sent := 0
-	for {
-		t, ok := in.out.Pop()
-		if !ok {
-			return
-		}
-		atomic.AddInt64(&op.in, 1)
-		if sent < v.N {
-			op.push(t)
-			sent++
-		}
-		// Past the limit we keep draining so upstream operators finish;
-		// a human-powered upstream has already spent the HITs anyway.
-	}
 }
 
 func (q *Query) flushTasks(names map[string]bool) {

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// TestPreFilterDeclinedPathStreams is the regression test for the old
+// executor's flaw: runPreFilter buffered its whole input before the
+// first block even when the decider withdrew approval. The pull-based
+// stage must (a) have consumed only the pulled blocks — not the whole
+// input — at the moment the keep-hook decides, and (b) grow its block
+// geometrically while filtering stays approved.
+func TestPreFilterDeclinedPathStreams(t *testing.T) {
+	r := newPreFilterRig(t)
+	const n = 24
+	r.celebTables(t, n, 0, 1, 0)
+	fdef, ok := r.script.Task("isPerson")
+	if !ok {
+		t.Fatal("isPerson task missing")
+	}
+
+	// Build Project(Scan) for the schema plumbing, then run the
+	// pre-filter stage as the plan root over the bare scan: the join it
+	// would protect is irrelevant to the streaming contract under test.
+	stmt, err := qlang.ParseQuery(`SELECT celebrities.image FROM celebrities`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := node.(*plan.Project).Input
+	pf := &plan.PreFilter{Input: scan, Task: fdef,
+		Arg: &qlang.ColumnRef{Table: "celebrities", Name: "image"}, Left: true}
+
+	ready := make(chan *Query, 1)
+	var mu sync.Mutex
+	var remainings []int
+	var scanInAtHook []int64
+	cfg := Config{
+		Mgr:            r.mgr,
+		Script:         r.script,
+		PreFilterBlock: 4,
+		PreFilterKeep: func(_ *plan.PreFilter, remaining int) bool {
+			q := <-ready
+			ready <- q
+			var scanIn int64
+			for _, os := range q.OpStats() {
+				if strings.HasPrefix(os.Label, "Scan") {
+					scanIn = os.In
+				}
+			}
+			mu.Lock()
+			remainings = append(remainings, remaining)
+			scanInAtHook = append(scanInAtHook, scanIn)
+			mu.Unlock()
+			return false
+		},
+	}
+	q, err := Start(pf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready <- q
+	done := make(chan []relation.Tuple)
+	go func() { done <- q.Wait() }()
+	var rows []relation.Tuple
+	select {
+	case rows = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("query stuck; opstats=%v", q.OpStats())
+	}
+	if errs := q.Errors(); len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// Declined pass-through forwards everything.
+	if len(rows) != n {
+		t.Fatalf("rows = %d, want %d", len(rows), n)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(remainings) != 1 {
+		t.Fatalf("keep-hook calls = %v, want exactly one", remainings)
+	}
+	// Geometric schedule: block one submits 4, block two doubles to 8,
+	// so the hook decides with 12 pulled and 8 uncached in hand plus the
+	// 12 not yet pulled.
+	if remainings[0] != 20 {
+		t.Errorf("remaining = %d, want 20 (8 pulled-uncached + 12 unpulled)", remainings[0])
+	}
+	if s := r.mgr.StatsFor("isperson"); s.Submitted != 4 {
+		t.Errorf("filter questions = %d, want 4 (only the first block was filtered)", s.Submitted)
+	}
+	// The streaming contract itself: when the hook fired, the stage had
+	// pulled only its two probe blocks — the old executor had already
+	// drained all 24 rows from the scan by this point.
+	if got := scanInAtHook[0]; got != 12 {
+		t.Errorf("scan rows consumed at decision time = %d, want 12 (first-block streaming, not whole-input buffering)", got)
+	}
+}
+
+// TestPreFilterMaxBlockCapsGrowth pins the geometric schedule's cap:
+// with PreFilterMaxBlock set, block sizes double only up to the cap.
+func TestPreFilterMaxBlockCapsGrowth(t *testing.T) {
+	r := newPreFilterRig(t)
+	const n = 22
+	r.celebTables(t, n, 0, 1, 0)
+	fdef, _ := r.script.Task("isPerson")
+	stmt, err := qlang.ParseQuery(`SELECT celebrities.image FROM celebrities`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, r.script, r.catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := &plan.PreFilter{Input: node.(*plan.Project).Input, Task: fdef,
+		Arg: &qlang.ColumnRef{Table: "celebrities", Name: "image"}, Left: true}
+
+	var mu sync.Mutex
+	var remainings []int
+	cfg := Config{
+		Mgr:               r.mgr,
+		Script:            r.script,
+		PreFilterBlock:    2,
+		PreFilterMaxBlock: 4,
+		PreFilterKeep: func(_ *plan.PreFilter, remaining int) bool {
+			mu.Lock()
+			remainings = append(remainings, remaining)
+			mu.Unlock()
+			return true
+		},
+	}
+	q, err := Start(pf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []relation.Tuple)
+	go func() { done <- q.Wait() }()
+	var rows []relation.Tuple
+	select {
+	case rows = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("query stuck; opstats=%v", q.OpStats())
+	}
+	if len(rows) != n {
+		t.Fatalf("rows = %d, want %d (everything is a person)", len(rows), n)
+	}
+	// Blocks: 2, 4, 4, 4, 4, 4 (capped at 4 after one doubling). The
+	// hook runs before every block after the first; remaining = uncached
+	// in block + unpulled rest = total − already-submitted.
+	want := []int{20, 16, 12, 8, 4}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(remainings) != len(want) {
+		t.Fatalf("keep-hook calls = %v, want %d calls %v", remainings, len(want), want)
+	}
+	for i, w := range want {
+		if remainings[i] != w {
+			t.Errorf("remaining[%d] = %d, want %d", i, remainings[i], w)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-regression gate skips itself under -race because instrumentation
+// inflates allocation counts far past the committed baseline.
+const raceEnabled = true

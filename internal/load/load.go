@@ -142,6 +142,18 @@ type Config struct {
 	// MaxInflight (multitenant workload) is the admission gate on
 	// concurrently posted HITs (core.Config.MaxInflightHITs; default 32).
 	MaxInflight int
+	// NoPlanCache disables the engine's normalized-SQL plan cache for
+	// the run, for A/B-verifying that cached and uncached plans produce
+	// identical result fingerprints.
+	NoPlanCache bool
+}
+
+// planCacheSize translates the A/B switch into core's config knob.
+func (c Config) planCacheSize() int {
+	if c.NoPlanCache {
+		return -1
+	}
+	return 0
 }
 
 func (c Config) withDefaults() Config {

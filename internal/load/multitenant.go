@@ -93,6 +93,7 @@ func runMultiTenant(cfg Config) (Report, error) {
 			BatchPenalty: cfg.BatchPenalty,
 		},
 		MaxInflightHITs: cfg.MaxInflight,
+		PlanCacheSize:   cfg.planCacheSize(),
 	})
 	if err != nil {
 		return rep, fmt.Errorf("load: %v", err)

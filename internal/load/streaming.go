@@ -58,7 +58,8 @@ func runStreaming(cfg Config) (Report, error) {
 		},
 		// The window throttles posting so cancellation has something to
 		// save: at most StreamWindow HITs are in flight at once.
-		Exec: exec.Config{FilterWindow: cfg.StreamWindow},
+		Exec:          exec.Config{FilterWindow: cfg.StreamWindow},
+		PlanCacheSize: cfg.planCacheSize(),
 	})
 	if err != nil {
 		return rep, fmt.Errorf("load: %v", err)

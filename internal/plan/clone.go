@@ -1,0 +1,92 @@
+package plan
+
+import "repro/internal/qlang"
+
+// Clone deep-copies a plan tree. Expression trees are copied via
+// qlang.CloneExpr; schemas and base tables are shared (both are
+// immutable from the plan's point of view — INSERTs mutate table
+// contents, never the *Table identity the Scan holds).
+//
+// sub optionally maps source literals to replacement expressions,
+// letting the plan cache re-parameterize a cached template with a fresh
+// query's constants. The returned map records every literal copied
+// without substitution as original → copy, so a caller cloning a plan
+// for caching can translate the source statement's literal slots into
+// slots inside the clone.
+func Clone(n Node, sub map[*qlang.Literal]qlang.Expr) (Node, map[*qlang.Literal]*qlang.Literal) {
+	c := &cloner{sub: sub, rec: map[*qlang.Literal]*qlang.Literal{}, joins: map[*Join]*Join{}}
+	return c.node(n), c.rec
+}
+
+type cloner struct {
+	sub   map[*qlang.Literal]qlang.Expr
+	rec   map[*qlang.Literal]*qlang.Literal
+	joins map[*Join]*Join // original → clone, for PreFilter backpointers
+}
+
+func (c *cloner) expr(e qlang.Expr) qlang.Expr {
+	return qlang.CloneExpr(e, c.sub, c.rec)
+}
+
+func (c *cloner) exprs(es []qlang.Expr) []qlang.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]qlang.Expr, len(es))
+	for i, e := range es {
+		out[i] = c.expr(e)
+	}
+	return out
+}
+
+func (c *cloner) items(items []qlang.SelectItem) []qlang.SelectItem {
+	if items == nil {
+		return nil
+	}
+	out := make([]qlang.SelectItem, len(items))
+	for i, it := range items {
+		out[i] = qlang.SelectItem{Expr: c.expr(it.Expr), Alias: it.Alias}
+	}
+	return out
+}
+
+func (c *cloner) node(n Node) Node {
+	switch v := n.(type) {
+	case *Scan:
+		cp := *v
+		return &cp
+	case *Filter:
+		return &Filter{Input: c.node(v.Input), Conjuncts: c.exprs(v.Conjuncts)}
+	case *Join:
+		cp := &Join{HumanTask: v.HumanTask, schema: v.schema}
+		c.joins[v] = cp
+		cp.Left = c.node(v.Left)
+		cp.Right = c.node(v.Right)
+		cp.LeftArg = c.expr(v.LeftArg)
+		cp.RightArg = c.expr(v.RightArg)
+		cp.Residual = c.exprs(v.Residual)
+		return cp
+	case *Project:
+		return &Project{Input: c.node(v.Input), Items: c.items(v.Items), schema: v.schema}
+	case *Aggregate:
+		return &Aggregate{Input: c.node(v.Input), Keys: c.exprs(v.Keys), Items: c.items(v.Items), schema: v.schema}
+	case *OrderBy:
+		keys := make([]qlang.OrderItem, len(v.Keys))
+		for i, k := range v.Keys {
+			keys[i] = qlang.OrderItem{Expr: c.expr(k.Expr), Desc: k.Desc}
+		}
+		return &OrderBy{Input: c.node(v.Input), Keys: keys}
+	case *Rank:
+		return &Rank{Input: c.node(v.Input), Task: v.Task, Compare: v.Compare,
+			Args: c.exprs(v.Args), Desc: v.Desc, TopK: v.TopK}
+	case *Distinct:
+		return &Distinct{Input: c.node(v.Input)}
+	case *Limit:
+		return &Limit{Input: c.node(v.Input), N: v.N}
+	case *PreFilter:
+		return &PreFilter{Input: c.node(v.Input), Task: v.Task,
+			Arg: c.expr(v.Arg), Join: c.joins[v.Join], Left: v.Left}
+	default:
+		return n
+	}
+}

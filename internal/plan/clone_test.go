@@ -1,0 +1,150 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+func buildPlan(t *testing.T, query string) (Node, *qlang.SelectStmt) {
+	t.Helper()
+	script, cat := testEnv(t)
+	stmt, err := qlang.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(stmt, script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, stmt
+}
+
+func TestCloneIsDeepAndRecordsLiterals(t *testing.T) {
+	n, stmt := buildPlan(t, `SELECT id FROM spottedstars WHERE id < 10 ORDER BY id LIMIT 3`)
+	clone, rec := Clone(n, nil)
+	if Explain(clone) != Explain(n) {
+		t.Fatalf("clone explain differs:\n%s\nvs\n%s", Explain(clone), Explain(n))
+	}
+	// The statement's literal appears in the plan's Filter; it must be
+	// recorded with a distinct copy.
+	lits := qlang.CollectStmtLiterals(stmt)
+	if len(lits) != 1 {
+		t.Fatalf("statement literals = %d, want 1", len(lits))
+	}
+	cl, ok := rec[lits[0]]
+	if !ok {
+		t.Fatal("plan clone did not record the statement's literal (Build must share literal pointers with the stmt)")
+	}
+	if cl == lits[0] {
+		t.Fatal("recorded clone aliases the source literal")
+	}
+
+	// Mutating the clone's literal must not leak into the original plan.
+	cl.Value = relation.NewInt(99)
+	if strings.Contains(Explain(n), "99") {
+		t.Fatalf("original plan saw the clone's mutation:\n%s", Explain(n))
+	}
+	if !strings.Contains(Explain(clone), "99") {
+		t.Fatalf("clone does not reflect its own literal:\n%s", Explain(clone))
+	}
+}
+
+func TestCloneSubstitutesLiterals(t *testing.T) {
+	n, stmt := buildPlan(t, `SELECT id FROM spottedstars WHERE id < 10`)
+	lits := qlang.CollectStmtLiterals(stmt)
+	sub := map[*qlang.Literal]qlang.Expr{
+		lits[0]: &qlang.Literal{Value: relation.NewInt(42)},
+	}
+	clone, _ := Clone(n, sub)
+	if !strings.Contains(Explain(clone), "42") {
+		t.Fatalf("substituted clone:\n%s", Explain(clone))
+	}
+	if !strings.Contains(Explain(n), "10") {
+		t.Fatalf("original plan mutated:\n%s", Explain(n))
+	}
+}
+
+func TestClonePreFilterBackpointer(t *testing.T) {
+	script, cat := preFilterEnv(t, 3, 3)
+	n := buildJoinPlan(t, script, cat)
+	// Force-wrap both sides regardless of cost.
+	n = ApplyPreFilters(n, script, func(_, _ *qlang.TaskDef, _, _ int) PreFilterDecision {
+		return PreFilterDecision{Left: true, Right: true}
+	})
+	var pfs []*PreFilter
+	Walk(n, func(m Node) {
+		if pf, ok := m.(*PreFilter); ok {
+			pfs = append(pfs, pf)
+		}
+	})
+	if len(pfs) != 2 {
+		t.Fatalf("pre-filters applied = %d, want 2:\n%s", len(pfs), Explain(n))
+	}
+
+	clone, _ := Clone(n, nil)
+	var cj *Join
+	var cpfs []*PreFilter
+	Walk(clone, func(m Node) {
+		switch v := m.(type) {
+		case *Join:
+			cj = v
+		case *PreFilter:
+			cpfs = append(cpfs, v)
+		}
+	})
+	for _, pf := range cpfs {
+		if pf.Join != cj {
+			t.Fatalf("cloned PreFilter.Join points outside the clone (got %p, want %p)", pf.Join, cj)
+		}
+	}
+}
+
+func TestPushdownLimitThroughProject(t *testing.T) {
+	n, _ := buildPlan(t, `SELECT id FROM spottedstars LIMIT 3`)
+	out := Pushdown(n)
+	p, ok := out.(*Project)
+	if !ok {
+		t.Fatalf("root after pushdown = %T, want *Project:\n%s", out, Explain(out))
+	}
+	l, ok := p.Input.(*Limit)
+	if !ok || l.N != 3 {
+		t.Fatalf("limit not pushed below projection:\n%s", Explain(out))
+	}
+}
+
+func TestPushdownKeepsLimitAboveCallProject(t *testing.T) {
+	n, _ := buildPlan(t, `SELECT findCEO(companyName).CEO FROM companies LIMIT 2`)
+	out := Pushdown(n)
+	if _, ok := out.(*Limit); !ok {
+		t.Fatalf("call-bearing projection must stay below the limit:\n%s", Explain(out))
+	}
+}
+
+func TestPushdownSplitsSingleSideResiduals(t *testing.T) {
+	n, _ := buildPlan(t, `SELECT celebrities.name FROM celebrities, spottedstars WHERE celebrities.name = 'x' AND spottedstars.id < 5 AND samePerson(celebrities.image, spottedstars.image)`)
+	before := Explain(n)
+	out := Pushdown(n)
+	var join *Join
+	Walk(out, func(m Node) {
+		if j, ok := m.(*Join); ok {
+			join = j
+		}
+	})
+	if join == nil {
+		t.Fatalf("no join in plan:\n%s", before)
+	}
+	lf, lok := join.Left.(*Filter)
+	rf, rok := join.Right.(*Filter)
+	if !lok || !rok {
+		t.Fatalf("single-side conjuncts not pushed into both inputs:\n%s", Explain(out))
+	}
+	if got := lf.Conjuncts[0].String(); !strings.Contains(got, "celebrities.name") {
+		t.Errorf("left pushed conjunct = %s", got)
+	}
+	if got := rf.Conjuncts[0].String(); !strings.Contains(got, "spottedstars.id") {
+		t.Errorf("right pushed conjunct = %s", got)
+	}
+}

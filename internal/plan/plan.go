@@ -1,7 +1,9 @@
 // Package plan builds logical query plans from parsed SELECT statements.
-// Plans are trees of Nodes; the executor (internal/exec) gives each node
-// a goroutine and connects them with asynchronous queues, and the
-// optimizer (internal/optimizer) tunes operator parameters.
+// Plans are trees of Nodes; the executor (internal/exec) fuses call-free
+// nodes into pull-iterator chains and bridges human-task nodes with
+// queued producer goroutines, and the optimizer (internal/optimizer)
+// tunes operator parameters. Pushdown applies cheap always-safe
+// rewrites; Clone supports the engine's normalized-SQL plan cache.
 package plan
 
 import (

@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// Pushdown rewrites a freshly built plan in place with two cheap,
+// always-safe transformations:
+//
+//   - LIMIT through Project: Project emits exactly one row per input
+//     row, so Limit(Project(X)) ≡ Project(Limit(X)). Pulling the limit
+//     below the projection stops upstream work — including human-task
+//     calls in the select list — after N input rows instead of
+//     projecting the whole input.
+//
+//   - Single-side residual conjuncts into join inputs: a call-free join
+//     residual whose columns resolve against exactly one input schema
+//     filters that input before the cross product instead of after it,
+//     shrinking the pair space the join materializes.
+//
+// Human-task predicates are never moved: their placement is the adaptive
+// optimizer's job and reordering them would change HIT accounting.
+func Pushdown(n Node) Node {
+	switch v := n.(type) {
+	case *Limit:
+		v.Input = Pushdown(v.Input)
+		if p, ok := v.Input.(*Project); ok && !projectHasCalls(p) {
+			v.Input = p.Input
+			p.Input = v
+			return p
+		}
+	case *Filter:
+		v.Input = Pushdown(v.Input)
+	case *Project:
+		v.Input = Pushdown(v.Input)
+	case *Aggregate:
+		v.Input = Pushdown(v.Input)
+	case *OrderBy:
+		v.Input = Pushdown(v.Input)
+	case *Rank:
+		v.Input = Pushdown(v.Input)
+	case *Distinct:
+		v.Input = Pushdown(v.Input)
+	case *PreFilter:
+		v.Input = Pushdown(v.Input)
+	case *Join:
+		v.Left = Pushdown(v.Left)
+		v.Right = Pushdown(v.Right)
+		pushResiduals(v)
+	}
+	return n
+}
+
+// projectHasCalls reports whether any select item contains a Call node.
+// LIMIT commutes with any projection, but hoisting the projection above
+// the limit when it carries human-task calls would also be the *point*
+// of the rewrite (fewer HITs) — the executor's fused limitIter already
+// stops the projection's pull chain, so the swap only matters for
+// call-free projections where it lets Limit close the scan early.
+// Call-bearing projections stay put so HIT batching order is untouched.
+func projectHasCalls(p *Project) bool {
+	for _, it := range p.Items {
+		if exprHasCall(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasCall(e qlang.Expr) bool {
+	switch v := e.(type) {
+	case *qlang.Call:
+		return true
+	case *qlang.Binary:
+		return exprHasCall(v.L) || exprHasCall(v.R)
+	case *qlang.Unary:
+		return exprHasCall(v.X)
+	default:
+		return false
+	}
+}
+
+// pushResiduals moves call-free residual conjuncts that resolve against
+// exactly one join input into a Filter on that input.
+func pushResiduals(j *Join) {
+	if len(j.Residual) == 0 {
+		return
+	}
+	var keep, left, right []qlang.Expr
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	for _, c := range j.Residual {
+		if exprHasCall(c) {
+			keep = append(keep, c)
+			continue
+		}
+		onLeft := exprResolves(c, ls)
+		onRight := exprResolves(c, rs)
+		switch {
+		case onLeft && !onRight:
+			left = append(left, c)
+		case onRight && !onLeft:
+			right = append(right, c)
+		default:
+			// Cross-side (the join predicate itself) or ambiguous bare
+			// names: leave it where semantics are unambiguous.
+			keep = append(keep, c)
+		}
+	}
+	if len(left) > 0 {
+		j.Left = &Filter{Input: j.Left, Conjuncts: left}
+	}
+	if len(right) > 0 {
+		j.Right = &Filter{Input: j.Right, Conjuncts: right}
+	}
+	j.Residual = keep
+}
+
+// exprResolves reports whether every column reference in e is present in
+// the schema.
+func exprResolves(e qlang.Expr, s *relation.Schema) bool {
+	ok := true
+	var walk func(qlang.Expr)
+	walk = func(e qlang.Expr) {
+		switch v := e.(type) {
+		case *qlang.ColumnRef:
+			if _, found := s.Lookup(v.QualifiedName()); !found {
+				ok = false
+			}
+		case *qlang.Binary:
+			walk(v.L)
+			walk(v.R)
+		case *qlang.Unary:
+			walk(v.X)
+		case *qlang.Call:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return ok
+}

@@ -1,0 +1,131 @@
+package qlang
+
+import "strings"
+
+// NormalizeQuery strips literal values from a query's token stream,
+// producing a fingerprint under which queries differing only in
+// constants collide. Integer literals become "?i", float literals "?f",
+// and string literals "?s"; everything else — identifiers, keywords,
+// punctuation — is kept verbatim (keywords upper-cased by the lexer) and
+// joined with single spaces.
+//
+// Two exceptions keep the fingerprint honest as a plan-cache key:
+//
+//   - The number following LIMIT stays verbatim. SelectStmt carries the
+//     limit as a plain int, not a Literal expression, so a cached plan
+//     cannot be re-parameterized over it; different limits must map to
+//     different cache entries.
+//   - TRUE/FALSE/NULL are keywords, not literal tokens, and are kept —
+//     boolean constants routinely flip which plan shape is sensible.
+func NormalizeQuery(src string) (string, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	prevLimit := false
+	for i, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch {
+		case tok.Kind == TokNumber && !prevLimit:
+			if strings.ContainsRune(tok.Text, '.') {
+				sb.WriteString("?f")
+			} else {
+				sb.WriteString("?i")
+			}
+		case tok.Kind == TokString:
+			sb.WriteString("?s")
+		default:
+			sb.WriteString(tok.Text)
+		}
+		prevLimit = tok.Kind == TokKeyword && tok.Text == "LIMIT"
+	}
+	return sb.String(), nil
+}
+
+// CollectStmtLiterals walks a parsed statement in a fixed order — select
+// items, WHERE, GROUP BY, ORDER BY — and returns every *Literal it
+// contains. Two statements with the same NormalizeQuery fingerprint have
+// isomorphic ASTs, so their literal lists align index-for-index; the
+// plan cache relies on that to pair a cached template's literal slots
+// with a fresh statement's values.
+func CollectStmtLiterals(stmt *SelectStmt) []*Literal {
+	var out []*Literal
+	for _, it := range stmt.Items {
+		out = collectExprLiterals(it.Expr, out)
+	}
+	out = collectExprLiterals(stmt.Where, out)
+	for _, e := range stmt.GroupBy {
+		out = collectExprLiterals(e, out)
+	}
+	for _, o := range stmt.OrderBy {
+		out = collectExprLiterals(o.Expr, out)
+	}
+	return out
+}
+
+func collectExprLiterals(e Expr, out []*Literal) []*Literal {
+	switch v := e.(type) {
+	case nil:
+		return out
+	case *Literal:
+		return append(out, v)
+	case *Binary:
+		out = collectExprLiterals(v.L, out)
+		return collectExprLiterals(v.R, out)
+	case *Unary:
+		return collectExprLiterals(v.X, out)
+	case *Call:
+		for _, a := range v.Args {
+			out = collectExprLiterals(a, out)
+		}
+		return out
+	default: // *ColumnRef, *Star carry no literals
+		return out
+	}
+}
+
+// CloneExpr deep-copies an expression tree. When sub maps a source
+// *Literal to a replacement expression, the replacement is used in place
+// of a copy. When rec is non-nil, every copied literal is recorded as
+// rec[original] = copy so callers can locate a clone's literal slots.
+func CloneExpr(e Expr, sub map[*Literal]Expr, rec map[*Literal]*Literal) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		if r, ok := sub[v]; ok {
+			return r
+		}
+		c := &Literal{Value: v.Value}
+		if rec != nil {
+			rec[v] = c
+		}
+		return c
+	case *ColumnRef:
+		c := *v
+		return &c
+	case *Star:
+		return &Star{}
+	case *Binary:
+		return &Binary{Op: v.Op, L: CloneExpr(v.L, sub, rec), R: CloneExpr(v.R, sub, rec)}
+	case *Unary:
+		return &Unary{Op: v.Op, X: CloneExpr(v.X, sub, rec)}
+	case *Call:
+		c := &Call{Name: v.Name, Field: v.Field}
+		if v.Args != nil {
+			c.Args = make([]Expr, len(v.Args))
+			for i, a := range v.Args {
+				c.Args[i] = CloneExpr(a, sub, rec)
+			}
+		}
+		return c
+	default:
+		return e
+	}
+}

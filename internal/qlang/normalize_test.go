@@ -1,0 +1,120 @@
+package qlang
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestNormalizeQueryStripsLiterals(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{`SELECT v FROM t WHERE v < 10`, `SELECT v FROM t WHERE v < 999`, true},
+		{`SELECT v FROM t WHERE name = 'alice'`, `SELECT v FROM t WHERE name = "bob"`, true},
+		{`SELECT v FROM t WHERE v < 1.5`, `SELECT v FROM t WHERE v < 2.75`, true},
+		// Int vs float literals are distinct placeholder classes.
+		{`SELECT v FROM t WHERE v < 10`, `SELECT v FROM t WHERE v < 1.5`, false},
+		// LIMIT operand is part of the key, not a placeholder.
+		{`SELECT v FROM t LIMIT 5`, `SELECT v FROM t LIMIT 6`, false},
+		{`SELECT v FROM t LIMIT 5`, `SELECT v FROM t LIMIT 5`, true},
+		// Boolean keywords are not stripped.
+		{`SELECT v FROM t WHERE ok = TRUE`, `SELECT v FROM t WHERE ok = FALSE`, false},
+		// Case and whitespace don't matter; structure does.
+		{`select V  from T where V<3`, `SELECT V FROM T WHERE V < 7`, true},
+		{`SELECT v FROM t WHERE v < 3`, `SELECT v FROM t WHERE v > 3`, false},
+	}
+	for _, c := range cases {
+		na, err := NormalizeQuery(c.a)
+		if err != nil {
+			t.Fatalf("%q: %v", c.a, err)
+		}
+		nb, err := NormalizeQuery(c.b)
+		if err != nil {
+			t.Fatalf("%q: %v", c.b, err)
+		}
+		if (na == nb) != c.same {
+			t.Errorf("NormalizeQuery(%q)=%q vs NormalizeQuery(%q)=%q; want same=%v", c.a, na, c.b, nb, c.same)
+		}
+	}
+}
+
+func TestNormalizeQueryShape(t *testing.T) {
+	got, err := NormalizeQuery(`SELECT name FROM t WHERE age > 21 AND city = 'nyc' ORDER BY name LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT name FROM t WHERE age > ?i AND city = ?s ORDER BY name LIMIT 3`
+	if got != want {
+		t.Errorf("normalized = %q, want %q", got, want)
+	}
+}
+
+func TestCollectStmtLiteralsLockstep(t *testing.T) {
+	const a = `SELECT v, 7 FROM t WHERE v < 10 AND name = 'x' ORDER BY v LIMIT 2`
+	const b = `SELECT v, 9 FROM t WHERE v < 42 AND name = 'y' ORDER BY v LIMIT 2`
+	sa, err := ParseQuery(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ParseQuery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := CollectStmtLiterals(sa), CollectStmtLiterals(sb)
+	if len(la) != 3 || len(lb) != 3 {
+		t.Fatalf("literal counts = %d, %d; want 3, 3", len(la), len(lb))
+	}
+	// Same fingerprint implies positional alignment: slot i in one maps
+	// to slot i in the other.
+	wantA := []string{"7", "10", "x"}
+	wantB := []string{"9", "42", "y"}
+	for i := range la {
+		if got := la[i].Value.String(); got != wantA[i] {
+			t.Errorf("a literal[%d] = %s, want %s", i, got, wantA[i])
+		}
+		if got := lb[i].Value.String(); got != wantB[i] {
+			t.Errorf("b literal[%d] = %s, want %s", i, got, wantB[i])
+		}
+	}
+}
+
+func TestCloneExprSubstituteAndRecord(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT v FROM t WHERE v < 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits := CollectStmtLiterals(stmt)
+	if len(lits) != 1 {
+		t.Fatalf("literals = %d, want 1", len(lits))
+	}
+
+	// Recording clone: the copy is a distinct node with the same value.
+	rec := map[*Literal]*Literal{}
+	clone := CloneExpr(stmt.Where, nil, rec)
+	cl, ok := rec[lits[0]]
+	if !ok {
+		t.Fatal("clone did not record the literal slot")
+	}
+	if cl == lits[0] {
+		t.Fatal("recorded literal aliases the original")
+	}
+	if cl.Value.String() != "10" {
+		t.Errorf("cloned literal = %s, want 10", cl.Value.String())
+	}
+	if clone.String() != stmt.Where.String() {
+		t.Errorf("clone renders %q, want %q", clone.String(), stmt.Where.String())
+	}
+
+	// Substituting clone: the slot is replaced by a new expression.
+	repl := &Literal{Value: relation.NewInt(99)}
+	sub := CloneExpr(stmt.Where, map[*Literal]Expr{lits[0]: repl}, nil)
+	if want := "(v < 99)"; sub.String() != want {
+		t.Errorf("substituted clone renders %q, want %q", sub.String(), want)
+	}
+	// Original untouched.
+	if stmt.Where.String() != "(v < 10)" {
+		t.Errorf("original mutated to %q", stmt.Where.String())
+	}
+}
