@@ -9,6 +9,7 @@
 //	qurk-bench -only STORE      # cold vs warm run, writes BENCH_store.json
 //	qurk-bench -only SORT       # ranking-strategy economics, writes BENCH_sort.json
 //	qurk-bench -only MT         # multi-tenant sharing economics, writes BENCH_mt.json
+//	qurk-bench -only BACKEND    # worker-backend routing economics, writes BENCH_backend.json
 package main
 
 import (
@@ -212,9 +213,65 @@ func runMTBench(seed int64, scale int) error {
 	return nil
 }
 
+// backendBench is the BENCH_backend.json schema: the same filter
+// cascade run sim-only and through the worker-backend router, inside one
+// seed-pinned deterministic workload run.
+type backendBench struct {
+	Workload         string  `json:"workload"`
+	Tuples           int     `json:"tuples"`
+	Seed             int64   `json:"seed"`
+	SimOnlyHITs      int64   `json:"sim_only_hits"`
+	SimOnlySpent     int64   `json:"sim_only_spent_cents"`
+	RoutedHITs       int64   `json:"routed_hits"`
+	RoutedSpent      int64   `json:"routed_spent_cents"`
+	RoutedSimHITs    int64   `json:"routed_sim_hits"`
+	RoutedLLMHITs    int64   `json:"routed_llm_hits"`
+	RoutedSavedCents int64   `json:"routed_saved_cents"`
+	WallMs           float64 `json:"wall_ms"`
+	SameFinger       bool    `json:"fingerprints_match"`
+}
+
+// runBackendBench measures the worker-backend routing payoff — cents
+// saved by serving part of the cascade from the LLM crowd at identical
+// results — and writes BENCH_backend.json next to the other artifacts.
+func runBackendBench(seed int64, scale int) error {
+	cfg := load.Config{Workload: load.WorkloadHybridCrowd,
+		Tuples: 2000 * scale, Workers: 500, Seed: seed}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out := backendBench{
+		Workload:         string(cfg.Workload),
+		Tuples:           rep.Config.Tuples,
+		Seed:             seed,
+		SimOnlyHITs:      rep.HybridSimHITs,
+		SimOnlySpent:     int64(rep.HybridSimSpent),
+		RoutedHITs:       rep.HITs,
+		RoutedSpent:      int64(rep.Spent),
+		RoutedSimHITs:    rep.BackendSimHITs,
+		RoutedLLMHITs:    rep.BackendLLMHITs,
+		RoutedSavedCents: int64(rep.RoutedSavedCents),
+		WallMs:           float64(rep.Wall) / float64(time.Millisecond),
+		SameFinger:       rep.PassedKeysFNV == rep.HybridSimFNV,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_backend.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("BACKEND: sim-only %d HITs (%d¢) vs routed %d HITs (%d¢, %d sim / %d llm): %d¢ saved by routing (%.0f ms); fingerprints match: %v\n",
+		out.SimOnlyHITs, out.SimOnlySpent, out.RoutedHITs, out.RoutedSpent,
+		out.RoutedSimHITs, out.RoutedLLMHITs, out.SimOnlySpent-out.RoutedSpent, out.WallMs, out.SameFinger)
+	fmt.Println("wrote BENCH_backend.json")
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, EXEC)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, BACKEND, EXEC)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -268,6 +325,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "BACKEND") {
+		matched = true
+		if err := runBackendBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: BACKEND:", err)
+			os.Exit(1)
+		}
+	}
 	if *only == "" || strings.EqualFold(*only, "EXEC") {
 		matched = true
 		if err := runExecBench(); err != nil {
@@ -276,7 +340,7 @@ func main() {
 		}
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, EXEC)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, BACKEND, EXEC)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -17,6 +17,13 @@
 //	    # posting stopped dead at ctx cancellation (0 HITs in practice;
 //	    # at most 2 already-in-flight posts tolerated, expired + refunded),
 //	    # and that the completed prefix's fingerprint is rerun-identical
+//	qurk-load -workload hybridcrowd -verify
+//	    # worker-backend routing end to end: the same filter cascade runs
+//	    # sim-only and then through a backend router that serves the first
+//	    # stage from a deterministic LLM crowd at half the human reward:
+//	    # asserts both phases produce identical result fingerprints, that
+//	    # both backends actually served HITs, that the routed run spent
+//	    # strictly less, and that reruns are byte-identical
 //	qurk-load -workload multitenant -queries 150 -verify
 //	    # hundreds of concurrent streaming queries through ONE engine with
 //	    # cross-query HIT sharing and a posting admission gate: asserts
@@ -35,7 +42,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming | multitenant")
+	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming | multitenant | hybridcrowd")
 	tuples := flag.Int("tuples", 1000, "input cardinality")
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
@@ -101,6 +108,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if cfg.Workload == load.WorkloadHybridCrowd {
+		if err := checkHybrid(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-load:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *verify {
 		again, err := load.Run(cfg)
@@ -154,6 +167,25 @@ func main() {
 			fmt.Print(again)
 			fmt.Printf("verify: rerun-identical; top-%d paid %d of compare's %d HITs; hybrid paid %d at an identical final order\n",
 				rep.Config.TopK, rep.SortTopKHITs, rep.SortCompareHITs, rep.SortHybridHITs)
+			return
+		}
+		if cfg.Workload == load.WorkloadHybridCrowd {
+			if err := checkHybrid(again); err != nil {
+				fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
+				os.Exit(1)
+			}
+			if rep.HITs != again.HITs || rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
+				rep.PassedKeysFNV != again.PassedKeysFNV ||
+				rep.HybridSimHITs != again.HybridSimHITs || rep.HybridSimSpent != again.HybridSimSpent ||
+				rep.HybridSimFNV != again.HybridSimFNV ||
+				rep.BackendSimHITs != again.BackendSimHITs || rep.BackendLLMHITs != again.BackendLLMHITs ||
+				rep.RoutedSavedCents != again.RoutedSavedCents {
+				fmt.Fprintf(os.Stderr, "qurk-load: NONDETERMINISTIC\nfirst:\n%s\nsecond:\n%s", rep, again)
+				os.Exit(1)
+			}
+			fmt.Print(again)
+			fmt.Printf("verify: rerun-identical; routing served %d of %d HITs from the llm crowd and spent %v less than sim-only at an identical result fingerprint\n",
+				rep.BackendLLMHITs, rep.HITs, rep.HybridSimSpent-rep.Spent)
 			return
 		}
 		if cfg.Workload == load.WorkloadStreaming {
@@ -255,6 +287,29 @@ func checkSort(rep load.Report) error {
 	if rep.SortTopKFNV != rep.SortTopKBaseFNV {
 		return fmt.Errorf("top-%d order %016x differs from the full ordering's first %d (%016x)",
 			rep.Config.TopK, rep.SortTopKFNV, rep.Config.TopK, rep.SortTopKBaseFNV)
+	}
+	return nil
+}
+
+// checkHybrid asserts the hybridcrowd workload's contracts on its
+// seed-pinned perfect crowd and ground-truth model: the routed phase
+// must reproduce the sim-only phase's result set exactly, both backends
+// must actually serve HITs (it is a hybrid, not a wholesale switch), and
+// routing must spend strictly less than the all-human baseline, with a
+// positive booked saving.
+func checkHybrid(rep load.Report) error {
+	if rep.PassedKeysFNV != rep.HybridSimFNV || rep.HybridSimFNV == 0 {
+		return fmt.Errorf("routed fingerprint %016x differs from sim-only %016x",
+			rep.PassedKeysFNV, rep.HybridSimFNV)
+	}
+	if rep.BackendLLMHITs == 0 || rep.BackendSimHITs == 0 {
+		return fmt.Errorf("not a hybrid: %d sim HITs, %d llm HITs", rep.BackendSimHITs, rep.BackendLLMHITs)
+	}
+	if rep.Spent >= rep.HybridSimSpent {
+		return fmt.Errorf("routing saved nothing: spent %v vs sim-only %v", rep.Spent, rep.HybridSimSpent)
+	}
+	if rep.RoutedSavedCents <= 0 {
+		return fmt.Errorf("router booked no savings (spent %v vs sim-only %v)", rep.Spent, rep.HybridSimSpent)
 	}
 	return nil
 }

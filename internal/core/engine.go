@@ -7,9 +7,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/crowd"
@@ -78,6 +80,31 @@ type Config struct {
 	// 0 means the default (256); negative disables plan caching
 	// entirely. Individual queries can opt out with WithPlanCache.
 	PlanCacheSize int
+	// Backends enables pluggable worker backends: the simulated crowd
+	// is joined by an LLM worker crowd and/or an MTurk-shaped HTTP
+	// service behind a per-task router. Nil runs on the plain simulated
+	// marketplace (seed behavior, byte-identical verify fingerprints).
+	Backends *BackendsConfig
+}
+
+// BackendsConfig wires additional worker backends into the engine. The
+// simulated crowd is always a member (named "sim"); tasks reach the
+// others via a qlang `Backend:` pin or, with Route set, the optimizer's
+// cost/quality chooser.
+type BackendsConfig struct {
+	// LLM enables an LLM worker crowd when LLM.Model is set. The
+	// crowd shares the engine clock, so runs stay deterministic.
+	LLM backend.LLMConfig
+	// HTTP enables the MTurk-shaped HTTP driver when HTTP.BaseURL is
+	// set. Its Clock field is managed by the engine. HITs routed here
+	// complete on wall time — exclude it from deterministic verifies.
+	HTTP backend.HTTPConfig
+	// Default names the backend unrouted tasks use ("" = "sim").
+	Default string
+	// Route installs the optimizer's ChooseBackend as the router's
+	// chooser for unpinned tasks, fed by each backend's advertised
+	// price and quality priors and the live backend book.
+	Route bool
 }
 
 // QueryHandle tracks one submitted query.
@@ -127,7 +154,9 @@ type Engine struct {
 	catalog *relation.Catalog
 	clock   *mturk.Clock
 	market  *mturk.Marketplace
-	pool    *crowd.Pool // nil when Config.Pool was supplied
+	pool    *crowd.Pool     // nil when Config.Pool was supplied
+	router  *backend.Router // nil without Config.Backends
+	httpBE  *backend.HTTP   // nil unless Backends.HTTP was enabled
 	mgr     *taskmgr.Manager
 	opt     *optimizer.Optimizer
 	store   *store.Store // nil unless Config.StorePath was set
@@ -159,7 +188,39 @@ func New(cfg Config) (*Engine, error) {
 	}
 	clock := mturk.NewClock()
 	market := mturk.NewMarketplace(clock, pool)
-	mgr := taskmgr.New(market, cache.New(), model.NewRegistry(), budget.NewAccount(cfg.BudgetCents))
+	var be backend.Backend = backend.NewSim(market)
+	var router *backend.Router
+	var httpBE *backend.HTTP
+	if bc := cfg.Backends; bc != nil {
+		members := []backend.Backend{be}
+		if bc.LLM.Model != nil {
+			members = append(members, backend.NewLLM(clock, bc.LLM))
+		}
+		if bc.HTTP.BaseURL != "" {
+			hcfg := bc.HTTP
+			hcfg.Clock = clock
+			h, err := backend.NewHTTP(hcfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: http backend: %v", err)
+			}
+			httpBE = h
+			members = append(members, h)
+		}
+		dflt := bc.Default
+		if dflt == "" {
+			dflt = "sim"
+		}
+		r, err := backend.NewRouter(dflt, members...)
+		if err != nil {
+			if httpBE != nil {
+				httpBE.Close()
+			}
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		router = r
+		be = r
+	}
+	mgr := taskmgr.NewWithBackend(be, cache.New(), model.NewRegistry(), budget.NewAccount(cfg.BudgetCents))
 	if cfg.MaxInflightHITs > 0 {
 		mgr.SetAdmission(cfg.MaxInflightHITs)
 	}
@@ -169,9 +230,14 @@ func New(cfg Config) (*Engine, error) {
 		clock:   clock,
 		market:  market,
 		pool:    simPool,
+		router:  router,
+		httpBE:  httpBE,
 		mgr:     mgr,
 		opt:     optimizer.New(mgr),
 		script:  &qlang.Script{},
+	}
+	if router != nil && cfg.Backends.Route {
+		router.SetChooser(e.opt.BackendChooser(e.backendCandidates()))
 	}
 	if cfg.PlanCacheSize >= 0 {
 		e.plans = newPlanCache(cfg.PlanCacheSize)
@@ -189,6 +255,52 @@ func New(cfg Config) (*Engine, error) {
 	}
 	go clock.Run(e.stopped)
 	return e, nil
+}
+
+// backendCandidates describes the configured backends to ChooseBackend:
+// the simulated crowd at the default policy price and the optimizer's
+// assumed worker accuracy, the LLM crowd at its quoted price with its
+// per-kind quality priors (a kind absent from a non-nil Quality map is
+// not offered), and the HTTP service at its quoted price.
+func (e *Engine) backendCandidates() []optimizer.BackendCandidate {
+	bc := e.cfg.Backends
+	pol := taskmgr.DefaultPolicy()
+	cands := []optimizer.BackendCandidate{
+		{Name: "sim", PriceCents: pol.PriceCents, Quality: e.opt.WorkerAccuracy},
+	}
+	if bc.LLM.Model != nil {
+		price := bc.LLM.PriceCents
+		if price <= 0 {
+			price = pol.PriceCents
+		}
+		if len(bc.LLM.Quality) == 0 {
+			cands = append(cands, optimizer.BackendCandidate{
+				Name: "llm", PriceCents: price, Quality: e.opt.WorkerAccuracy,
+			})
+		} else {
+			kinds := make([]qlang.TaskType, 0, len(bc.LLM.Quality))
+			for k := range bc.LLM.Quality {
+				kinds = append(kinds, k)
+			}
+			sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+			for _, k := range kinds {
+				cands = append(cands, optimizer.BackendCandidate{
+					Name: "llm", PriceCents: price,
+					Quality: bc.LLM.Quality[k], Kinds: []qlang.TaskType{k},
+				})
+			}
+		}
+	}
+	if bc.HTTP.BaseURL != "" {
+		price := bc.HTTP.PriceCents
+		if price <= 0 {
+			price = pol.PriceCents
+		}
+		cands = append(cands, optimizer.BackendCandidate{
+			Name: "http", PriceCents: price, Quality: e.opt.WorkerAccuracy,
+		})
+	}
+	return cands
 }
 
 func (e *Engine) stopped() bool {
@@ -219,6 +331,9 @@ func (e *Engine) Close() {
 		<-h.Exec.Done()
 	}
 	e.clock.Close()
+	if e.httpBE != nil {
+		e.httpBE.Close()
+	}
 	if e.store != nil {
 		e.store.Close()
 	}
@@ -235,6 +350,10 @@ func (e *Engine) Marketplace() *mturk.Marketplace { return e.market }
 
 // Optimizer exposes the tuning component.
 func (e *Engine) Optimizer() *optimizer.Optimizer { return e.opt }
+
+// Router exposes the worker-backend router (nil when the engine runs on
+// the plain simulated marketplace without Config.Backends).
+func (e *Engine) Router() *backend.Router { return e.router }
 
 // Clock exposes virtual time.
 func (e *Engine) Clock() *mturk.Clock { return e.clock }
@@ -287,6 +406,14 @@ func (e *Engine) defineTasks(defs []*qlang.TaskDef) error {
 	for _, def := range defs {
 		if _, dup := e.script.Task(def.Name); dup {
 			return fmt.Errorf("core: task %q already defined", def.Name)
+		}
+		if def.Backend != "" {
+			if e.router == nil {
+				return fmt.Errorf("core: task %q pins backend %q but no backend router is configured", def.Name, def.Backend)
+			}
+			if err := e.router.Pin(def.Name, def.Backend); err != nil {
+				return fmt.Errorf("core: task %q: %v", def.Name, err)
+			}
 		}
 		e.script.Tasks = append(e.script.Tasks, def)
 		if e.cfg.AutoTune {
@@ -590,6 +717,14 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 		Market: e.market.Stats(),
 		Tasks:  tasks,
 		Cache:  e.mgr.Cache().Stats(),
+	}
+	if e.router != nil {
+		counts, saved := e.router.Counts()
+		for _, name := range e.router.Members() {
+			snap.Backends.Counts = append(snap.Backends.Counts,
+				dashboard.BackendCount{Name: name, HITs: counts[name]})
+		}
+		snap.Backends.SavedCents = saved
 	}
 	if e.plans != nil {
 		pc := e.plans.stats()

@@ -100,6 +100,21 @@ type PlanCacheInfo struct {
 	SavedMs float64
 }
 
+// BackendCount is one worker backend's share of the posted HITs.
+type BackendCount struct {
+	Name string
+	HITs int64
+}
+
+// BackendsInfo summarizes per-task backend routing (zero when the
+// engine runs on the plain simulated crowd without a router).
+type BackendsInfo struct {
+	// Counts lists HITs posted per backend, default backend first.
+	Counts []BackendCount
+	// SavedCents is what routing saved versus each task's policy price.
+	SavedCents budget.Cents
+}
+
 // Snapshot is a point-in-time view of the whole system.
 type Snapshot struct {
 	NowMinutes float64
@@ -121,6 +136,8 @@ type Snapshot struct {
 	Warmstart WarmstartInfo
 	// PlanCache reports plan-cache activity (zero when disabled).
 	PlanCache PlanCacheInfo
+	// Backends reports worker-backend routing (zero without a router).
+	Backends BackendsInfo
 }
 
 // ComputeSavings derives the optimization-benefit panel from task stats:
@@ -169,6 +186,14 @@ func Render(s Snapshot) string {
 	if s.Savings.SharedHITs > 0 {
 		fmt.Fprintf(&b, "Multi-tenant sharing: %d HITs co-batched %d cross-query items (~%v saved)\n",
 			s.Savings.SharedHITs, s.Savings.SharedItems, s.Savings.SharedSavedCents)
+	}
+	if len(s.Backends.Counts) > 0 {
+		parts := make([]string, len(s.Backends.Counts))
+		for i, bc := range s.Backends.Counts {
+			parts[i] = fmt.Sprintf("%d %s", bc.HITs, bc.Name)
+		}
+		fmt.Fprintf(&b, "Backends: %s HITs, ~%v saved by routing\n",
+			strings.Join(parts, " / "), s.Backends.SavedCents)
 	}
 	if s.PlanCache.Hits > 0 || s.PlanCache.Invalidations > 0 {
 		fmt.Fprintf(&b, "Plan cache: %d hits, %d invalidations (~%.1f ms planning saved)\n",

@@ -1,0 +1,191 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+	"repro/internal/workload"
+)
+
+// hybridPhase is one side of the hybridcrowd comparison: its own clock,
+// crowd, marketplace and task manager over the shared dataset, so HIT
+// counts, spend and the result fingerprint are directly comparable and
+// every phase is deterministic.
+type hybridPhase struct {
+	HITs        int64
+	Assignments int64
+	Questions   int64
+	Spent       budget.Cents
+	Makespan    mturk.VirtualTime
+	FNV         uint64
+	Outcomes    int64
+	Errors      int64
+	Passed      int64
+
+	// Routed-phase extras (zero on the sim-only side).
+	SimHITs    int64
+	LLMHITs    int64
+	SavedCents budget.Cents
+}
+
+// runHybridPhase drives the two-stage filter cascade once. With routed
+// set, the task manager serves through a backend router that pins the
+// first-stage filter to an LLM worker crowd whose model answers from the
+// dataset's ground truth; the second stage stays on the simulated human
+// marketplace, so one run mixes both crowds.
+func runHybridPhase(cfg Config, ds workload.Dataset, routed bool) (hybridPhase, error) {
+	var ph hybridPhase
+	clock := mturk.NewClock()
+	defer clock.Close()
+	pool := crowd.NewPool(crowd.Config{
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
+		Seed:         cfg.Seed,
+		MeanSkill:    cfg.Skill,
+		SkillStd:     cfg.SkillStd,
+		SpamFraction: cfg.Spam,
+		AbandonRate:  cfg.Abandon,
+		BatchPenalty: cfg.BatchPenalty,
+	}, ds.Oracle)
+	market := mturk.NewMarketplace(clock, pool)
+	market.SetAutoDispose(true, nil)
+
+	var be backend.Backend = backend.NewSim(market)
+	var router *backend.Router
+	if routed {
+		// The model reads the same ground truth the oracle does, at the
+		// cheaper per-assignment quote.
+		model := func(task string, tt qlang.TaskType, args []relation.Value) relation.Value {
+			return ds.Oracle.Truth(task, args)
+		}
+		llm := backend.NewLLM(clock, backend.LLMConfig{Model: model, PriceCents: hybridLLMPrice(cfg)})
+		var err error
+		router, err = backend.NewRouter("sim", backend.NewSim(market), llm)
+		if err != nil {
+			return ph, fmt.Errorf("load: %v", err)
+		}
+		if err := router.Pin("isCat", "llm"); err != nil {
+			return ph, fmt.Errorf("load: %v", err)
+		}
+		be = router
+	}
+
+	mgr := taskmgr.NewWithBackend(be, nil, nil, nil)
+	mgr.SetBasePolicy(taskmgr.Policy{
+		Assignments: cfg.Assignments,
+		BatchSize:   cfg.Batch,
+		PriceCents:  cfg.PriceCents,
+		Linger:      time.Minute,
+		UseCache:    false,
+		UseModel:    false,
+	})
+
+	sc := cascadeScenario(ds, true)
+	var ctr counters
+	sc.drive(mgr, &ctr)
+	mgr.FlushAll()
+	for ctr.outstanding.Load() > 0 {
+		if !clock.Step() {
+			mgr.FlushAll()
+			if !clock.Step() {
+				return ph, fmt.Errorf("load: hybridcrowd stalled with %d outcomes outstanding", ctr.outstanding.Load())
+			}
+		}
+	}
+
+	st := be.Stats()
+	ph.HITs = int64(st.HITsPosted)
+	ph.Assignments = int64(st.AssignmentsCompleted)
+	ph.Questions = int64(st.QuestionsAnswered)
+	ph.Spent = st.SpentCents
+	ph.Makespan = clock.Now()
+	ph.Outcomes = ctr.outcomes.Load()
+	ph.Errors = ctr.errors.Load()
+	ph.Passed = ctr.passed.Load()
+	var tmp Report
+	sc.finish(&tmp)
+	ph.FNV = tmp.PassedKeysFNV
+	if router != nil {
+		counts, saved := router.Counts()
+		ph.SimHITs = counts["sim"]
+		ph.LLMHITs = counts["llm"]
+		ph.SavedCents = saved
+	}
+	return ph, nil
+}
+
+// hybridLLMPrice is the LLM crowd's per-assignment quote: half the human
+// reward, at least a cent below it so routing has something to save.
+func hybridLLMPrice(cfg Config) int64 {
+	p := cfg.PriceCents / 2
+	if p < 1 {
+		p = 1
+	}
+	if p >= cfg.PriceCents {
+		p = cfg.PriceCents - 1
+	}
+	return p
+}
+
+// runHybridCrowd drives the hybridcrowd workload: the same filter
+// cascade twice over one dataset — first entirely on the simulated human
+// marketplace, then through a backend router that serves the first-stage
+// filter from a deterministic LLM worker crowd at a cheaper quote while
+// the second stage stays human. The report carries both phases' spend,
+// the routed phase's per-backend HIT counts and routing savings, and
+// both result fingerprints, so the -verify harness (and CI) can assert
+// the routed run costs strictly less at an identical result set and that
+// reruns are byte-identical.
+//
+// Determinism posture: the default crowd is exactly perfect (Skill 1.0
+// with vanishing spread/spam/abandonment) and the model function reads
+// the dataset's ground truth, so both phases' answers equal the oracle
+// and the fingerprints are pure functions of the dataset. Everything is
+// pumped from one goroutine, so HIT counts and spend are deterministic
+// too.
+func runHybridCrowd(cfg Config) (Report, error) {
+	rep := Report{Config: cfg}
+	ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
+
+	start := time.Now()
+	simPh, err := runHybridPhase(cfg, ds, false)
+	if err != nil {
+		return rep, err
+	}
+	routedPh, err := runHybridPhase(cfg, ds, true)
+	if err != nil {
+		return rep, err
+	}
+	rep.Wall = time.Since(start)
+
+	// The routed phase is the headline; the sim-only baseline rides in
+	// the Hybrid* fields.
+	rep.HITs = routedPh.HITs
+	rep.Assignments = routedPh.Assignments
+	rep.Questions = routedPh.Questions
+	rep.Spent = routedPh.Spent
+	rep.Makespan = routedPh.Makespan
+	rep.Outcomes = routedPh.Outcomes
+	rep.Errors = routedPh.Errors
+	rep.Passed = routedPh.Passed
+	rep.PassedKeysFNV = routedPh.FNV
+	rep.DollarsPerQuery = float64(rep.Spent) / 100
+	if secs := rep.Wall.Seconds(); secs > 0 {
+		rep.HITsPerSec = float64(simPh.HITs+routedPh.HITs) / secs
+	}
+
+	rep.HybridSimHITs = simPh.HITs
+	rep.HybridSimSpent = simPh.Spent
+	rep.HybridSimFNV = simPh.FNV
+	rep.BackendSimHITs = routedPh.SimHITs
+	rep.BackendLLMHITs = routedPh.LLMHITs
+	rep.RoutedSavedCents = routedPh.SavedCents
+	return rep, nil
+}

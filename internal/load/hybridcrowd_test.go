@@ -1,0 +1,54 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHybridCrowdRoutingSavesMoney is the acceptance comparison inside
+// one run: the routed phase reproduces the sim-only phase's result set
+// exactly, splits its HITs across both backends, and spends strictly
+// less than the all-human baseline.
+func TestHybridCrowdRoutingSavesMoney(t *testing.T) {
+	rep, err := Run(Config{Workload: WorkloadHybridCrowd, Tuples: 200, Workers: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PassedKeysFNV != rep.HybridSimFNV || rep.HybridSimFNV == 0 {
+		t.Fatalf("routed fingerprint %016x differs from sim-only %016x", rep.PassedKeysFNV, rep.HybridSimFNV)
+	}
+	if rep.BackendLLMHITs == 0 || rep.BackendSimHITs == 0 {
+		t.Fatalf("not a hybrid: %d sim HITs, %d llm HITs", rep.BackendSimHITs, rep.BackendLLMHITs)
+	}
+	if rep.Spent >= rep.HybridSimSpent {
+		t.Fatalf("routing spent %v, sim-only %v", rep.Spent, rep.HybridSimSpent)
+	}
+	if rep.RoutedSavedCents <= 0 {
+		t.Fatalf("router booked no savings: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "hybridcrowd") {
+		t.Fatal("report lacks the hybridcrowd line")
+	}
+}
+
+// TestHybridCrowdRerunIdentical pins the workload's determinism: both
+// phases pump from one goroutine over a seed-pinned perfect crowd and a
+// ground-truth model, so every virtual-time metric must reproduce.
+func TestHybridCrowdRerunIdentical(t *testing.T) {
+	cfg := Config{Workload: WorkloadHybridCrowd, Tuples: 150, Workers: 40, Seed: 7}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.HITs != again.HITs || first.Spent != again.Spent || first.Makespan != again.Makespan ||
+		first.PassedKeysFNV != again.PassedKeysFNV || first.HybridSimFNV != again.HybridSimFNV ||
+		first.HybridSimHITs != again.HybridSimHITs || first.HybridSimSpent != again.HybridSimSpent ||
+		first.BackendSimHITs != again.BackendSimHITs || first.BackendLLMHITs != again.BackendLLMHITs ||
+		first.RoutedSavedCents != again.RoutedSavedCents {
+		t.Fatalf("rerun drifted:\nfirst:  %+v\nsecond: %+v", first, again)
+	}
+}

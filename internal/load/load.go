@@ -77,6 +77,14 @@ const (
 	// same Tuples/Queries/Seed with NoShare flipped: same fingerprints,
 	// strictly fewer HITs with sharing.
 	WorkloadMultiTenant Workload = "multitenant"
+	// WorkloadHybridCrowd runs the filter cascade twice over one
+	// dataset: a sim-only baseline, then through a worker-backend
+	// router that serves the first-stage filter from a deterministic
+	// LLM crowd at a cheaper per-assignment quote while the second
+	// stage stays on the simulated human marketplace. Compare inside
+	// one report: identical result fingerprints, strictly lower routed
+	// spend, HITs split across both backends.
+	WorkloadHybridCrowd Workload = "hybridcrowd"
 	// WorkloadWarmstart is the filter cascade with the Task Cache armed
 	// and backed by the durable knowledge store (Config.StorePath
 	// required): the first run over a given store pays for every
@@ -226,6 +234,32 @@ func (c Config) withDefaults() Config {
 			c.BatchPenalty = 1e-12
 		}
 	}
+	if c.Workload == WorkloadHybridCrowd {
+		// Routing needs a price gap to exploit: the LLM crowd quotes
+		// half the human reward, so the default reward is 2¢ rather
+		// than the generic 1¢.
+		if c.PriceCents <= 1 {
+			c.PriceCents = 2
+		}
+		// Both phases must reproduce the oracle exactly for their
+		// fingerprints to be comparable, so the default crowd is
+		// exactly perfect, like the multitenant workload's.
+		if c.Skill == 0 {
+			c.Skill = 1.0
+		}
+		if c.SkillStd == 0 {
+			c.SkillStd = 1e-12
+		}
+		if c.Spam == 0 {
+			c.Spam = 1e-12
+		}
+		if c.Abandon == 0 {
+			c.Abandon = 1e-12
+		}
+		if c.BatchPenalty == 0 {
+			c.BatchPenalty = 1e-12
+		}
+	}
 	if c.Workload == WorkloadSort {
 		// Top-k must sit below the comparison group size or the
 		// selection tournament cannot shrink its groups and top-k
@@ -356,6 +390,18 @@ type Report struct {
 	CoBatchedItems   int64
 	HITsSaved        int64
 	SharedSavedCents budget.Cents
+
+	// Hybridcrowd-workload metrics: the headline HITs/Spent/fingerprint
+	// fields describe the routed phase; HybridSim* carry the sim-only
+	// baseline, BackendSimHITs/BackendLLMHITs split the routed phase's
+	// HITs per backend, and RoutedSavedCents is the router's booked
+	// saving versus the task policy price.
+	HybridSimHITs    int64
+	HybridSimSpent   budget.Cents
+	HybridSimFNV     uint64
+	BackendSimHITs   int64
+	BackendLLMHITs   int64
+	RoutedSavedCents budget.Cents
 }
 
 // String renders the report the way qurk-load prints it.
@@ -391,6 +437,11 @@ func (r Report) String() string {
 			r.Config.Queries, sharing, r.Config.MaxInflight, r.SharedHITs, r.CoBatchedItems, r.HITsSaved, r.SharedSavedCents)
 		fmt.Fprintf(&b, "  fairness      per-query spend spread %v; combined fingerprint %016x\n",
 			r.FairSpreadCents, r.PassedKeysFNV)
+	}
+	if r.Config.Workload == WorkloadHybridCrowd {
+		fmt.Fprintf(&b, "  hybridcrowd   sim-only spent %v over %d HITs; routed spent %v over %d (%d sim / %d llm, ~%v saved by routing)\n",
+			r.HybridSimSpent, r.HybridSimHITs, r.Spent, r.HITs, r.BackendSimHITs, r.BackendLLMHITs, r.RoutedSavedCents)
+		fmt.Fprintf(&b, "  fingerprints  sim=%016x routed=%016x\n", r.HybridSimFNV, r.PassedKeysFNV)
 	}
 	if r.Config.Workload == WorkloadStreaming {
 		fmt.Fprintf(&b, "  streaming     first row at %.1f vmin (makespan %.1f); %d rows delivered (fingerprint %016x)\n",
@@ -429,6 +480,11 @@ func Run(cfg Config) (Report, error) {
 		// The multitenant scenario runs concurrent queries through one
 		// engine; it has its own driver (multitenant.go).
 		return runMultiTenant(cfg)
+	}
+	if cfg.Workload == WorkloadHybridCrowd {
+		// The hybridcrowd scenario runs two isolated phases (sim-only
+		// vs routed); it has its own driver (hybridcrowd.go).
+		return runHybridCrowd(cfg)
 	}
 	rep := Report{Config: cfg}
 

@@ -1,0 +1,75 @@
+package mturk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Both configuration hooks are read under cfgMu at their point of use,
+// so installing them after posting begins is safe: the worker filter
+// vets every claim dispatched from then on, and the error handler hears
+// failures that happen from then on. These tests pin that contract.
+
+func TestHooksInstallAfterPost(t *testing.T) {
+	clock := NewClock()
+	pool := &fakePool{abandons: 1}
+	m := NewMarketplace(clock, pool)
+	h := filterHIT(m.NewHITID(), 1)
+	err := m.Post(h, func(AssignmentResult) {
+		t.Error("assignment completed despite the late-installed filter")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install both hooks only after Post has dispatched its first
+	// claim. The first worker abandons; every re-dispatch after that
+	// must be vetted by the new filter, and when retries exhaust the
+	// new handler must hear about it.
+	m.SetWorkerFilter(func(workerID string) bool { return workerID != "w1" })
+	var failed atomic.Int32
+	m.SetErrorHandler(func(hitID string, err error) {
+		if hitID != h.ID {
+			t.Errorf("failure reported for %s, want %s", hitID, h.ID)
+		}
+		if err == nil {
+			t.Error("failure reported with nil error")
+		}
+		failed.Add(1)
+	})
+	pump(t, clock, func() bool { return failed.Load() == 1 })
+	pool.mu.Lock()
+	claims := pool.claims
+	pool.mu.Unlock()
+	// 1 pre-filter claim (abandoned) + MaxRetries vetted re-dispatches.
+	if want := 1 + m.MaxRetries; claims != want {
+		t.Fatalf("claims = %d, want %d (filter should vet every re-dispatch)", claims, want)
+	}
+}
+
+func TestWorkerFilterDoesNotRevokeClaimedAssignments(t *testing.T) {
+	clock := NewClock()
+	m := NewMarketplace(clock, &fakePool{})
+	var mu sync.Mutex
+	var done int
+	h := filterHIT(m.NewHITID(), 1)
+	if err := m.Post(h, func(AssignmentResult) {
+		mu.Lock()
+		done++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The claim was dispatched (and allowed) before this filter
+	// existed; the in-flight assignment still completes and is paid.
+	m.SetWorkerFilter(func(string) bool { return false })
+	pump(t, clock, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return done == 1
+	})
+	st, ok := m.Status(h.ID)
+	if !ok || st.Completed != 1 || st.Spent != 2 {
+		t.Fatalf("status = %+v ok=%v", st, ok)
+	}
+}

@@ -148,6 +148,12 @@ func (m *Marketplace) Clock() *Clock { return m.clock }
 
 // SetErrorHandler installs a callback for assignments that exhaust their
 // retries; the default drops them silently counted in stats.
+//
+// Installation is safe at any time, including after posting begins:
+// the handler is read under cfgMu at each failure, so in-flight HITs
+// observe the new handler on their next failure. Hooks installed from
+// another goroutine while the clock runs are fine; what cannot work is
+// expecting a late handler to re-deliver failures that already fired.
 func (m *Marketplace) SetErrorHandler(fn func(hitID string, err error)) {
 	m.cfgMu.Lock()
 	defer m.cfgMu.Unlock()
@@ -156,6 +162,13 @@ func (m *Marketplace) SetErrorHandler(fn func(hitID string, err error)) {
 
 // SetWorkerFilter installs a qualification predicate: claims by workers
 // it rejects are re-dispatched to someone else. nil accepts everyone.
+//
+// Like SetErrorHandler, installation is safe after posting begins: the
+// filter is read under cfgMu at each claim dispatch, so already-posted
+// HITs apply the new predicate to every assignment still unclaimed.
+// Assignments completed before installation are not revoked — backends
+// installing hooks lazily (the router does) lose no safety, only the
+// chance to filter work that already finished.
 func (m *Marketplace) SetWorkerFilter(fn func(workerID string) bool) {
 	m.cfgMu.Lock()
 	defer m.cfgMu.Unlock()

@@ -1,0 +1,97 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/qlang"
+	"repro/internal/stats"
+)
+
+// BackendCandidate describes one routable worker backend: what it
+// charges per assignment, how accurate its workers are assumed to be
+// before live evidence accumulates, and which task kinds it serves.
+type BackendCandidate struct {
+	Name       string
+	PriceCents int64
+	Quality    float64
+	// Kinds restricts the candidate to specific task kinds; empty
+	// serves everything.
+	Kinds []qlang.TaskType
+}
+
+func (c BackendCandidate) serves(tt qlang.TaskType) bool {
+	if len(c.Kinds) == 0 {
+		return true
+	}
+	for _, k := range c.Kinds {
+		if k == tt {
+			return true
+		}
+	}
+	return false
+}
+
+// minBackendObs is how many finalized HITs a (backend, kind) cell needs
+// before its live estimates override the candidate's configured priors.
+const minBackendObs = 5
+
+// ChooseBackend picks where one task kind's HITs should run: the
+// cheapest candidate whose majority vote at the given redundancy is
+// predicted to reach the target confidence — the same calculation
+// ChooseAssignments runs, asked sideways. Quality and price come from
+// the manager's live (or store-replayed) backend book once a cell has
+// enough evidence, and from the candidate's priors until then. When no
+// candidate meets the target, the highest-quality one wins: confidence
+// shortfalls are redeemed by accuracy, never by price. Ties break by
+// name for determinism.
+func (o *Optimizer) ChooseBackend(cands []BackendCandidate, tt qlang.TaskType, assignments int) string {
+	if assignments <= 0 {
+		assignments = ChooseAssignments(o.WorkerAccuracy, o.TargetConfidence, o.MaxAssignments)
+	}
+	var book *stats.BackendBook
+	if o.Mgr != nil {
+		book = o.Mgr.BackendBook()
+	}
+	best, bestQualName := "", ""
+	var bestPrice int64
+	bestQual := -1.0
+	for _, c := range cands {
+		if !c.serves(tt) {
+			continue
+		}
+		q, price := c.Quality, c.PriceCents
+		if book != nil {
+			if v, n := book.Quality(c.Name, tt.String()); n >= minBackendObs {
+				q = v
+			}
+			if v, n := book.PriceCents(c.Name, tt.String()); n >= minBackendObs && v > 0 {
+				price = int64(math.Round(v))
+			}
+		}
+		if q > bestQual || (q == bestQual && c.Name < bestQualName) {
+			bestQual, bestQualName = q, c.Name
+		}
+		if MajorityProb(q, assignments) < o.TargetConfidence {
+			continue
+		}
+		if best == "" || price < bestPrice || (price == bestPrice && c.Name < best) {
+			best, bestPrice = c.Name, price
+		}
+	}
+	if best == "" {
+		return bestQualName
+	}
+	return best
+}
+
+// BackendChooser adapts ChooseBackend to the router's chooser hook,
+// resolving each task's effective redundancy from its posting policy.
+func (o *Optimizer) BackendChooser(cands []BackendCandidate) func(task string, tt qlang.TaskType) string {
+	return func(task string, tt qlang.TaskType) string {
+		assignments := 0
+		if o.Mgr != nil {
+			assignments = o.Mgr.PolicyFor(&qlang.TaskDef{Name: task, Type: tt}).Assignments
+		}
+		return o.ChooseBackend(cands, tt, assignments)
+	}
+}

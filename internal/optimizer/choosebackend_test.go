@@ -1,0 +1,118 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/mturk"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/taskmgr"
+)
+
+// newBackendTestMgr builds a minimal manager over a trivially-true
+// simulated crowd for routing tests.
+func newBackendTestMgr() *taskmgr.Manager {
+	pool := crowd.NewPool(crowd.Config{Seed: 1}, crowd.OracleFunc(
+		func(task string, args []relation.Value) relation.Value { return relation.NewBool(true) }))
+	return taskmgr.New(mturk.NewMarketplace(mturk.NewClock(), pool), nil, nil, nil)
+}
+
+// backendCandidates is the canonical routing menu: a cheap, noisier LLM
+// crowd that only serves filters, against the full-service simulated
+// human crowd.
+func backendCandidates() []BackendCandidate {
+	return []BackendCandidate{
+		{Name: "llm", PriceCents: 1, Quality: 0.90, Kinds: []qlang.TaskType{qlang.TaskFilter}},
+		{Name: "sim", PriceCents: 2, Quality: 0.85},
+	}
+}
+
+func TestChooseBackendRoutesCheapWhenConfident(t *testing.T) {
+	o := New(newBackendTestMgr())
+	// Filter at 3-way redundancy: both crowds clear the 0.9 target
+	// (majority of 3 at q=0.90 ≈ 0.972, at q=0.85 ≈ 0.939), so the
+	// cheaper LLM wins.
+	if got := o.ChooseBackend(backendCandidates(), qlang.TaskFilter, 3); got != "llm" {
+		t.Fatalf("filter routed to %q, want llm", got)
+	}
+	// Ranks are outside the LLM's served kinds: only sim is eligible.
+	if got := o.ChooseBackend(backendCandidates(), qlang.TaskRank, 3); got != "sim" {
+		t.Fatalf("rank routed to %q, want sim", got)
+	}
+}
+
+func TestChooseBackendFallsBackToQuality(t *testing.T) {
+	o := New(newBackendTestMgr())
+	o.TargetConfidence = 0.999
+	// Nobody clears an extreme target at single redundancy; the
+	// highest-quality candidate wins regardless of price.
+	if got := o.ChooseBackend(backendCandidates(), qlang.TaskFilter, 1); got != "llm" {
+		t.Fatalf("fallback routed to %q, want highest quality", got)
+	}
+	cands := []BackendCandidate{
+		{Name: "a", PriceCents: 1, Quality: 0.80},
+		{Name: "b", PriceCents: 9, Quality: 0.95},
+	}
+	if got := o.ChooseBackend(cands, qlang.TaskFilter, 1); got != "b" {
+		t.Fatalf("fallback routed to %q, want b (quality over price)", got)
+	}
+}
+
+// TestChooseBackendLearnsFromLiveEvidence seeds the manager's backend
+// book with finalized-HIT observations that contradict the configured
+// priors: the LLM's real agreement is far below its advertised quality.
+// Once the cell has enough evidence the live estimate overrides the
+// prior and routing flips back to the human crowd.
+func TestChooseBackendLearnsFromLiveEvidence(t *testing.T) {
+	mgr := newBackendTestMgr()
+	o := New(mgr)
+	cands := backendCandidates()
+	if got := o.ChooseBackend(cands, qlang.TaskFilter, 3); got != "llm" {
+		t.Fatalf("prior routing = %q, want llm", got)
+	}
+	kind := qlang.TaskFilter.String()
+	book := mgr.BackendBook()
+	// Four observations: still below the evidence threshold, priors
+	// hold.
+	for i := 0; i < 4; i++ {
+		book.Observe("llm", kind, 1, 0.1, 0.55)
+	}
+	if got := o.ChooseBackend(cands, qlang.TaskFilter, 3); got != "llm" {
+		t.Fatalf("routing flipped on thin evidence: %q", got)
+	}
+	// The fifth observation crosses it: measured quality ~0.55 can't
+	// reach the confidence target, so the sim crowd takes over.
+	book.Observe("llm", kind, 1, 0.1, 0.55)
+	if got := o.ChooseBackend(cands, qlang.TaskFilter, 3); got != "sim" {
+		t.Fatalf("routing ignored live evidence: %q", got)
+	}
+	// Other kinds' cells are untouched; rank still routes to sim for
+	// its own reason (served kinds), filter evidence doesn't leak.
+	if v, n := book.Quality("llm", qlang.TaskRank.String()); n != 0 || v != 0 {
+		t.Fatalf("rank cell contaminated: v=%v n=%d", v, n)
+	}
+}
+
+func TestBackendChooserResolvesPolicyRedundancy(t *testing.T) {
+	mgr := newBackendTestMgr()
+	o := New(mgr)
+	// At the default 3-way policy redundancy the LLM clears the target.
+	choose := o.BackendChooser(backendCandidates())
+	if got := choose("isCat", qlang.TaskFilter); got != "llm" {
+		t.Fatalf("chooser routed to %q, want llm", got)
+	}
+	// A task pinned to single-assignment posting can't majority-vote
+	// its way to confidence: quality fallback also favors llm (0.90),
+	// but dropping its advertised quality below sim's flips it.
+	pol := mgr.PolicyFor(&qlang.TaskDef{Name: "isCat", Type: qlang.TaskFilter})
+	pol.Assignments = 1
+	mgr.SetPolicy("isCat", pol)
+	cands := []BackendCandidate{
+		{Name: "llm", PriceCents: 1, Quality: 0.80, Kinds: []qlang.TaskType{qlang.TaskFilter}},
+		{Name: "sim", PriceCents: 2, Quality: 0.95},
+	}
+	if got := o.BackendChooser(cands)("isCat", qlang.TaskFilter); got != "sim" {
+		t.Fatalf("chooser routed to %q, want sim at 1-way redundancy", got)
+	}
+}

@@ -374,6 +374,12 @@ type TaskDef struct {
 	// own WithSharedBatching choice: queries whose effective posting
 	// policy for the task matches may fill one HIT together.
 	Share bool
+
+	// Backend pins every HIT of this task to one named worker backend
+	// ("Backend: llm"). Empty lets the engine's backend router (or its
+	// optimizer-installed chooser) decide; without a router configured
+	// the property is rejected at engine start.
+	Backend string
 }
 
 // ReturnsTuple reports whether the task returns a multi-field tuple.

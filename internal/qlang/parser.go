@@ -673,6 +673,12 @@ func (p *Parser) parseTask() (*TaskDef, error) {
 				return nil, err
 			}
 			task.CompareTask = name
+		case "backend":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			task.Backend = name
 		case "groupsize":
 			numText, err := p.expectNumber()
 			if err != nil {

@@ -575,3 +575,30 @@ func TestCommentsSkipped(t *testing.T) {
 		t.Fatalf("items = %d", len(q.Items))
 	}
 }
+
+func TestTaskBackendField(t *testing.T) {
+	task, err := ParseTaskDef(`
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+  Backend: llm
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Backend != "llm" {
+		t.Errorf("Backend = %q", task.Backend)
+	}
+	if _, err := ParseTaskDef(`
+TASK isCat(Image photo)
+RETURNS Bool:
+  TaskType: Filter
+  Text: "Is this a cat? %s", photo
+  Response: YesNo
+  Backend: 7
+`); err == nil {
+		t.Error("non-identifier Backend accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// BackendObsState is one (backend, task kind) cell's exportable state:
+// three EWMAs observed together, so their counts always match.
+type BackendObsState struct {
+	Price   EWMAState // per-assignment reward in cents
+	Latency EWMAState // HIT post-to-done latency in virtual minutes
+	Quality EWMAState // mean majority-agreement share in [0,1]
+}
+
+// backendCell is the live estimator behind one BackendObsState.
+type backendCell struct {
+	price, latency, quality *EWMA
+}
+
+func newBackendCell() *backendCell {
+	return &backendCell{
+		price:   NewEWMA(TaskEWMAAlpha),
+		latency: NewEWMA(TaskEWMAAlpha),
+		quality: NewEWMA(TaskEWMAAlpha),
+	}
+}
+
+// BackendBook aggregates what each worker backend has demonstrated per
+// task kind: how much it charges, how long it takes, and how well its
+// workers agree. The Task Manager feeds it from finalized HITs; the
+// optimizer's ChooseBackend reads it to route where the evidence says
+// the policy's confidence is met most cheaply. Safe for concurrent use.
+type BackendBook struct {
+	mu    sync.RWMutex
+	cells map[string]map[string]*backendCell // backend → task kind
+}
+
+// NewBackendBook returns an empty book.
+func NewBackendBook() *BackendBook {
+	return &BackendBook{cells: make(map[string]map[string]*backendCell)}
+}
+
+func (b *BackendBook) cell(backend, kind string) *backendCell {
+	kinds := b.cells[backend]
+	if kinds == nil {
+		kinds = make(map[string]*backendCell)
+		b.cells[backend] = kinds
+	}
+	c := kinds[kind]
+	if c == nil {
+		c = newBackendCell()
+		kinds[kind] = c
+	}
+	return c
+}
+
+// Observe folds one finalized HIT into the (backend, kind) cell.
+func (b *BackendBook) Observe(backend, kind string, priceCents, latencyMin, quality float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cell(backend, kind)
+	c.price.Observe(priceCents)
+	c.latency.Observe(latencyMin)
+	c.quality.Observe(quality)
+}
+
+// SetState seeds one cell from replayed store state.
+func (b *BackendBook) SetState(backend, kind string, st BackendObsState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cell(backend, kind)
+	c.price.SetState(st.Price)
+	c.latency.SetState(st.Latency)
+	c.quality.SetState(st.Quality)
+}
+
+// Quality returns the observed quality for the cell and how many HITs
+// back it; n == 0 means nothing observed (value is prior's business).
+func (b *BackendBook) Quality(backend, kind string) (value float64, n int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if c := b.cells[backend][kind]; c != nil {
+		return c.quality.Value(), c.quality.Count()
+	}
+	return 0, 0
+}
+
+// PriceCents returns the observed per-assignment price for the cell and
+// how many HITs back it.
+func (b *BackendBook) PriceCents(backend, kind string) (value float64, n int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if c := b.cells[backend][kind]; c != nil {
+		return c.price.Value(), c.price.Count()
+	}
+	return 0, 0
+}
+
+// State exports one cell's full state.
+func (b *BackendBook) State(backend, kind string) BackendObsState {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if c := b.cells[backend][kind]; c != nil {
+		return BackendObsState{
+			Price:   c.price.State(),
+			Latency: c.latency.State(),
+			Quality: c.quality.State(),
+		}
+	}
+	return BackendObsState{}
+}
+
+// Cells lists every populated (backend, kind) pair, sorted, for
+// deterministic export and reporting.
+func (b *BackendBook) Cells() [][2]string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out [][2]string
+	for backend, kinds := range b.cells {
+		for kind := range kinds {
+			out = append(out, [2]string{backend, kind})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -65,6 +65,17 @@ const (
 	// KindRankPairSum is a task's comparison-agreement EWMA state in
 	// snapshots: value X over N observations.
 	KindRankPairSum Kind = 12
+
+	// KindBackendObs is one finalized HIT observed on a worker backend:
+	// Task is the backend name, Side the task kind, X the latency in
+	// virtual minutes, Y the mean majority-agreement quality, M the
+	// per-assignment price in cents. Replay seeds ChooseBackend with
+	// real evidence of what each backend charges and delivers.
+	KindBackendObs Kind = 13
+	// KindBackendSum is a (backend, task kind) cell's EWMA states in
+	// snapshots: latency value X, quality value Y, price value M
+	// (rounded cents), over N observations.
+	KindBackendSum Kind = 14
 )
 
 // Record is the store's unit of appending and replay: a tagged union
@@ -120,7 +131,7 @@ func decodeRecord(data []byte) (Record, error) {
 		return r, fmt.Errorf("store: empty record")
 	}
 	r.Kind = Kind(data[0])
-	if r.Kind < KindCacheEntry || r.Kind > KindRankPairSum {
+	if r.Kind < KindCacheEntry || r.Kind > KindBackendSum {
 		return r, fmt.Errorf("store: unknown record kind %d", data[0])
 	}
 	rest := data[1:]
@@ -223,9 +234,24 @@ type State struct {
 	lat        map[string]*stats.EWMA
 	agr        map[string]*stats.EWMA
 	rank       map[string]*stats.EWMA
+	backends   map[string]map[string]*backendAgg // backend → task kind
 	examples   map[string][]model.Example
 	reput      map[string]RepCounts
 	records    int64
+}
+
+// backendAgg folds one (backend, task kind) cell's observations; its
+// three EWMAs are always observed together, so their counts match.
+type backendAgg struct {
+	lat, qual, price *stats.EWMA
+}
+
+func newBackendAgg() *backendAgg {
+	return &backendAgg{
+		lat:   stats.NewEWMA(stats.TaskEWMAAlpha),
+		qual:  stats.NewEWMA(stats.TaskEWMAAlpha),
+		price: stats.NewEWMA(stats.TaskEWMAAlpha),
+	}
 }
 
 // NewState returns an empty state.
@@ -236,6 +262,7 @@ func NewState() *State {
 		lat:      make(map[string]*stats.EWMA),
 		agr:      make(map[string]*stats.EWMA),
 		rank:     make(map[string]*stats.EWMA),
+		backends: make(map[string]map[string]*backendAgg),
 		examples: make(map[string][]model.Example),
 		reput:    make(map[string]RepCounts),
 	}
@@ -276,6 +303,16 @@ func (s *State) apply(r Record) {
 		s.ewma(s.rank, r.Task).Observe(r.X)
 	case KindRankPairSum:
 		s.ewma(s.rank, r.Task).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
+	case KindBackendObs:
+		a := s.backendAgg(r.Task, r.Side)
+		a.lat.Observe(r.X)
+		a.qual.Observe(r.Y)
+		a.price.Observe(float64(r.M))
+	case KindBackendSum:
+		a := s.backendAgg(r.Task, r.Side)
+		a.lat.SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
+		a.qual.SetState(stats.EWMAState{Value: r.Y, N: int(r.N)})
+		a.price.SetState(stats.EWMAState{Value: float64(r.M), N: int(r.N)})
 	case KindModelExample:
 		args, err := DecodeArgs(r.Args)
 		if err != nil {
@@ -309,6 +346,20 @@ func (s *State) selCounts(task, side string) *stats.SelectivityState {
 	}
 	c := m[side]
 	return &c
+}
+
+func (s *State) backendAgg(backend, kind string) *backendAgg {
+	kinds := s.backends[backend]
+	if kinds == nil {
+		kinds = make(map[string]*backendAgg)
+		s.backends[backend] = kinds
+	}
+	a := kinds[kind]
+	if a == nil {
+		a = newBackendAgg()
+		kinds[kind] = a
+	}
+	return a
 }
 
 func (s *State) ewma(m map[string]*stats.EWMA, task string) *stats.EWMA {
@@ -346,6 +397,17 @@ func (s *State) snapshotRecords() []Record {
 	for _, task := range sortedKeys(s.rank) {
 		st := s.rank[task].State()
 		out = append(out, Record{Kind: KindRankPairSum, Task: task, X: st.Value, N: int64(st.N)})
+	}
+	for _, be := range sortedKeys(s.backends) {
+		kinds := s.backends[be]
+		for _, kind := range sortedKeys(kinds) {
+			a := kinds[kind]
+			lat, qual, price := a.lat.State(), a.qual.State(), a.price.State()
+			out = append(out, Record{
+				Kind: KindBackendSum, Task: be, Side: kind,
+				X: lat.Value, Y: qual.Value, M: int64(math.Round(price.Value)), N: int64(lat.N),
+			})
+		}
 	}
 	for _, task := range sortedKeys(s.examples) {
 		exs := s.examples[task]
@@ -442,6 +504,24 @@ func (s *State) RankAgreement(task string) stats.EWMAState {
 		return e.State()
 	}
 	return stats.EWMAState{}
+}
+
+// BackendObservations returns the replayed per-(backend, task kind)
+// price/latency/quality states, keyed backend → kind.
+func (s *State) BackendObservations() map[string]map[string]stats.BackendObsState {
+	out := make(map[string]map[string]stats.BackendObsState, len(s.backends))
+	for be, kinds := range s.backends {
+		m := make(map[string]stats.BackendObsState, len(kinds))
+		for kind, a := range kinds {
+			m[kind] = stats.BackendObsState{
+				Price:   a.price.State(),
+				Latency: a.lat.State(),
+				Quality: a.qual.State(),
+			}
+		}
+		out[be] = m
+	}
+	return out
 }
 
 // ModelExamples returns the replayed training examples per task.

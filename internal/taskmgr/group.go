@@ -92,6 +92,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		return nil
 	}
 
+	price := m.priceFor(remaining[0].Def, pol)
 	h := &hit.HIT{
 		ID:          m.market.NewHITID(),
 		Task:        remaining[0].Def.Name,
@@ -99,7 +100,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		Title:       "Answer a few questions",
 		Question:    fmt.Sprintf("Answer the following %d questions about the data shown.", len(remaining)),
 		Response:    qlang.Response{Kind: qlang.ResponseYesNo},
-		RewardCents: pol.PriceCents,
+		RewardCents: price,
 		Assignments: pol.Assignments,
 	}
 	byKey := make(map[string]pendingItem, len(remaining))
@@ -116,7 +117,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		keys = append(keys, key)
 	}
 
-	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	cost := budget.Cents(price * int64(pol.Assignments))
 	if err := scope.spend(cost); err != nil {
 		for _, r := range resolved {
 			r.done(r.out)
@@ -161,6 +162,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		needed:   pol.Assignments,
 		assign:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
+		backend:  m.servingBackend(remaining[0].Def),
 		group:    true,
 	}
 	s := m.flights.stripeFor(h.ID)
@@ -213,6 +215,8 @@ func (m *Manager) finalizeGroup(fl *inflightHIT) {
 		out  Outcome
 	}
 	var resolved []resolution
+	var agreeSum float64
+	var agreeN int
 	for _, hi := range fl.hit.Items {
 		item, ok := fl.byKey[hi.Key]
 		if !ok {
@@ -223,6 +227,8 @@ func (m *Manager) finalizeGroup(fl *inflightHIT) {
 		b, conf := stats.MajorityBool(answers)
 		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
 		st.agreement.Observe(conf)
+		agreeSum += conf
+		agreeN++
 		st.observeSelectivity(b, item.side)
 		m.noteWorkerVotes(fl.byWorker, hi.Key, b)
 		if pol.UseCache {
@@ -237,6 +243,9 @@ func (m *Manager) finalizeGroup(fl *inflightHIT) {
 			m.journalItem(j, pol, item.def, item.args, item.side, answers, out)
 		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
+	}
+	if agreeN > 0 {
+		m.observeBackend(fl.backend, fl.hit.Type, fl.hit.RewardCents, latencyMin, agreeSum/float64(agreeN))
 	}
 	for _, r := range resolved {
 		r.done(r.out)

@@ -117,6 +117,7 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		needPair[hit.PairKey(p.l.Key, p.r.Key)] = true
 	}
 
+	price := m.priceFor(def, pol)
 	h := &hit.HIT{
 		ID:          m.market.NewHITID(),
 		Task:        def.Name,
@@ -124,7 +125,7 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		Title:       def.Name,
 		Question:    hit.RenderText(def.Text, def.TextArgs, def.Params, nil),
 		Response:    joinResponse(def),
-		RewardCents: pol.PriceCents,
+		RewardCents: price,
 		Assignments: pol.Assignments,
 	}
 	if h.Question == "" {
@@ -137,7 +138,7 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		h.Right = append(h.Right, hit.Item{Key: r.Key, Args: r.Args})
 	}
 
-	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	cost := budget.Cents(price * int64(pol.Assignments))
 	if err := scope.spend(cost); err != nil {
 		for _, r := range resolved {
 			done(r.key, r.out)
@@ -185,6 +186,8 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		answers:  make(map[string][]relation.Value),
 		needed:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
+		backend:  m.servingBackend(def),
+		reward:   price,
 		done:     done,
 	}
 	s := m.flights.stripeFor(h.ID)
@@ -229,6 +232,8 @@ type joinInflight struct {
 	received int
 	needed   int
 	postedAt mturk.VirtualTime
+	backend  string // serving backend name, recorded at post time
+	reward   int64  // per-assignment price actually charged
 	done     func(string, Outcome)
 }
 
@@ -275,12 +280,16 @@ func (m *Manager) finalizeJoin(fl *joinInflight) {
 		out Outcome
 	}
 	var resolved []resolution
+	var agreeSum float64
+	var agreeN int
 	for _, key := range fl.order {
 		item := fl.items[key]
 		answers := fl.answers[key]
 		b, conf := stats.MajorityBool(answers)
 		out := Outcome{Value: relation.NewBool(b), Answers: answers, Agreement: conf}
 		st.agreement.Observe(conf)
+		agreeSum += conf
+		agreeN++
 		st.selectivity.Observe(b)
 		m.noteWorkerVotes(fl.byWorker, key, b)
 		if pol.UseCache {
@@ -297,6 +306,9 @@ func (m *Manager) finalizeJoin(fl *joinInflight) {
 		if fl.need[key] {
 			resolved = append(resolved, resolution{key: key, out: out})
 		}
+	}
+	if agreeN > 0 {
+		m.observeBackend(fl.backend, fl.def.Type, fl.reward, latencyMin, agreeSum/float64(agreeN))
 	}
 	for _, r := range resolved {
 		fl.done(r.key, r.out)

@@ -69,6 +69,13 @@ func (m *Manager) Restore(s *store.State) RestoreSummary {
 		}
 	}
 
+	for be, kinds := range s.BackendObservations() {
+		for kind, st := range kinds {
+			m.book.SetState(be, kind, st)
+			sum.Observations += int64(st.Quality.N)
+		}
+	}
+
 	for task, examples := range s.ModelExamples() {
 		m.models.SeedExamples(task, examples)
 		sum.Examples += int64(len(examples))

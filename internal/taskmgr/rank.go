@@ -52,6 +52,7 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 	st.submitted += int64(len(items))
 	st.mu.Unlock()
 
+	price := m.priceFor(def, pol)
 	h := &hit.HIT{
 		ID:          m.market.NewHITID(),
 		Task:        def.Name,
@@ -59,7 +60,7 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		Title:       def.Name,
 		Question:    hit.RenderText(def.Text, def.TextArgs, def.Params, nil),
 		Response:    rankResponse(def),
-		RewardCents: pol.PriceCents,
+		RewardCents: price,
 		Assignments: pol.Assignments,
 	}
 	if h.Question == "" {
@@ -69,7 +70,7 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		h.Items = append(h.Items, hit.Item{Key: it.Key, Args: it.Args})
 	}
 
-	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	cost := budget.Cents(price * int64(pol.Assignments))
 	if err := scope.spend(cost); err != nil {
 		done(nil, fmt.Errorf("taskmgr: %s: %w", def.Name, err))
 		return
@@ -93,6 +94,8 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		keys:     keysOf(items),
 		needed:   pol.Assignments,
 		postedAt: m.market.Clock().Now(),
+		backend:  m.servingBackend(def),
+		reward:   price,
 		done:     done,
 	}
 	s := m.flights.stripeFor(h.ID)
@@ -135,6 +138,8 @@ type rankInflight struct {
 	received int
 	needed   int
 	postedAt mturk.VirtualTime
+	backend  string // serving backend name, recorded at post time
+	reward   int64  // per-assignment price actually charged
 	done     func([]Ranking, error)
 }
 
@@ -199,6 +204,7 @@ func (m *Manager) finalizeRank(fl *rankInflight) {
 		if j != nil {
 			j.Append(store.Record{Kind: store.KindRankPair, Task: fl.def.Name, X: share, N: int64(pairs)})
 		}
+		m.observeBackend(fl.backend, fl.def.Type, fl.reward, latencyMin, share)
 	}
 	fl.done(rankings, nil)
 }

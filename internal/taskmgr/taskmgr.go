@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/hit"
@@ -278,10 +279,15 @@ func (t *flightTable) stripeFor(hitID string) *flightStripe {
 // Manager routes task applications to the cache, the model, or batched
 // HITs on the marketplace.
 type Manager struct {
-	market  *mturk.Marketplace
+	market  backend.Backend
 	cache   *cache.Cache
 	models  *model.Registry
 	account *budget.Account
+
+	// book aggregates per-(backend, task kind) price/latency/quality
+	// observations from finalized HITs; the optimizer's ChooseBackend
+	// reads it to route work where the evidence says it is cheapest.
+	book *stats.BackendBook
 
 	// mu guards tasks and base only; it is never held across calls into
 	// the marketplace, cache, or per-task state.
@@ -368,7 +374,8 @@ type inflightHIT struct {
 	assign   int // assignments at post time; basis for pro-rata refunds
 	admitted bool // holds an admission-scheduler slot until retired
 	postedAt mturk.VirtualTime
-	group    bool // finalize with per-item task attribution
+	backend  string // serving backend name, recorded at post time
+	group    bool   // finalize with per-item task attribution
 }
 
 // unregister forgets the HIT at every participating scope.
@@ -378,9 +385,15 @@ func (fl *inflightHIT) unregister(hitID string) {
 	}
 }
 
-// New wires a manager to its collaborators. models may be nil (no
-// automation); account may be nil (unlimited budget).
+// New wires a manager to the simulated marketplace. models may be nil
+// (no automation); account may be nil (unlimited budget).
 func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, account *budget.Account) *Manager {
+	return NewWithBackend(backend.NewSim(market), c, models, account)
+}
+
+// NewWithBackend wires a manager to any worker backend — the simulator,
+// the HTTP driver, the LLM crowd, or a router mixing them per task.
+func NewWithBackend(be backend.Backend, c *cache.Cache, models *model.Registry, account *budget.Account) *Manager {
 	if c == nil {
 		c = cache.New()
 	}
@@ -391,10 +404,11 @@ func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, acco
 		account = budget.NewAccount(0)
 	}
 	m := &Manager{
-		market:  market,
+		market:  be,
 		cache:   c,
 		models:  models,
 		account: account,
+		book:    stats.NewBackendBook(),
 		tasks:   make(map[string]*taskState),
 		base:    DefaultPolicy(),
 	}
@@ -402,8 +416,41 @@ func New(market *mturk.Marketplace, c *cache.Cache, models *model.Registry, acco
 	// retries, e.g. a blocklist starving a small pool). The manager
 	// must still resolve the affected items: with fewer votes if some
 	// arrived, or with an error if none ever will.
-	market.SetErrorHandler(m.onAssignmentFailed)
+	be.SetErrorHandler(m.onAssignmentFailed)
 	return m
+}
+
+// Backend returns the worker backend the manager posts to.
+func (m *Manager) Backend() backend.Backend { return m.market }
+
+// BackendBook returns the per-(backend, task kind) observation book.
+func (m *Manager) BackendBook() *stats.BackendBook { return m.book }
+
+// priceFor returns the per-assignment reward one HIT of def will pay
+// under pol: the policy price unless the serving backend quotes its own.
+func (m *Manager) priceFor(def *qlang.TaskDef, pol Policy) int64 {
+	return backend.Quote(m.market, def.Name, def.Type, pol.PriceCents)
+}
+
+// servingBackend names the backend that will answer def's next HIT.
+func (m *Manager) servingBackend(def *qlang.TaskDef) string {
+	return backend.ServingName(m.market, def.Name, def.Type)
+}
+
+// observeBackend folds one finalized HIT into the backend book and the
+// journal: per-assignment price, post-to-done latency, and mean
+// majority-agreement quality across the HIT's items.
+func (m *Manager) observeBackend(name string, tt qlang.TaskType, rewardCents int64, latencyMin, quality float64) {
+	if name == "" {
+		return
+	}
+	m.book.Observe(name, tt.String(), float64(rewardCents), latencyMin, quality)
+	if j := m.getJournal(); j != nil {
+		j.Append(store.Record{
+			Kind: store.KindBackendObs, Task: name, Side: tt.String(),
+			X: latencyMin, Y: quality, M: rewardCents,
+		})
+	}
 }
 
 // onAssignmentFailed reduces an inflight HIT's expected assignment count;
@@ -962,7 +1009,8 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 	// fail that scope's items, and retry with the rest — the HIT price
 	// does not depend on how many scopes fill it, so the loop strictly
 	// shrinks the scope set and terminates.
-	cost := budget.Cents(pol.PriceCents * int64(pol.Assignments))
+	price := m.priceFor(def, pol)
+	cost := budget.Cents(price * int64(pol.Assignments))
 	var shares []hitShare
 	for len(live) > 0 {
 		shares = shareOut(live, cost)
@@ -1011,7 +1059,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		Title:       def.Name,
 		Question:    batchQuestion(def, live),
 		Response:    responseFor(def),
-		RewardCents: pol.PriceCents,
+		RewardCents: price,
 		Assignments: pol.Assignments,
 	}
 	byKey := make(map[string]pendingItem, len(live))
@@ -1047,6 +1095,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		assign:   pol.Assignments,
 		admitted: true,
 		postedAt: m.market.Clock().Now(),
+		backend:  m.servingBackend(def),
 	}
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
@@ -1135,6 +1184,8 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 	st.mu.Lock()
 	pol := st.effectivePolicyLocked(base)
 	st.mu.Unlock()
+	var agreeSum float64
+	var agreeN int
 	for _, hi := range fl.hit.Items {
 		item, ok := fl.byKey[hi.Key]
 		if !ok {
@@ -1143,6 +1194,8 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 		answers := fl.answers[hi.Key]
 		out := reduce(item.def, answers)
 		st.agreement.Observe(out.Agreement)
+		agreeSum += out.Agreement
+		agreeN++
 		if isBooleanTask(item.def) {
 			st.observeSelectivity(out.Value.Truthy(), item.side)
 			m.noteWorkerVotes(fl.byWorker, hi.Key, out.Value.Truthy())
@@ -1159,6 +1212,9 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 			m.journalItem(j, pol, item.def, item.args, item.side, answers, out)
 		}
 		resolved = append(resolved, resolution{done: item.done, out: out})
+	}
+	if agreeN > 0 {
+		m.observeBackend(fl.backend, fl.hit.Type, fl.hit.RewardCents, latencyMin, agreeSum/float64(agreeN))
 	}
 	for _, r := range resolved {
 		r.done(r.out)
