@@ -10,6 +10,7 @@
 //	qurk-bench -only SORT       # ranking-strategy economics, writes BENCH_sort.json
 //	qurk-bench -only MT         # multi-tenant sharing economics, writes BENCH_mt.json
 //	qurk-bench -only BACKEND    # worker-backend routing economics, writes BENCH_backend.json
+//	qurk-bench -only INFER      # adaptive-redundancy inference economics, writes BENCH_infer.json
 package main
 
 import (
@@ -269,9 +270,82 @@ func runBackendBench(seed int64, scale int) error {
 	return nil
 }
 
+// inferBench is the BENCH_infer.json schema: the same filter cascade run
+// under fixed-redundancy majority voting and under EM answer inference
+// with adaptive redundancy, on identical config over a noisy crowd (so
+// the adaptive loop both stops early on agreement and buys extensions on
+// disagreement).
+type inferBench struct {
+	Workload            string  `json:"workload"`
+	Tuples              int     `json:"tuples"`
+	Seed                int64   `json:"seed"`
+	Skill               float64 `json:"mean_skill"`
+	MinAssignments      int     `json:"min_assignments"`
+	Assignments         int     `json:"assignments_cap"`
+	BaseHITs            int64   `json:"baseline_hits"`
+	BaseAssignments     int64   `json:"baseline_assignments"`
+	BaseSpentCents      int64   `json:"baseline_spent_cents"`
+	AdaptiveHITs        int64   `json:"adaptive_hits"`
+	AdaptiveAssignments int64   `json:"adaptive_assignments"`
+	AdaptiveSpentCents  int64   `json:"adaptive_spent_cents"`
+	Extensions          int64   `json:"extensions"`
+	ExtendFailures      int64   `json:"extend_failures"`
+	SavedCents          int64   `json:"saved_cents"`
+	WallMs              float64 `json:"wall_ms"`
+	SameFinger          bool    `json:"fingerprints_match"`
+}
+
+// runInferBench measures the answer-inference payoff — assignments and
+// cents the adaptive redundancy loop avoided buying at identical results
+// — and writes BENCH_infer.json next to the other artifacts. Unlike the
+// load workload's perfect-crowd verify posture, the bench crowd is noisy
+// (0.93 mean skill) so the adaptive column shows real extensions, not
+// just floor posting.
+func runInferBench(seed int64, scale int) error {
+	cfg := load.Config{Workload: load.WorkloadInference,
+		Tuples: 2000 * scale, Workers: 500, Seed: seed,
+		Skill: 0.93, SkillStd: 0.02, Spam: 1e-12, Abandon: 1e-12, BatchPenalty: 1e-12}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	out := inferBench{
+		Workload:            string(cfg.Workload),
+		Tuples:              rep.Config.Tuples,
+		Seed:                seed,
+		Skill:               rep.Config.Skill,
+		MinAssignments:      rep.Config.MinAssignments,
+		Assignments:         rep.Config.Assignments,
+		BaseHITs:            rep.InferBaseHITs,
+		BaseAssignments:     rep.InferBaseAssignments,
+		BaseSpentCents:      int64(rep.InferBaseSpent),
+		AdaptiveHITs:        rep.HITs,
+		AdaptiveAssignments: rep.Assignments,
+		AdaptiveSpentCents:  int64(rep.Spent),
+		Extensions:          rep.InferExtensions,
+		ExtendFailures:      rep.InferExtendFailures,
+		SavedCents:          int64(rep.InferSavedCents),
+		WallMs:              float64(rep.Wall) / float64(time.Millisecond),
+		SameFinger:          rep.PassedKeysFNV == rep.InferBaseFNV,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_infer.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("INFER: baseline %d assignments over %d HITs (%d¢) vs adaptive %d over %d (%d¢, %d extensions): %d¢ saved (%.0f ms); fingerprints match: %v\n",
+		out.BaseAssignments, out.BaseHITs, out.BaseSpentCents,
+		out.AdaptiveAssignments, out.AdaptiveHITs, out.AdaptiveSpentCents,
+		out.Extensions, out.BaseSpentCents-out.AdaptiveSpentCents, out.WallMs, out.SameFinger)
+	fmt.Println("wrote BENCH_infer.json")
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, BACKEND, EXEC)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -339,8 +413,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "INFER") {
+		matched = true
+		if err := runInferBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: INFER:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, BACKEND, EXEC)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -31,6 +31,13 @@
 //	    # sharing-off baseline reproduces the same fingerprints with
 //	    # strictly MORE HITs, and that per-query sunk costs sum exactly
 //	    # to the account's spend (audited inside every run)
+//	qurk-load -workload inference -verify
+//	    # joint worker-quality/answer inference end to end: the same
+//	    # filter cascade runs under fixed-redundancy majority voting and
+//	    # then under EM with adaptive redundancy (post at the floor,
+//	    # extend while the posterior is unsure): asserts the adaptive
+//	    # phase buys strictly fewer assignments at an identical result
+//	    # fingerprint, and that reruns are byte-identical
 package main
 
 import (
@@ -42,7 +49,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming | multitenant | hybridcrowd")
+	workload := flag.String("workload", "filter", "scenario: filter | join | joinprefilter | orderby | warmstart | streaming | multitenant | hybridcrowd | inference")
 	tuples := flag.Int("tuples", 1000, "input cardinality")
 	workers := flag.Int("workers", 500, "simulated crowd size")
 	shards := flag.Int("shards", 0, "worker-pool claim shards (0 = one per 64 workers)")
@@ -63,31 +70,33 @@ func main() {
 	noShare := flag.Bool("noshare", false, "multitenant: turn cross-query HIT sharing off (baseline)")
 	maxInflight := flag.Int("maxinflight", 0, "multitenant: admission gate on concurrently posted HITs (0 = default 32)")
 	noPlanCache := flag.Bool("noplancache", false, "disable the normalized-SQL plan cache (A/B baseline; -verify fingerprints must match either way)")
+	minAssignments := flag.Int("minassignments", 0, "inference: adaptive posting floor (0 = default 2); the EM phase extends toward -assignments while unsure")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
 	flag.Parse()
 
 	cfg := load.Config{
-		Workload:     load.Workload(*workload),
-		Tuples:       *tuples,
-		Workers:      *workers,
-		Shards:       *shards,
-		Batch:        *batch,
-		Assignments:  *assignments,
-		PriceCents:   *price,
-		Seed:         *seed,
-		Skill:        *skill,
-		SkillStd:     *skillStd,
-		Spam:         *spam,
-		Abandon:      *abandon,
-		BatchPenalty: *batchPenalty,
-		StorePath:    *storePath,
-		TopK:         *topk,
-		CancelAfter:  *cancelAfter,
-		StreamWindow: *streamWindow,
-		Queries:      *queries,
-		NoShare:      *noShare,
-		MaxInflight:  *maxInflight,
-		NoPlanCache:  *noPlanCache,
+		Workload:       load.Workload(*workload),
+		Tuples:         *tuples,
+		Workers:        *workers,
+		Shards:         *shards,
+		Batch:          *batch,
+		Assignments:    *assignments,
+		PriceCents:     *price,
+		Seed:           *seed,
+		Skill:          *skill,
+		SkillStd:       *skillStd,
+		Spam:           *spam,
+		Abandon:        *abandon,
+		BatchPenalty:   *batchPenalty,
+		StorePath:      *storePath,
+		TopK:           *topk,
+		CancelAfter:    *cancelAfter,
+		StreamWindow:   *streamWindow,
+		Queries:        *queries,
+		NoShare:        *noShare,
+		MaxInflight:    *maxInflight,
+		NoPlanCache:    *noPlanCache,
+		MinAssignments: *minAssignments,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -110,6 +119,12 @@ func main() {
 	}
 	if cfg.Workload == load.WorkloadHybridCrowd {
 		if err := checkHybrid(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-load:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Workload == load.WorkloadInference {
+		if err := checkInference(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "qurk-load:", err)
 			os.Exit(1)
 		}
@@ -186,6 +201,25 @@ func main() {
 			fmt.Print(again)
 			fmt.Printf("verify: rerun-identical; routing served %d of %d HITs from the llm crowd and spent %v less than sim-only at an identical result fingerprint\n",
 				rep.BackendLLMHITs, rep.HITs, rep.HybridSimSpent-rep.Spent)
+			return
+		}
+		if cfg.Workload == load.WorkloadInference {
+			if err := checkInference(again); err != nil {
+				fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)
+				os.Exit(1)
+			}
+			if rep.HITs != again.HITs || rep.Assignments != again.Assignments ||
+				rep.Spent != again.Spent || rep.Makespan != again.Makespan ||
+				rep.PassedKeysFNV != again.PassedKeysFNV || rep.InferBaseFNV != again.InferBaseFNV ||
+				rep.InferBaseHITs != again.InferBaseHITs || rep.InferBaseAssignments != again.InferBaseAssignments ||
+				rep.InferBaseSpent != again.InferBaseSpent || rep.InferExtensions != again.InferExtensions ||
+				rep.InferSavedCents != again.InferSavedCents {
+				fmt.Fprintf(os.Stderr, "qurk-load: NONDETERMINISTIC\nfirst:\n%s\nsecond:\n%s", rep, again)
+				os.Exit(1)
+			}
+			fmt.Print(again)
+			fmt.Printf("verify: rerun-identical; adaptive inference bought %d assignments vs %d fixed-redundancy (%v cheaper) at an identical result fingerprint\n",
+				rep.Assignments, rep.InferBaseAssignments, rep.InferBaseSpent-rep.Spent)
 			return
 		}
 		if cfg.Workload == load.WorkloadStreaming {
@@ -310,6 +344,28 @@ func checkHybrid(rep load.Report) error {
 	}
 	if rep.RoutedSavedCents <= 0 {
 		return fmt.Errorf("router booked no savings (spent %v vs sim-only %v)", rep.Spent, rep.HybridSimSpent)
+	}
+	return nil
+}
+
+// checkInference asserts the inference workload's contracts on its
+// seed-pinned perfect crowd: the adaptive EM phase must reproduce the
+// majority baseline's result set exactly, buy strictly fewer assignments
+// and spend strictly less, with a positive booked saving.
+func checkInference(rep load.Report) error {
+	if rep.PassedKeysFNV != rep.InferBaseFNV || rep.InferBaseFNV == 0 {
+		return fmt.Errorf("adaptive fingerprint %016x differs from majority baseline %016x",
+			rep.PassedKeysFNV, rep.InferBaseFNV)
+	}
+	if rep.Assignments >= rep.InferBaseAssignments {
+		return fmt.Errorf("adaptive inference saved nothing: %d assignments vs baseline %d",
+			rep.Assignments, rep.InferBaseAssignments)
+	}
+	if rep.Spent >= rep.InferBaseSpent {
+		return fmt.Errorf("adaptive inference spent %v, baseline %v", rep.Spent, rep.InferBaseSpent)
+	}
+	if rep.InferSavedCents <= 0 {
+		return fmt.Errorf("no savings booked (spent %v vs baseline %v)", rep.Spent, rep.InferBaseSpent)
 	}
 	return nil
 }

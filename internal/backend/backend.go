@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"errors"
+
 	"repro/internal/hit"
 	"repro/internal/mturk"
 	"repro/internal/qlang"
@@ -37,6 +39,37 @@ type Backend interface {
 	SetWorkerFilter(fn func(workerID string) bool)
 	// Stats returns cumulative counters.
 	Stats() mturk.Stats
+}
+
+// ErrExtendUnsupported reports a backend that cannot add assignments to
+// a posted HIT; the adaptive redundancy loop falls back to posting at
+// the full assignment cap.
+var ErrExtendUnsupported = errors.New("backend: extending posted HITs unsupported")
+
+// Extender is implemented by backends that can add assignment slots to
+// an open HIT after posting (MTurk's CreateAdditionalAssignmentsForHIT).
+// The adaptive redundancy loop posts at a HIT's minimum and extends one
+// assignment at a time while the answer posterior stays unsure.
+type Extender interface {
+	// ExtendAssignments adds extra assignment slots to the open HIT,
+	// arranging that many additional assignment callbacks. It fails on
+	// unknown or already completed HITs.
+	ExtendAssignments(hitID string, extra int) error
+}
+
+// SupportsExtend reports whether b can add assignments to posted HITs.
+func SupportsExtend(b Backend) bool {
+	_, ok := b.(Extender)
+	return ok
+}
+
+// Extend adds assignment slots via b's Extender, or reports
+// ErrExtendUnsupported for backends without one.
+func Extend(b Backend, hitID string, extra int) error {
+	if e, ok := b.(Extender); ok {
+		return e.ExtendAssignments(hitID, extra)
+	}
+	return ErrExtendUnsupported
 }
 
 // Pricer is implemented by backends whose per-assignment price differs

@@ -108,6 +108,8 @@ type httpHIT struct {
 	seen     map[string]bool // assignment IDs already delivered
 	failures int             // failure records already reported
 	received int             // non-external assignments delivered
+	extended int             // assignment slots added after posting
+	extSeq   int             // extension requests issued (idempotency keys)
 	disposed bool
 }
 
@@ -300,7 +302,7 @@ func (c *HTTP) poll(ctx context.Context, ph *httpHIT, onAssignment func(mturk.As
 			// outstanding assignment is reported failed so the Task
 			// Manager can finalize short and refund.
 			c.mu.Lock()
-			outstanding := h.Assignments - ph.received
+			outstanding := h.Assignments + ph.extended - ph.received
 			ph.disposed = true
 			c.mu.Unlock()
 			for i := 0; i < outstanding; i++ {
@@ -359,7 +361,7 @@ func (c *HTTP) poll(ctx context.Context, ph *httpHIT, onAssignment func(mturk.As
 			c.reportError(h.ID, ferr)
 			c.mu.Lock()
 		}
-		done = page.Done && ph.received+ph.failures >= h.Assignments
+		done = page.Done && ph.received+ph.failures >= h.Assignments+ph.extended
 		c.mu.Unlock()
 		if done {
 			return
@@ -380,6 +382,39 @@ func (c *HTTP) SubmitExternal(hitID string, ans hit.Answers) error {
 	}
 	_, err = c.do(http.MethodPost, "/hits/"+hitID+"/external", "", body)
 	return err
+}
+
+// ExtendAssignments implements Extender: POST the extension under its
+// own idempotency key (a retry after a timeout or 5xx lands at most
+// once), then raise the poller's expectation so it keeps paging until
+// the extra assignments arrive. When the adaptive loop extends from
+// inside an assignment callback, the poller is blocked in that callback,
+// so the raised expectation is always visible before its next done
+// check.
+func (c *HTTP) ExtendAssignments(hitID string, extra int) error {
+	if extra <= 0 {
+		return fmt.Errorf("backend: http: extend HIT %s by %d assignments", hitID, extra)
+	}
+	c.mu.Lock()
+	ph, ok := c.hits[hitID]
+	if !ok || ph.disposed {
+		c.mu.Unlock()
+		return fmt.Errorf("backend: http: unknown HIT %s", hitID)
+	}
+	ph.extSeq++
+	key := fmt.Sprintf("%s-ext-%d", hitID, ph.extSeq)
+	c.mu.Unlock()
+	body, err := json.Marshal(wireExtend{Extra: extra})
+	if err != nil {
+		return err
+	}
+	if _, err := c.do(http.MethodPost, "/hits/"+hitID+"/extend", key, body); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	ph.extended += extra
+	c.mu.Unlock()
+	return nil
 }
 
 // Dispose implements Backend: the poller stops first, so a completion

@@ -298,4 +298,3 @@ func (f *failingTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 	}
 	return f.base.RoundTrip(req)
 }
-

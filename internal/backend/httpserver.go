@@ -60,6 +60,10 @@ type wirePage struct {
 	Done        bool             `json:"done"`
 }
 
+type wireExtend struct {
+	Extra int `json:"extra"`
+}
+
 type wireStatus struct {
 	ID         string `json:"id"`
 	Completed  int    `json:"completed"`
@@ -227,6 +231,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/hits/") && strings.HasSuffix(r.URL.Path, "/external"):
 		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/hits/"), "/external")
 		body, status, err = s.handleExternal(id, r)
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/hits/") && strings.HasSuffix(r.URL.Path, "/extend"):
+		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/hits/"), "/extend")
+		body, status, err = s.handleExtend(id, r)
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/hits/"):
 		body, status, err = s.handleStatus(strings.TrimPrefix(r.URL.Path, "/hits/"))
 	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/hits/"):
@@ -396,6 +403,43 @@ func (s *Server) handleExternal(id string, r *http.Request) ([]byte, int, error)
 	}
 	s.drain()
 	body, _ := json.Marshal(map[string]bool{"ok": true})
+	return body, http.StatusOK, nil
+}
+
+func (s *Server) handleExtend(id string, r *http.Request) ([]byte, int, error) {
+	key := r.Header.Get("Idempotency-Key")
+	s.mu.Lock()
+	if key != "" {
+		if prev, ok := s.idem[key]; ok {
+			s.mu.Unlock()
+			return prev, http.StatusOK, nil
+		}
+	}
+	s.mu.Unlock()
+
+	var we wireExtend
+	if err := json.NewDecoder(r.Body).Decode(&we); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad extend body: %v", err)
+	}
+	if we.Extra <= 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("extend by %d", we.Extra)
+	}
+	if err := s.market.ExtendAssignments(id, we.Extra); err != nil {
+		return nil, http.StatusConflict, err
+	}
+	s.mu.Lock()
+	if sh, ok := s.hits[id]; ok {
+		sh.expected += we.Extra
+	}
+	s.mu.Unlock()
+	s.drain()
+
+	body, _ := json.Marshal(map[string]bool{"ok": true})
+	if key != "" {
+		s.mu.Lock()
+		s.idem[key] = body
+		s.mu.Unlock()
+	}
 	return body, http.StatusOK, nil
 }
 

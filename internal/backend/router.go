@@ -191,6 +191,38 @@ func (r *Router) resolve(hitID string) (Backend, bool) {
 	return r.backends[rh.backend], true
 }
 
+// ExtendAssignments implements Extender: the extension goes to the
+// serving backend, and the routing entry expects the extra completions.
+// Serving backends without an Extender report ErrExtendUnsupported.
+func (r *Router) ExtendAssignments(hitID string, extra int) error {
+	b, ok := r.resolve(hitID)
+	if !ok {
+		return fmt.Errorf("backend: router: unknown HIT %s", hitID)
+	}
+	r.mu.Lock()
+	rh, ok := r.byHIT[hitID]
+	if !ok {
+		// The last expected assignment retired the entry between
+		// resolve and here; a completed HIT cannot be extended.
+		r.mu.Unlock()
+		return fmt.Errorf("backend: router: HIT %s already completed", hitID)
+	}
+	rh.left += extra
+	r.mu.Unlock()
+	if err := Extend(b, hitID, extra); err != nil {
+		r.mu.Lock()
+		if rh, ok := r.byHIT[hitID]; ok {
+			rh.left -= extra
+			if rh.left <= 0 {
+				delete(r.byHIT, hitID)
+			}
+		}
+		r.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // SubmitExternal implements Backend.
 func (r *Router) SubmitExternal(hitID string, ans hit.Answers) error {
 	b, ok := r.resolve(hitID)

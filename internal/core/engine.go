@@ -85,6 +85,25 @@ type Config struct {
 	// service behind a per-task router. Nil runs on the plain simulated
 	// marketplace (seed behavior, byte-identical verify fingerprints).
 	Backends *BackendsConfig
+	// Inference selects the answer-inference method and adaptive
+	// redundancy parameters. Nil keeps seed-identical majority voting.
+	Inference *InferenceConfig
+}
+
+// InferenceConfig turns on joint worker-quality/answer inference.
+type InferenceConfig struct {
+	// Method is "majority" (the default) or "em". Under "em", eligible
+	// HITs post at MinAssignments and extend one assignment at a time —
+	// up to each task's Assignments cap — until every item's posterior
+	// reaches TargetConfidence. A task's Infer: property overrides the
+	// method per task.
+	Method string
+	// MinAssignments is the adaptive posting floor (0 = the manager
+	// default, 2). A task's MinAssignments: property overrides it.
+	MinAssignments int
+	// TargetConfidence is the posterior stopping threshold
+	// (0 = the manager default, 0.85).
+	TargetConfidence float64
 }
 
 // BackendsConfig wires additional worker backends into the engine. The
@@ -223,6 +242,9 @@ func New(cfg Config) (*Engine, error) {
 	mgr := taskmgr.NewWithBackend(be, cache.New(), model.NewRegistry(), budget.NewAccount(cfg.BudgetCents))
 	if cfg.MaxInflightHITs > 0 {
 		mgr.SetAdmission(cfg.MaxInflightHITs)
+	}
+	if cfg.Inference != nil {
+		mgr.SetInference(cfg.Inference.Method, cfg.Inference.MinAssignments, cfg.Inference.TargetConfidence)
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -725,6 +747,17 @@ func (e *Engine) Snapshot() dashboard.Snapshot {
 				dashboard.BackendCount{Name: name, HITs: counts[name]})
 		}
 		snap.Backends.SavedCents = saved
+	}
+	if is := e.mgr.InferenceStats(); is.AdaptiveHITs > 0 || is.Method != "majority" {
+		snap.Inference = dashboard.InferenceInfo{
+			Method:          is.Method,
+			AdaptiveHITs:    is.AdaptiveHITs,
+			Extensions:      is.Extensions,
+			ExtendFailures:  is.ExtendFailures,
+			AssignmentsUsed: is.AssignmentsUsed,
+			AssignmentsCap:  is.AssignmentsCap,
+			SavedCents:      is.SavedCents,
+		}
 	}
 	if e.plans != nil {
 		pc := e.plans.stats()

@@ -115,6 +115,25 @@ type BackendsInfo struct {
 	SavedCents budget.Cents
 }
 
+// InferenceInfo summarizes the answer-inference layer: which aggregator
+// the engine runs and what the adaptive redundancy loop bought — or,
+// more to the point, did not buy (zero under plain majority voting).
+type InferenceInfo struct {
+	Method string
+	// AdaptiveHITs counts HITs posted below their redundancy cap;
+	// Extensions the single assignments bought afterward while the
+	// posterior stayed unsure; ExtendFailures the extensions a backend
+	// rejected.
+	AdaptiveHITs   int64
+	Extensions     int64
+	ExtendFailures int64
+	// AssignmentsUsed / AssignmentsCap sum actual versus fixed-redundancy
+	// assignment counts over those HITs; SavedCents prices the gap.
+	AssignmentsUsed int64
+	AssignmentsCap  int64
+	SavedCents      budget.Cents
+}
+
 // Snapshot is a point-in-time view of the whole system.
 type Snapshot struct {
 	NowMinutes float64
@@ -138,6 +157,9 @@ type Snapshot struct {
 	PlanCache PlanCacheInfo
 	// Backends reports worker-backend routing (zero without a router).
 	Backends BackendsInfo
+	// Inference reports answer-inference activity (zero under the
+	// default majority voting).
+	Inference InferenceInfo
 }
 
 // ComputeSavings derives the optimization-benefit panel from task stats:
@@ -194,6 +216,18 @@ func Render(s Snapshot) string {
 		}
 		fmt.Fprintf(&b, "Backends: %s HITs, ~%v saved by routing\n",
 			strings.Join(parts, " / "), s.Backends.SavedCents)
+	}
+	if s.Inference.AdaptiveHITs > 0 {
+		avg := float64(s.Inference.AssignmentsUsed) / float64(s.Inference.AdaptiveHITs)
+		was := float64(s.Inference.AssignmentsCap) / float64(s.Inference.AdaptiveHITs)
+		fmt.Fprintf(&b, "Inference: avg %.1f assignments/HIT (was %.1f), ~%v saved, %d extensions",
+			avg, was, s.Inference.SavedCents, s.Inference.Extensions)
+		if s.Inference.ExtendFailures > 0 {
+			fmt.Fprintf(&b, ", %d extend failures", s.Inference.ExtendFailures)
+		}
+		b.WriteString("\n")
+	} else if s.Inference.Method != "" && s.Inference.Method != "majority" {
+		fmt.Fprintf(&b, "Inference: %s enabled, no adaptive HITs finalized yet\n", s.Inference.Method)
 	}
 	if s.PlanCache.Hits > 0 || s.PlanCache.Invalidations > 0 {
 		fmt.Fprintf(&b, "Plan cache: %d hits, %d invalidations (~%.1f ms planning saved)\n",

@@ -1,0 +1,80 @@
+package infer
+
+import "testing"
+
+func rankOf(order []string) map[string]int {
+	r := make(map[string]int, len(order))
+	for i, k := range order {
+		r[k] = i
+	}
+	return r
+}
+
+func TestConsensusRecoversPlantedOrder(t *testing.T) {
+	keys := []string{"c", "a", "d", "b", "e"}
+	planted := []string{"a", "b", "c", "d", "e"}
+	orderings := []Ordering{
+		{Worker: "w1", Rank: rankOf(planted)},
+		{Worker: "w2", Rank: rankOf(planted)},
+		// w3 swaps one adjacent pair; the majority should still win.
+		{Worker: "w3", Rank: rankOf([]string{"a", "b", "d", "c", "e"})},
+	}
+	var bt BradleyTerry
+	got := bt.Consensus(keys, orderings)
+	for i, k := range planted {
+		if got[i] != k {
+			t.Fatalf("consensus = %v, want %v", got, planted)
+		}
+	}
+}
+
+func TestConsensusDeterministicOnNoVotes(t *testing.T) {
+	keys := []string{"x", "y", "z"}
+	var bt BradleyTerry
+	got := bt.Consensus(keys, nil)
+	// No comparisons: all strengths stay 1, ties break by input order.
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("no-vote consensus = %v, want input order %v", got, keys)
+		}
+	}
+	if bt.Consensus(nil, nil) != nil {
+		t.Fatal("empty keys should return nil")
+	}
+}
+
+func TestStrengthsOrdering(t *testing.T) {
+	// Round-robin: 0 beats everyone twice, 2 loses to everyone twice,
+	// 1 splits. Strengths must come out strictly ordered.
+	wins := map[[2]int]float64{
+		{0, 1}: 2, {0, 2}: 2,
+		{1, 2}: 2,
+	}
+	var bt BradleyTerry
+	s := bt.Strengths(3, func(i, j int) float64 { return wins[[2]int{i, j}] })
+	if !(s[0] > s[1] && s[1] > s[2]) {
+		t.Fatalf("strengths not ordered: %v", s)
+	}
+}
+
+func TestPairAgreementSeparatesJunkFromHonest(t *testing.T) {
+	consensus := []string{"a", "b", "c", "d", "e"}
+	honest := Ordering{Worker: "h", Rank: rankOf(consensus)}
+	junk := Ordering{Worker: "j", Rank: rankOf([]string{"e", "d", "c", "b", "a"})}
+
+	agreed, total := PairAgreement(consensus, honest)
+	if total != 10 || agreed != 10 {
+		t.Fatalf("honest worker: %d/%d, want 10/10", agreed, total)
+	}
+	agreed, total = PairAgreement(consensus, junk)
+	if total != 10 || agreed != 0 {
+		t.Fatalf("reversed worker: %d/%d, want 0/10", agreed, total)
+	}
+
+	// Partial rankings only count pairs present on both sides.
+	partial := Ordering{Worker: "p", Rank: map[string]int{"a": 0, "c": 1}}
+	agreed, total = PairAgreement(consensus, partial)
+	if total != 1 || agreed != 1 {
+		t.Fatalf("partial ranking: %d/%d, want 1/1", agreed, total)
+	}
+}

@@ -1,0 +1,31 @@
+// Package infer is Qurk's answer-inference layer: it turns the
+// redundant per-assignment responses a HIT buys into a posterior answer
+// with an explicit confidence, so the task manager can decide how much
+// redundancy each question actually needs.
+//
+// Three aggregators implement the Aggregator seam:
+//
+//   - Majority is the seed behavior relocated: simple majority vote,
+//     delegating to stats.MajorityBool / stats.MajorityValue so ties
+//     resolve by exactly the documented deterministic rules (boolean
+//     ties to false, categorical ties to the smallest canonical
+//     encoding). It is the default — engines that never opt into
+//     inference produce byte-identical results to the seed.
+//
+//   - EM jointly estimates per-worker accuracies and per-item answer
+//     posteriors (Dawid–Skene with a symmetric confusion rate) over the
+//     votes of one HIT, seeded from per-worker priors the task manager
+//     derives from its reputation EWMAs and replayed store evidence. A
+//     confident posterior at two agreeing assignments is what lets the
+//     adaptive redundancy loop stop a HIT below its assignment cap.
+//
+//   - BradleyTerry fits pairwise strengths over the win matrices Order
+//     responses produce, yielding a consensus order and a per-worker
+//     pairwise agreement score — extending worker-quality accounting
+//     (and spammer detection) to ranking tasks, whose uniform-junk
+//     permutations the vote-based reputation path cannot see.
+//
+// All entry points are deterministic: workers iterate in sorted order,
+// items in input order, and every tie-break is a stable rule, so two
+// runs over the same votes produce identical posteriors.
+package infer

@@ -1,0 +1,268 @@
+package infer
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// EM defaults and clamps.
+const (
+	// DefaultPriorAcc is the accuracy assumed of a worker with no
+	// evidence (history or priors) at all.
+	DefaultPriorAcc = 0.75
+	// DefaultPriorWeight is the pseudo-observation weight of that
+	// default prior.
+	DefaultPriorWeight = 2.0
+	// MinAccuracy / MaxAccuracy clamp fitted worker accuracies so a
+	// single worker can neither be written off entirely nor become an
+	// oracle whose lone vote swamps everyone else's.
+	MinAccuracy = 0.05
+	MaxAccuracy = 0.99
+	// DefaultEMIters bounds the E/M rounds per fit.
+	DefaultEMIters = 8
+)
+
+// EM jointly estimates per-worker accuracies and per-item answer
+// posteriors over the votes of one HIT — Dawid–Skene with a symmetric
+// confusion rate. Worker accuracies start from Prior (reputation EWMAs,
+// replayed store evidence) and are refined against the items being
+// resolved: the E-step computes each item's posterior from the current
+// accuracies, the M-step re-estimates each accuracy from how often the
+// worker agreed with those posteriors, prior-blended so a worker seen
+// twice is not declared perfect or hopeless.
+//
+// EM is stateless between fits and safe for concurrent use; all
+// evidence flows in through Prior and the votes.
+type EM struct {
+	// Prior returns a worker's prior accuracy and its evidence weight
+	// in pseudo-observations. Nil (or a zero weight) uses
+	// DefaultPriorAcc / DefaultPriorWeight.
+	Prior func(worker string) (acc, weight float64)
+	// Iters bounds the E/M rounds (0 = DefaultEMIters).
+	Iters int
+}
+
+// Name implements Aggregator.
+func (e *EM) Name() string { return "em" }
+
+// Posterior is one item's fitted answer.
+type Posterior struct {
+	// Value is the posterior answer (a Bool for boolean fits).
+	Value relation.Value
+	// True is the boolean answer (boolean fits only).
+	True bool
+	// Confidence is the posterior probability of Value, in [0, 1].
+	Confidence float64
+}
+
+// WorkerAccuracy is one worker's fitted accuracy after a fit.
+type WorkerAccuracy struct {
+	Worker   string
+	Accuracy float64
+	// Votes is how many items this worker voted on in the fit.
+	Votes int
+}
+
+// Bool implements Aggregator on a single item. Ties (posterior exactly
+// 0.5) resolve to false, matching Majority.
+func (e *EM) Bool(votes []Vote) (bool, float64) {
+	ps, _ := e.Fit([][]Vote{votes}, true)
+	return ps[0].True, ps[0].Confidence
+}
+
+// Value implements Aggregator on a single item. Ties resolve to the
+// smallest canonical encoding, matching Majority.
+func (e *EM) Value(votes []Vote) (relation.Value, float64) {
+	ps, _ := e.Fit([][]Vote{votes}, false)
+	return ps[0].Value, ps[0].Confidence
+}
+
+func (e *EM) prior(worker string) (float64, float64) {
+	if e.Prior != nil {
+		if acc, w := e.Prior(worker); w > 0 {
+			return clampAcc(acc), w
+		}
+	}
+	return DefaultPriorAcc, DefaultPriorWeight
+}
+
+func clampAcc(a float64) float64 {
+	return math.Min(MaxAccuracy, math.Max(MinAccuracy, a))
+}
+
+// emWorker is one worker's accuracy state during a fit.
+type emWorker struct {
+	priorAcc, priorW float64
+	acc              float64
+	votes            int
+}
+
+// Fit jointly fits worker accuracies and per-item posteriors over one
+// HIT's votes. boolean selects the two-class model (log-odds over
+// true/false); otherwise the categorical model, which spreads each
+// worker's error mass uniformly over the alternatives plus one
+// open-world pseudo-candidate (so a single vote is not certainty).
+//
+// Items resolve in input order and workers in sorted-ID order, so the
+// fit is deterministic. Tie-breaks match Majority exactly: a boolean
+// posterior of exactly 0.5 answers false, and categorical posterior
+// ties answer the smallest canonical encoding.
+func (e *EM) Fit(items [][]Vote, boolean bool) ([]Posterior, []WorkerAccuracy) {
+	iters := e.Iters
+	if iters <= 0 {
+		iters = DefaultEMIters
+	}
+	// Collect workers in sorted order.
+	workers := make(map[string]*emWorker)
+	for _, votes := range items {
+		for _, v := range votes {
+			w := workers[v.Worker]
+			if w == nil {
+				acc, pw := e.prior(v.Worker)
+				w = &emWorker{priorAcc: acc, priorW: pw, acc: acc}
+				workers[v.Worker] = w
+			}
+			w.votes++
+		}
+	}
+	ids := make([]string, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	out := make([]Posterior, len(items))
+	pTrue := make([]float64, len(items))            // boolean model: P(true) per item
+	dists := make([]map[string]float64, len(items)) // categorical: posterior per voted value
+	for iter := 0; iter < iters; iter++ {
+		// E-step: posterior per item from current accuracies.
+		for j, votes := range items {
+			if boolean {
+				out[j], pTrue[j] = e.boolPosterior(votes, workers)
+			} else {
+				out[j], dists[j] = e.valuePosterior(votes, workers)
+			}
+		}
+		// M-step: each worker's accuracy is the posterior probability
+		// mass on the answers they voted for (not winner-agreement —
+		// with split categorical mass that would credit dissent),
+		// blended with the prior's pseudo-observations.
+		for _, id := range ids {
+			w := workers[id]
+			correct := w.priorAcc * w.priorW
+			total := w.priorW
+			for j, votes := range items {
+				for _, v := range votes {
+					if v.Worker != id {
+						continue
+					}
+					total++
+					if boolean {
+						if v.Value.Truthy() {
+							correct += pTrue[j]
+						} else {
+							correct += 1 - pTrue[j]
+						}
+					} else {
+						correct += dists[j][v.Value.EncodeKey()]
+					}
+				}
+			}
+			w.acc = clampAcc(correct / total)
+		}
+	}
+	accs := make([]WorkerAccuracy, 0, len(ids))
+	for _, id := range ids {
+		w := workers[id]
+		accs = append(accs, WorkerAccuracy{Worker: id, Accuracy: w.acc, Votes: w.votes})
+	}
+	return out, accs
+}
+
+// boolPosterior computes P(true) by accumulating each vote's accuracy
+// log-odds, returning the posterior and P(true) itself. Empty votes
+// answer (false, 0), like stats.MajorityBool.
+func (e *EM) boolPosterior(votes []Vote, workers map[string]*emWorker) (Posterior, float64) {
+	if len(votes) == 0 {
+		return Posterior{Value: relation.NewBool(false)}, 0
+	}
+	logOdds := 0.0
+	for _, v := range votes {
+		a := workers[v.Worker].acc
+		l := math.Log(a / (1 - a))
+		if v.Value.Truthy() {
+			logOdds += l
+		} else {
+			logOdds -= l
+		}
+	}
+	p := 1 / (1 + math.Exp(-logOdds))
+	val := p > 0.5 // exactly 0.5 ties to false, like MajorityBool
+	conf := p
+	if !val {
+		conf = 1 - p
+	}
+	return Posterior{Value: relation.NewBool(val), True: val, Confidence: conf}, p
+}
+
+// valuePosterior computes a categorical posterior over the distinct
+// voted values plus one open-world pseudo-candidate: each vote
+// multiplies its candidate by the worker's accuracy and every other
+// candidate by the spread error mass (1-acc)/(K-1). The second return
+// is the normalized posterior of each voted value, keyed by encoding.
+func (e *EM) valuePosterior(votes []Vote, workers map[string]*emWorker) (Posterior, map[string]float64) {
+	if len(votes) == 0 {
+		return Posterior{Value: relation.Null}, nil
+	}
+	rep := make(map[string]relation.Value, len(votes))
+	keys := make([]string, 0, len(votes))
+	for _, v := range votes {
+		k := v.Value.EncodeKey()
+		if _, seen := rep[k]; !seen {
+			rep[k] = v.Value
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	k := float64(len(keys) + 1) // +1: the answer nobody voted for
+	// Work in log space for numeric stability on long vote lists.
+	logw := make([]float64, len(keys))
+	var logOther float64
+	for _, v := range votes {
+		a := workers[v.Worker].acc
+		miss := math.Log((1 - a) / (k - 1))
+		hit := math.Log(a)
+		vk := v.Value.EncodeKey()
+		for i, key := range keys {
+			if key == vk {
+				logw[i] += hit
+			} else {
+				logw[i] += miss
+			}
+		}
+		logOther += miss
+	}
+	maxLog := logOther
+	for _, lw := range logw {
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	total := math.Exp(logOther - maxLog)
+	best, bestP := 0, -1.0
+	ps := make([]float64, len(keys))
+	for i, lw := range logw {
+		ps[i] = math.Exp(lw - maxLog)
+		total += ps[i]
+		if ps[i] > bestP { // strict: equal posteriors keep the smaller key
+			best, bestP = i, ps[i]
+		}
+	}
+	dist := make(map[string]float64, len(keys))
+	for i, key := range keys {
+		dist[key] = ps[i] / total
+	}
+	return Posterior{Value: rep[keys[best]], Confidence: bestP / total}, dist
+}

@@ -1,0 +1,56 @@
+package infer
+
+import (
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Vote is one worker's answer to one item.
+type Vote struct {
+	Worker string
+	Value  relation.Value
+}
+
+// Aggregator resolves a set of redundant votes on one item into a
+// posterior answer and a confidence in [0, 1]. Implementations must be
+// deterministic: identical votes (in identical order) produce identical
+// results, and ties resolve by the same stable rules Majority uses —
+// boolean ties to false, categorical ties to the smallest canonical
+// encoding — so switching aggregators never changes tie outcomes.
+type Aggregator interface {
+	// Name identifies the aggregator ("majority", "em").
+	Name() string
+	// Bool resolves boolean votes.
+	Bool(votes []Vote) (value bool, confidence float64)
+	// Value resolves categorical votes.
+	Value(votes []Vote) (relation.Value, float64)
+}
+
+// Majority is majority vote — the engine's historical aggregation,
+// relocated behind the Aggregator seam. It delegates to
+// stats.MajorityBool / stats.MajorityValue, so its answers (including
+// tie-breaks) are byte-identical to the seed's.
+type Majority struct{}
+
+// Name implements Aggregator.
+func (Majority) Name() string { return "majority" }
+
+// Bool implements Aggregator by simple majority; ties break to false
+// (a filter keeps a tuple only on a strict majority).
+func (Majority) Bool(votes []Vote) (bool, float64) {
+	return stats.MajorityBool(values(votes))
+}
+
+// Value implements Aggregator by modal answer; ties break to the
+// smallest canonical encoding.
+func (Majority) Value(votes []Vote) (relation.Value, float64) {
+	return stats.MajorityValue(values(votes))
+}
+
+func values(votes []Vote) []relation.Value {
+	vals := make([]relation.Value, len(votes))
+	for i, v := range votes {
+		vals[i] = v.Value
+	}
+	return vals
+}

@@ -1,0 +1,199 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func boolVotes(vals ...bool) []Vote {
+	votes := make([]Vote, len(vals))
+	for i, v := range vals {
+		votes[i] = Vote{Worker: string(rune('a' + i)), Value: relation.NewBool(v)}
+	}
+	return votes
+}
+
+func TestMajorityMatchesStats(t *testing.T) {
+	cases := [][]bool{
+		{true, true, false},
+		{false, false, true},
+		{true},
+		{false},
+		{true, false}, // tie
+		{},
+	}
+	var m Majority
+	for _, c := range cases {
+		votes := boolVotes(c...)
+		got, gotConf := m.Bool(votes)
+		want, wantConf := stats.MajorityBool(values(votes))
+		if got != want || gotConf != wantConf {
+			t.Errorf("Majority.Bool(%v) = (%v, %v), stats.MajorityBool = (%v, %v)",
+				c, got, gotConf, want, wantConf)
+		}
+	}
+}
+
+// Equal-vote outcomes must resolve by the stable documented rules —
+// boolean ties to false, categorical ties to the smallest canonical
+// encoding — in both aggregators, so switching aggregation never
+// changes a tie across reruns.
+func TestTieBreaksAgreeAcrossAggregators(t *testing.T) {
+	em := &EM{}
+	var m Majority
+
+	tie := boolVotes(true, false)
+	if got, _ := m.Bool(tie); got {
+		t.Fatal("Majority boolean tie should resolve to false")
+	}
+	if got, _ := em.Bool(tie); got {
+		t.Fatal("EM boolean tie should resolve to false")
+	}
+
+	vals := []Vote{
+		{Worker: "a", Value: relation.NewString("zebra")},
+		{Worker: "b", Value: relation.NewString("apple")},
+	}
+	mv, _ := m.Value(vals)
+	ev, _ := em.Value(vals)
+	if mv.Str() != "apple" || ev.Str() != "apple" {
+		t.Fatalf("categorical tie should resolve to smallest encoding: majority=%v em=%v", mv, ev)
+	}
+}
+
+func TestEMUnanimousPairIsConfident(t *testing.T) {
+	em := &EM{}
+	val, conf := em.Bool(boolVotes(true, true))
+	if !val {
+		t.Fatal("two true votes should answer true")
+	}
+	if conf < 0.9 {
+		t.Fatalf("two agreeing votes should be confident, got %v", conf)
+	}
+	_, splitConf := em.Bool(boolVotes(true, false))
+	if splitConf > 0.6 {
+		t.Fatalf("a 1-1 split should not be confident, got %v", splitConf)
+	}
+}
+
+// One reliable worker (strong prior) should outvote two workers the
+// priors call spammers — joint inference weighs votes by estimated
+// accuracy instead of counting heads.
+func TestEMPriorsOutvoteHeadcount(t *testing.T) {
+	em := &EM{Prior: func(w string) (float64, float64) {
+		if w == "good" {
+			return 0.98, 50
+		}
+		return 0.5, 50 // coin-flippers
+	}}
+	votes := []Vote{
+		{Worker: "good", Value: relation.NewBool(true)},
+		{Worker: "spam1", Value: relation.NewBool(false)},
+		{Worker: "spam2", Value: relation.NewBool(false)},
+	}
+	val, conf := em.Bool(votes)
+	if !val {
+		t.Fatalf("reliable worker should outvote two coin-flippers (conf %v)", conf)
+	}
+}
+
+// The joint fit must discover a bad worker from the votes alone: across
+// enough items, the worker who always disagrees with the (correct)
+// majority ends with a low fitted accuracy and the posteriors follow
+// the majority.
+func TestEMFitDiscoversBadWorker(t *testing.T) {
+	em := &EM{}
+	items := make([][]Vote, 12)
+	for j := range items {
+		truth := j%2 == 0
+		items[j] = []Vote{
+			{Worker: "w1", Value: relation.NewBool(truth)},
+			{Worker: "w2", Value: relation.NewBool(truth)},
+			{Worker: "bad", Value: relation.NewBool(!truth)},
+		}
+	}
+	ps, accs := em.Fit(items, true)
+	for j, p := range ps {
+		if p.True != (j%2 == 0) {
+			t.Fatalf("item %d resolved against the reliable majority", j)
+		}
+		if p.Confidence < 0.9 {
+			t.Fatalf("item %d confidence %v too low after joint fit", j, p.Confidence)
+		}
+	}
+	byID := map[string]WorkerAccuracy{}
+	for _, a := range accs {
+		byID[a.Worker] = a
+	}
+	if byID["bad"].Accuracy >= 0.5 {
+		t.Fatalf("bad worker fitted accuracy %v, want < 0.5", byID["bad"].Accuracy)
+	}
+	if byID["w1"].Accuracy <= 0.8 {
+		t.Fatalf("good worker fitted accuracy %v, want > 0.8", byID["w1"].Accuracy)
+	}
+	if byID["bad"].Votes != 12 {
+		t.Fatalf("bad worker vote count %d, want 12", byID["bad"].Votes)
+	}
+}
+
+func TestEMDeterministic(t *testing.T) {
+	em := &EM{}
+	items := [][]Vote{
+		boolVotes(true, false, true),
+		boolVotes(false, false, true),
+		boolVotes(true, true),
+	}
+	p1, a1 := em.Fit(items, true)
+	p2, a2 := em.Fit(items, true)
+	for j := range p1 {
+		if p1[j].Value.EncodeKey() != p2[j].Value.EncodeKey() ||
+			p1[j].True != p2[j].True || p1[j].Confidence != p2[j].Confidence {
+			t.Fatalf("item %d posterior drifted across identical fits: %+v vs %+v", j, p1[j], p2[j])
+		}
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("worker accuracy drifted across identical fits: %+v vs %+v", a1[i], a2[i])
+		}
+	}
+}
+
+func TestEMCategoricalSingleVoteNotCertain(t *testing.T) {
+	em := &EM{}
+	_, conf := em.Value([]Vote{{Worker: "a", Value: relation.NewString("x")}})
+	if conf >= 0.95 {
+		t.Fatalf("one categorical vote should not be near-certain, got %v", conf)
+	}
+	v, conf2 := em.Value([]Vote{
+		{Worker: "a", Value: relation.NewString("x")},
+		{Worker: "b", Value: relation.NewString("x")},
+	})
+	if v.Str() != "x" || conf2 <= conf {
+		t.Fatalf("agreement should raise confidence: %v then %v", conf, conf2)
+	}
+}
+
+func TestEMEmptyVotes(t *testing.T) {
+	em := &EM{}
+	if val, conf := em.Bool(nil); val || conf != 0 {
+		t.Fatalf("empty boolean votes = (%v, %v), want (false, 0)", val, conf)
+	}
+	if v, conf := em.Value(nil); !v.IsNull() || conf != 0 {
+		t.Fatalf("empty categorical votes = (%v, %v), want (Null, 0)", v, conf)
+	}
+}
+
+func TestClampAcc(t *testing.T) {
+	if got := clampAcc(1.5); got != MaxAccuracy {
+		t.Fatalf("clampAcc(1.5) = %v", got)
+	}
+	if got := clampAcc(-3); got != MinAccuracy {
+		t.Fatalf("clampAcc(-3) = %v", got)
+	}
+	if got := clampAcc(0.7); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("clampAcc(0.7) = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/crowd"
+	"repro/internal/mturk"
+	"repro/internal/taskmgr"
+	"repro/internal/workload"
+)
+
+// inferPhase is one side of the inference comparison: its own clock,
+// crowd, marketplace and task manager over the shared dataset, so HIT
+// and assignment counts, spend and the result fingerprint are directly
+// comparable and every phase is deterministic.
+type inferPhase struct {
+	HITs        int64
+	Assignments int64
+	Questions   int64
+	Spent       budget.Cents
+	Makespan    mturk.VirtualTime
+	FNV         uint64
+	Outcomes    int64
+	Errors      int64
+	Passed      int64
+	Stats       taskmgr.InferenceStats
+}
+
+// runInferencePhase drives the two-stage filter cascade once. With
+// adaptive set, the task manager runs EM answer inference with adaptive
+// redundancy: HITs post at cfg.MinAssignments and extend one assignment
+// at a time — up to cfg.Assignments — while any item's posterior stays
+// below the stopping target. Otherwise it is the seed majority path at
+// fixed cfg.Assignments redundancy.
+func runInferencePhase(cfg Config, ds workload.Dataset, adaptive bool) (inferPhase, error) {
+	var ph inferPhase
+	clock := mturk.NewClock()
+	defer clock.Close()
+	pool := crowd.NewPool(crowd.Config{
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
+		Seed:         cfg.Seed,
+		MeanSkill:    cfg.Skill,
+		SkillStd:     cfg.SkillStd,
+		SpamFraction: cfg.Spam,
+		AbandonRate:  cfg.Abandon,
+		BatchPenalty: cfg.BatchPenalty,
+	}, ds.Oracle)
+	market := mturk.NewMarketplace(clock, pool)
+	// No auto-dispose: the adaptive loop decides to extend a HIT at the
+	// instant its last posted assignment completes, and the marketplace
+	// can only extend HIT state it still holds. The baseline phase keeps
+	// the same posture so the two phases differ in exactly one variable.
+
+	mgr := taskmgr.New(market, nil, nil, nil)
+	if adaptive {
+		mgr.SetInference("em", cfg.MinAssignments, 0)
+	}
+	mgr.SetBasePolicy(taskmgr.Policy{
+		Assignments: cfg.Assignments,
+		BatchSize:   cfg.Batch,
+		PriceCents:  cfg.PriceCents,
+		Linger:      time.Minute,
+		UseCache:    false,
+		UseModel:    false,
+	})
+
+	sc := cascadeScenario(ds, true)
+	var ctr counters
+	sc.drive(mgr, &ctr)
+	mgr.FlushAll()
+	for ctr.outstanding.Load() > 0 {
+		if !clock.Step() {
+			mgr.FlushAll()
+			if !clock.Step() {
+				return ph, fmt.Errorf("load: inference stalled with %d outcomes outstanding", ctr.outstanding.Load())
+			}
+		}
+	}
+
+	st := market.Stats()
+	ph.HITs = int64(st.HITsPosted)
+	ph.Assignments = int64(st.AssignmentsCompleted)
+	ph.Questions = int64(st.QuestionsAnswered)
+	ph.Spent = st.SpentCents
+	ph.Makespan = clock.Now()
+	ph.Outcomes = ctr.outcomes.Load()
+	ph.Errors = ctr.errors.Load()
+	ph.Passed = ctr.passed.Load()
+	var tmp Report
+	sc.finish(&tmp)
+	ph.FNV = tmp.PassedKeysFNV
+	ph.Stats = mgr.InferenceStats()
+	return ph, nil
+}
+
+// runInference drives the inference workload: the same filter cascade
+// twice over one dataset — first under fixed-redundancy majority voting,
+// then under EM answer inference with adaptive redundancy. The report
+// carries both phases' HIT/assignment counts, spend and result
+// fingerprints, so the -verify harness (and CI) can assert the adaptive
+// run buys strictly fewer assignments at an identical result set and
+// that reruns are byte-identical.
+//
+// Determinism posture: the default crowd is exactly perfect (Skill 1.0
+// with vanishing spread/spam/abandonment), so both phases' answers equal
+// the oracle, the fingerprints are pure functions of the dataset, and
+// the adaptive phase stops every HIT at the posting floor — no
+// extensions, MinAssignments/Assignments of the baseline's spend.
+// Everything is pumped from one goroutine, so counts are deterministic
+// with noisy crowds too.
+func runInference(cfg Config) (Report, error) {
+	rep := Report{Config: cfg}
+	ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
+
+	start := time.Now()
+	basePh, err := runInferencePhase(cfg, ds, false)
+	if err != nil {
+		return rep, err
+	}
+	adaptPh, err := runInferencePhase(cfg, ds, true)
+	if err != nil {
+		return rep, err
+	}
+	rep.Wall = time.Since(start)
+
+	// The adaptive phase is the headline; the majority baseline rides in
+	// the InferBase* fields.
+	rep.HITs = adaptPh.HITs
+	rep.Assignments = adaptPh.Assignments
+	rep.Questions = adaptPh.Questions
+	rep.Spent = adaptPh.Spent
+	rep.Makespan = adaptPh.Makespan
+	rep.Outcomes = adaptPh.Outcomes
+	rep.Errors = adaptPh.Errors
+	rep.Passed = adaptPh.Passed
+	rep.PassedKeysFNV = adaptPh.FNV
+	rep.DollarsPerQuery = float64(rep.Spent) / 100
+	if secs := rep.Wall.Seconds(); secs > 0 {
+		rep.HITsPerSec = float64(basePh.HITs+adaptPh.HITs) / secs
+	}
+
+	rep.InferBaseHITs = basePh.HITs
+	rep.InferBaseAssignments = basePh.Assignments
+	rep.InferBaseSpent = basePh.Spent
+	rep.InferBaseFNV = basePh.FNV
+	rep.InferAdaptiveHITs = adaptPh.Stats.AdaptiveHITs
+	rep.InferExtensions = adaptPh.Stats.Extensions
+	rep.InferExtendFailures = adaptPh.Stats.ExtendFailures
+	rep.InferSavedCents = adaptPh.Stats.SavedCents
+	return rep, nil
+}

@@ -85,6 +85,16 @@ const (
 	// one report: identical result fingerprints, strictly lower routed
 	// spend, HITs split across both backends.
 	WorkloadHybridCrowd Workload = "hybridcrowd"
+	// WorkloadInference runs the filter cascade twice over one dataset:
+	// a fixed-redundancy majority-vote baseline, then with EM answer
+	// inference and adaptive redundancy — HITs post at MinAssignments
+	// and extend one assignment at a time while any item's posterior
+	// stays below the stopping target. The default crowd is exactly
+	// perfect, so both phases reproduce the oracle and the adaptive
+	// phase provably stops every HIT at the floor: strictly fewer
+	// assignments and strictly lower spend at an identical result
+	// fingerprint, rerun-identical.
+	WorkloadInference Workload = "inference"
 	// WorkloadWarmstart is the filter cascade with the Task Cache armed
 	// and backed by the durable knowledge store (Config.StorePath
 	// required): the first run over a given store pays for every
@@ -154,6 +164,10 @@ type Config struct {
 	// the run, for A/B-verifying that cached and uncached plans produce
 	// identical result fingerprints.
 	NoPlanCache bool
+	// MinAssignments (inference workload) is the adaptive posting floor
+	// (default 2); the EM phase extends HITs toward Assignments while
+	// any item's posterior stays unsure.
+	MinAssignments int
 }
 
 // planCacheSize translates the A/B switch into core's config knob.
@@ -244,6 +258,32 @@ func (c Config) withDefaults() Config {
 		// Both phases must reproduce the oracle exactly for their
 		// fingerprints to be comparable, so the default crowd is
 		// exactly perfect, like the multitenant workload's.
+		if c.Skill == 0 {
+			c.Skill = 1.0
+		}
+		if c.SkillStd == 0 {
+			c.SkillStd = 1e-12
+		}
+		if c.Spam == 0 {
+			c.Spam = 1e-12
+		}
+		if c.Abandon == 0 {
+			c.Abandon = 1e-12
+		}
+		if c.BatchPenalty == 0 {
+			c.BatchPenalty = 1e-12
+		}
+	}
+	if c.Workload == WorkloadInference {
+		if c.MinAssignments <= 0 {
+			c.MinAssignments = 2
+		}
+		// Both phases must reproduce the oracle exactly for their
+		// fingerprints to be comparable, and the adaptive phase's
+		// assignment count should measure the stopping rule rather than
+		// answer noise, so the default crowd is exactly perfect — two
+		// agreeing strangers clear the posterior target and every HIT
+		// stops at the floor. Explicit knobs still win.
 		if c.Skill == 0 {
 			c.Skill = 1.0
 		}
@@ -391,6 +431,19 @@ type Report struct {
 	HITsSaved        int64
 	SharedSavedCents budget.Cents
 
+	// Inference-workload metrics: the headline HITs/Assignments/Spent/
+	// fingerprint fields describe the adaptive (EM) phase; InferBase*
+	// carry the fixed-redundancy majority baseline, and the remaining
+	// fields mirror taskmgr.InferenceStats for the adaptive phase.
+	InferBaseHITs        int64
+	InferBaseAssignments int64
+	InferBaseSpent       budget.Cents
+	InferBaseFNV         uint64
+	InferAdaptiveHITs    int64
+	InferExtensions      int64
+	InferExtendFailures  int64
+	InferSavedCents      budget.Cents
+
 	// Hybridcrowd-workload metrics: the headline HITs/Spent/fingerprint
 	// fields describe the routed phase; HybridSim* carry the sim-only
 	// baseline, BackendSimHITs/BackendLLMHITs split the routed phase's
@@ -443,6 +496,16 @@ func (r Report) String() string {
 			r.HybridSimSpent, r.HybridSimHITs, r.Spent, r.HITs, r.BackendSimHITs, r.BackendLLMHITs, r.RoutedSavedCents)
 		fmt.Fprintf(&b, "  fingerprints  sim=%016x routed=%016x\n", r.HybridSimFNV, r.PassedKeysFNV)
 	}
+	if r.Config.Workload == WorkloadInference {
+		avg := 0.0
+		if r.InferAdaptiveHITs > 0 {
+			avg = float64(r.Assignments) / float64(r.InferAdaptiveHITs)
+		}
+		fmt.Fprintf(&b, "  inference     baseline %d assignments over %d HITs (%v); adaptive %d over %d (avg %.1f/HIT, floor %d, %d extensions, ~%v saved)\n",
+			r.InferBaseAssignments, r.InferBaseHITs, r.InferBaseSpent,
+			r.Assignments, r.HITs, avg, r.Config.MinAssignments, r.InferExtensions, r.InferSavedCents)
+		fmt.Fprintf(&b, "  fingerprints  baseline=%016x adaptive=%016x\n", r.InferBaseFNV, r.PassedKeysFNV)
+	}
 	if r.Config.Workload == WorkloadStreaming {
 		fmt.Fprintf(&b, "  streaming     first row at %.1f vmin (makespan %.1f); %d rows delivered (fingerprint %016x)\n",
 			r.FirstRow.Minutes(), r.Makespan.Minutes(), r.Delivered, r.PassedKeysFNV)
@@ -485,6 +548,11 @@ func Run(cfg Config) (Report, error) {
 		// The hybridcrowd scenario runs two isolated phases (sim-only
 		// vs routed); it has its own driver (hybridcrowd.go).
 		return runHybridCrowd(cfg)
+	}
+	if cfg.Workload == WorkloadInference {
+		// The inference scenario runs two isolated phases (majority
+		// baseline vs adaptive EM); it has its own driver (inference.go).
+		return runInference(cfg)
 	}
 	rep := Report{Config: cfg}
 

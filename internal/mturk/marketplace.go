@@ -46,12 +46,16 @@ type HITStatus struct {
 	HIT       *hit.HIT
 	PostedAt  VirtualTime
 	Completed int
-	DoneAt    VirtualTime // valid when Completed == Assignments
-	Spent     budget.Cents
+	// Extended counts assignment slots added after posting via
+	// ExtendAssignments. It lives here rather than on the HIT so the
+	// posted HIT stays immutable under concurrent readers.
+	Extended int
+	DoneAt   VirtualTime // valid when Completed == Assignments+Extended
+	Spent    budget.Cents
 }
 
 // Open reports whether assignments remain outstanding.
-func (s HITStatus) Open() bool { return s.Completed < s.HIT.Assignments }
+func (s HITStatus) Open() bool { return s.Completed < s.HIT.Assignments+s.Extended }
 
 type postedHIT struct {
 	status   HITStatus
@@ -321,6 +325,35 @@ func (m *Marketplace) assignmentFailed(hitID string, err error) {
 	if fn != nil {
 		fn(hitID, err)
 	}
+}
+
+// ExtendAssignments adds extra assignment slots to a posted HIT (like
+// MTurk's CreateAdditionalAssignmentsForHIT) and dispatches claims for
+// them. A HIT whose posted assignments have all completed but that has
+// not been disposed may still be extended — MTurk allows the same on
+// Reviewable HITs, and the adaptive redundancy loop decides to extend
+// exactly when the last assignment arrives — the extension simply
+// reopens it (DoneAt is rewritten when it closes again). Unknown (or
+// auto-disposed) HITs fail; the posted HIT itself is never mutated —
+// the extension lives in the status.
+func (m *Marketplace) ExtendAssignments(hitID string, extra int) error {
+	if extra <= 0 {
+		return fmt.Errorf("mturk: extend HIT %s by %d assignments", hitID, extra)
+	}
+	sh := m.shardFor(hitID)
+	sh.mu.Lock()
+	ph, ok := sh.hits[hitID]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("mturk: unknown HIT %s", hitID)
+	}
+	ph.status.Extended += extra
+	h := ph.status.HIT
+	sh.mu.Unlock()
+	for i := 0; i < extra; i++ {
+		m.dispatch(h, 0)
+	}
+	return nil
 }
 
 // SubmitExternal accepts an assignment from a live human (the demo's

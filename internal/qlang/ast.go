@@ -352,6 +352,19 @@ type TaskDef struct {
 	Assignments int
 	BatchSize   int
 
+	// MinAssignments opts this task's HITs into adaptive redundancy
+	// ("MinAssignments: 2"): they post with this many assignments and
+	// the answer-inference aggregator extends one at a time, up to the
+	// effective Assignments cap, while the posterior stays unsure. Zero
+	// posts at the cap directly (the fixed-redundancy default).
+	MinAssignments int
+
+	// Infer selects the answer-inference aggregator for this task
+	// ("Infer: em"): "majority" for seed-compatible majority voting,
+	// "em" for joint worker-quality/answer EM. Empty defers to the
+	// engine-wide inference configuration.
+	Infer string
+
 	// PreFilterTask names a cheap boolean feature-filter task the
 	// optimizer may run over both inputs of a JoinPredicate task to
 	// shrink the human-evaluated cross product ("PreFilter: isPerson").

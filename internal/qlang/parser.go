@@ -679,6 +679,22 @@ func (p *Parser) parseTask() (*TaskDef, error) {
 				return nil, err
 			}
 			task.Backend = name
+		case "minassignments":
+			numText, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(numText)
+			if err != nil || n < 1 {
+				return nil, p.errf("bad MinAssignments %q", numText)
+			}
+			task.MinAssignments = n
+		case "infer":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			task.Infer = strings.ToLower(name)
 		case "groupsize":
 			numText, err := p.expectNumber()
 			if err != nil {
@@ -903,6 +919,12 @@ func validateTask(t *TaskDef) error {
 	}
 	if t.GroupSize != 0 && t.Type != TaskRank && t.Type != TaskRating {
 		return fmt.Errorf("task %s: GroupSize only applies to Rank and Rating tasks", t.Name)
+	}
+	if t.Infer != "" && t.Infer != "majority" && t.Infer != "em" {
+		return fmt.Errorf("task %s: bad Infer %q (want majority or em)", t.Name, t.Infer)
+	}
+	if t.MinAssignments != 0 && t.Assignments != 0 && t.MinAssignments > t.Assignments {
+		return fmt.Errorf("task %s: MinAssignments %d exceeds Assignments %d", t.Name, t.MinAssignments, t.Assignments)
 	}
 	switch t.Type {
 	case TaskJoinPredicate:

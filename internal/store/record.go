@@ -76,6 +76,15 @@ const (
 	// snapshots: latency value X, quality value Y, price value M
 	// (rounded cents), over N observations.
 	KindBackendSum Kind = 14
+
+	// KindWorkerQuality is one EM-fitted per-worker accuracy estimate
+	// from a finalized adaptive HIT: Worker, X the fitted accuracy,
+	// N the votes that supported the fit. Replay seeds the answer
+	// aggregator's worker priors with real evidence.
+	KindWorkerQuality Kind = 15
+	// KindWorkerQualitySum is a worker's quality EWMA state in
+	// snapshots: value X over N observations.
+	KindWorkerQualitySum Kind = 16
 )
 
 // Record is the store's unit of appending and replay: a tagged union
@@ -131,7 +140,7 @@ func decodeRecord(data []byte) (Record, error) {
 		return r, fmt.Errorf("store: empty record")
 	}
 	r.Kind = Kind(data[0])
-	if r.Kind < KindCacheEntry || r.Kind > KindBackendSum {
+	if r.Kind < KindCacheEntry || r.Kind > KindWorkerQualitySum {
 		return r, fmt.Errorf("store: unknown record kind %d", data[0])
 	}
 	rest := data[1:]
@@ -237,6 +246,7 @@ type State struct {
 	backends   map[string]map[string]*backendAgg // backend → task kind
 	examples   map[string][]model.Example
 	reput      map[string]RepCounts
+	quality    map[string]*stats.EWMA
 	records    int64
 }
 
@@ -265,6 +275,7 @@ func NewState() *State {
 		backends: make(map[string]map[string]*backendAgg),
 		examples: make(map[string][]model.Example),
 		reput:    make(map[string]RepCounts),
+		quality:  make(map[string]*stats.EWMA),
 	}
 }
 
@@ -335,6 +346,10 @@ func (s *State) apply(r Record) {
 		c.Votes += r.N
 		c.Agreed += r.M
 		s.reput[r.Worker] = c
+	case KindWorkerQuality:
+		s.ewma(s.quality, r.Worker).Observe(r.X)
+	case KindWorkerQualitySum:
+		s.ewma(s.quality, r.Worker).SetState(stats.EWMAState{Value: r.X, N: int(r.N)})
 	}
 }
 
@@ -425,6 +440,10 @@ func (s *State) snapshotRecords() []Record {
 	for _, w := range sortedKeys(s.reput) {
 		c := s.reput[w]
 		out = append(out, Record{Kind: KindReputationSum, Worker: w, N: c.Votes, M: c.Agreed})
+	}
+	for _, w := range sortedKeys(s.quality) {
+		st := s.quality[w].State()
+		out = append(out, Record{Kind: KindWorkerQualitySum, Worker: w, X: st.Value, N: int64(st.N)})
 	}
 	return out
 }
@@ -538,6 +557,16 @@ func (s *State) Reputations() map[string]RepCounts {
 	out := make(map[string]RepCounts, len(s.reput))
 	for w, c := range s.reput {
 		out[w] = c
+	}
+	return out
+}
+
+// WorkerQualityStates returns the replayed per-worker EM-quality EWMA
+// states.
+func (s *State) WorkerQualityStates() map[string]stats.EWMAState {
+	out := make(map[string]stats.EWMAState, len(s.quality))
+	for w, e := range s.quality {
+		out[w] = e.State()
 	}
 	return out
 }

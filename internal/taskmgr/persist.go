@@ -86,5 +86,10 @@ func (m *Manager) Restore(s *store.State) RestoreSummary {
 		sum.Workers++
 		sum.Votes += counts.Votes
 	}
+
+	for worker, st := range s.WorkerQualityStates() {
+		m.RestoreWorkerQuality(worker, st)
+		sum.Observations += int64(st.N)
+	}
 	return sum
 }

@@ -198,6 +198,7 @@ func (m *Manager) finalizeRank(fl *rankInflight) {
 	// order. 1.0 = unanimous orderings; 0.5 = coin-flip (heavy
 	// inversions). The complement is the inversion rate the optimizer's
 	// hybrid window model uses.
+	m.noteWorkerRankings(fl.keys, rankings)
 	if share, pairs := pairAgreement(fl.keys, rankings); pairs > 0 {
 		st.rankAgreementEstimator().Observe(share)
 		st.agreement.Observe(share)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/hit"
+	"repro/internal/infer"
 	"repro/internal/store"
 )
 
@@ -61,6 +62,61 @@ func (m *Manager) noteWorkerVotes(byWorker []hit.Answers, key string, majority b
 	// from inside marketplace calls and must never wait on persistence.
 	for _, v := range votes {
 		j.Append(store.Record{Kind: store.KindReputation, Worker: v.worker, Pass: v.agreed})
+	}
+}
+
+// noteWorkerRankings scores Order-response workers against the
+// Bradley–Terry consensus over a comparison HIT's rankings: every item
+// pair a worker orders like the consensus counts as an agreeing vote,
+// every inversion as a strike. Boolean-vote reputation alone cannot see
+// these workers — a spammer submitting arbitrary permutations never
+// answers a yes/no question — but against the consensus their pair
+// agreement hovers near one half, low enough for the same blocklist
+// thresholds that catch vote spammers.
+func (m *Manager) noteWorkerRankings(keys []string, rankings []Ranking) {
+	if len(keys) < 2 || len(rankings) == 0 {
+		return
+	}
+	ords := make([]infer.Ordering, 0, len(rankings))
+	for _, r := range rankings {
+		ords = append(ords, infer.Ordering{Worker: r.WorkerID, Rank: r.Rank})
+	}
+	var bt infer.BradleyTerry
+	consensus := bt.Consensus(keys, ords)
+	j := m.getJournal()
+	type credit struct {
+		worker        string
+		agreed, total int
+	}
+	var credits []credit
+	m.repMu.Lock()
+	if m.workers == nil {
+		m.workers = make(map[string]*workerRecord)
+	}
+	for _, o := range ords {
+		if o.Worker == "" {
+			continue
+		}
+		agreed, total := infer.PairAgreement(consensus, o)
+		if total == 0 {
+			continue
+		}
+		rec, ok := m.workers[o.Worker]
+		if !ok {
+			rec = &workerRecord{}
+			m.workers[o.Worker] = rec
+		}
+		rec.votes += int64(total)
+		rec.agreed += int64(agreed)
+		if j != nil {
+			credits = append(credits, credit{worker: o.Worker, agreed: agreed, total: total})
+		}
+	}
+	m.repMu.Unlock()
+	// Journal outside repMu, as aggregate totals — replay folds them
+	// into the same per-worker counters noteWorkerVotes feeds.
+	for _, c := range credits {
+		j.Append(store.Record{Kind: store.KindReputationSum, Worker: c.worker, N: int64(c.total), M: int64(c.agreed)})
 	}
 }
 

@@ -99,6 +99,53 @@ func TestBlocklistImprovesAccuracy(t *testing.T) {
 	}
 }
 
+// TestRankingSpammerDetected: boolean-vote reputation never sees a
+// worker who only answers Order responses, so a spammer submitting
+// arbitrary permutations used to be invisible. Scoring rankings against
+// the Bradley–Terry consensus pins their pair agreement near one half —
+// low enough for the same blocklist thresholds that catch vote spammers
+// — while honest workers stay near one.
+func TestRankingSpammerDetected(t *testing.T) {
+	m, _ := newRig(t, catOracle, crowd.Config{}, 0)
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	honest := map[string]int{"a": 0, "b": 1, "c": 2, "d": 3, "e": 4, "f": 5}
+	// Junk permutations, different every HIT, like a worker dragging
+	// items at random.
+	junk := []map[string]int{
+		{"a": 3, "b": 5, "c": 0, "d": 4, "e": 1, "f": 2},
+		{"a": 5, "b": 2, "c": 4, "d": 0, "e": 3, "f": 1},
+		{"a": 1, "b": 4, "c": 5, "d": 2, "e": 0, "f": 3},
+		{"a": 4, "b": 0, "c": 2, "d": 5, "e": 1, "f": 0},
+	}
+	for _, j := range junk {
+		m.noteWorkerRankings(keys, []Ranking{
+			{WorkerID: "honest-1", Rank: honest},
+			{WorkerID: "honest-2", Rank: honest},
+			{WorkerID: "honest-3", Rank: honest},
+			{WorkerID: "spammer", Rank: j},
+		})
+	}
+	quals := m.WorkerQualities()
+	if len(quals) != 4 {
+		t.Fatalf("worker qualities = %d, want 4", len(quals))
+	}
+	if quals[0].ID != "spammer" {
+		t.Fatalf("lowest agreement is %s (%.2f), want the ranking spammer", quals[0].ID, quals[0].Agreement)
+	}
+	if quals[0].Agreement >= 0.7 {
+		t.Fatalf("spammer pair agreement %.2f; junk permutations should hover near 0.5", quals[0].Agreement)
+	}
+	for _, wq := range quals[1:] {
+		if wq.Agreement <= 0.9 {
+			t.Fatalf("honest worker %s at %.2f; consensus agreement should stay near 1", wq.ID, wq.Agreement)
+		}
+	}
+	blocked := m.BlockedWorkers(10, 0.7)
+	if len(blocked) != 1 || blocked[0] != "spammer" {
+		t.Fatalf("blocked = %v, want exactly the ranking spammer", blocked)
+	}
+}
+
 // TestStarvedHITStillResolves: when a blocklist (or empty pool) leaves a
 // HIT without eligible workers, the outcome must still be delivered —
 // with partial votes if some arrived, or an error if none ever will.

@@ -37,7 +37,7 @@ type Scope struct {
 	shared   bool
 	weight   int // fair-share weight; <1 reads as 1
 	spent    budget.Cents
-	queued   budget.Cents // provisional cost of admission-queued batches
+	queued   budget.Cents    // provisional cost of admission-queued batches
 	hits     map[string]bool // open HIT IDs posted for this scope
 }
 

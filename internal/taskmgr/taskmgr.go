@@ -30,6 +30,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/hit"
+	"repro/internal/infer"
 	"repro/internal/model"
 	"repro/internal/mturk"
 	"repro/internal/qlang"
@@ -43,6 +44,12 @@ import (
 type Policy struct {
 	// Assignments is the redundancy per HIT (default 3).
 	Assignments int
+	// MinAssignments, when positive and below Assignments, opts HITs
+	// into adaptive redundancy under an EM aggregator: they post with
+	// this many assignments and extend one at a time (up to
+	// Assignments) while the answer posterior stays unsure. Zero posts
+	// at Assignments directly — the fixed-redundancy default.
+	MinAssignments int
 	// BatchSize is how many tuples share one HIT (default 1).
 	BatchSize int
 	// PriceCents is the reward per HIT (default 1).
@@ -80,6 +87,9 @@ func (p Policy) Clamped() Policy {
 	if p.Assignments < 1 {
 		p.Assignments = 1
 	}
+	if p.MinAssignments < 0 {
+		p.MinAssignments = 0
+	}
 	if p.BatchSize < 1 {
 		p.BatchSize = 1
 	}
@@ -93,6 +103,9 @@ func (p Policy) Clamped() Policy {
 func (p Policy) merged(def *qlang.TaskDef) Policy {
 	if def.Assignments > 0 {
 		p.Assignments = def.Assignments
+	}
+	if def.MinAssignments > 0 {
+		p.MinAssignments = def.MinAssignments
 	}
 	if def.BatchSize > 0 {
 		p.BatchSize = def.BatchSize
@@ -320,11 +333,29 @@ type Manager struct {
 	// block on persistence.
 	journal atomic.Pointer[Journal]
 
-	// workers tracks agreement-based reputation, guarded by repMu —
-	// not m.mu — because the marketplace's worker filter reads it from
-	// inside marketplace calls (reputation.go).
+	// workers tracks agreement-based reputation and quality the
+	// per-worker EM-accuracy EWMAs, both guarded by repMu — not m.mu —
+	// because the marketplace's worker filter reads them from inside
+	// marketplace calls (reputation.go, adaptive.go).
 	repMu   sync.Mutex
 	workers map[string]*workerRecord
+	quality map[string]*stats.EWMA
+
+	// inference is the engine-wide answer-inference configuration
+	// (SetInference); nil means majority voting, the seed default.
+	// extendBroken flips once a backend rejects ExtendAssignments —
+	// adaptive-eligible batches then post at the full cap instead of
+	// buying assignments the backend cannot deliver.
+	inference    atomic.Pointer[inferConfig]
+	extendBroken atomic.Bool
+
+	// Adaptive redundancy counters (see InferenceStats).
+	adaptiveHITs   atomic.Int64
+	adaptiveExt    atomic.Int64
+	extendFailures atomic.Int64
+	adaptiveAssign atomic.Int64
+	adaptiveCapSum atomic.Int64
+	inferSaved     atomic.Int64
 }
 
 // Journal receives the records the manager emits on its learning paths;
@@ -371,11 +402,20 @@ type inflightHIT struct {
 	byWorker []hit.Answers
 	received int
 	needed   int
-	assign   int // assignments at post time; basis for pro-rata refunds
+	assign   int  // assignments at post time; basis for pro-rata refunds
 	admitted bool // holds an admission-scheduler slot until retired
 	postedAt mturk.VirtualTime
 	backend  string // serving backend name, recorded at post time
 	group    bool   // finalize with per-item task attribution
+
+	// Adaptive redundancy (adaptive.go). agg is non-nil only when an EM
+	// aggregator resolves this HIT's answers; adaptive marks HITs posted
+	// below capA whose completions may buy further assignments.
+	agg      infer.Aggregator
+	adaptive bool
+	boolTask bool    // boolean vs categorical EM model
+	target   float64 // posterior confidence that stops extending
+	capA     int     // policy assignment cap for this batch
 }
 
 // unregister forgets the HIT at every participating scope.
@@ -991,6 +1031,19 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 	pol := m.batchPolicy(st, batch)
 	def := st.defOf()
 
+	// Adaptive redundancy: under an EM aggregator, eligible batches post
+	// at the MinAssignments floor and buy further assignments only while
+	// the posterior stays unsure. Shared batches stay fixed-redundancy
+	// (extensions charge one scope; co-batched items span several), as
+	// does everything once a backend has rejected an extension.
+	agg, target, minA := m.inferencePlan(def, pol)
+	postAssign := pol.Assignments
+	adaptive := agg != nil && minA > 0 && minA < pol.Assignments &&
+		!batch[0].shared && !m.extendBroken.Load()
+	if adaptive {
+		postAssign = minA
+	}
+
 	// Drop items whose scope was canceled between cut and post: a
 	// linger flush or the admission queue may still carry them, and in
 	// a shared batch the other scopes' items must run regardless —
@@ -1010,7 +1063,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 	// does not depend on how many scopes fill it, so the loop strictly
 	// shrinks the scope set and terminates.
 	price := m.priceFor(def, pol)
-	cost := budget.Cents(price * int64(pol.Assignments))
+	cost := budget.Cents(price * int64(postAssign))
 	var shares []hitShare
 	for len(live) > 0 {
 		shares = shareOut(live, cost)
@@ -1060,7 +1113,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		Question:    batchQuestion(def, live),
 		Response:    responseFor(def),
 		RewardCents: price,
-		Assignments: pol.Assignments,
+		Assignments: postAssign,
 	}
 	byKey := make(map[string]pendingItem, len(live))
 	for _, it := range live {
@@ -1091,11 +1144,16 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		cost:     cost,
 		byKey:    byKey,
 		answers:  make(map[string][]relation.Value, len(live)),
-		needed:   pol.Assignments,
-		assign:   pol.Assignments,
+		needed:   postAssign,
+		assign:   postAssign,
 		admitted: true,
 		postedAt: m.market.Clock().Now(),
 		backend:  m.servingBackend(def),
+		agg:      agg,
+		adaptive: adaptive,
+		boolTask: isBooleanTask(def),
+		target:   target,
+		capA:     pol.Assignments,
 	}
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
@@ -1151,6 +1209,15 @@ func (m *Manager) onAssignment(res mturk.AssignmentResult) {
 		s.mu.Unlock()
 		return
 	}
+	if fl.adaptive && fl.needed < fl.capA && !m.itemsConfident(fl) {
+		// Posterior still unsure below the cap: keep the HIT in flight
+		// and buy one more assignment. No other completion can race in —
+		// every posted slot has reported — so this goroutine alone
+		// decides extend-or-finalize.
+		s.mu.Unlock()
+		m.extendInflight(s, res.HITID, fl)
+		return
+	}
 	delete(s.hits, res.HITID)
 	s.mu.Unlock()
 	fl.unregister(res.HITID)
@@ -1174,6 +1241,31 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 	if j != nil {
 		j.Append(store.Record{Kind: store.KindLatency, Task: fl.hit.Task, X: latencyMin})
 	}
+	if fl.adaptive {
+		m.adaptiveHITs.Add(1)
+		m.adaptiveAssign.Add(int64(fl.assign))
+		m.adaptiveCapSum.Add(int64(fl.capA))
+		if saved := int64(fl.capA-fl.assign) * fl.hit.RewardCents; saved > 0 {
+			m.inferSaved.Add(saved)
+		}
+	}
+
+	// Under an EM aggregator, resolve answers from one joint fit over
+	// the whole HIT — worker accuracies and item posteriors estimated
+	// together — and feed the fitted accuracies back as quality
+	// evidence. The fit reads the same votes in the same order as the
+	// adaptive loop's confidence checks, so the finalized answer is the
+	// posterior that stopped the extensions.
+	var posts map[string]infer.Posterior
+	if em, ok := fl.agg.(*infer.EM); ok {
+		items, keys := fl.votesByItem()
+		ps, accs := em.Fit(items, fl.boolTask)
+		posts = make(map[string]infer.Posterior, len(keys))
+		for i, key := range keys {
+			posts[key] = ps[i]
+		}
+		m.noteWorkerQuality(accs)
+	}
 
 	type resolution struct {
 		done func(Outcome)
@@ -1193,6 +1285,10 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 		}
 		answers := fl.answers[hi.Key]
 		out := reduce(item.def, answers)
+		if p, ok := posts[hi.Key]; ok && len(answers) > 0 {
+			out.Value = p.Value
+			out.Agreement = p.Confidence
+		}
 		st.agreement.Observe(out.Agreement)
 		agreeSum += out.Agreement
 		agreeN++
