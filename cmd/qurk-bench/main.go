@@ -11,6 +11,7 @@
 //	qurk-bench -only MT         # multi-tenant sharing economics, writes BENCH_mt.json
 //	qurk-bench -only BACKEND    # worker-backend routing economics, writes BENCH_backend.json
 //	qurk-bench -only INFER      # adaptive-redundancy inference economics, writes BENCH_infer.json
+//	qurk-bench -only OBS        # tracing on/off A/B overhead + volume, writes BENCH_obs.json
 package main
 
 import (
@@ -345,7 +346,7 @@ func runInferBench(seed int64, scale int) error {
 
 func main() {
 	seed := flag.Int64("seed", 1, "crowd and workload random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER, OBS)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 	if *scale < 1 {
@@ -420,8 +421,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *only == "" || strings.EqualFold(*only, "OBS") {
+		matched = true
+		if err := runObsBench(*seed, s); err != nil {
+			fmt.Fprintln(os.Stderr, "qurk-bench: OBS:", err)
+			os.Exit(1)
+		}
+	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER)\n", *only)
+		fmt.Fprintf(os.Stderr, "qurk-bench: unknown experiment %q (want E1..E11, STORE, SORT, MT, BACKEND, EXEC, INFER, OBS)\n", *only)
 		os.Exit(2)
 	}
 }

@@ -6,7 +6,12 @@
 //	http://localhost:8080/tasks   the Task Completion Interface
 //
 // so a live audience can answer HITs (including the two-column join of
-// Figure 3) and watch the queries advance.
+// Figure 3) and watch the queries advance. The engine runs with tracing
+// on, so the observability surfaces are live too:
+//
+//	http://localhost:8080/metrics      Prometheus text metrics
+//	http://localhost:8080/trace/{id}   one query's span tree as JSON
+//	http://localhost:8080/debug/pprof  Go runtime profiles
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/crowd"
@@ -43,6 +49,9 @@ func run(addr string, seed int64, pace float64, workers int) error {
 			Seed:    seed,
 			Workers: workers, // a small pool keeps HITs open for the audience
 		},
+		// The demo serves /metrics and /trace/{id}; at audience speed the
+		// tracing overhead is invisible.
+		Trace: true,
 	})
 	if err != nil {
 		return err
@@ -93,6 +102,13 @@ RETURNS Bool:
 		}()
 	}
 
-	fmt.Printf("Qurk demo dashboard on http://localhost%s/ (tasks at /tasks)\n", addr)
-	return http.ListenAndServe(addr, dashboard.NewHandler(eng))
+	mux := http.NewServeMux()
+	mux.Handle("/", dashboard.NewHandler(eng))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("Qurk demo dashboard on http://localhost%s/ (tasks at /tasks, metrics at /metrics, profiles at /debug/pprof)\n", addr)
+	return http.ListenAndServe(addr, mux)
 }

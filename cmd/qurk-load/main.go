@@ -72,6 +72,7 @@ func main() {
 	noPlanCache := flag.Bool("noplancache", false, "disable the normalized-SQL plan cache (A/B baseline; -verify fingerprints must match either way)")
 	minAssignments := flag.Int("minassignments", 0, "inference: adaptive posting floor (0 = default 2); the EM phase extends toward -assignments while unsure")
 	verify := flag.Bool("verify", false, "run twice and fail unless virtual-time metrics match (warmstart: assert run 2 is cheaper at an identical fingerprint)")
+	trace := flag.String("trace", "", "write the run's span trees (batches, HITs, assignments) to this path as JSONL; with -verify the rerun drops tracing, so matching fingerprints prove tracing is inert")
 	flag.Parse()
 
 	cfg := load.Config{
@@ -97,6 +98,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		NoPlanCache:    *noPlanCache,
 		MinAssignments: *minAssignments,
+		TracePath:      *trace,
 	}
 	rep, err := load.Run(cfg)
 	if err != nil {
@@ -131,6 +133,9 @@ func main() {
 	}
 
 	if *verify {
+		// The rerun never traces: when -trace was set, the fingerprint
+		// comparisons below double as a tracing on/off A/B.
+		cfg.TracePath = ""
 		again, err := load.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qurk-load: rerun:", err)

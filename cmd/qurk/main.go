@@ -65,6 +65,8 @@ func main() {
 	storePath := flag.String("store", "",
 		"durable knowledge store directory: replayed at start (warm cache, informed estimators), streamed to during the run")
 	explain := flag.Bool("explain", false, "print query plans instead of executing")
+	analyze := flag.Bool("analyze", false,
+		"run with tracing on and print each query's EXPLAIN ANALYZE table after its rows")
 	repl := flag.Bool("repl", false, "interactive session: streaming queries, Ctrl-C cancels the in-flight query")
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -83,16 +85,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash, *adaptiveJoins, *storePath); err != nil {
+	if err := run(*script, *demo, tables, *selectivity, *seed, *budgetDollars, *skill, *showDash, *adaptiveJoins, *storePath, *analyze); err != nil {
 		fmt.Fprintln(os.Stderr, "qurk:", err)
 		os.Exit(1)
 	}
 }
 
 func run(script, demo string, tables tableFlags, selectivity float64, seed int64,
-	budgetDollars, skill float64, showDash, adaptiveJoins bool, storePath string) error {
+	budgetDollars, skill float64, showDash, adaptiveJoins bool, storePath string, analyze bool) error {
 	if demo != "" {
-		return runDemo(demo, seed, skill, showDash, storePath)
+		return runDemo(demo, seed, skill, showDash, storePath, analyze)
 	}
 	if script == "" {
 		return fmt.Errorf("need -script or -demo (try -demo query1)")
@@ -109,6 +111,7 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		AutoTune:      true,
 		AdaptiveJoins: adaptiveJoins,
 		StorePath:     storePath,
+		Trace:         analyze,
 	})
 	if err != nil {
 		return err
@@ -133,6 +136,9 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 		if err := cursor.Err(); err != nil {
 			fmt.Printf("   (query error: %v)\n", err)
 		}
+		if analyze {
+			fmt.Print(h.Explain())
+		}
 	}
 	if showDash {
 		fmt.Println()
@@ -141,7 +147,7 @@ func run(script, demo string, tables tableFlags, selectivity float64, seed int64
 	return nil
 }
 
-func runDemo(which string, seed int64, skill float64, showDash bool, storePath string) error {
+func runDemo(which string, seed int64, skill float64, showDash bool, storePath string, analyze bool) error {
 	var (
 		ds    qurk.Dataset
 		tasks string
@@ -175,6 +181,7 @@ RETURNS Bool:
 		Oracle:    ds.Oracle,
 		Crowd:     crowd.Config{Seed: seed, MeanSkill: skill},
 		StorePath: storePath,
+		Trace:     analyze,
 	})
 	if err != nil {
 		return err
@@ -202,6 +209,9 @@ RETURNS Bool:
 	}
 	fmt.Printf("-- %s\n", query)
 	printRows(rows)
+	if analyze {
+		fmt.Print(cursor.Explain())
+	}
 	if showDash {
 		fmt.Println()
 		fmt.Println(dashboard.Render(eng.Snapshot()))

@@ -9,19 +9,19 @@ import (
 )
 
 func TestRunDemoQuery1(t *testing.T) {
-	if err := runDemo("query1", 1, 0.95, false, ""); err != nil {
+	if err := runDemo("query1", 1, 0.95, false, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDemoQuery2(t *testing.T) {
-	if err := runDemo("query2", 1, 0.95, false, ""); err != nil {
+	if err := runDemo("query2", 1, 0.95, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDemoUnknown(t *testing.T) {
-	if err := runDemo("nope", 1, 0.95, false, ""); err == nil {
+	if err := runDemo("nope", 1, 0.95, false, "", false); err == nil {
 		t.Fatal("unknown demo accepted")
 	}
 }
@@ -30,10 +30,10 @@ func TestRunDemoUnknown(t *testing.T) {
 // the second run must replay the first run's answers.
 func TestRunDemoWarmStore(t *testing.T) {
 	dir := t.TempDir()
-	if err := runDemo("query2", 1, 0.95, false, dir); err != nil {
+	if err := runDemo("query2", 1, 0.95, false, dir, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runDemo("query2", 1, 0.95, false, dir); err != nil {
+	if err := runDemo("query2", 1, 0.95, false, dir, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -57,26 +57,26 @@ SELECT img FROM photos WHERE keep(img)
 	if err := os.WriteFile(scriptPath, []byte(script), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(scriptPath, "", tableFlags{"photos=" + csvPath}, 0.5, 1, 0, 0.95, false, false, "")
+	err := run(scriptPath, "", tableFlags{"photos=" + csvPath}, 0.5, 1, 0, 0.95, false, false, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", nil, 0.5, 1, 0, 0.95, false, false, ""); err == nil {
+	if err := run("", "", nil, 0.5, 1, 0, 0.95, false, false, "", false); err == nil {
 		t.Fatal("missing script accepted")
 	}
-	if err := run("/nonexistent.qurk", "", nil, 0.5, 1, 0, 0.95, false, false, ""); err == nil {
+	if err := run("/nonexistent.qurk", "", nil, 0.5, 1, 0, 0.95, false, false, "", false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
 	scriptPath := filepath.Join(dir, "q.qurk")
 	_ = os.WriteFile(scriptPath, []byte("SELECT x FROM t"), 0o644)
-	if err := run(scriptPath, "", tableFlags{"bad"}, 0.5, 1, 0, 0.95, false, false, ""); err == nil {
+	if err := run(scriptPath, "", tableFlags{"bad"}, 0.5, 1, 0, 0.95, false, false, "", false); err == nil {
 		t.Fatal("bad -table accepted")
 	}
-	if err := run(scriptPath, "", tableFlags{"t=/nonexistent.csv"}, 0.5, 1, 0, 0.95, false, false, ""); err == nil {
+	if err := run(scriptPath, "", tableFlags{"t=/nonexistent.csv"}, 0.5, 1, 0, 0.95, false, false, "", false); err == nil {
 		t.Fatal("missing csv accepted")
 	}
 }

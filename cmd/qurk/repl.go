@@ -62,6 +62,9 @@ func runREPL(tables tableFlags, selectivity float64, seed int64,
 		AutoTune:      true,
 		AdaptiveJoins: adaptiveJoins,
 		StorePath:     storePath,
+		// Interactive sessions always trace, so EXPLAIN ANALYZE works
+		// without a restart; the overhead is irrelevant at human speed.
+		Trace: true,
 	})
 	if err != nil {
 		return err
@@ -91,6 +94,7 @@ func runREPL(tables tableFlags, selectivity float64, seed int64,
 
 	fmt.Println("qurk interactive — end statements with ';' (or a blank line).")
 	fmt.Println("TASK blocks define tasks; SELECT streams rows as the crowd answers.")
+	fmt.Println("EXPLAIN ANALYZE SELECT ... runs the query and prints the per-operator trace table.")
 	fmt.Println(`Commands: \dash (dashboard), \tables, \q (quit). Ctrl-C cancels the running query.`)
 	in := bufio.NewScanner(os.Stdin)
 	var buf []string
@@ -149,16 +153,28 @@ func (s *replSession) command(cmd string) {
 	}
 }
 
-// execute routes one statement: TASK definitions to Define, everything
-// else through the streaming query path.
+// execute routes one statement: TASK definitions to Define, EXPLAIN
+// ANALYZE queries through the tracing path, everything else through the
+// streaming query path.
 func (s *replSession) execute(stmt string) {
-	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "TASK") {
+	trimmed := strings.TrimSpace(stmt)
+	upper := strings.ToUpper(trimmed)
+	if strings.HasPrefix(upper, "TASK") {
 		if err := s.eng.Define(stmt); err != nil {
 			fmt.Println("define error:", err)
 			return
 		}
 		fmt.Println("task defined")
 		return
+	}
+	analyze := false
+	if strings.HasPrefix(upper, "EXPLAIN ANALYZE") {
+		analyze = true
+		stmt = strings.TrimSpace(trimmed[len("EXPLAIN ANALYZE"):])
+		if stmt == "" {
+			fmt.Println("usage: EXPLAIN ANALYZE SELECT ...")
+			return
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.setCancel(cancel)
@@ -181,11 +197,18 @@ func (s *replSession) execute(stmt string) {
 	n := 0
 	for rows.Next() {
 		t := rows.Tuple()
-		if n == 0 {
-			printHeader(t)
+		if !analyze {
+			if n == 0 {
+				printHeader(t)
+			}
+			printTuple(t)
 		}
-		printTuple(t)
 		n++
+	}
+	if analyze {
+		// The query ran to completion (or died); the trace table carries
+		// the per-operator story instead of the rows.
+		fmt.Print(rows.Explain())
 	}
 	switch err := rows.Err(); {
 	case err == nil:

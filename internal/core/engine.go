@@ -19,6 +19,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/mturk"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/qerr"
@@ -88,6 +89,13 @@ type Config struct {
 	// Inference selects the answer-inference method and adaptive
 	// redundancy parameters. Nil keeps seed-identical majority voting.
 	Inference *InferenceConfig
+	// Trace turns on the observability layer: every query gets a span
+	// tree (query → plan → operator → batch → HIT → assignment) on the
+	// virtual clock, and the engine keeps a metrics registry
+	// (Engine.Metrics) covering HIT round-trips, admission waits, batch
+	// fill, cache hit rates and spend. Off (the default) costs nothing:
+	// no spans, no counters, no allocations on any hot path.
+	Trace bool
 }
 
 // InferenceConfig turns on joint worker-quality/answer inference.
@@ -135,6 +143,7 @@ type QueryHandle struct {
 	StartedAt mturk.VirtualTime
 	engine    *Engine
 	scope     *taskmgr.Scope
+	span      *obs.Span // query root span; nil when tracing is off
 }
 
 // Wait blocks until the query finishes and returns its rows.
@@ -167,6 +176,21 @@ func (h *QueryHandle) Canceled() bool { return h.Exec.Canceled() }
 // posted minus refunds for assignments expired by cancellation.
 func (h *QueryHandle) SunkCents() budget.Cents { return h.scope.Spent() }
 
+// Trace returns the query's root span, or nil when the engine runs
+// without Config.Trace.
+func (h *QueryHandle) Trace() *obs.Span { return h.span }
+
+// Explain renders the per-operator EXPLAIN ANALYZE table (rows, HITs,
+// assignments, cost, virtual latency) from the query's trace. It is
+// most useful once the query has finished; a live query shows the
+// progress so far. Empty when tracing is off.
+func (h *QueryHandle) Explain() string {
+	if h.span == nil {
+		return ""
+	}
+	return obs.ExplainAnalyze(h.span)
+}
+
 // Engine is a running Qurk instance.
 type Engine struct {
 	cfg     Config
@@ -179,6 +203,7 @@ type Engine struct {
 	mgr     *taskmgr.Manager
 	opt     *optimizer.Optimizer
 	store   *store.Store // nil unless Config.StorePath was set
+	obs     *obs.Tracer  // nil unless Config.Trace was set
 	warm    taskmgr.RestoreSummary
 	plans   *planCache // nil when Config.PlanCacheSize < 0
 	// planEpoch versions the planning environment (tasks, tables);
@@ -260,6 +285,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if router != nil && cfg.Backends.Route {
 		router.SetChooser(e.opt.BackendChooser(e.backendCandidates()))
+	}
+	if cfg.Trace {
+		e.obs = obs.New(clock.Now, obs.NewRegistry())
+		mgr.SetObs(e.obs)
 	}
 	if cfg.PlanCacheSize >= 0 {
 		e.plans = newPlanCache(cfg.PlanCacheSize)
@@ -546,7 +575,27 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	if o.weight > 0 {
 		scope.SetWeight(o.weight)
 	}
+	if o.label != "" {
+		scope.SetLabel(o.label)
+	}
 	cfg.Scope = scope
+
+	// Tracing: one root span per query; the scope carries it so
+	// cancellation can close the whole tree, operators and HITs hang
+	// their children off it via cfg.Trace and Request.Trace.
+	var root *obs.Span
+	if tr := e.obs; tr != nil {
+		root = tr.StartRoot(obs.KindQuery, sql)
+		scope.SetSpan(root)
+		cfg.Trace = root
+		tr.Registry().Counter(obs.MetricQueries).Add(1)
+	}
+	abandonTrace := func() {
+		if root != nil {
+			root.CloseTree()
+			e.obs.Release(root)
+		}
+	}
 
 	if e.cfg.AdaptiveFilters && cfg.FilterOrder == nil {
 		cfg.FilterOrder = e.opt.FilterOrder(script)
@@ -562,12 +611,29 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 			cfg.PreFilterKeep = e.opt.PreFilterKeepFor(cfg)
 		}
 	}
-	node, err := e.buildPlan(sql, stmt, script, adaptive, decide, !o.noPlanCache)
+	var planSpan *obs.Span
+	if root != nil {
+		planSpan = root.Child(obs.KindPlan, "plan")
+	}
+	node, outcome, err := e.buildPlan(sql, stmt, script, adaptive, decide, !o.noPlanCache)
 	if err != nil {
+		abandonTrace()
 		return nil, err
+	}
+	if planSpan != nil {
+		planSpan.Annotate("plan_cache", outcome)
+		planSpan.End()
+		reg := e.obs.Registry()
+		switch outcome {
+		case planOutcomeHit:
+			reg.Counter(obs.MetricPlanCacheHits).Add(1)
+		case planOutcomeMiss, planOutcomeInvalidated:
+			reg.Counter(obs.MetricPlanCacheMiss).Add(1)
+		}
 	}
 	q, err := exec.StartContext(ctx, node, cfg)
 	if err != nil {
+		abandonTrace()
 		return nil, err
 	}
 	e.mu.Lock()
@@ -581,7 +647,7 @@ func (e *Engine) startQuery(ctx context.Context, sql string, stmt *qlang.SelectS
 	e.nextID++
 	h := &QueryHandle{
 		ID: e.nextID, SQL: sql, Plan: node, Exec: q,
-		StartedAt: e.clock.Now(), engine: e, scope: scope,
+		StartedAt: e.clock.Now(), engine: e, scope: scope, span: root,
 	}
 	e.queries = append(e.queries, h)
 	e.mu.Unlock()
@@ -721,6 +787,28 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 // Store returns the durable knowledge store, or nil when none is
 // configured.
 func (e *Engine) Store() *store.Store { return e.store }
+
+// Tracer returns the engine's span tracer, or nil when Config.Trace is
+// off.
+func (e *Engine) Tracer() *obs.Tracer { return e.obs }
+
+// Metrics returns the engine's metrics registry, or nil when
+// Config.Trace is off. The registry renders deterministically via
+// WritePrometheus.
+func (e *Engine) Metrics() *obs.Registry { return e.obs.Registry() }
+
+// QueryTrace returns the root span of the query with the given ID, or
+// nil when tracing is off or no such query was submitted.
+func (e *Engine) QueryTrace(id int) *obs.Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, h := range e.queries {
+		if h.ID == id {
+			return h.span
+		}
+	}
+	return nil
+}
 
 // WarmStart reports what the store replayed at engine start.
 func (e *Engine) WarmStart() taskmgr.RestoreSummary { return e.warm }

@@ -138,11 +138,20 @@ func (c *planCache) stats() PlanCacheStats {
 	}
 }
 
+// Plan-cache outcomes, annotated onto plan spans by startQuery.
+const (
+	planOutcomeHit         = "hit"
+	planOutcomeMiss        = "miss"
+	planOutcomeInvalidated = "invalidated"
+	planOutcomeUncached    = "uncached"
+)
+
 // buildPlan produces the executable plan for one query, through the
 // cache when it is enabled and the caller did not opt out. The decider
 // (nil when adaptive joins are off) is invoked live on both misses and
 // hits; on a hit its decision vector is compared against the entry's.
-func (e *Engine) buildPlan(sql string, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, decide plan.PreFilterDecider, useCache bool) (plan.Node, error) {
+// outcome reports how the plan cache participated (planOutcome*).
+func (e *Engine) buildPlan(sql string, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, decide plan.PreFilterDecider, useCache bool) (node plan.Node, outcome string, err error) {
 	var recorded []plan.PreFilterDecision
 	var recording plan.PreFilterDecider
 	if decide != nil {
@@ -161,17 +170,17 @@ func (e *Engine) buildPlan(sql string, stmt *qlang.SelectStmt, script *qlang.Scr
 
 	if keyOK {
 		if entry := cache.lookup(key); entry != nil {
-			if node, ok := e.replanFromEntry(entry, stmt, script, adaptive, recording, &recorded); ok {
-				return node, nil
+			if node, outcome, ok := e.replanFromEntry(entry, stmt, script, adaptive, recording, &recorded); ok {
+				return node, outcome, nil
 			}
 		}
 	}
 
 	// Miss (or cache bypassed): full planning pass.
 	start := time.Now()
-	node, err := plan.Build(stmt, script, e.catalog)
+	node, err = plan.Build(stmt, script, e.catalog)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	node = plan.Pushdown(node)
 
@@ -189,8 +198,9 @@ func (e *Engine) buildPlan(sql string, stmt *qlang.SelectStmt, script *qlang.Scr
 		entry.planNs = planNs
 		cache.noteMiss()
 		cache.store(entry)
+		return node, planOutcomeMiss, nil
 	}
-	return node, nil
+	return node, planOutcomeUncached, nil
 }
 
 // newPlanEntry clones the pre-ApplyPreFilters plan into a cache template
@@ -217,13 +227,13 @@ func newPlanEntry(key string, node plan.Node, stmt *qlang.SelectStmt) *planEntry
 // recorded one means the Statistics Manager's evidence moved an
 // optimizer decision across its threshold — the entry is refreshed and
 // counted as an invalidation rather than a hit.
-func (e *Engine) replanFromEntry(entry *planEntry, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, recording plan.PreFilterDecider, recorded *[]plan.PreFilterDecision) (plan.Node, bool) {
+func (e *Engine) replanFromEntry(entry *planEntry, stmt *qlang.SelectStmt, script *qlang.Script, adaptive bool, recording plan.PreFilterDecider, recorded *[]plan.PreFilterDecision) (plan.Node, string, bool) {
 	fresh := qlang.CollectStmtLiterals(stmt)
 	if len(fresh) != len(entry.slots) {
 		// Same fingerprint must mean isomorphic literal lists; a mismatch
 		// means the normalizer and the collector disagree — fall back to
 		// full planning rather than risk binding the wrong constant.
-		return nil, false
+		return nil, "", false
 	}
 	sub := make(map[*qlang.Literal]qlang.Expr, len(fresh))
 	for i, slot := range entry.slots {
@@ -240,11 +250,11 @@ func (e *Engine) replanFromEntry(entry *planEntry, stmt *qlang.SelectStmt, scrip
 			c.mu.Lock()
 			entry.decisions = append([]plan.PreFilterDecision(nil), *recorded...)
 			c.mu.Unlock()
-			return node, true
+			return node, planOutcomeInvalidated, true
 		}
 	}
 	e.plans.noteHit(entry.planNs)
-	return node, true
+	return node, planOutcomeHit, true
 }
 
 func decisionsEqual(a, b []plan.PreFilterDecision) bool {

@@ -168,7 +168,7 @@ WHERE samePerson(celebrities.image, spottedstars.image)`
 		return count
 	}
 
-	first, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	first, _, err := e.buildPlan(sql, stmt, script, true, decide, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ WHERE samePerson(celebrities.image, spottedstars.image)`
 	}
 
 	// Same stats regime: a clean hit with the same decisions.
-	second, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	second, _, err := e.buildPlan(sql, stmt, script, true, decide, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ WHERE samePerson(celebrities.image, spottedstars.image)`
 	// Statistics crossed the optimizer threshold: decisions flip, the
 	// entry invalidates, and the plan follows the live decider.
 	wrap = false
-	third, err := e.buildPlan(sql, stmt, script, true, decide, true)
+	third, _, err := e.buildPlan(sql, stmt, script, true, decide, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ WHERE samePerson(celebrities.image, spottedstars.image)`
 	}
 
 	// The refreshed decision vector makes the next query a hit again.
-	if _, err := e.buildPlan(sql, stmt, script, true, decide, true); err != nil {
+	if _, _, err := e.buildPlan(sql, stmt, script, true, decide, true); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.PlanCacheStats(); st.Hits != 2 || st.Invalidations != 1 {

@@ -39,6 +39,7 @@ type queryOptions struct {
 	shared      bool
 	adaptive    *bool
 	noPlanCache bool
+	label       string
 }
 
 // QueryOption customizes a single Query call, overriding the engine's
@@ -111,6 +112,15 @@ func WithWeight(w int) QueryOption {
 	return func(o *queryOptions) { o.weight = w }
 }
 
+// WithLabel tags this query's scope for observability: with
+// Config.Trace on, the query's HIT and cost metrics get an extra
+// per-scope series under scope="label". Unlabeled queries (the
+// default) only feed the aggregate series, keeping cardinality
+// bounded. No effect when tracing is off.
+func WithLabel(label string) QueryOption {
+	return func(o *queryOptions) { o.label = label }
+}
+
 // Rows is a streaming cursor over one query's results, in the style of
 // database/sql: tuples become visible as the executor's root operator
 // emits them, while later HITs are still in flight, so callers see
@@ -179,6 +189,11 @@ func (r *Rows) Close() error {
 // Handle exposes the underlying query handle (dashboard inspection,
 // plan explain, sunk cost).
 func (r *Rows) Handle() *QueryHandle { return r.h }
+
+// Explain renders the query's EXPLAIN ANALYZE table from its trace —
+// per operator: rows in/out, HITs, assignments, cost and virtual
+// latency. Empty when the engine runs without Config.Trace.
+func (r *Rows) Explain() string { return r.h.Explain() }
 
 // Query parses, plans and starts one SELECT query under ctx, returning
 // a streaming Rows cursor. Canceling ctx (or hitting its deadline, or a

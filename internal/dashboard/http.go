@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/hit"
 	"repro/internal/mturk"
+	"repro/internal/obs"
 )
 
 // Source supplies live data to the HTTP dashboard.
@@ -18,14 +20,33 @@ type Source interface {
 	Marketplace() *mturk.Marketplace
 }
 
+// Observable is the optional Source extension behind the observability
+// endpoints (core.Engine implements it). Metrics returns nil when the
+// engine runs without Config.Trace; the endpoints then answer 404.
+type Observable interface {
+	// Metrics is the engine's metrics registry, nil when tracing is off.
+	Metrics() *obs.Registry
+	// QueryTrace is the root span of the query with that dashboard ID,
+	// nil when tracing is off or the ID is unknown.
+	QueryTrace(id int) *obs.Span
+}
+
 // NewHandler serves the demo's two interfaces:
 //
 //	GET  /            — the Query Status Dashboard (Figure 2)
 //	GET  /tasks       — the Task Completion Interface: open HITs
 //	GET  /hit?id=X    — one compiled HIT form (Figure 3 for joins)
 //	POST /submit      — submit a HIT form as an audience worker
+//
+// and, when src also implements Observable (and the engine traces):
+//
+//	GET  /metrics     — the metrics registry in Prometheus text format
+//	GET  /trace/{id}  — one query's span tree as JSON
 func NewHandler(src Source) http.Handler {
 	mux := http.NewServeMux()
+	if o, ok := src.(Observable); ok {
+		registerObs(mux, o)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -95,6 +116,40 @@ func NewHandler(src Source) http.Handler {
 			`<p><a href="/tasks">Answer another task →</a></p></body></html>`)
 	})
 	return withoutDirectoryListing(mux)
+}
+
+// registerObs wires the observability endpoints. Both answer 404 when
+// the engine runs without Config.Trace, so a tracing-off deployment
+// exposes nothing extra.
+func registerObs(mux *http.ServeMux, o Observable) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := o.Metrics()
+		if reg == nil {
+			http.Error(w, "tracing disabled (run the engine with Config.Trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/trace/"))
+		if err != nil {
+			http.Error(w, "want /trace/{query-id}", http.StatusBadRequest)
+			return
+		}
+		root := o.QueryTrace(id)
+		if root == nil {
+			http.Error(w, "no trace for that query (tracing off or unknown id)", http.StatusNotFound)
+			return
+		}
+		buf, err := obs.MarshalTree(root)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf)
+	})
 }
 
 func withoutDirectoryListing(h http.Handler) http.Handler {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mturk"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/qerr"
 	"repro/internal/qlang"
@@ -79,6 +80,10 @@ type Config struct {
 	// Now reports current virtual time; when set, the query records the
 	// virtual moment its first result tuple streamed out (FirstRowAt).
 	Now func() mturk.VirtualTime
+	// Trace is the query's root span; when set, every operator gets a
+	// child span and threads it into its task submissions. Nil (the
+	// default) disables tracing with zero overhead.
+	Trace *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +126,9 @@ type operator struct {
 	// arrival, so `in` alone would make undecided tuples look
 	// processed).
 	decided int64 // atomic
+	// span is this operator's trace span (nil = tracing off); it rides
+	// into every task submission the operator makes.
+	span *obs.Span
 }
 
 func (o *operator) stats() OpStats {
@@ -431,7 +439,7 @@ func Start(root plan.Node, cfg Config) (*Query, error) {
 	}
 	q := &Query{Root: root, cfg: cfg, done: make(chan struct{})}
 	q.result = relation.NewTable("result", root.Schema())
-	top, _, err := q.build(root)
+	top, _, err := q.build(root, cfg.Trace)
 	if err != nil {
 		close(q.done)
 		return nil, err
@@ -456,10 +464,30 @@ func Start(root plan.Node, cfg Config) (*Query, error) {
 			}
 		}
 		top.Close()
+		q.endSpans()
 		q.result.Close()
 		close(q.done)
 	}()
 	return q, nil
+}
+
+// endSpans stamps each operator's final row counts onto its span, ends
+// it, and closes the query root. A canceled query's scope already
+// closed the tree; End is idempotent, and counters land harmlessly on
+// ended spans.
+func (q *Query) endSpans() {
+	for _, op := range q.ops {
+		if op.span == nil {
+			continue
+		}
+		st := op.stats()
+		op.span.AddRowsIn(st.In)
+		op.span.AddRowsOut(st.Out)
+		op.span.End()
+	}
+	if q.cfg.Trace != nil {
+		q.cfg.Trace.End()
+	}
 }
 
 // StartContext is Start bound to a context: when ctx is canceled (or
@@ -542,14 +570,17 @@ func (q *Query) async(op *operator) *queueIter {
 // human-powered ones keep a producer goroutine. Async operators wrap
 // their inputs in ensureStable: HIT callbacks retain tuples
 // indefinitely, which transient iterators do not allow.
-func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
+func (q *Query) build(n plan.Node, parent *obs.Span) (Iterator, *operator, error) {
 	op := &operator{label: n.Label()}
+	if parent != nil {
+		op.span = parent.Child(obs.KindOperator, n.Label())
+	}
 	q.ops = append(q.ops, op)
 	switch v := n.(type) {
 	case *plan.Scan:
 		return &scanIter{q: q, op: op, v: v}, op, nil
 	case *plan.Filter:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -560,7 +591,7 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runFilter(op, v, ensureStable(in))
 		return it, op, nil
 	case *plan.Project:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -575,7 +606,7 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runProject(op, v, ensureStable(in))
 		return it, op, nil
 	case *plan.PreFilter:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -583,11 +614,11 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runPreFilter(op, v, ensureStable(in))
 		return it, op, nil
 	case *plan.Join:
-		left, lop, err := q.build(v.Left)
+		left, lop, err := q.build(v.Left, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
-		right, rop, err := q.build(v.Right)
+		right, rop, err := q.build(v.Right, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -610,7 +641,7 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runJoin(op, v, ensureStable(left), ensureStable(right))
 		return it, op, nil
 	case *plan.OrderBy:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -625,7 +656,7 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runOrderBy(op, v, ensureStable(in))
 		return it, op, nil
 	case *plan.Rank:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -640,7 +671,7 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 				exprs = append(exprs, call.Args...)
 			}
 		}
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -651,13 +682,13 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 		go q.runAggregate(op, v, ensureStable(in))
 		return it, op, nil
 	case *plan.Distinct:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
 		return &distinctIter{q: q, op: op, child: in, seen: make(map[string]struct{})}, op, nil
 	case *plan.Limit:
-		in, _, err := q.build(v.Input)
+		in, _, err := q.build(v.Input, op.span)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -671,11 +702,11 @@ func (q *Query) build(n plan.Node) (Iterator, *operator, error) {
 // then with the resolved values (or an error). then runs synchronously
 // when there are no calls or all are cached. assignments > 0 overrides
 // the per-task redundancy (POSSIBLY predicates pass 1).
-func (q *Query) resolveCalls(t relation.Tuple, exprs []qlang.Expr, then func(map[string]relation.Value, error)) {
-	q.resolveCallsN(t, exprs, 0, then)
+func (q *Query) resolveCalls(op *operator, t relation.Tuple, exprs []qlang.Expr, then func(map[string]relation.Value, error)) {
+	q.resolveCallsN(op, t, exprs, 0, then)
 }
 
-func (q *Query) resolveCallsN(t relation.Tuple, exprs []qlang.Expr, assignments int, then func(map[string]relation.Value, error)) {
+func (q *Query) resolveCallsN(op *operator, t relation.Tuple, exprs []qlang.Expr, assignments int, then func(map[string]relation.Value, error)) {
 	var calls []*qlang.Call
 	seen := map[string]bool{}
 	for _, e := range exprs {
@@ -720,6 +751,7 @@ func (q *Query) resolveCallsN(t relation.Tuple, exprs []qlang.Expr, assignments 
 			Args:        args,
 			Assignments: assignments,
 			Scope:       q.cfg.Scope,
+			Trace:       op.span,
 			Done: func(out taskmgr.Outcome) {
 				mu.Lock()
 				if out.Err != nil && firstErr == nil {

@@ -87,7 +87,7 @@ func (q *Query) runFilter(op *operator, v *plan.Filter, in Iterator) {
 			if u, ok := c.(*qlang.Unary); ok && u.Op == "POSSIBLY" {
 				asg = 1 // approximate predicate: no redundancy
 			}
-			q.resolveCallsN(t, []qlang.Expr{c}, asg, func(calls map[string]relation.Value, err error) {
+			q.resolveCallsN(op, t, []qlang.Expr{c}, asg, func(calls map[string]relation.Value, err error) {
 				if err != nil {
 					q.reportError(err)
 					finish()
@@ -193,6 +193,7 @@ func (q *Query) groupFilter(op *operator, t relation.Tuple, human []qlang.Expr, 
 				Def:   def,
 				Args:  args,
 				Scope: q.cfg.Scope,
+				Trace: op.span,
 				Done: func(out taskmgr.Outcome) {
 					mu.Lock()
 					if out.Err != nil && firstErr == nil {
@@ -238,7 +239,7 @@ func (q *Query) runProject(op *operator, v *plan.Project, in Iterator) {
 		}
 		atomic.AddInt64(&op.in, 1)
 		wg.Add(1)
-		q.resolveCalls(t, exprs, func(calls map[string]relation.Value, err error) {
+		q.resolveCalls(op, t, exprs, func(calls map[string]relation.Value, err error) {
 			defer wg.Done()
 			if err != nil {
 				q.reportError(err)
@@ -425,6 +426,7 @@ func (q *Query) joinPairwise(op *operator, v *plan.Join, ls, rs []joinSide) {
 				Def:   v.HumanTask,
 				Args:  []relation.Value{l.arg, r.arg},
 				Scope: q.cfg.Scope,
+				Trace: op.span,
 				Done: func(out taskmgr.Outcome) {
 					defer wg.Done()
 					if out.Err != nil {
@@ -581,6 +583,7 @@ func (q *Query) preFilterBlock(op *operator, v *plan.PreFilter, rows []relation.
 			Assignments: 1,
 			StatSide:    side,
 			Scope:       q.cfg.Scope,
+			Trace:       op.span,
 			Done: func(out taskmgr.Outcome) {
 				defer wg.Done()
 				if out.Err != nil {
@@ -756,7 +759,7 @@ func (q *Query) runOrderBy(op *operator, v *plan.OrderBy, in Iterator) {
 	for i, t := range rows {
 		i, t := i, t
 		wg.Add(1)
-		q.resolveCalls(t, keyExprs, func(calls map[string]relation.Value, err error) {
+		q.resolveCalls(op, t, keyExprs, func(calls map[string]relation.Value, err error) {
 			defer wg.Done()
 			if err != nil {
 				q.reportError(err)
@@ -856,7 +859,7 @@ func (q *Query) runAggregate(op *operator, v *plan.Aggregate, in Iterator) {
 		}
 		atomic.AddInt64(&op.in, 1)
 		wg.Add(1)
-		q.resolveCalls(t, exprs, func(calls map[string]relation.Value, err error) {
+		q.resolveCalls(op, t, exprs, func(calls map[string]relation.Value, err error) {
 			defer wg.Done()
 			if err != nil {
 				q.reportError(err)

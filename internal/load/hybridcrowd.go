@@ -40,7 +40,7 @@ type hybridPhase struct {
 // first-stage filter to an LLM worker crowd whose model answers from the
 // dataset's ground truth; the second stage stays on the simulated human
 // marketplace, so one run mixes both crowds.
-func runHybridPhase(cfg Config, ds workload.Dataset, routed bool) (hybridPhase, error) {
+func runHybridPhase(cfg Config, ds workload.Dataset, routed bool, sink *traceSink) (hybridPhase, error) {
 	var ph hybridPhase
 	clock := mturk.NewClock()
 	defer clock.Close()
@@ -78,6 +78,10 @@ func runHybridPhase(cfg Config, ds workload.Dataset, routed bool) (hybridPhase, 
 	}
 
 	mgr := taskmgr.NewWithBackend(be, nil, nil, nil)
+	tr := sink.tracer(clock.Now)
+	if tr != nil {
+		mgr.SetObs(tr)
+	}
 	mgr.SetBasePolicy(taskmgr.Policy{
 		Assignments: cfg.Assignments,
 		BatchSize:   cfg.Batch,
@@ -118,6 +122,7 @@ func runHybridPhase(cfg Config, ds workload.Dataset, routed bool) (hybridPhase, 
 		ph.LLMHITs = counts["llm"]
 		ph.SavedCents = saved
 	}
+	sink.collect(tr)
 	return ph, nil
 }
 
@@ -154,16 +159,20 @@ func runHybridCrowd(cfg Config) (Report, error) {
 	rep := Report{Config: cfg}
 	ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
 
+	sink := newTraceSink(cfg)
 	start := time.Now()
-	simPh, err := runHybridPhase(cfg, ds, false)
+	simPh, err := runHybridPhase(cfg, ds, false, sink)
 	if err != nil {
 		return rep, err
 	}
-	routedPh, err := runHybridPhase(cfg, ds, true)
+	routedPh, err := runHybridPhase(cfg, ds, true, sink)
 	if err != nil {
 		return rep, err
 	}
 	rep.Wall = time.Since(start)
+	if err := sink.flush(); err != nil {
+		return rep, err
+	}
 
 	// The routed phase is the headline; the sim-only baseline rides in
 	// the Hybrid* fields.

@@ -34,7 +34,7 @@ type inferPhase struct {
 // at a time — up to cfg.Assignments — while any item's posterior stays
 // below the stopping target. Otherwise it is the seed majority path at
 // fixed cfg.Assignments redundancy.
-func runInferencePhase(cfg Config, ds workload.Dataset, adaptive bool) (inferPhase, error) {
+func runInferencePhase(cfg Config, ds workload.Dataset, adaptive bool, sink *traceSink) (inferPhase, error) {
 	var ph inferPhase
 	clock := mturk.NewClock()
 	defer clock.Close()
@@ -55,6 +55,10 @@ func runInferencePhase(cfg Config, ds workload.Dataset, adaptive bool) (inferPha
 	// the same posture so the two phases differ in exactly one variable.
 
 	mgr := taskmgr.New(market, nil, nil, nil)
+	tr := sink.tracer(clock.Now)
+	if tr != nil {
+		mgr.SetObs(tr)
+	}
 	if adaptive {
 		mgr.SetInference("em", cfg.MinAssignments, 0)
 	}
@@ -93,6 +97,7 @@ func runInferencePhase(cfg Config, ds workload.Dataset, adaptive bool) (inferPha
 	sc.finish(&tmp)
 	ph.FNV = tmp.PassedKeysFNV
 	ph.Stats = mgr.InferenceStats()
+	sink.collect(tr)
 	return ph, nil
 }
 
@@ -115,16 +120,20 @@ func runInference(cfg Config) (Report, error) {
 	rep := Report{Config: cfg}
 	ds := workload.Photos(cfg.Tuples, 0.5, 0.6, cfg.Seed)
 
+	sink := newTraceSink(cfg)
 	start := time.Now()
-	basePh, err := runInferencePhase(cfg, ds, false)
+	basePh, err := runInferencePhase(cfg, ds, false, sink)
 	if err != nil {
 		return rep, err
 	}
-	adaptPh, err := runInferencePhase(cfg, ds, true)
+	adaptPh, err := runInferencePhase(cfg, ds, true, sink)
 	if err != nil {
 		return rep, err
 	}
 	rep.Wall = time.Since(start)
+	if err := sink.flush(); err != nil {
+		return rep, err
+	}
 
 	// The adaptive phase is the headline; the majority baseline rides in
 	// the InferBase* fields.

@@ -168,6 +168,13 @@ type Config struct {
 	// (default 2); the EM phase extends HITs toward Assignments while
 	// any item's posterior stays unsure.
 	MinAssignments int
+	// TracePath, when set, arms the observability layer for the run and
+	// writes every span tree (batches, HITs, assignments, extensions)
+	// to this path as JSONL when the run completes. Tracing never
+	// schedules clock events or consumes randomness, so all virtual-time
+	// metrics and result fingerprints are identical with it on or off —
+	// the -verify rerun drops it to prove exactly that.
+	TracePath string
 }
 
 // planCacheSize translates the A/B switch into core's config knob.
@@ -609,6 +616,11 @@ func Run(cfg Config) (Report, error) {
 		latencies = append(latencies, (hs.DoneAt - hs.PostedAt).Duration())
 	})
 	mgr := taskmgr.New(market, nil, nil, nil)
+	sink := newTraceSink(cfg)
+	tr := sink.tracer(clock.Now)
+	if tr != nil {
+		mgr.SetObs(tr)
+	}
 	if cfg.StorePath != "" {
 		replayStart := time.Now()
 		st, err := store.Open(cfg.StorePath)
@@ -677,6 +689,10 @@ func Run(cfg Config) (Report, error) {
 	rep.CacheServed = mgr.Cache().Stats().Hits
 	if sc.finish != nil {
 		sc.finish(&rep)
+	}
+	sink.collect(tr)
+	if err := sink.flush(); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

@@ -94,6 +94,7 @@ func runMultiTenant(cfg Config) (Report, error) {
 		},
 		MaxInflightHITs: cfg.MaxInflight,
 		PlanCacheSize:   cfg.planCacheSize(),
+		Trace:           cfg.TracePath != "",
 	})
 	if err != nil {
 		return rep, fmt.Errorf("load: %v", err)
@@ -204,6 +205,11 @@ func runMultiTenant(cfg Config) (Report, error) {
 	// and post-failure rollbacks alike.
 	if sum != rep.Spent {
 		return rep, fmt.Errorf("load: ledger drift: per-query sunk costs sum to %v, account spent %v", sum, rep.Spent)
+	}
+	sink := newTraceSink(cfg)
+	sink.collect(eng.Tracer())
+	if err := sink.flush(); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

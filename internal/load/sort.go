@@ -52,7 +52,7 @@ type sortPhase struct {
 }
 
 // runSortPhase executes one strategy over the shared dataset.
-func runSortPhase(cfg Config, d rank.Decision) (sortPhase, error) {
+func runSortPhase(cfg Config, d rank.Decision, sink *traceSink) (sortPhase, error) {
 	var ph sortPhase
 	rateDef, cmpDef := sortTasks()
 
@@ -76,6 +76,10 @@ func runSortPhase(cfg Config, d rank.Decision) (sortPhase, error) {
 		ph.Latencies = append(ph.Latencies, (hs.DoneAt - hs.PostedAt).Duration())
 	})
 	mgr := taskmgr.New(market, nil, nil, nil)
+	tr := sink.tracer(clock.Now)
+	if tr != nil {
+		mgr.SetObs(tr)
+	}
 	mgr.SetBasePolicy(taskmgr.Policy{
 		Assignments: cfg.Assignments,
 		BatchSize:   cfg.Batch,
@@ -116,6 +120,7 @@ func runSortPhase(cfg Config, d rank.Decision) (sortPhase, error) {
 	ph.HITs = int64(st.HITsPosted)
 	ph.Spent = st.SpentCents
 	ph.Makespan = clock.Now()
+	sink.collect(tr)
 	return ph, nil
 }
 
@@ -142,24 +147,28 @@ func runSort(cfg Config) (Report, error) {
 	rep := Report{Config: cfg}
 	groupSize := rank.GroupSizeFor(sortTasks())
 
+	sink := newTraceSink(cfg)
 	start := time.Now()
-	ratePh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyRate, GroupSize: groupSize})
+	ratePh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyRate, GroupSize: groupSize}, sink)
 	if err != nil {
 		return rep, err
 	}
-	comparePh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyCompare, GroupSize: groupSize})
+	comparePh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyCompare, GroupSize: groupSize}, sink)
 	if err != nil {
 		return rep, err
 	}
-	topkPh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyCompare, GroupSize: groupSize, TopK: cfg.TopK})
+	topkPh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyCompare, GroupSize: groupSize, TopK: cfg.TopK}, sink)
 	if err != nil {
 		return rep, err
 	}
-	hybridPh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyHybrid, GroupSize: groupSize})
+	hybridPh, err := runSortPhase(cfg, rank.Decision{Strategy: rank.StrategyHybrid, GroupSize: groupSize}, sink)
 	if err != nil {
 		return rep, err
 	}
 	rep.Wall = time.Since(start)
+	if err := sink.flush(); err != nil {
+		return rep, err
+	}
 
 	phases := []sortPhase{ratePh, comparePh, topkPh, hybridPh}
 	var latencies []time.Duration

@@ -60,6 +60,7 @@ func runStreaming(cfg Config) (Report, error) {
 		// save: at most StreamWindow HITs are in flight at once.
 		Exec:          exec.Config{FilterWindow: cfg.StreamWindow},
 		PlanCacheSize: cfg.planCacheSize(),
+		Trace:         cfg.TracePath != "",
 	})
 	if err != nil {
 		return rep, fmt.Errorf("load: %v", err)
@@ -144,6 +145,11 @@ func runStreaming(cfg Config) (Report, error) {
 	}
 	rep.Delivered = int64(len(prefix))
 	rep.PassedKeysFNV = fingerprint(append([]string(nil), prefix...))
+	sink := newTraceSink(cfg)
+	sink.collect(eng.Tracer())
+	if err := sink.flush(); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,72 @@
+package load
+
+// Tracing for the load harness. Config.TracePath arms an obs.Tracer on
+// every phase of the selected workload and, when the run completes,
+// streams all collected span trees to that path as JSONL (the
+// "qurk-trace/v1" schema, one span per line, replay-friendly). A nil
+// sink — TracePath unset — never installs a tracer, so the traced code
+// keeps its zero-overhead disabled shape; and because spans neither
+// schedule clock events nor consume randomness, arming the sink cannot
+// change any virtual-time metric or result fingerprint. qurk-load
+// -verify leans on exactly that: the rerun drops the trace path, so its
+// fingerprint comparisons double as a tracing on/off A/B.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mturk"
+	"repro/internal/obs"
+)
+
+// traceSink accumulates span trees across a run's phases (each phase
+// owns its own clock, and therefore its own tracer) and writes them out
+// once at the end.
+type traceSink struct {
+	path  string
+	roots []*obs.Span
+}
+
+// newTraceSink returns the run's sink, nil when tracing is off.
+func newTraceSink(cfg Config) *traceSink {
+	if cfg.TracePath == "" {
+		return nil
+	}
+	return &traceSink{path: cfg.TracePath}
+}
+
+// tracer builds one phase's tracer on that phase's clock. A nil sink
+// yields a nil tracer, which every consumer treats as tracing-off.
+func (t *traceSink) tracer(now func() mturk.VirtualTime) *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return obs.New(now, obs.NewRegistry())
+}
+
+// collect harvests a finished phase's span trees (nil-safe both sides).
+func (t *traceSink) collect(tr *obs.Tracer) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.roots = append(t.roots, tr.Roots()...)
+}
+
+// flush writes everything collected to TracePath; no-op on a nil sink.
+func (t *traceSink) flush() error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(t.path)
+	if err != nil {
+		return fmt.Errorf("load: trace: %v", err)
+	}
+	if err := obs.WriteJSONL(f, t.roots); err != nil {
+		f.Close()
+		return fmt.Errorf("load: trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("load: trace: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package obs is the engine's observability layer: virtual-clock span
+// traces, a labeled metrics registry, and the renderers (EXPLAIN
+// ANALYZE, Prometheus text, JSONL) the rest of the system exposes them
+// through.
+//
+// # Spans
+//
+// A trace is a tree of Spans following the life of one query:
+//
+//	query                     one SELECT, root of the tree
+//	└─ plan                   planning, annotated cache hit/miss
+//	└─ operator ...           one per executor operator, nested like the plan
+//	└─ batch                  one cut batch: cut → admission queue → post
+//	   └─ hit                 one posted HIT: post → assignments → finalize
+//	      ├─ assignment ...   one per received assignment
+//	      └─ extend ...       one per adaptive extension
+//
+// Span IDs come from a single atomic counter and timestamps from the
+// discrete-event virtual clock, never from wall time or randomness, so
+// the same seed yields byte-identical traces. Creating or ending a span
+// never schedules clock events — tracing cannot perturb a simulation,
+// which is what keeps `-verify` fingerprints identical with tracing on
+// or off.
+//
+// # Zero overhead when disabled
+//
+// Everything is nil-receiver safe: a nil *Tracer mints nil *Spans, and
+// every Span/Counter/Histogram method on a nil receiver is a no-op
+// branch with zero allocations. Instrumented layers hold the tracer in
+// an atomic pointer and skip label/span construction entirely when it
+// is unset, so the disabled path costs one atomic load per event site.
+// When enabled, spans come from a sync.Pool (recycled via
+// Tracer.Release once a tree is fully ended and owned) and all counters
+// are atomics.
+//
+// # Surfaces
+//
+//   - ExplainAnalyze renders a finished tree as the per-operator table
+//     behind Rows.Explain() and the REPL's EXPLAIN ANALYZE.
+//   - Registry.WritePrometheus serves text-format /metrics.
+//   - MarshalTree serves JSON /trace/{id}; WriteJSONL streams a whole
+//     run's forest for qurk-load -trace.
+package obs

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SpanRecord is the JSONL wire form of one span.
+type SpanRecord struct {
+	ID          int64             `json:"id"`
+	Parent      int64             `json:"parent,omitempty"`
+	Kind        Kind              `json:"kind"`
+	Name        string            `json:"name,omitempty"`
+	StartMs     int64             `json:"start_ms"`
+	EndMs       int64             `json:"end_ms"`
+	Open        bool              `json:"open,omitempty"`
+	RowsIn      int64             `json:"rows_in,omitempty"`
+	RowsOut     int64             `json:"rows_out,omitempty"`
+	HITs        int64             `json:"hits,omitempty"`
+	Assignments int64             `json:"assignments,omitempty"`
+	CostCents   int64             `json:"cost_cents,omitempty"`
+	RefundCents int64             `json:"refund_cents,omitempty"`
+	CacheHits   int64             `json:"cache_hits,omitempty"`
+	ModelHits   int64             `json:"model_hits,omitempty"`
+	Extensions  int64             `json:"extensions,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []SpanRecord      `json:"children,omitempty"`
+}
+
+// record converts a span (and, when deep, its subtree) to wire form.
+func record(s *Span, deep bool) SpanRecord {
+	r := SpanRecord{
+		ID:          s.ID,
+		Parent:      s.Parent,
+		Kind:        s.Kind,
+		Name:        s.Name,
+		StartMs:     s.Start.Duration().Milliseconds(),
+		EndMs:       s.EndTime().Duration().Milliseconds(),
+		Open:        !s.Ended(),
+		RowsIn:      s.RowsIn.Load(),
+		RowsOut:     s.RowsOut.Load(),
+		HITs:        s.HITs.Load(),
+		Assignments: s.Assignments.Load(),
+		CostCents:   s.CostCents.Load(),
+		RefundCents: s.RefundCents.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		ModelHits:   s.ModelHits.Load(),
+		Extensions:  s.Extensions.Load(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		r.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			if _, dup := r.Attrs[a.Key]; !dup {
+				r.Attrs[a.Key] = a.Value
+			}
+		}
+	}
+	if deep {
+		for _, c := range s.Children() {
+			r.Children = append(r.Children, record(c, true))
+		}
+	}
+	return r
+}
+
+// MarshalTree renders one trace tree as nested JSON (the /trace/{id}
+// response body).
+func MarshalTree(root *Span) ([]byte, error) {
+	if root == nil {
+		return []byte("null"), nil
+	}
+	return json.MarshalIndent(record(root, true), "", "  ")
+}
+
+// jsonlHeader is the first line of every trace file: a schema note so a
+// replayer knows what it is reading without out-of-band docs.
+type jsonlHeader struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note"`
+	Spans  int    `json:"spans"`
+}
+
+// WriteJSONL emits the given trace forest as JSON Lines: one header
+// object, then one flat span record per line in pre-order per tree
+// (parents always precede children, so a replayer can stream-build the
+// forest in one pass; virtual-clock start_ms/end_ms replay the original
+// schedule).
+func WriteJSONL(w io.Writer, roots []*Span) error {
+	total := 0
+	for _, r := range roots {
+		r.Walk(func(*Span) { total++ })
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlHeader{
+		Schema: "qurk-trace/v1",
+		Note: "one span per line, pre-order per tree; parent=0 marks roots; " +
+			"start_ms/end_ms are virtual-clock milliseconds (replay by sorting on start_ms)",
+		Spans: total,
+	}); err != nil {
+		return err
+	}
+	for _, root := range roots {
+		var err error
+		root.Walk(func(s *Span) {
+			if err == nil {
+				err = enc.Encode(record(s, false))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

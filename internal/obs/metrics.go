@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (task, backend, scope, ...).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Nil-receiver safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter. Nil-receiver safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-or-add metric whose last value is exported.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value. Nil-receiver safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge. Nil-receiver safe.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge. Nil-receiver safe.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histScale fixes the sum's fixed-point resolution (micro-units), so
+// Observe never needs floating-point atomics.
+const histScale = 1e6
+
+// Histogram is a fixed-bucket distribution over float64 observations
+// (virtual minutes, fill ratios). Buckets are cumulative at render time
+// (Prometheus `le` semantics); storage is per-bucket atomics.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // one per bound, plus the +Inf overflow at the end
+	count   atomic.Int64
+	sum     atomic.Int64 // observation * histScale
+}
+
+// Observe records one sample. Nil-receiver safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v * histScale))
+}
+
+// Count reports the number of samples. Nil-receiver safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all samples. Nil-receiver safe.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load()) / histScale
+}
+
+// MinuteBuckets is the default latency bucket layout, in virtual
+// minutes: sub-minute admission waits up through multi-hour HIT tails.
+var MinuteBuckets = []float64{0.5, 1, 2, 5, 10, 15, 30, 60, 120, 240}
+
+// RatioBuckets is the default layout for 0..1 ratios (batch fill).
+var RatioBuckets = []float64{0.25, 0.5, 0.75, 0.9, 1}
+
+// DepthBuckets is the default layout for small integer depths
+// (extension counts per HIT).
+var DepthBuckets = []float64{0, 1, 2, 3, 5, 8}
+
+// Registry holds named, labeled metric families. Lookup interns the
+// (name, labels) series so hot paths pay one map probe; the instruments
+// themselves are lock-free atomics.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, labels []Label) *series {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[key]
+	if !ok {
+		s = &series{name: name, labels: append([]Label(nil), labels...)}
+		r.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter series for
+// name+labels. Nil-receiver safe: a nil registry returns a nil counter,
+// whose Add is a no-op.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil {
+		s.c = new(Counter)
+	}
+	return s.c
+}
+
+// Gauge returns (creating on first use) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil {
+		s.g = new(Gauge)
+	}
+	return s.g
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// name+labels with the given bucket bounds. The bounds of the first
+// creation win; later calls reuse the existing series.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		s.h = &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// labelString renders {k="v",...} with keys sorted, or "" without labels.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every series in the text exposition format,
+// families sorted by name and series by label string, so identical
+// registries render byte-identically. Nil-receiver safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		kind   string
+		series []*series
+	}
+	fams := map[string]*family{}
+	names := []string{}
+	for _, s := range all {
+		f, ok := fams[s.name]
+		if !ok {
+			kind := "counter"
+			switch {
+			case s.g != nil:
+				kind = "gauge"
+			case s.h != nil:
+				kind = "histogram"
+			}
+			f = &family{kind: kind}
+			fams[s.name] = f
+			names = append(names, s.name)
+		}
+		f.series = append(f.series, s)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool {
+			return labelString(f.series[i].labels) < labelString(f.series[j].labels)
+		})
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.h != nil:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.buckets[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name,
+						labelString(s.labels, L("le", trimFloat(bound))), cum)
+				}
+				cum += s.h.buckets[len(s.h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, labelString(s.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, labelString(s.labels), trimFloat(s.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, labelString(s.labels), s.h.Count())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", name, labelString(s.labels), s.g.Value())
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", name, labelString(s.labels), s.c.Value())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// Metric names shared by the instrumented layers. Centralized so the
+// dashboard, tests and docs agree on spelling.
+const (
+	MetricQueries        = "qurk_queries_total"
+	MetricPlanCacheHits  = "qurk_plan_cache_hits_total"
+	MetricPlanCacheMiss  = "qurk_plan_cache_misses_total"
+	MetricBatchesPosted  = "qurk_batches_posted_total"
+	MetricHITsPosted     = "qurk_hits_posted_total"
+	MetricAssignments    = "qurk_assignments_total"
+	MetricCostCents      = "qurk_cost_cents_total"
+	MetricRefundCents    = "qurk_refund_cents_total"
+	MetricCacheHits      = "qurk_cache_hits_total"
+	MetricModelAnswers   = "qurk_model_answers_total"
+	MetricExtensions     = "qurk_extensions_total"
+	MetricInflightHITs   = "qurk_inflight_hits"
+	MetricHITRoundTrip   = "qurk_hit_roundtrip_minutes"
+	MetricAdmissionWait  = "qurk_admission_wait_minutes"
+	MetricBatchFillRatio = "qurk_batch_fill_ratio"
+	MetricExtensionDepth = "qurk_extension_depth"
+)

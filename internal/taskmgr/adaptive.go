@@ -234,6 +234,7 @@ func (m *Manager) extendInflight(s *flightStripe, hitID string, fl *inflightHIT)
 		return
 	}
 	m.adaptiveExt.Add(1)
+	m.traceExtension(s, hitID, fl, price)
 }
 
 // finalizeAdaptive retires an adaptive HIT that stops below its cap —

@@ -113,7 +113,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		}
 		h.Items = append(h.Items, hit.Item{Key: key, Args: r.Args, Task: r.Def.Name, Prompt: prompt})
 		h.GroupKeys = append(h.GroupKeys, r.Def.Name)
-		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, side: r.StatSide, done: r.Done}
+		byKey[key] = pendingItem{key: key, args: r.Args, def: r.Def, side: r.StatSide, done: r.Done, span: r.Trace}
 		keys = append(keys, key)
 	}
 
@@ -165,6 +165,15 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		backend:  m.servingBackend(remaining[0].Def),
 		group:    true,
 	}
+	if sp := m.traceDirectHIT(scope, h.ID, h.Task, fl.backend, cost); sp != nil {
+		sp.Annotate("grouped", fmt.Sprintf("%d", len(remaining)))
+		fl.span = sp
+		items := make([]pendingItem, 0, len(keys))
+		for _, key := range keys {
+			items = append(items, byKey[key])
+		}
+		attributeOps(fl, items, cost)
+	}
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
 	if s.hits == nil {
@@ -176,6 +185,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 		s.mu.Lock()
 		delete(s.hits, h.ID)
 		s.mu.Unlock()
+		m.traceDirectGone(fl.span, err.Error())
 		m.account.Refund(cost)
 		scope.refund(cost)
 		for _, r := range resolved {
@@ -201,6 +211,7 @@ func (m *Manager) SubmitGroup(reqs []Request) error {
 func (m *Manager) finalizeGroup(fl *inflightHIT) {
 	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
 	fl.state.latency.Observe(latencyMin)
+	m.traceHITDone(fl, latencyMin, nil)
 	j := m.getJournal()
 	if j != nil {
 		j.Append(store.Record{Kind: store.KindLatency, Task: fl.hit.Task, X: latencyMin})

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/hit"
 	"repro/internal/mturk"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -190,6 +191,8 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		reward:   price,
 		done:     done,
 	}
+	fl.span = m.traceDirectHIT(scope, h.ID, def.Name, fl.backend, cost)
+	fl.span.Annotate("grid", fmt.Sprintf("%dx%d", len(neededLeft), len(neededRight)))
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
 	if s.joins == nil {
@@ -201,6 +204,7 @@ func (m *Manager) JoinBlockIn(scope *Scope, def *qlang.TaskDef, left, right []Jo
 		s.mu.Lock()
 		delete(s.joins, h.ID)
 		s.mu.Unlock()
+		m.traceDirectGone(fl.span, err.Error())
 		m.account.Refund(cost)
 		scope.refund(cost)
 		for _, r := range resolved {
@@ -235,6 +239,7 @@ type joinInflight struct {
 	backend  string // serving backend name, recorded at post time
 	reward   int64  // per-assignment price actually charged
 	done     func(string, Outcome)
+	span     *obs.Span // HIT trace span (nil = tracing off)
 }
 
 func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
@@ -250,6 +255,7 @@ func (m *Manager) onJoinAssignment(res mturk.AssignmentResult) {
 	}
 	fl.byWorker = append(fl.byWorker, res.Answers)
 	fl.received++
+	m.traceDirectAssignment(fl.span, fl.def.Name, res.Answers.WorkerID)
 	if fl.received < fl.needed {
 		s.mu.Unlock()
 		return
@@ -266,6 +272,7 @@ func (m *Manager) finalizeJoin(fl *joinInflight) {
 	st := fl.state
 	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
 	st.latency.Observe(latencyMin)
+	m.traceDirectDone(fl.span, fl.def.Name, fl.backend, latencyMin)
 	j := m.getJournal()
 	if j != nil {
 		j.Append(store.Record{Kind: store.KindLatency, Task: fl.def.Name, X: latencyMin})

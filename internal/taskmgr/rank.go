@@ -6,6 +6,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/hit"
 	"repro/internal/mturk"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -98,6 +99,8 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		reward:   price,
 		done:     done,
 	}
+	fl.span = m.traceDirectHIT(scope, h.ID, def.Name, fl.backend, cost)
+	fl.span.Annotate("group_size", fmt.Sprintf("%d", len(items)))
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
 	if s.ranks == nil {
@@ -109,6 +112,7 @@ func (m *Manager) RankBlockIn(scope *Scope, def *qlang.TaskDef, items []RankItem
 		s.mu.Lock()
 		delete(s.ranks, h.ID)
 		s.mu.Unlock()
+		m.traceDirectGone(fl.span, err.Error())
 		m.account.Refund(cost)
 		scope.refund(cost)
 		done(nil, fmt.Errorf("taskmgr: post %s: %v", def.Name, err))
@@ -141,6 +145,7 @@ type rankInflight struct {
 	backend  string // serving backend name, recorded at post time
 	reward   int64  // per-assignment price actually charged
 	done     func([]Ranking, error)
+	span     *obs.Span // HIT trace span (nil = tracing off)
 }
 
 func (m *Manager) onRankAssignment(res mturk.AssignmentResult) {
@@ -153,6 +158,7 @@ func (m *Manager) onRankAssignment(res mturk.AssignmentResult) {
 	}
 	fl.byWorker = append(fl.byWorker, res.Answers)
 	fl.received++
+	m.traceDirectAssignment(fl.span, fl.def.Name, res.Answers.WorkerID)
 	if fl.received < fl.needed {
 		s.mu.Unlock()
 		return
@@ -171,6 +177,7 @@ func (m *Manager) finalizeRank(fl *rankInflight) {
 	st := fl.state
 	latencyMin := (m.market.Clock().Now() - fl.postedAt).Minutes()
 	st.latency.Observe(latencyMin)
+	m.traceDirectDone(fl.span, fl.def.Name, fl.backend, latencyMin)
 	j := m.getJournal()
 	if j != nil {
 		j.Append(store.Record{Kind: store.KindLatency, Task: fl.def.Name, X: latencyMin})

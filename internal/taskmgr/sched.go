@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/budget"
+	"repro/internal/mturk"
 )
 
 // This file is the admission scheduler: every cut batch passes through
@@ -24,6 +25,7 @@ type queuedBatch struct {
 	prio   int    // highest item priority in the batch
 	owner  *Scope // fair-share accounting key (first item's scope)
 	weight int    // owner's fair-share weight at enqueue time
+	at     mturk.VirtualTime // enqueue time; tracing's admission-wait basis
 	// charged records the provisional per-scope cost released when the
 	// batch is admitted (or its scope swept); see Scope.addQueuedCost.
 	charged []provCharge
@@ -91,6 +93,7 @@ func (m *Manager) enqueueBatch(st *taskState, batch []pendingItem) {
 		prio:    prio,
 		owner:   batch[0].scope,
 		weight:  batch[0].scope.weightNow(),
+		at:      m.market.Clock().Now(),
 		charged: charged,
 	})
 	s.mu.Unlock()
@@ -117,7 +120,7 @@ func (m *Manager) dispatch() {
 		s.admitted[qb.owner]++
 		s.mu.Unlock()
 		qb.releaseProvisional()
-		posted := m.postBatch(qb.st, qb.batch)
+		posted := m.postBatch(qb.st, qb.batch, qb.at)
 		s.mu.Lock()
 		if !posted {
 			s.inflight--

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/qerr"
 )
 
@@ -39,6 +41,11 @@ type Scope struct {
 	spent    budget.Cents
 	queued   budget.Cents    // provisional cost of admission-queued batches
 	hits     map[string]bool // open HIT IDs posted for this scope
+	label    string          // optional metrics label (per-scope series)
+
+	// span is the owning query's trace span (SetSpan); read on posting
+	// paths without mu, hence atomic.
+	span atomic.Pointer[obs.Span]
 }
 
 // NewScope creates a live scope bound to the manager.
@@ -138,6 +145,28 @@ func (s *Scope) weightNow() int {
 		return 1
 	}
 	return s.weight
+}
+
+// SetLabel names this scope for metrics: when set, cost counters gain a
+// per-scope labeled series (tenant, workload, ...) alongside the
+// per-task ones. Leave empty (the default) to keep series cardinality
+// bounded by task and backend alone.
+func (s *Scope) SetLabel(label string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.label = label
+}
+
+func (s *Scope) labelNow() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.label
 }
 
 // addQueuedCost tracks the provisional cost of this scope's batches
@@ -291,6 +320,12 @@ func (s *Scope) Cancel(cause error) {
 	for _, id := range open {
 		s.mgr.cancelScopeHIT(id, s, cause)
 	}
+	// Close the query's whole span tree: cancellation must leave no
+	// orphan spans, whatever state each batch or HIT was in. (A shared
+	// HIT surviving under other scopes keeps its own span; it was
+	// parented under the first share's scope, and counters on an ended
+	// span are harmless.)
+	s.Span().CloseTree()
 }
 
 // sweepCanceledPending removes the scope's queued-but-unposted items
@@ -369,6 +404,7 @@ func (m *Manager) cancelScopeHIT(hitID string, sc *Scope, cause error) {
 			}
 			refund := unconsumed(sh.cost, fl.assign, fl.received)
 			sh.cost -= refund
+			m.traceHITCanceled(fl, refund, false)
 			str.mu.Unlock()
 			if refund > 0 {
 				m.account.Refund(refund)
@@ -379,12 +415,16 @@ func (m *Manager) cancelScopeHIT(hitID string, sc *Scope, cause error) {
 			}
 			return
 		}
-		// Sole live participant: full expiry.
+		// Sole live participant: full expiry. The refund and its trace
+		// record are computed under the stripe lock (a racing extension
+		// could otherwise append to extSpans mid-read); the marketplace
+		// and ledgers are only touched after release.
 		delete(str.hits, hitID)
-		received := fl.received
+		refund := unconsumed(sh.cost, fl.assign, fl.received)
+		m.traceHITCanceled(fl, refund, true)
 		str.mu.Unlock()
 		m.market.Dispose(hitID)
-		if refund := unconsumed(sh.cost, fl.assign, received); refund > 0 {
+		if refund > 0 {
 			m.account.Refund(refund)
 			sc.refund(refund)
 		}
@@ -399,6 +439,7 @@ func (m *Manager) cancelScopeHIT(hitID string, sc *Scope, cause error) {
 	if fl, ok := str.joins[hitID]; ok {
 		delete(str.joins, hitID)
 		str.mu.Unlock()
+		m.traceDirectGone(fl.span, cause.Error())
 		m.expireHIT(hitID, fl.scope, fl.cost)
 		for _, key := range fl.order {
 			if fl.need[key] {
@@ -410,6 +451,7 @@ func (m *Manager) cancelScopeHIT(hitID string, sc *Scope, cause error) {
 	if fl, ok := str.ranks[hitID]; ok {
 		delete(str.ranks, hitID)
 		str.mu.Unlock()
+		m.traceDirectGone(fl.span, cause.Error())
 		m.expireHIT(hitID, fl.scope, fl.cost)
 		fl.done(nil, fmt.Errorf("taskmgr: %s: %w", fl.def.Name, cause))
 		return

@@ -33,6 +33,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/model"
 	"repro/internal/mturk"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -168,6 +169,11 @@ type Request struct {
 	// synchronously (cache/model hits) and possibly from the clock
 	// goroutine.
 	Done func(Outcome)
+	// Trace, when tracing is enabled, is the submitting operator's span:
+	// cache/model short-circuits and batch/HIT lifecycle counters
+	// accumulate onto it. Nil (the default, and always when tracing is
+	// off) costs nothing.
+	Trace *obs.Span
 }
 
 // TaskStats aggregates one task's activity for the optimizer and
@@ -265,6 +271,7 @@ type pendingItem struct {
 	shared      bool   // may co-batch with other sharing scopes
 	done        func(Outcome)
 	addedAt     mturk.VirtualTime
+	span        *obs.Span // submitting operator's trace span (nil = tracing off)
 }
 
 // flightStripes is the number of lock stripes for in-flight HIT state.
@@ -332,6 +339,11 @@ type Manager struct {
 	// store and the pointer is read atomically, so finalizations never
 	// block on persistence.
 	journal atomic.Pointer[Journal]
+
+	// tracer, when set (SetObs), receives span trees and metrics for
+	// every batching, posting and finalization event. Read atomically
+	// like the journal: the disabled path costs one load per site.
+	tracer atomic.Pointer[obs.Tracer]
 
 	// workers tracks agreement-based reputation and quality the
 	// per-worker EM-accuracy EWMAs, both guarded by repMu — not m.mu —
@@ -416,6 +428,16 @@ type inflightHIT struct {
 	boolTask bool    // boolean vs categorical EM model
 	target   float64 // posterior confidence that stops extending
 	capA     int     // policy assignment cap for this batch
+
+	// Tracing (obs.go): span is the HIT's trace span (nil when tracing
+	// was off at post time), opSpans the distinct submitting operator
+	// spans (HIT/cost attribution), extSpans the adaptive extension
+	// spans in purchase order. span and opSpans are fixed before the
+	// HIT becomes visible to completions; extSpans appends take the
+	// stripe lock.
+	span     *obs.Span
+	opSpans  []*obs.Span
+	extSpans []*obs.Span
 }
 
 // unregister forgets the HIT at every participating scope.
@@ -509,6 +531,7 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		fl.unregister(hitID)
 		m.hitRetired(fl)
 		if fl.received == 0 {
+			m.traceHITAbandoned(fl, err)
 			for _, it := range fl.hit.Items {
 				if item, ok := fl.byKey[it.Key]; ok {
 					item.done(Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.hit.Task, err)})
@@ -529,6 +552,7 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		s.mu.Unlock()
 		fl.scope.unregisterHIT(hitID)
 		if fl.received == 0 {
+			m.traceDirectGone(fl.span, err.Error())
 			for _, key := range fl.order {
 				if fl.need[key] {
 					fl.done(key, Outcome{Err: fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err)})
@@ -549,6 +573,7 @@ func (m *Manager) onAssignmentFailed(hitID string, err error) {
 		s.mu.Unlock()
 		fl.scope.unregisterHIT(hitID)
 		if fl.received == 0 {
+			m.traceDirectGone(fl.span, err.Error())
 			fl.done(nil, fmt.Errorf("taskmgr: %s: %v", fl.def.Name, err))
 			return
 		}
@@ -674,6 +699,10 @@ func (m *Manager) Submit(req Request) {
 			st.mu.Lock()
 			st.cacheHits++
 			st.mu.Unlock()
+			req.Trace.AddCacheHits(1)
+			if reg := m.obsRegistry(); reg != nil {
+				reg.Counter(obs.MetricCacheHits, obs.L("task", req.Def.Name)).Add(1)
+			}
 			out := reduce(req.Def, entry.Answers)
 			out.FromCache = true
 			if isBooleanTask(req.Def) {
@@ -691,6 +720,10 @@ func (m *Manager) Submit(req Request) {
 				st.mu.Lock()
 				st.modelAnswers++
 				st.mu.Unlock()
+				req.Trace.AddModelHits(1)
+				if reg := m.obsRegistry(); reg != nil {
+					reg.Counter(obs.MetricModelAnswers, obs.L("task", req.Def.Name)).Add(1)
+				}
 				st.observeSelectivity(v.Truthy(), req.StatSide)
 				req.Done(Outcome{Value: v, Answers: []relation.Value{v}, Agreement: 1, FromModel: true})
 				return
@@ -711,6 +744,7 @@ func (m *Manager) Submit(req Request) {
 		shared:      req.Scope.sharedNow() || req.Def.Share,
 		done:        req.Done,
 		addedAt:     m.market.Clock().Now(),
+		span:        req.Trace,
 	}
 	var batches [][]pendingItem
 	st.mu.Lock()
@@ -1026,8 +1060,10 @@ func (m *Manager) batchPolicy(st *taskState, batch []pendingItem) Policy {
 // cost is split across the participating scopes by item count (integer
 // cents, largest-remainder rounding) so per-scope budgets and refunds
 // stay exact. No locks are held: posting calls into the marketplace
-// and, on synchronous failure, back into user callbacks.
-func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
+// and, on synchronous failure, back into user callbacks. queuedAt is
+// the admission-scheduler enqueue time (zero for paths that bypass
+// it); tracing reports the difference as admission wait.
+func (m *Manager) postBatch(st *taskState, batch []pendingItem, queuedAt mturk.VirtualTime) bool {
 	pol := m.batchPolicy(st, batch)
 	def := st.defOf()
 
@@ -1155,6 +1191,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		target:   target,
 		capA:     pol.Assignments,
 	}
+	m.traceBatchSpans(fl, live, pol, queuedAt)
 	s := m.flights.stripeFor(h.ID)
 	s.mu.Lock()
 	if s.hits == nil {
@@ -1166,6 +1203,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		s.mu.Lock()
 		delete(s.hits, h.ID)
 		s.mu.Unlock()
+		m.traceHITPostFailed(fl, err)
 		// Refund with the same split attribution as the charge: each
 		// scope gets back exactly its share, once, and the account the
 		// exact total — a batch spanning scopes cannot double-refund.
@@ -1178,6 +1216,7 @@ func (m *Manager) postBatch(st *taskState, batch []pendingItem) bool {
 		}
 		return false
 	}
+	m.traceBatchMetrics(fl, live, pol, queuedAt)
 	for i := range shares {
 		if cause := shares[i].scope.registerHIT(h.ID); cause != nil {
 			// The scope was canceled while the HIT was being posted;
@@ -1205,6 +1244,7 @@ func (m *Manager) onAssignment(res mturk.AssignmentResult) {
 	}
 	fl.byWorker = append(fl.byWorker, res.Answers)
 	fl.received++
+	m.traceAssignment(fl, res.Answers.WorkerID)
 	if fl.received < fl.needed {
 		s.mu.Unlock()
 		return
@@ -1266,6 +1306,7 @@ func (m *Manager) finalizeInflight(fl *inflightHIT) {
 		}
 		m.noteWorkerQuality(accs)
 	}
+	m.traceHITDone(fl, latencyMin, posts)
 
 	type resolution struct {
 		done func(Outcome)

@@ -154,6 +154,9 @@ var (
 	// WithWeight sets the query's fair-share weight under an admission
 	// gate (Config.MaxInflightHITs).
 	WithWeight = core.WithWeight
+	// WithLabel tags the query's scope so its HIT/cost metrics get a
+	// per-scope series (only meaningful with Config.Trace).
+	WithLabel = core.WithLabel
 )
 
 // New starts an engine. Callers must Close it.
